@@ -1,0 +1,101 @@
+// Model-fidelity ablation: how much do the optional substrate features —
+// NoC link contention, sensor-driven DTM, idle-core power gating — move the
+// headline numbers? Runs the Fig. 2 rotation case and a 64-core HotPotato
+// full load with each knob toggled, quantifying the sensitivity of the
+// reproduction to substrate detail.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/hotpotato.hpp"
+#include "sched/static_schedulers.hpp"
+#include "workload/benchmark.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using hp::bench::testbed_16core;
+using hp::bench::testbed_64core;
+using hp::sim::SimConfig;
+using hp::sim::SimResult;
+
+struct Knobs {
+    const char* label;
+    bool noc = false;
+    bool sensors = false;
+    bool gating = false;
+};
+
+constexpr Knobs kVariants[] = {
+    {"baseline (paper setup)"},
+    {"+ NoC contention", true, false, false},
+    {"+ sensor DTM", false, true, false},
+    {"+ power gating", false, false, true},
+    {"+ all three", true, true, true},
+};
+
+SimResult run_fig2c(const Knobs& k) {
+    SimConfig cfg;
+    cfg.max_sim_time_s = 5.0;
+    cfg.model_noc_contention = k.noc;
+    cfg.dtm_uses_sensors = k.sensors;
+    hp::power::PowerParams pwr;
+    pwr.power_gating = k.gating;
+    hp::sim::Simulator sim(testbed_16core().chip, testbed_16core().model,
+                           testbed_16core().solver, cfg, pwr);
+    sim.add_task({&hp::workload::profile_by_name("blackscholes"), 2, 0.0});
+    hp::sched::FixedRotationScheduler sched({5, 6, 10, 9}, 0.5e-3);
+    return sim.run(sched);
+}
+
+SimResult run_fullload(const Knobs& k) {
+    SimConfig cfg;
+    cfg.max_sim_time_s = 10.0;
+    cfg.model_noc_contention = k.noc;
+    cfg.dtm_uses_sensors = k.sensors;
+    hp::power::PowerParams pwr;
+    pwr.power_gating = k.gating;
+    hp::sim::Simulator sim(testbed_64core().chip, testbed_64core().model,
+                           testbed_64core().solver, cfg, pwr);
+    sim.add_tasks(hp::workload::homogeneous_fill(
+        hp::workload::profile_by_name("x264"), 64, 3));
+    hp::core::HotPotatoScheduler sched;
+    return sim.run(sched);
+}
+
+}  // namespace
+
+int main() {
+    hp::bench::print_header(
+        "Ablation: substrate fidelity (NoC contention, sensor DTM, power "
+        "gating)",
+        "robustness check for the whole reproduction (DESIGN.md SS2 "
+        "substitutions)");
+
+    std::printf("\n  Fig. 2(c) rotation case (16-core, 2-thread blackscholes):\n");
+    std::printf("  %-26s | %13s | %9s | %4s\n", "model variant",
+                "response [ms]", "peak [C]", "DTM");
+    std::printf("  ---------------------------+---------------+-----------+-----\n");
+    for (const Knobs& k : kVariants) {
+        const SimResult r = run_fig2c(k);
+        std::printf("  %-26s | %13.1f | %9.2f | %zu\n", k.label,
+                    r.tasks.at(0).response_time_s() * 1e3,
+                    r.peak_temperature_c, r.dtm_triggers);
+    }
+
+    std::printf("\n  64-core full-load x264 under HotPotato:\n");
+    std::printf("  %-26s | %13s | %9s | %12s\n", "model variant",
+                "makespan [ms]", "peak [C]", "energy [J]");
+    std::printf("  ---------------------------+---------------+-----------+-------------\n");
+    for (const Knobs& k : kVariants) {
+        const SimResult r = run_fullload(k);
+        std::printf("  %-26s | %13.1f | %9.2f | %12.2f\n", k.label,
+                    r.makespan_s * 1e3, r.peak_temperature_c,
+                    r.total_energy_j);
+    }
+
+    std::printf("\n  expected: the headline response times move by at most a few\n");
+    std::printf("  percent under any knob — the reproduction's conclusions do not\n");
+    std::printf("  hinge on the simplified substrate details.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 4(a): comparative evaluation with homogeneous
+// workloads. The 64-core S-NUCA many-core is fully loaded with vari-sized
+// multi-threaded instances of one PARSEC benchmark (closed system, all
+// instances start together); the normalized makespan of HotPotato is
+// compared against the state-of-the-art PCMig scheduler for each of the
+// eight benchmarks. Paper: 10.72 % average speedup, canneal lowest (0.73 %).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/hotpotato.hpp"
+#include "sched/pcmig.hpp"
+#include "workload/benchmark.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using hp::bench::testbed_64core;
+using hp::sim::SimConfig;
+using hp::sim::SimResult;
+
+SimConfig config() {
+    SimConfig cfg;
+    cfg.micro_step_s = 1e-4;
+    cfg.max_sim_time_s = 10.0;
+    return cfg;
+}
+
+SimResult run(const hp::workload::BenchmarkProfile& profile,
+              hp::sim::Scheduler& sched) {
+    hp::sim::Simulator sim = testbed_64core().make_sim(config());
+    sim.add_tasks(hp::workload::homogeneous_fill(profile, 64, /*seed=*/2023));
+    return sim.run(sched);
+}
+
+}  // namespace
+
+int main() {
+    hp::bench::print_header(
+        "Fig. 4(a): homogeneous workloads, 64-core fully loaded, "
+        "HotPotato vs PCMig",
+        "Shen et al., DATE 2023, Fig. 4(a): avg 10.72% speedup, canneal 0.73%");
+
+    std::printf("  %-14s | %12s | %12s | %8s | %9s | %9s\n", "benchmark",
+                "PCMig [ms]", "HotPot [ms]", "speedup", "peakT HP", "peakT PCM");
+    std::printf("  ---------------+--------------+--------------+----------+-----------+----------\n");
+
+    double geo = 0.0;
+    std::size_t count = 0;
+    double canneal_speedup = 0.0;
+    double max_speedup = -1e9;
+    std::string max_name;
+    for (const auto& profile : hp::workload::parsec_profiles()) {
+        hp::sched::PcMigScheduler pcmig;
+        const SimResult r_mig = run(profile, pcmig);
+        hp::core::HotPotatoScheduler hotpotato;
+        const SimResult r_hp = run(profile, hotpotato);
+
+        if (!r_mig.all_finished || !r_hp.all_finished) {
+            std::printf("  %-14s | DID NOT FINISH within sim budget\n",
+                        profile.name.c_str());
+            continue;
+        }
+        const double speedup =
+            (r_mig.makespan_s / r_hp.makespan_s - 1.0) * 100.0;
+        std::printf("  %-14s | %12.1f | %12.1f | %+7.2f%% | %7.1f C | %7.1f C\n",
+                    profile.name.c_str(), r_mig.makespan_s * 1e3,
+                    r_hp.makespan_s * 1e3, speedup, r_hp.peak_temperature_c,
+                    r_mig.peak_temperature_c);
+        geo += speedup;
+        ++count;
+        if (profile.name == "canneal") canneal_speedup = speedup;
+        if (speedup > max_speedup) {
+            max_speedup = speedup;
+            max_name = profile.name;
+        }
+    }
+    if (count == 0) return 1;
+    const double avg = geo / static_cast<double>(count);
+    std::printf("\n  average speedup : %+6.2f %%   (paper: +10.72 %%)\n", avg);
+    std::printf("  canneal speedup : %+6.2f %%   (paper: +0.73 %%, the lowest)\n",
+                canneal_speedup);
+    std::printf("  largest speedup : %+6.2f %% (%s)\n", max_speedup,
+                max_name.c_str());
+    std::printf("  shape check: average speedup positive       : %s\n",
+                avg > 0 ? "PASS" : "FAIL");
+    std::printf("  shape check: canneal below average          : %s\n",
+                canneal_speedup < avg ? "PASS" : "FAIL");
+    return 0;
+}

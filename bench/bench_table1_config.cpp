@@ -1,0 +1,59 @@
+// Reproduces paper Table I: core parameters of the simulated S-NUCA
+// processor. This binary prints the configuration every other experiment in
+// this repository actually uses, so a mismatch with the paper is immediately
+// visible.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+    using hp::bench::print_header;
+    print_header("Table I: Core parameters for simulated S-NUCA processor",
+                 "Shen et al., DATE 2023, Table I");
+
+    const auto& chip = hp::bench::testbed_64core().chip;
+    const auto& p = chip.params();
+    const auto& d = chip.dvfs();
+
+    std::printf("  %-24s | %-36s | %s\n", "Parameter", "Paper", "This repo");
+    std::printf("  -------------------------+--------------------------------------+----------------------------\n");
+    std::printf("  %-24s | %-36s | %zu\n", "Number of Cores", "64",
+                chip.core_count());
+    std::printf("  %-24s | %-36s | x86-interval model, %.1f GHz, %.0f nm\n",
+                "Core Model", "x86, 4.0 GHz, 14 nm, out-of-order",
+                p.peak_frequency_hz / 1e9, p.technology_nm);
+    std::printf("  %-24s | %-36s | %zu/%zu KB, %zu-way, %zuB-block\n",
+                "L1 I/D cache", "16/16 KB, 8/8-way, 64B-block", p.l1i_kb,
+                p.l1d_kb, p.l1_ways, p.cache_block_bytes);
+    std::printf("  %-24s | %-36s | %zu KB per core, %zu-way, %zuB-block\n",
+                "LLC", "128 KB per core, 16-way, 64B-block", p.llc_bank_kb,
+                p.llc_ways, p.cache_block_bytes);
+    std::printf("  %-24s | %-36s | %.1f ns per hop\n", "NoC Latency",
+                "1.5 ns per hop", p.noc_hop_latency_s * 1e9);
+    std::printf("  %-24s | %-36s | %zu bit\n", "NoC link width", "256 bit",
+                p.noc_link_width_bits);
+    std::printf("  %-24s | %-36s | %.2f mm^2\n", "Area of core", "0.81 mm^2",
+                p.core_area_mm2);
+    std::printf("  %-24s | %-36s | %.1f-%.1f GHz, %.0f MHz steps\n",
+                "DVFS (baselines only)", "100 MHz steps", d.f_min_hz / 1e9,
+                d.f_max_hz / 1e9, d.step_hz / 1e6);
+
+    std::printf("\n  Derived S-NUCA heterogeneity (not in Table I, paper SSIII-A):\n");
+    std::printf("  %-28s %zu\n", "AMD rings:", chip.rings().size());
+    for (const auto& ring : chip.rings())
+        std::printf("    ring AMD %-6.2f  cores: %zu   avg LLC latency: %.2f ns\n",
+                    ring.amd, ring.cores.size(),
+                    chip.llc_access_latency_s(ring.cores.front()) * 1e9);
+
+    // Fig. 3: the concentric AMD-based rotation rings, rendered on the mesh
+    // (digit = ring index, 0 = innermost/lowest AMD).
+    std::printf("\n  Fig. 3: concentric AMD rotation rings on the 8x8 mesh\n");
+    for (std::size_t row = 0; row < chip.plan().rows(); ++row) {
+        std::printf("    ");
+        for (std::size_t col = 0; col < chip.plan().cols(); ++col)
+            std::printf("%zu ", chip.ring_of(chip.plan().index_of(row, col)));
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "arch/manycore.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace hp::bench {
+
+/// A chip plus its (expensive, shareable) thermal model and
+/// eigendecomposition; build once per benchmark binary.
+struct Testbed {
+    arch::ManyCore chip;
+    thermal::ThermalModel model;
+    thermal::MatExSolver solver;
+
+    explicit Testbed(arch::ManyCore c)
+        : chip(std::move(c)),
+          model(chip.plan(), thermal::RcNetworkConfig{}),
+          solver(model) {}
+
+    sim::Simulator make_sim(sim::SimConfig config = {}) const {
+        return sim::Simulator(chip, model, solver, config);
+    }
+};
+
+inline const Testbed& testbed_16core() {
+    static const Testbed t{arch::ManyCore::paper_16core()};
+    return t;
+}
+
+inline const Testbed& testbed_64core() {
+    static const Testbed t{arch::ManyCore::paper_64core()};
+    return t;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+    std::printf("\n=============================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("  reproduces: %s\n", paper_ref);
+    std::printf("=============================================================================\n");
+}
+
+}  // namespace hp::bench

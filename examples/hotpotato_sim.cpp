@@ -1,0 +1,28 @@
+// Command-line driver for the interval thermal simulator — the tool a
+// downstream user runs without writing C++. See `--help` for the full flag
+// reference; all logic lives in src/cli so it is unit-tested.
+//
+//   hotpotato_sim --rows 8 --cols 8 --scheduler hotpotato
+//                 --tasks 20 --rate 100 --trace run.csv
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "cli/options.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        const hp::cli::CliOptions options = hp::cli::parse(args);
+        if (options.help) {
+            std::cout << hp::cli::usage();
+            return 0;
+        }
+        return hp::cli::run(options, std::cout);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n\n%s", e.what(),
+                     hp::cli::usage().c_str());
+        return 2;
+    }
+}

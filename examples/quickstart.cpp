@@ -1,0 +1,61 @@
+// Quickstart: simulate a 16-core S-NUCA many-core running a two-threaded
+// blackscholes instance under the HotPotato scheduler and print what
+// happened.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "arch/manycore.hpp"
+#include "core/hotpotato.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+
+int main() {
+    using namespace hp;
+
+    // 1. The machine: a 4x4 S-NUCA mesh with the paper's Table I parameters.
+    //    AMD rings (the rotation domains) are derived automatically.
+    arch::ManyCore chip = arch::ManyCore::paper_16core();
+    std::printf("chip: %zu cores, %zu AMD rings\n", chip.core_count(),
+                chip.rings().size());
+
+    // 2. The thermal substrate: a layered RC network (silicon + spreader +
+    //    sink) for the floorplan, and the MatEx eigendecomposition that both
+    //    the simulator and HotPotato's Algorithm 1 share.
+    thermal::ThermalModel model(chip.plan(), thermal::RcNetworkConfig{});
+    thermal::MatExSolver solver(model);
+
+    // 3. The workload: PARSEC-calibrated profiles ship with the library.
+    const workload::BenchmarkProfile& bs =
+        workload::profile_by_name("blackscholes");
+
+    // 4. The simulation: paper defaults — 45 C ambient, 70 C DTM threshold.
+    sim::SimConfig config;
+    config.trace_interval_s = 1e-3;  // keep a thermal trace
+    sim::Simulator simulator(chip, model, solver, config);
+    simulator.add_task(workload::TaskSpec{&bs, /*threads=*/2, /*arrival=*/0.0});
+
+    // 5. The scheduler: HotPotato with the paper's parameters (tau = 0.5 ms,
+    //    headroom delta = 1 C).
+    core::HotPotatoScheduler scheduler;
+    const sim::SimResult result = simulator.run(scheduler);
+
+    // 6. Results.
+    std::printf("finished: %s\n", result.all_finished ? "yes" : "no");
+    for (const sim::TaskResult& t : result.tasks)
+        std::printf("task %zu (%s, %zu threads): response %.1f ms\n", t.id,
+                    t.benchmark.c_str(), t.threads,
+                    t.response_time_s() * 1e3);
+    std::printf("peak temperature : %.1f C (threshold %.0f C)\n",
+                result.peak_temperature_c, config.t_dtm_c);
+    std::printf("DTM triggers     : %zu\n", result.dtm_triggers);
+    std::printf("thread migrations: %zu\n", result.migrations);
+    std::printf("final rotation   : %s (tau = %.2f ms)\n",
+                scheduler.rotation_enabled() ? "on" : "off",
+                scheduler.rotation_interval_s() * 1e3);
+    return 0;
+}

@@ -1,0 +1,97 @@
+// Terminal thermal heatmap: runs the Fig. 2 motivational workload under a
+// chosen policy and renders per-core temperature snapshots of the 4x4 chip
+// as ANSI-free ASCII heatmaps over time — the quickest way to *see* the
+// rotation averaging heat across the centre ring.
+//
+// Usage: thermal_heatmap [static|rotation|hotpotato|pcmig]
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "arch/manycore.hpp"
+#include "core/hotpotato.hpp"
+#include "sched/pcmig.hpp"
+#include "sched/static_schedulers.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+/// Maps a temperature to a density glyph: ambient '.' up to '#' at the DTM
+/// threshold and '@' beyond.
+char glyph(double t_c) {
+    static constexpr const char* kScale = ".:-=+*%#@";
+    const double lo = 45.0, hi = 70.0;
+    if (t_c >= hi) return '@';
+    const double alpha = (t_c - lo) / (hi - lo);
+    const int idx = static_cast<int>(alpha * 8.0);
+    return kScale[std::clamp(idx, 0, 8)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace hp;
+    const char* mode = argc > 1 ? argv[1] : "rotation";
+
+    arch::ManyCore chip = arch::ManyCore::paper_16core();
+    thermal::ThermalModel model(chip.plan(), thermal::RcNetworkConfig{});
+    thermal::MatExSolver solver(model);
+
+    sim::SimConfig cfg;
+    cfg.trace_interval_s = 1e-3;
+    if (std::strcmp(mode, "static") == 0) cfg.t_dtm_c = 1000.0;  // expose it
+    sim::Simulator sim(chip, model, solver, cfg);
+    sim.add_task({&workload::profile_by_name("blackscholes"), 2, 0.0});
+
+    std::unique_ptr<sim::Scheduler> sched;
+    if (std::strcmp(mode, "static") == 0)
+        sched = std::make_unique<sched::StaticScheduler>(
+            std::vector<std::size_t>{5, 10});
+    else if (std::strcmp(mode, "rotation") == 0)
+        sched = std::make_unique<sched::FixedRotationScheduler>(
+            std::vector<std::size_t>{5, 6, 10, 9}, 0.5e-3);
+    else if (std::strcmp(mode, "hotpotato") == 0)
+        sched = std::make_unique<core::HotPotatoScheduler>();
+    else if (std::strcmp(mode, "pcmig") == 0)
+        sched = std::make_unique<sched::PcMigScheduler>();
+    else {
+        std::fprintf(stderr,
+                     "usage: thermal_heatmap [static|rotation|hotpotato|pcmig]\n");
+        return 2;
+    }
+
+    const sim::SimResult r = sim.run(*sched);
+
+    std::printf("2-thread blackscholes on 16-core, policy: %s\n", mode);
+    std::printf("scale: '.' = 45 C ... '#' = 70 C, '@' beyond threshold\n\n");
+
+    // Six snapshots spread over the run, shown side by side.
+    const std::size_t snapshots = 6;
+    std::vector<std::size_t> picks;
+    for (std::size_t s = 0; s < snapshots; ++s)
+        picks.push_back(s * (r.trace.size() - 1) / (snapshots - 1));
+
+    for (std::size_t s : picks) std::printf("t=%-6.0fms   ", r.trace[s].time_s * 1e3);
+    std::printf("\n");
+    for (std::size_t row = 0; row < 4; ++row) {
+        for (std::size_t s : picks) {
+            const auto& sample = r.trace[s];
+            for (std::size_t col = 0; col < 4; ++col)
+                std::printf("%c%c",
+                            glyph(sample.core_temperature_c[row * 4 + col]),
+                            ' ');
+            std::printf("    ");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nresponse %.1f ms, peak %.1f C, %zu migrations, %zu DTM triggers\n",
+                r.tasks.at(0).response_time_s() * 1e3, r.peak_temperature_c,
+                r.migrations, r.dtm_triggers);
+    return 0;
+}

@@ -1,0 +1,99 @@
+#include "arch/manycore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace hp::arch {
+
+ManyCore::ManyCore(std::size_t rows, std::size_t cols, SnucaParams params,
+                   DvfsParams dvfs)
+    : plan_(rows, cols, params.core_area_mm2, params.layers),
+      params_(params),
+      dvfs_(dvfs) {
+    const std::size_t n = plan_.core_count();
+    amd_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t total_hops = 0;
+        for (std::size_t j = 0; j < n; ++j)
+            total_hops += plan_.manhattan_hops(i, j);
+        amd_[i] = static_cast<double>(total_hops) / static_cast<double>(n);
+    }
+    build_rings();
+}
+
+ManyCore ManyCore::paper_64core() { return ManyCore(8, 8); }
+
+ManyCore ManyCore::paper_16core() { return ManyCore(4, 4); }
+
+ManyCore ManyCore::stacked_32core() {
+    SnucaParams params;
+    params.layers = 2;
+    return ManyCore(4, 4, params);
+}
+
+void ManyCore::build_rings() {
+    // Group cores by AMD (quantised to suppress floating-point noise); equal
+    // AMD implies symmetric position relative to the chip centre.
+    std::map<long long, AmdRing> groups;
+    for (std::size_t i = 0; i < core_count(); ++i) {
+        const long long key = std::llround(amd_[i] * 1e6);
+        AmdRing& ring = groups[key];
+        ring.amd = amd_[i];
+        ring.cores.push_back(i);
+    }
+
+    // Order each ring's cores cyclically (by angle around the chip centre) so
+    // that "rotate by one slot" moves every thread to an adjacent position.
+    const double centre_row = (static_cast<double>(plan_.rows()) - 1.0) / 2.0;
+    const double centre_col = (static_cast<double>(plan_.cols()) - 1.0) / 2.0;
+    rings_.clear();
+    for (auto& [key, ring] : groups) {
+        std::sort(ring.cores.begin(), ring.cores.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const auto& ta = plan_.tile(a);
+                      const auto& tb = plan_.tile(b);
+                      const double ang_a =
+                          std::atan2(static_cast<double>(ta.row) - centre_row,
+                                     static_cast<double>(ta.col) - centre_col);
+                      const double ang_b =
+                          std::atan2(static_cast<double>(tb.row) - centre_row,
+                                     static_cast<double>(tb.col) - centre_col);
+                      if (ang_a != ang_b) return ang_a < ang_b;
+                      // Stacked cores at the same (row, col) share the angle;
+                      // keep them adjacent in the cycle so the rotation hop
+                      // between them is a single cheap TSV crossing.
+                      if (ta.layer != tb.layer) return ta.layer < tb.layer;
+                      return a < b;
+                  });
+        rings_.push_back(std::move(ring));
+    }
+
+    ring_of_core_.assign(core_count(), 0);
+    for (std::size_t r = 0; r < rings_.size(); ++r)
+        for (std::size_t core : rings_[r].cores) ring_of_core_[core] = r;
+}
+
+double ManyCore::amd(std::size_t core) const {
+    if (core >= amd_.size())
+        throw std::out_of_range("ManyCore::amd: core index out of range");
+    return amd_[core];
+}
+
+std::size_t ManyCore::ring_of(std::size_t core) const {
+    if (core >= ring_of_core_.size())
+        throw std::out_of_range("ManyCore::ring_of: core index out of range");
+    return ring_of_core_[core];
+}
+
+double ManyCore::llc_access_latency_s(std::size_t core) const {
+    return params_.llc_bank_access_latency_s +
+           2.0 * amd(core) * params_.noc_hop_latency_s;
+}
+
+std::size_t ManyCore::private_state_bytes() const {
+    return (params_.l1i_kb + params_.l1d_kb) * 1024;
+}
+
+}  // namespace hp::arch

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/dvfs.hpp"
+#include "floorplan/floorplan.hpp"
+
+namespace hp::arch {
+
+/// Cache and NoC parameters of the simulated S-NUCA processor
+/// (paper Table I).
+struct SnucaParams {
+    double peak_frequency_hz = 4.0e9;
+    double technology_nm = 14.0;
+    std::size_t l1i_kb = 16;
+    std::size_t l1d_kb = 16;
+    std::size_t l1_ways = 8;
+    std::size_t llc_bank_kb = 128;  ///< per-core slice of the shared LLC
+    std::size_t llc_ways = 16;
+    std::size_t cache_block_bytes = 64;
+    double noc_hop_latency_s = 1.5e-9;
+    std::size_t noc_link_width_bits = 256;
+    double core_area_mm2 = 0.81;
+    double llc_bank_access_latency_s = 5.0e-9;  ///< bank lookup, excl. NoC
+    /// Stacked silicon layers (1 = planar; >1 = 3D S-NUCA, the paper's
+    /// future-work target). Layer crossings cost one NoC hop (TSV).
+    std::size_t layers = 1;
+};
+
+/// One concentric AMD ring: the set of cores sharing the same Average
+/// Manhattan Distance, listed in rotation (cyclic) order.
+struct AmdRing {
+    double amd = 0.0;                 ///< hops, average over all cores
+    std::vector<std::size_t> cores;   ///< rotation order around the centre
+};
+
+/// Micro-architecturally homogeneous S-NUCA many-core on a mesh NoC.
+///
+/// Captures the two structural facts every scheduler in this repo exploits:
+///  * a core's average LLC latency grows with its Average Manhattan Distance
+///    (AMD) from the other cores (performance heterogeneity), and
+///  * cores of equal AMD form concentric rings that are performance- and
+///    thermal-wise homogeneous — the rotation domains of HotPotato.
+class ManyCore {
+public:
+    /// Builds a @p rows x @p cols mesh with parameters @p params and DVFS
+    /// table @p dvfs.
+    ManyCore(std::size_t rows, std::size_t cols, SnucaParams params = {},
+             DvfsParams dvfs = {});
+
+    /// Convenience 64-core (8x8) configuration of paper Table I.
+    static ManyCore paper_64core();
+    /// Convenience 16-core (4x4) configuration of the motivational example.
+    static ManyCore paper_16core();
+    /// 3D-stacked 32-core part: two 4x4 layers (the paper's future-work
+    /// direction, after CoMeT).
+    static ManyCore stacked_32core();
+
+    const floorplan::GridFloorplan& plan() const { return plan_; }
+    const SnucaParams& params() const { return params_; }
+    const DvfsParams& dvfs() const { return dvfs_; }
+    std::size_t core_count() const { return plan_.core_count(); }
+
+    /// Average Manhattan Distance of @p core to all cores (incl. itself), in
+    /// NoC hops; the S-NUCA performance/thermal heterogeneity metric.
+    double amd(std::size_t core) const;
+
+    /// Concentric AMD rings, ascending by AMD (rings[0] is the centre).
+    const std::vector<AmdRing>& rings() const { return rings_; }
+
+    /// Ring index (into rings()) that @p core belongs to.
+    std::size_t ring_of(std::size_t core) const;
+
+    /// Average latency of one LLC access issued by @p core: bank lookup plus
+    /// the round trip over the XY-routed mesh to a uniformly distributed bank
+    /// (static address interleaving), i.e. 2 * AMD * hop latency.
+    double llc_access_latency_s(std::size_t core) const;
+
+    /// Total private cache state a migrating thread loses (L1I + L1D), bytes.
+    std::size_t private_state_bytes() const;
+
+private:
+    void build_rings();
+
+    floorplan::GridFloorplan plan_;
+    SnucaParams params_;
+    DvfsParams dvfs_;
+    std::vector<double> amd_;
+    std::vector<AmdRing> rings_;
+    std::vector<std::size_t> ring_of_core_;
+};
+
+}  // namespace hp::arch

@@ -1,0 +1,223 @@
+#include "cli/options.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "arch/manycore.hpp"
+#include "core/hotpotato.hpp"
+#include "core/hotpotato_dvfs.hpp"
+#include "sched/pcgov.hpp"
+#include "sched/pcmig.hpp"
+#include "sched/reactive.hpp"
+#include "sched/global_rotation.hpp"
+#include "sched/static_schedulers.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_io.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/workload_io.hpp"
+
+namespace hp::cli {
+
+std::string usage() {
+    return R"(hotpotato_sim - interval thermal simulation of S-NUCA many-cores
+
+machine:
+  --rows N --cols N        mesh dimensions           (default 8x8)
+  --layers N               stacked silicon layers    (default 1)
+
+policy:
+  --scheduler NAME         hotpotato | hotpotato-dvfs | pcmig | pcgov |
+                           tsp-dvfs | static | reactive | global-rotation
+                                                     (default hotpotato)
+
+fidelity:
+  --noc-contention         model NoC link queueing on LLC latency
+  --sensors                DTM driven by quantised/noisy thermal sensors
+  --power-gating           gate idle cores (wake penalty on arrival)
+
+workload (pick one):
+  --tasks-file PATH        explicit task list ("task <bench> <thr> <arr_s>")
+  --benchmark NAME         homogeneous full-chip fill of one benchmark
+  (default)                Poisson mix: --tasks N --rate R --min-threads N
+                           --max-threads N --seed S
+  --profiles-file PATH     extra benchmark definitions usable by name
+
+simulation:
+  --t-dtm C                DTM threshold             (default 70)
+  --ambient C              ambient temperature       (default 45)
+  --max-time S             simulated-time budget     (default 30)
+  --trace PATH             write a thermal trace CSV
+  --trace-interval S       trace sampling period     (default 1e-3)
+  --help                   this text
+)";
+}
+
+namespace {
+
+double parse_double(const std::string& flag, const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("bad value for " + flag + ": " + value);
+    }
+}
+
+std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const unsigned long long v = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("bad value for " + flag + ": " + value);
+    }
+}
+
+}  // namespace
+
+CliOptions parse(const std::vector<std::string>& args) {
+    CliOptions o;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& flag = args[i];
+        if (flag == "--help" || flag == "-h") {
+            o.help = true;
+            continue;
+        }
+        if (flag == "--noc-contention") {
+            o.noc_contention = true;
+            continue;
+        }
+        if (flag == "--sensors") {
+            o.sensors = true;
+            continue;
+        }
+        if (flag == "--power-gating") {
+            o.power_gating = true;
+            continue;
+        }
+        const auto value = [&]() -> const std::string& {
+            if (i + 1 >= args.size())
+                throw std::invalid_argument(flag + " needs a value");
+            return args[++i];
+        };
+        if (flag == "--rows") o.rows = parse_uint(flag, value());
+        else if (flag == "--cols") o.cols = parse_uint(flag, value());
+        else if (flag == "--layers") o.layers = parse_uint(flag, value());
+        else if (flag == "--scheduler") o.scheduler = value();
+        else if (flag == "--profiles-file") o.profiles_file = value();
+        else if (flag == "--tasks-file") o.tasks_file = value();
+        else if (flag == "--benchmark") o.benchmark = value();
+        else if (flag == "--tasks") o.tasks = parse_uint(flag, value());
+        else if (flag == "--rate") o.arrivals_per_s = parse_double(flag, value());
+        else if (flag == "--min-threads") o.min_threads = parse_uint(flag, value());
+        else if (flag == "--max-threads") o.max_threads = parse_uint(flag, value());
+        else if (flag == "--seed") o.seed = parse_uint(flag, value());
+        else if (flag == "--t-dtm") o.t_dtm_c = parse_double(flag, value());
+        else if (flag == "--ambient") o.ambient_c = parse_double(flag, value());
+        else if (flag == "--max-time") o.max_time_s = parse_double(flag, value());
+        else if (flag == "--trace") o.trace_file = value();
+        else if (flag == "--trace-interval")
+            o.trace_interval_s = parse_double(flag, value());
+        else
+            throw std::invalid_argument("unknown flag: " + flag);
+    }
+    if (o.rows == 0 || o.cols == 0 || o.layers == 0)
+        throw std::invalid_argument("machine dimensions must be positive");
+    if (!o.tasks_file.empty() && !o.benchmark.empty())
+        throw std::invalid_argument(
+            "--tasks-file and --benchmark are mutually exclusive");
+    if (o.min_threads < 2 || o.max_threads < o.min_threads)
+        throw std::invalid_argument("bad thread-count range");
+    return o;
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
+    if (name == "hotpotato") return std::make_unique<core::HotPotatoScheduler>();
+    if (name == "hotpotato-dvfs")
+        return std::make_unique<core::HotPotatoDvfsScheduler>();
+    if (name == "pcmig") return std::make_unique<sched::PcMigScheduler>();
+    if (name == "pcgov") return std::make_unique<sched::PcGovScheduler>();
+    if (name == "tsp-dvfs") return std::make_unique<sched::TspDvfsScheduler>();
+    if (name == "static") return std::make_unique<sched::StaticScheduler>();
+    if (name == "reactive")
+        return std::make_unique<sched::ReactiveMigrationScheduler>();
+    if (name == "global-rotation")
+        return std::make_unique<sched::GlobalRotationScheduler>();
+    throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+int run(const CliOptions& options, std::ostream& out) {
+    arch::SnucaParams params;
+    params.layers = options.layers;
+    const arch::ManyCore chip(options.rows, options.cols, params);
+    const thermal::ThermalModel model(chip.plan(), thermal::RcNetworkConfig{});
+    const thermal::MatExSolver solver(model);
+
+    sim::SimConfig config;
+    config.t_dtm_c = options.t_dtm_c;
+    config.ambient_c = options.ambient_c;
+    config.max_sim_time_s = options.max_time_s;
+    config.model_noc_contention = options.noc_contention;
+    config.dtm_uses_sensors = options.sensors;
+    if (!options.trace_file.empty())
+        config.trace_interval_s = options.trace_interval_s;
+    power::PowerParams power_params;
+    power_params.power_gating = options.power_gating;
+    sim::Simulator simulator(chip, model, solver, config, power_params);
+
+    std::vector<workload::BenchmarkProfile> extra_profiles;
+    if (!options.profiles_file.empty())
+        extra_profiles = workload::read_profiles_file(options.profiles_file);
+
+    if (!options.tasks_file.empty()) {
+        simulator.add_tasks(
+            workload::read_tasks_file(options.tasks_file, extra_profiles));
+    } else if (!options.benchmark.empty()) {
+        const workload::BenchmarkProfile* profile = nullptr;
+        for (const auto& p : extra_profiles)
+            if (p.name == options.benchmark) profile = &p;
+        if (profile == nullptr)
+            profile = &workload::profile_by_name(options.benchmark);
+        simulator.add_tasks(workload::homogeneous_fill(
+            *profile, chip.core_count(), options.seed));
+    } else {
+        simulator.add_tasks(workload::poisson_mix(
+            options.tasks, options.arrivals_per_s, options.min_threads,
+            options.max_threads, options.seed));
+    }
+
+    std::unique_ptr<sim::Scheduler> scheduler =
+        make_scheduler(options.scheduler);
+    const sim::SimResult result = simulator.run(*scheduler);
+    if (!options.trace_file.empty())
+        sim::write_trace_csv(options.trace_file, result.trace);
+
+    out << "machine            : " << options.rows << "x" << options.cols
+        << (options.layers > 1 ? " x" + std::to_string(options.layers) + " layers"
+                               : "")
+        << " (" << chip.core_count() << " cores, " << chip.rings().size()
+        << " AMD rings)\n";
+    out << "scheduler          : " << scheduler->name() << "\n";
+    out << "tasks finished     : " << result.tasks.size() << "/"
+        << (result.all_finished ? result.tasks.size() : std::size_t(-1))
+        << (result.all_finished ? "" : " (INCOMPLETE)") << "\n";
+    out << "makespan           : " << result.makespan_s * 1e3 << " ms\n";
+    out << "avg response time  : " << result.average_response_time_s() * 1e3
+        << " ms\n";
+    out << "peak temperature   : " << result.peak_temperature_c << " C (limit "
+        << options.t_dtm_c << " C)\n";
+    out << "DTM triggers       : " << result.dtm_triggers << " ("
+        << result.dtm_throttled_s * 1e3 << " ms throttled)\n";
+    out << "migrations         : " << result.migrations << "\n";
+    out << "energy             : " << result.total_energy_j << " J (avg "
+        << result.average_power_w() << " W)\n";
+    if (!options.trace_file.empty())
+        out << "trace              : " << options.trace_file << "\n";
+    return result.all_finished ? 0 : 1;
+}
+
+}  // namespace hp::cli

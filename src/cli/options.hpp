@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hp::cli {
+
+/// Parsed command line of the `hotpotato_sim` driver.
+struct CliOptions {
+    // Machine.
+    std::size_t rows = 8;
+    std::size_t cols = 8;
+    std::size_t layers = 1;
+
+    // Policy: hotpotato | hotpotato-dvfs | pcmig | pcgov | tsp-dvfs |
+    // static | reactive | global-rotation.
+    std::string scheduler = "hotpotato";
+
+    // Optional fidelity knobs.
+    bool noc_contention = false;
+    bool sensors = false;
+    bool power_gating = false;
+
+    // Workload: either an explicit task file, a homogeneous fill of one
+    // benchmark, or (default) a Poisson mix.
+    std::string profiles_file;  ///< optional extra benchmark definitions
+    std::string tasks_file;     ///< explicit task list (wins if set)
+    std::string benchmark;      ///< homogeneous fill of this benchmark
+    std::size_t tasks = 20;
+    double arrivals_per_s = 50.0;
+    std::size_t min_threads = 2;
+    std::size_t max_threads = 8;
+    std::uint64_t seed = 1;
+
+    // Simulation.
+    double t_dtm_c = 70.0;
+    double ambient_c = 45.0;
+    double max_time_s = 30.0;
+    std::string trace_file;       ///< write CSV trace here if non-empty
+    double trace_interval_s = 1e-3;
+
+    bool help = false;
+};
+
+/// Usage text for --help and error messages.
+std::string usage();
+
+/// Parses argv-style arguments (excluding the program name). Throws
+/// std::invalid_argument with a message on unknown flags or bad values.
+CliOptions parse(const std::vector<std::string>& args);
+
+/// Instantiates the scheduler named in @p name; throws std::invalid_argument
+/// for unknown names.
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name);
+
+/// Builds the machine and workload described by @p options, runs the
+/// simulation and writes a human-readable report to @p out. Returns the
+/// process exit code (0 on success, 1 if tasks did not finish).
+int run(const CliOptions& options, std::ostream& out);
+
+}  // namespace hp::cli

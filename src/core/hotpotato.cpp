@@ -1,0 +1,391 @@
+#include "core/hotpotato.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hp::core {
+
+namespace {
+constexpr double kInfPeak = std::numeric_limits<double>::infinity();
+}
+
+std::size_t HotPotatoScheduler::Ring::occupied() const {
+    std::size_t count = 0;
+    for (sim::ThreadId id : slots)
+        if (id != sim::kNone) ++count;
+    return count;
+}
+
+std::optional<std::size_t> HotPotatoScheduler::Ring::first_free_slot() const {
+    for (std::size_t j = 0; j < slots.size(); ++j)
+        if (slots[j] == sim::kNone) return j;
+    return std::nullopt;
+}
+
+HotPotatoScheduler::HotPotatoScheduler(HotPotatoParams params)
+    : params_(std::move(params)) {
+    if (params_.tau_ladder_s.empty())
+        throw std::invalid_argument("HotPotato: empty tau ladder");
+    if (!std::is_sorted(params_.tau_ladder_s.begin(),
+                        params_.tau_ladder_s.end()))
+        throw std::invalid_argument("HotPotato: tau ladder must be ascending");
+}
+
+void HotPotatoScheduler::initialize(sim::SimContext& ctx) {
+    rings_.clear();
+    for (const arch::AmdRing& r : ctx.chip().rings()) {
+        Ring ring;
+        ring.cores = r.cores;
+        ring.amd = r.amd;
+        ring.slots.assign(r.cores.size(), sim::kNone);
+        rings_.push_back(std::move(ring));
+    }
+    // Start at the ladder rung closest to the requested initial τ.
+    tau_index_ = 0;
+    double best = kInfPeak;
+    for (std::size_t i = 0; i < params_.tau_ladder_s.size(); ++i) {
+        const double d = std::abs(params_.tau_ladder_s[i] -
+                                  params_.initial_rotation_interval_s);
+        if (d < best) {
+            best = d;
+            tau_index_ = i;
+        }
+    }
+    rotation_on_ = true;
+    next_rotation_s_ = params_.tau_ladder_s[tau_index_];
+    ensure_analyzer(ctx);
+}
+
+double HotPotatoScheduler::rotation_interval_s() const {
+    return params_.tau_ladder_s[tau_index_];
+}
+
+void HotPotatoScheduler::ensure_analyzer(sim::SimContext& ctx) {
+    if (analyzer_) return;
+    const double idle = ctx.power_model().idle_power_w(ctx.config().t_dtm_c);
+    analyzer_ = std::make_unique<PeakTemperatureAnalyzer>(
+        ctx.matex(), ctx.config().ambient_c, idle);
+}
+
+void HotPotatoScheduler::sync_finished_threads(sim::SimContext& ctx) {
+    for (Ring& ring : rings_)
+        for (sim::ThreadId& id : ring.slots)
+            if (id != sim::kNone && ctx.thread(id).finished) id = sim::kNone;
+}
+
+double HotPotatoScheduler::slot_power(sim::SimContext& ctx,
+                                      sim::ThreadId id) const {
+    // Measured 10 ms power history once the thread runs (Algorithm 1 input);
+    // a model estimate before first placement.
+    if (ctx.core_of(id) != sim::kNone) return ctx.thread_recent_power(id);
+    const auto loc = locate(id);
+    const std::size_t core =
+        loc ? rings_[loc->first].cores[loc->second] : 0;
+    return ctx.estimate_thread_power(id, core, ctx.chip().dvfs().f_max_hz);
+}
+
+std::vector<RotationRingSpec> HotPotatoScheduler::build_ring_specs(
+    sim::SimContext& ctx) const {
+    const double idle = analyzer_->idle_power_w();
+    std::vector<RotationRingSpec> specs;
+    for (const Ring& ring : rings_) {
+        if (ring.occupied() == 0) continue;
+        RotationRingSpec spec;
+        spec.cores = ring.cores;
+        spec.slot_power_w.resize(ring.cores.size(), idle);
+        for (std::size_t j = 0; j < ring.slots.size(); ++j)
+            if (ring.slots[j] != sim::kNone)
+                spec.slot_power_w[j] = slot_power(ctx, ring.slots[j]);
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+double HotPotatoScheduler::predict_peak_with(sim::SimContext& ctx,
+                                             bool rotation_on,
+                                             std::size_t tau_index) const {
+    if (!rotation_on) {
+        const double idle = analyzer_->idle_power_w();
+        linalg::Vector core_power(ctx.chip().core_count(), idle);
+        for (const Ring& ring : rings_)
+            for (std::size_t j = 0; j < ring.slots.size(); ++j)
+                if (ring.slots[j] != sim::kNone)
+                    core_power[ring.cores[j]] =
+                        slot_power(ctx, ring.slots[j]);
+        return analyzer_->static_peak(core_power);
+    }
+    return analyzer_->rotation_peak(build_ring_specs(ctx),
+                                    params_.tau_ladder_s[tau_index],
+                                    params_.samples_per_epoch);
+}
+
+double HotPotatoScheduler::predict_peak(sim::SimContext& ctx) const {
+    return predict_peak_with(ctx, rotation_on_, tau_index_);
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> HotPotatoScheduler::locate(
+    sim::ThreadId id) const {
+    for (std::size_t r = 0; r < rings_.size(); ++r)
+        for (std::size_t j = 0; j < rings_[r].slots.size(); ++j)
+            if (rings_[r].slots[j] == id) return std::make_pair(r, j);
+    return std::nullopt;
+}
+
+void HotPotatoScheduler::assign(sim::SimContext& ctx, sim::ThreadId id,
+                                std::size_t ring, std::size_t slot) {
+    rings_[ring].slots[slot] = id;
+    ctx.place(id, rings_[ring].cores[slot]);
+}
+
+void HotPotatoScheduler::move_thread(sim::SimContext& ctx, sim::ThreadId id,
+                                     std::size_t dest_ring,
+                                     std::size_t dest_slot) {
+    const auto loc = locate(id);
+    if (!loc) throw std::logic_error("HotPotato::move_thread: unknown thread");
+    rings_[loc->first].slots[loc->second] = sim::kNone;
+    rings_[dest_ring].slots[dest_slot] = id;
+    ctx.migrate(id, rings_[dest_ring].cores[dest_slot]);
+}
+
+bool HotPotatoScheduler::place_thread(sim::SimContext& ctx,
+                                      sim::ThreadId id) {
+    const double limit = ctx.config().t_dtm_c - params_.headroom_delta_c;
+
+    // Lines 2-6: lowest-AMD ring whose best free slot is thermally safe.
+    for (std::size_t r = 0; r < rings_.size(); ++r) {
+        Ring& ring = rings_[r];
+        std::optional<std::size_t> slot;
+        if (rotation_on_) {
+            // Under rotation the thread will visit every slot of the ring, so
+            // all free slots are equivalent for the sustained peak; take the
+            // first (the paper's per-slot evaluation degenerates to this).
+            slot = ring.first_free_slot();
+        } else {
+            // Without rotation the slot matters: pick the free slot with the
+            // lowest static steady-state peak.
+            double best_peak = kInfPeak;
+            for (std::size_t j = 0; j < ring.slots.size(); ++j) {
+                if (ring.slots[j] != sim::kNone) continue;
+                ring.slots[j] = id;
+                const double peak = predict_peak_with(ctx, false, tau_index_);
+                ring.slots[j] = sim::kNone;
+                if (peak < best_peak) {
+                    best_peak = peak;
+                    slot = j;
+                }
+            }
+        }
+        if (!slot) continue;
+
+        ring.slots[*slot] = id;  // tentative
+        const double peak = predict_peak_with(ctx, rotation_on_, tau_index_);
+        if (peak < limit) {
+            ring.slots[*slot] = sim::kNone;
+            assign(ctx, id, r, *slot);
+            last_predicted_peak_c_ = peak;
+            max_predicted_peak_c_ = std::max(max_predicted_peak_c_, peak);
+            return true;
+        }
+        ring.slots[*slot] = sim::kNone;
+    }
+
+    // Lines 7-14: nothing is safe — take the highest-AMD ring with space and
+    // let restore_safety() speed the rotation / demote threads.
+    for (std::size_t r = rings_.size(); r-- > 0;) {
+        const auto slot = rings_[r].first_free_slot();
+        if (!slot) continue;
+        assign(ctx, id, r, *slot);
+        restore_safety(ctx);
+        return true;
+    }
+    return false;  // chip is full: keep the task queued
+}
+
+bool HotPotatoScheduler::on_task_arrival(sim::SimContext& ctx,
+                                         sim::TaskId task) {
+    ensure_analyzer(ctx);
+    sync_finished_threads(ctx);
+
+    const sim::Task& t = ctx.task(task);
+    std::size_t free_slots = 0;
+    for (const Ring& ring : rings_) free_slots += ring.slots.size() - ring.occupied();
+    if (free_slots < t.thread_count) return false;
+
+    for (sim::ThreadId id : t.threads)
+        if (!place_thread(ctx, id))
+            throw std::logic_error(
+                "HotPotato: placement failed despite free capacity");
+    return true;
+}
+
+void HotPotatoScheduler::on_task_finish(sim::SimContext& ctx,
+                                        sim::TaskId /*task*/) {
+    sync_finished_threads(ctx);
+    exploit_headroom(ctx);
+}
+
+void HotPotatoScheduler::restore_safety(sim::SimContext& ctx) {
+    const double limit = ctx.config().t_dtm_c - params_.headroom_delta_c;
+    double peak = predict_peak(ctx);
+
+    // Lines 8-11: demote the least memory-bound (lowest CPI) threads to
+    // higher-AMD rings while the schedule stays unsafe.
+    std::size_t guard = rings_.empty() ? 0 : 2 * ctx.chip().core_count();
+    while (peak >= limit && guard-- > 0) {
+        sim::ThreadId victim = sim::kNone;
+        double victim_cpi = kInfPeak;
+        std::size_t victim_ring = 0;
+        for (std::size_t r = 0; r + 1 < rings_.size(); ++r) {
+            bool outer_space = false;
+            for (std::size_t r2 = r + 1; r2 < rings_.size(); ++r2)
+                if (rings_[r2].first_free_slot()) outer_space = true;
+            if (!outer_space) continue;
+            for (sim::ThreadId id : rings_[r].slots) {
+                if (id == sim::kNone) continue;
+                const double cpi = ctx.thread_cpi(id);
+                if (cpi < victim_cpi) {
+                    victim_cpi = cpi;
+                    victim = id;
+                    victim_ring = r;
+                }
+            }
+        }
+        if (victim == sim::kNone) break;
+        // Next higher ring with a free slot.
+        bool moved = false;
+        for (std::size_t r2 = victim_ring + 1; r2 < rings_.size(); ++r2) {
+            const auto slot = rings_[r2].first_free_slot();
+            if (!slot) continue;
+            move_thread(ctx, victim, r2, *slot);
+            moved = true;
+            break;
+        }
+        if (!moved) break;
+        peak = predict_peak(ctx);
+    }
+
+    // Lines 12-14: speed the rotation until headroom appears.
+    while (peak >= limit) {
+        if (!rotation_on_) {
+            rotation_on_ = true;
+            tau_index_ = params_.tau_ladder_s.size() - 1;
+            next_rotation_s_ = ctx.now() + rotation_interval_s();
+        } else if (tau_index_ > 0) {
+            --tau_index_;
+        } else {
+            break;  // fastest rotation already; DTM is the backstop
+        }
+        peak = predict_peak(ctx);
+    }
+    last_predicted_peak_c_ = peak;
+    max_predicted_peak_c_ = std::max(max_predicted_peak_c_, peak);
+}
+
+void HotPotatoScheduler::exploit_headroom(sim::SimContext& ctx) {
+    const double t_dtm = ctx.config().t_dtm_c;
+    const double delta = params_.headroom_delta_c;
+    double peak = predict_peak(ctx);
+
+    // Lines 16-22: promote the most memory-bound (highest CPI) threads to
+    // the lowest-AMD ring that stays thermally safe.
+    std::size_t promotions = 0;
+    while (t_dtm - peak > delta &&
+           promotions < params_.max_promotions_per_epoch) {
+        // Highest-CPI thread that is not already in the innermost ring with
+        // free space below it.
+        sim::ThreadId candidate = sim::kNone;
+        double candidate_cpi = -kInfPeak;
+        std::size_t candidate_ring = 0;
+        for (std::size_t r = 1; r < rings_.size(); ++r) {
+            bool inner_space = false;
+            for (std::size_t r2 = 0; r2 < r; ++r2)
+                if (rings_[r2].first_free_slot()) inner_space = true;
+            if (!inner_space) continue;
+            for (sim::ThreadId id : rings_[r].slots) {
+                if (id == sim::kNone) continue;
+                const double cpi = ctx.thread_cpi(id);
+                if (cpi > candidate_cpi) {
+                    candidate_cpi = cpi;
+                    candidate = id;
+                    candidate_ring = r;
+                }
+            }
+        }
+        if (candidate == sim::kNone) break;
+
+        // Lowest-AMD ring with space; tentative safety check first.
+        bool committed = false;
+        for (std::size_t r2 = 0; r2 < candidate_ring && !committed; ++r2) {
+            const auto slot = rings_[r2].first_free_slot();
+            if (!slot) continue;
+            const auto loc = locate(candidate);
+            rings_[loc->first].slots[loc->second] = sim::kNone;
+            rings_[r2].slots[*slot] = candidate;  // tentative
+            const double new_peak =
+                predict_peak_with(ctx, rotation_on_, tau_index_);
+            rings_[r2].slots[*slot] = sim::kNone;
+            rings_[loc->first].slots[loc->second] = candidate;
+            if (new_peak < t_dtm - delta) {
+                move_thread(ctx, candidate, r2, *slot);
+                peak = new_peak;
+                ++promotions;
+                committed = true;
+            }
+        }
+        if (!committed) break;
+    }
+
+    // Lines 23-27: slow the rotation (and eventually stop it) while the
+    // schedule remains safe — fewer migrations, better performance.
+    while (t_dtm - peak > delta) {
+        if (!rotation_on_) break;
+        const bool at_top = tau_index_ + 1 >= params_.tau_ladder_s.size();
+        const double new_peak =
+            at_top ? predict_peak_with(ctx, false, tau_index_)
+                   : predict_peak_with(ctx, true, tau_index_ + 1);
+        if (new_peak < t_dtm - delta) {
+            if (at_top) {
+                rotation_on_ = false;
+            } else {
+                ++tau_index_;
+            }
+            peak = new_peak;
+        } else {
+            break;
+        }
+    }
+    last_predicted_peak_c_ = peak;
+    max_predicted_peak_c_ = std::max(max_predicted_peak_c_, peak);
+}
+
+void HotPotatoScheduler::on_epoch(sim::SimContext& ctx) {
+    ensure_analyzer(ctx);
+    sync_finished_threads(ctx);
+    const double limit = ctx.config().t_dtm_c - params_.headroom_delta_c;
+    const double peak = predict_peak(ctx);
+    last_predicted_peak_c_ = peak;
+    max_predicted_peak_c_ = std::max(max_predicted_peak_c_, peak);
+    if (peak >= limit) {
+        restore_safety(ctx);
+    } else if (ctx.config().t_dtm_c - peak > params_.headroom_delta_c) {
+        exploit_headroom(ctx);
+    }
+}
+
+void HotPotatoScheduler::on_step(sim::SimContext& ctx) {
+    if (!rotation_on_) return;
+    if (ctx.now() + 1e-12 < next_rotation_s_) return;
+    for (Ring& ring : rings_) {
+        if (ring.cores.size() < 2 || ring.occupied() == 0) continue;
+        ctx.rotate(ring.cores);
+        // Mirror the cyclic shift in the slot bookkeeping.
+        std::vector<sim::ThreadId> shifted(ring.slots.size());
+        for (std::size_t j = 0; j < ring.slots.size(); ++j)
+            shifted[(j + 1) % ring.slots.size()] = ring.slots[j];
+        ring.slots = std::move(shifted);
+    }
+    next_rotation_s_ = ctx.now() + rotation_interval_s();
+}
+
+}  // namespace hp::core

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/peak_temperature.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hp::core {
+
+/// Tunables of the HotPotato heuristic (paper §V-§VI).
+struct HotPotatoParams {
+    /// Initial rotation interval τ (paper: 0.5 ms).
+    double initial_rotation_interval_s = 0.5e-3;
+    /// Thermal headroom Δ that triggers re-optimisation (paper: 1 °C).
+    double headroom_delta_c = 1.0;
+    /// Discrete τ ladder updateRotationSpeed() walks; ascending. Values above
+    /// the top rung mean "rotation off".
+    std::vector<double> tau_ladder_s = {0.125e-3, 0.25e-3, 0.5e-3,
+                                        1e-3,     2e-3,    4e-3};
+    /// Intra-epoch samples used by the peak-temperature analysis.
+    std::size_t samples_per_epoch = 2;
+    /// Cap on promotion migrations per epoch (keeps the heuristic from
+    /// thrashing threads between rings on noisy power history).
+    std::size_t max_promotions_per_epoch = 2;
+};
+
+/// HotPotato: thermal management of S-NUCA many-cores via synchronous thread
+/// rotations (the paper's contribution, Algorithm 2).
+///
+/// Threads are assigned to concentric AMD rings; every ring rotates its
+/// threads by one core each τ seconds, averaging heat over the ring so that
+/// no core ever exceeds the DTM threshold. Placement greedily prefers the
+/// lowest-AMD (fastest) ring that the analytical peak-temperature method
+/// (Algorithm 1) certifies as thermally safe; when threads leave, freed
+/// headroom is spent promoting the most memory-bound (highest-CPI) threads
+/// inward and slowing the rotation; when even the outermost ring is unsafe,
+/// the rotation speeds up until enough headroom is generated. HotPotato
+/// never uses DVFS — all cores run at peak frequency.
+class HotPotatoScheduler : public sim::Scheduler {
+public:
+    explicit HotPotatoScheduler(HotPotatoParams params = {});
+
+    std::string name() const override { return "HotPotato"; }
+
+    void initialize(sim::SimContext& ctx) override;
+    bool on_task_arrival(sim::SimContext& ctx, sim::TaskId task) override;
+    void on_task_finish(sim::SimContext& ctx, sim::TaskId task) override;
+    void on_epoch(sim::SimContext& ctx) override;
+    void on_step(sim::SimContext& ctx) override;
+
+    // Introspection (tests, benchmarks, examples).
+    bool rotation_enabled() const { return rotation_on_; }
+    double rotation_interval_s() const;
+    /// True when the heuristic has exhausted its rotation knob (rotation on
+    /// at the fastest ladder rung) — the condition under which the DVFS
+    /// extension engages.
+    bool at_fastest_rotation() const { return rotation_on_ && tau_index_ == 0; }
+    double last_predicted_peak_c() const { return last_predicted_peak_c_; }
+    /// Largest peak prediction made over the whole run — the conservatism
+    /// bound tests compare the observed peak against.
+    double max_predicted_peak_c() const { return max_predicted_peak_c_; }
+    /// Predicted peak for the current assignment at the current rotation
+    /// setting; public so the overhead benchmark can time Algorithm 1+2 work.
+    double predict_peak(sim::SimContext& ctx) const;
+
+protected:
+    const HotPotatoParams& params() const { return params_; }
+
+private:
+    struct Ring {
+        std::vector<std::size_t> cores;   ///< rotation cycle order
+        std::vector<sim::ThreadId> slots; ///< occupant per core position
+        double amd = 0.0;
+
+        std::size_t occupied() const;
+        std::optional<std::size_t> first_free_slot() const;
+    };
+
+    void ensure_analyzer(sim::SimContext& ctx);
+    void sync_finished_threads(sim::SimContext& ctx);
+    double slot_power(sim::SimContext& ctx, sim::ThreadId id) const;
+    std::vector<RotationRingSpec> build_ring_specs(sim::SimContext& ctx) const;
+    /// Predicted peak with an explicit rotation setting.
+    double predict_peak_with(sim::SimContext& ctx, bool rotation_on,
+                             std::size_t tau_index) const;
+    /// Algorithm 2 lines 1-14 for a single thread. Returns false only when
+    /// no ring has a free slot at all.
+    bool place_thread(sim::SimContext& ctx, sim::ThreadId id);
+    /// Lines 8-14: restore safety by speeding the rotation and demoting the
+    /// least memory-bound threads outward.
+    void restore_safety(sim::SimContext& ctx);
+    /// Lines 16-27: spend surplus headroom on inward promotions and slower
+    /// rotation.
+    void exploit_headroom(sim::SimContext& ctx);
+    void assign(sim::SimContext& ctx, sim::ThreadId id, std::size_t ring,
+                std::size_t slot);
+    /// Moves a thread between rings (free destination slot required).
+    void move_thread(sim::SimContext& ctx, sim::ThreadId id,
+                     std::size_t dest_ring, std::size_t dest_slot);
+    std::optional<std::pair<std::size_t, std::size_t>> locate(
+        sim::ThreadId id) const;
+
+    HotPotatoParams params_;
+    std::unique_ptr<PeakTemperatureAnalyzer> analyzer_;
+    std::vector<Ring> rings_;
+    bool rotation_on_ = true;
+    std::size_t tau_index_ = 0;
+    double next_rotation_s_ = 0.0;
+    double last_predicted_peak_c_ = 0.0;
+    double max_predicted_peak_c_ = 0.0;
+};
+
+}  // namespace hp::core

@@ -1,0 +1,239 @@
+#include "core/peak_temperature.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::core {
+
+PeakTemperatureAnalyzer::PeakTemperatureAnalyzer(
+    const thermal::MatExSolver& matex, double ambient_c, double idle_power_w)
+    : matex_(&matex), ambient_c_(ambient_c), idle_power_w_(idle_power_w) {
+    const thermal::ThermalModel& model = matex.model();
+    // Design-time phase (Algorithm 1 lines 1-7): β = V^{-1}·B^{-1} and the
+    // ambient offset; both are floorplan constants.
+    beta_ = matex.eigenvectors_inverse() *
+            model.conductance_lu().inverse();
+    beta_t_ = beta_.transpose();
+    const std::size_t cores = model.core_count();
+    const std::size_t big_n = model.node_count();
+    v_cores_t_ = linalg::Matrix(big_n, cores);
+    for (std::size_t k = 0; k < big_n; ++k)
+        for (std::size_t i = 0; i < cores; ++i)
+            v_cores_t_(k, i) = matex.eigenvectors()(i, k);
+    ambient_offset_ = model.conductance_lu().solve(
+        ambient_c * model.ambient_conductance());
+}
+
+std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
+    const std::vector<linalg::Vector>& core_power_per_epoch,
+    double tau) const {
+    const thermal::ThermalModel& model = matex_->model();
+    const std::size_t delta = core_power_per_epoch.size();
+    if (delta == 0)
+        throw std::invalid_argument("boundary_temperatures: empty schedule");
+    if (tau <= 0.0)
+        throw std::invalid_argument("boundary_temperatures: tau must be > 0");
+
+    const std::size_t big_n = model.node_count();
+    const linalg::Vector& lambda = matex_->eigenvalues();
+
+    // Modal images of the per-epoch steady-state targets: y_f = β·P_f.
+    std::vector<linalg::Vector> y;
+    y.reserve(delta);
+    for (const linalg::Vector& p : core_power_per_epoch)
+        y.push_back(beta_ * model.pad_power(p));
+
+    std::vector<linalg::Vector> out;
+    out.reserve(delta);
+    for (std::size_t e = 0; e < delta; ++e) {
+        linalg::Vector z(big_n);
+        for (std::size_t k = 0; k < big_n; ++k) {
+            const double ek = std::exp(lambda[k] * tau);
+            const double denom = 1.0 - std::pow(ek, static_cast<double>(delta));
+            double acc = 0.0;
+            for (std::size_t f = 0; f < delta; ++f) {
+                const std::size_t g = (e + delta - f) % delta;
+                acc += std::pow(ek, static_cast<double>(g)) * y[f][k];
+            }
+            z[k] = (1.0 - ek) / denom * acc;
+        }
+        out.push_back(ambient_offset_ + matex_->eigenvectors() * z);
+    }
+    return out;
+}
+
+linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
+    const std::vector<linalg::Vector>& node_power_per_epoch, double tau,
+    std::size_t samples_per_epoch) const {
+    const std::size_t delta = node_power_per_epoch.size();
+    if (delta == 0 || tau <= 0.0 || samples_per_epoch == 0)
+        throw std::invalid_argument("periodic_response_max: bad arguments");
+
+    const std::size_t big_n = matex_->model().node_count();
+    const std::size_t cores = matex_->model().core_count();
+    const linalg::Vector& lambda = matex_->eigenvalues();
+
+    // Modal images y_f = β·P_f, exploiting that rotation power vectors are
+    // sparse (non-zero only on the rotating ring's cores): accumulate the
+    // corresponding β columns instead of a dense mat-vec.
+    std::vector<linalg::Vector> y(delta, linalg::Vector(big_n));
+    for (std::size_t f = 0; f < delta; ++f) {
+        const linalg::Vector& p = node_power_per_epoch[f];
+        for (std::size_t j = 0; j < big_n; ++j) {
+            const double pj = p[j];
+            if (pj == 0.0) continue;
+            for (std::size_t k = 0; k < big_n; ++k)
+                y[f][k] += beta_t_(j, k) * pj;
+        }
+    }
+
+    // Geometric tables e^{λ_k τ g}, g = 0..δ (pow-free).
+    std::vector<double> ek(big_n), ek_pow((delta + 1) * big_n);
+    for (std::size_t k = 0; k < big_n; ++k) {
+        ek[k] = std::exp(lambda[k] * tau);
+        double acc = 1.0;
+        for (std::size_t g = 0; g <= delta; ++g) {
+            ek_pow[g * big_n + k] = acc;
+            acc *= ek[k];
+        }
+    }
+
+    // Periodic boundary solution in modal space (paper Eq. (10)).
+    std::vector<linalg::Vector> z(delta, linalg::Vector(big_n));
+    for (std::size_t k = 0; k < big_n; ++k) {
+        const double denom = 1.0 - ek_pow[delta * big_n + k];
+        const double coeff = (1.0 - ek[k]) / denom;
+        for (std::size_t e = 0; e < delta; ++e) {
+            double acc = 0.0;
+            for (std::size_t f = 0; f < delta; ++f)
+                acc += ek_pow[((e + delta - f) % delta) * big_n + k] * y[f][k];
+            z[e][k] = coeff * acc;
+        }
+    }
+
+    // Interior-sample decay factors e^{λ_k τ s/S}; epoch-independent.
+    std::vector<linalg::Vector> eks_frac;
+    for (std::size_t s = 1; s < samples_per_epoch; ++s) {
+        const double frac =
+            static_cast<double>(s) / static_cast<double>(samples_per_epoch);
+        linalg::Vector eks(big_n);
+        for (std::size_t k = 0; k < big_n; ++k)
+            eks[k] = std::exp(lambda[k] * tau * frac);
+        eks_frac.push_back(std::move(eks));
+    }
+
+    // Per-core maxima over epoch boundaries plus interior samples. Only core
+    // rows of V are evaluated: Eq. (11) constrains core temperatures.
+    linalg::Vector core_max(cores, -1e300);
+    linalg::Vector zs(big_n);
+    linalg::Vector response(cores);
+    for (std::size_t e = 0; e < delta; ++e) {
+        const linalg::Vector& z_prev = z[(e + delta - 1) % delta];
+        for (std::size_t s = 1; s <= samples_per_epoch; ++s) {
+            if (s == samples_per_epoch) {
+                zs = z[e];
+            } else {
+                // Inside epoch e: decay from the previous boundary towards
+                // this epoch's steady-state target y[e].
+                const linalg::Vector& eks = eks_frac[s - 1];
+                for (std::size_t k = 0; k < big_n; ++k)
+                    zs[k] = eks[k] * z_prev[k] + (1.0 - eks[k]) * y[e][k];
+            }
+            for (std::size_t i = 0; i < cores; ++i) response[i] = 0.0;
+            for (std::size_t k = 0; k < big_n; ++k) {
+                const double zk = zs[k];
+                if (zk == 0.0) continue;
+                const double* row = v_cores_t_.data() + k * cores;
+                for (std::size_t i = 0; i < cores; ++i)
+                    response[i] += row[i] * zk;
+            }
+            for (std::size_t i = 0; i < cores; ++i)
+                core_max[i] = std::max(core_max[i], response[i]);
+        }
+    }
+    return core_max;
+}
+
+double PeakTemperatureAnalyzer::schedule_peak(
+    const std::vector<linalg::Vector>& core_power_per_epoch, double tau,
+    std::size_t samples_per_epoch) const {
+    const thermal::ThermalModel& model = matex_->model();
+    std::vector<linalg::Vector> node_powers;
+    node_powers.reserve(core_power_per_epoch.size());
+    for (const linalg::Vector& p : core_power_per_epoch)
+        node_powers.push_back(model.pad_power(p));
+    const linalg::Vector response_max =
+        periodic_response_max(node_powers, tau, samples_per_epoch);
+    double peak = -1e300;
+    for (std::size_t i = 0; i < model.core_count(); ++i)
+        peak = std::max(peak, ambient_offset_[i] + response_max[i]);
+    return peak;
+}
+
+double PeakTemperatureAnalyzer::static_peak(
+    const linalg::Vector& core_power) const {
+    const thermal::ThermalModel& model = matex_->model();
+    const linalg::Vector t =
+        model.steady_state(model.pad_power(core_power), ambient_c_);
+    double peak = -1e300;
+    for (std::size_t i = 0; i < model.core_count(); ++i)
+        peak = std::max(peak, t[i]);
+    return peak;
+}
+
+double PeakTemperatureAnalyzer::rotation_peak(
+    const std::vector<RotationRingSpec>& rings, double tau,
+    std::size_t samples_per_epoch) const {
+    return rotation_peak(rings, std::vector<double>(rings.size(), tau),
+                         samples_per_epoch);
+}
+
+double PeakTemperatureAnalyzer::rotation_peak(
+    const std::vector<RotationRingSpec>& rings,
+    const std::vector<double>& tau_per_ring,
+    std::size_t samples_per_epoch) const {
+    if (tau_per_ring.size() != rings.size())
+        throw std::invalid_argument(
+            "rotation_peak: one tau per ring required");
+    const thermal::ThermalModel& model = matex_->model();
+    const std::size_t n = model.core_count();
+    const std::size_t big_n = model.node_count();
+
+    // All-idle baseline.
+    const linalg::Vector t_idle = model.steady_state(
+        model.pad_power(linalg::Vector(n, idle_power_w_)), ambient_c_);
+
+    linalg::Vector extra(n);
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+        const RotationRingSpec& ring = rings[r];
+        const std::size_t k = ring.cores.size();
+        if (ring.slot_power_w.size() != k)
+            throw std::invalid_argument(
+                "rotation_peak: ring slot/core size mismatch");
+        if (k == 0) continue;
+        bool any_delta = false;
+        for (double p : ring.slot_power_w)
+            if (std::abs(p - idle_power_w_) > 1e-12) any_delta = true;
+        if (!any_delta) continue;
+
+        // Per-epoch power deltas: at epoch f the occupant of initial slot j
+        // sits on cores[(j + f) mod k].
+        std::vector<linalg::Vector> deltas(k, linalg::Vector(big_n));
+        for (std::size_t f = 0; f < k; ++f)
+            for (std::size_t pos = 0; pos < k; ++pos) {
+                const std::size_t slot = (pos + k - (f % k)) % k;
+                deltas[f][ring.cores[pos]] =
+                    ring.slot_power_w[slot] - idle_power_w_;
+            }
+        extra += periodic_response_max(deltas, tau_per_ring[r],
+                                       samples_per_epoch);
+    }
+
+    double peak = -1e300;
+    for (std::size_t i = 0; i < n; ++i)
+        peak = std::max(peak, t_idle[i] + extra[i]);
+    return peak;
+}
+
+}  // namespace hp::core

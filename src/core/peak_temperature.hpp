@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "thermal/matex.hpp"
+
+namespace hp::core {
+
+/// One rotation ring handed to the peak-temperature analysis: the cores in
+/// cycle order and the power of each slot's occupant (idle slots carry the
+/// idle power). At every rotation epoch the occupant of slot j moves to slot
+/// j+1 (mod size).
+struct RotationRingSpec {
+    std::vector<std::size_t> cores;
+    std::vector<double> slot_power_w;
+};
+
+/// Analytical peak temperature of synchronous thread rotations
+/// (paper §IV, Algorithm 1).
+///
+/// Construction performs the design-time phase: it reuses the MatEx
+/// eigendecomposition C = V·diag(λ)·V^{-1} and precomputes the auxiliary
+/// matrix β = V^{-1}·B^{-1} together with the ambient offset B^{-1}·T_amb·G
+/// (the α/β matrices of Algorithm 1). Run-time queries then solve the
+/// periodic steady state in modal space:
+///
+///   z_k(e) = (1-e^{λ_k τ}) / (1-e^{λ_k δτ}) · Σ_f e^{λ_k τ·((e-f) mod δ)} y_{f,k}
+///
+/// which is Eq. (10) of the paper — the geometric series of Eq. (9) closed
+/// in each eigen-direction — evaluated at every epoch boundary e, maxed per
+/// Eq. (11). All eigenvalues are negative (B SPD), so the series converges
+/// and the result is a true steady-periodic bound independent of the initial
+/// temperature.
+class PeakTemperatureAnalyzer {
+public:
+    /// @p matex (and its thermal model) must outlive the analyzer.
+    /// @p idle_power_w is the power of a core without a thread, evaluated
+    /// conservatively (leakage at the DTM threshold) by callers.
+    PeakTemperatureAnalyzer(const thermal::MatExSolver& matex,
+                            double ambient_c, double idle_power_w);
+
+    double ambient_c() const { return ambient_c_; }
+    double idle_power_w() const { return idle_power_w_; }
+
+    /// Exact periodic-steady-state node temperatures at the end of each
+    /// epoch for an explicit periodic schedule: core_power_per_epoch[f] is
+    /// held for @p tau seconds, the whole pattern repeats. Used by
+    /// schedule_peak and by the validation tests.
+    std::vector<linalg::Vector> boundary_temperatures(
+        const std::vector<linalg::Vector>& core_power_per_epoch,
+        double tau) const;
+
+    /// Peak core temperature of the periodic schedule, sampling
+    /// @p samples_per_epoch points inside every epoch (the end point plus
+    /// interior points — per-node transients are not monotonic, so pure
+    /// boundary sampling can shave an interior hump).
+    double schedule_peak(
+        const std::vector<linalg::Vector>& core_power_per_epoch, double tau,
+        std::size_t samples_per_epoch = 2) const;
+
+    /// Steady-state peak core temperature of a static (non-rotating) power
+    /// assignment.
+    double static_peak(const linalg::Vector& core_power) const;
+
+    /// Peak core temperature with every listed ring rotating synchronously
+    /// at interval @p tau and all remaining cores idle.
+    ///
+    /// Rings generally have coprime sizes, so the exact joint schedule only
+    /// repeats after lcm(sizes) epochs; instead of materialising that, the
+    /// analysis exploits linearity: the response decomposes into an all-idle
+    /// baseline plus one independent periodic response per ring, and
+    /// per-node maxima are summed (max of sums <= sum of maxima). For a
+    /// single occupied ring this is exact at the sample points; for multiple
+    /// rings it is a safe upper bound whose slack is the (tiny) cross-ring
+    /// ripple correlation.
+    double rotation_peak(const std::vector<RotationRingSpec>& rings,
+                         double tau, std::size_t samples_per_epoch = 2) const;
+
+    /// Per-ring rotation intervals: rings[i] rotates every tau_per_ring[i]
+    /// seconds. The superposition decomposition makes heterogeneous
+    /// cadences free — each ring's periodic response is solved at its own
+    /// interval — enabling e.g. slow rotation on thermally-unconstrained
+    /// outer rings while the centre rotates fast (an extension beyond the
+    /// paper's single global τ).
+    double rotation_peak(const std::vector<RotationRingSpec>& rings,
+                         const std::vector<double>& tau_per_ring,
+                         std::size_t samples_per_epoch = 2) const;
+
+private:
+    /// Modal periodic solution: returns per-node maxima over all epochs and
+    /// intra-epoch samples of the *zero-ambient* response to the given
+    /// per-epoch node power deltas.
+    linalg::Vector periodic_response_max(
+        const std::vector<linalg::Vector>& node_power_per_epoch, double tau,
+        std::size_t samples_per_epoch) const;
+
+    const thermal::MatExSolver* matex_;
+    double ambient_c_;
+    double idle_power_w_;
+    linalg::Matrix beta_;            ///< V^{-1} B^{-1} (design-time)
+    linalg::Matrix beta_t_;          ///< β^T: row j = β column j (cache-friendly
+                                     ///< accumulation over sparse power vectors)
+    linalg::Matrix v_cores_t_;       ///< V core rows, transposed: (k, i) = V(i, k);
+                                     ///< lets the modal→core projection vectorise
+    linalg::Vector ambient_offset_;  ///< B^{-1} T_amb G
+};
+
+}  // namespace hp::core

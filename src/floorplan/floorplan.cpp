@@ -1,0 +1,84 @@
+#include "floorplan/floorplan.hpp"
+
+namespace hp::floorplan {
+
+GridFloorplan::GridFloorplan(std::size_t rows, std::size_t cols,
+                             double core_area_mm2, std::size_t layers)
+    : rows_(rows), cols_(cols), layers_(layers), core_area_mm2_(core_area_mm2) {
+    if (rows == 0 || cols == 0 || layers == 0)
+        throw std::invalid_argument("GridFloorplan: grid must be non-empty");
+    if (core_area_mm2 <= 0.0)
+        throw std::invalid_argument("GridFloorplan: core area must be positive");
+    edge_mm_ = std::sqrt(core_area_mm2);
+    tiles_.reserve(rows * cols * layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                tiles_.push_back(CoreTile{
+                    .index = (l * rows + r) * cols + c,
+                    .row = r,
+                    .col = c,
+                    .layer = l,
+                    .x_mm = static_cast<double>(c) * edge_mm_,
+                    .y_mm = static_cast<double>(r) * edge_mm_,
+                    .width_mm = edge_mm_,
+                    .height_mm = edge_mm_,
+                });
+            }
+        }
+    }
+}
+
+std::size_t GridFloorplan::index_of(std::size_t row, std::size_t col,
+                                    std::size_t layer) const {
+    if (row >= rows_ || col >= cols_ || layer >= layers_)
+        throw std::out_of_range("GridFloorplan::index_of: out of range");
+    return (layer * rows_ + row) * cols_ + col;
+}
+
+const CoreTile& GridFloorplan::tile(std::size_t index) const {
+    check_index(index);
+    return tiles_[index];
+}
+
+std::vector<std::size_t> GridFloorplan::neighbors(std::size_t index) const {
+    check_index(index);
+    const CoreTile& t = tiles_[index];
+    std::vector<std::size_t> out;
+    out.reserve(4);
+    if (t.row > 0) out.push_back(index_of(t.row - 1, t.col, t.layer));
+    if (t.row + 1 < rows_) out.push_back(index_of(t.row + 1, t.col, t.layer));
+    if (t.col > 0) out.push_back(index_of(t.row, t.col - 1, t.layer));
+    if (t.col + 1 < cols_) out.push_back(index_of(t.row, t.col + 1, t.layer));
+    return out;
+}
+
+std::vector<std::size_t> GridFloorplan::stack_neighbors(
+    std::size_t index) const {
+    check_index(index);
+    const CoreTile& t = tiles_[index];
+    std::vector<std::size_t> out;
+    out.reserve(2);
+    if (t.layer > 0) out.push_back(index_of(t.row, t.col, t.layer - 1));
+    if (t.layer + 1 < layers_) out.push_back(index_of(t.row, t.col, t.layer + 1));
+    return out;
+}
+
+std::size_t GridFloorplan::manhattan_hops(std::size_t a, std::size_t b) const {
+    check_index(a);
+    check_index(b);
+    const CoreTile& ta = tiles_[a];
+    const CoreTile& tb = tiles_[b];
+    const auto diff = [](std::size_t x, std::size_t y) {
+        return x > y ? x - y : y - x;
+    };
+    return diff(ta.row, tb.row) + diff(ta.col, tb.col) +
+           diff(ta.layer, tb.layer);
+}
+
+void GridFloorplan::check_index(std::size_t index) const {
+    if (index >= tiles_.size())
+        throw std::out_of_range("GridFloorplan: core index out of range");
+}
+
+}  // namespace hp::floorplan

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace hp::floorplan {
+
+/// Geometry of one core tile in a grid floorplan.
+struct CoreTile {
+    std::size_t index = 0;  ///< linear core id, row-major within layer
+    std::size_t row = 0;
+    std::size_t col = 0;
+    std::size_t layer = 0;  ///< 0 = closest to the heat spreader/sink
+    double x_mm = 0.0;      ///< lower-left corner
+    double y_mm = 0.0;
+    double width_mm = 0.0;
+    double height_mm = 0.0;
+};
+
+/// Rectangular grid floorplan of identical square core tiles, optionally
+/// 3D-stacked (multiple silicon layers, CoMeT-style).
+///
+/// This is the physical layout shared by the thermal RC network builder
+/// (adjacency -> lateral/vertical conductances) and the S-NUCA architecture
+/// model (Manhattan distances -> NoC/TSV hop counts). Core ids are row-major
+/// within a layer, layers stacked: id = layer*rows*cols + row*cols + col.
+/// Layer 0 sits on the heat spreader; higher layers are farther from the
+/// cooling stack.
+class GridFloorplan {
+public:
+    /// Builds @p layers stacked @p rows x @p cols grids of square tiles of
+    /// @p core_area_mm2. Throws std::invalid_argument for an empty grid or
+    /// non-positive area.
+    GridFloorplan(std::size_t rows, std::size_t cols, double core_area_mm2,
+                  std::size_t layers = 1);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t layers() const { return layers_; }
+    /// Tiles per layer.
+    std::size_t layer_core_count() const { return rows_ * cols_; }
+    std::size_t core_count() const { return rows_ * cols_ * layers_; }
+    double core_area_mm2() const { return core_area_mm2_; }
+    double core_edge_mm() const { return edge_mm_; }
+
+    /// Linear index of the tile at (@p layer, @p row, @p col);
+    /// bounds-checked.
+    std::size_t index_of(std::size_t row, std::size_t col,
+                         std::size_t layer = 0) const;
+
+    /// Tile geometry for core @p index; bounds-checked.
+    const CoreTile& tile(std::size_t index) const;
+
+    /// Same-layer shared-edge neighbours of core @p index (2-4 tiles).
+    std::vector<std::size_t> neighbors(std::size_t index) const;
+
+    /// Vertically adjacent tiles in neighbouring layers (0-2 tiles).
+    std::vector<std::size_t> stack_neighbors(std::size_t index) const;
+
+    /// Manhattan distance in hops between two cores, counting one hop per
+    /// grid step and one per layer crossing (TSV); equals the XY(Z)-routed
+    /// NoC hop count between their routers.
+    std::size_t manhattan_hops(std::size_t a, std::size_t b) const;
+
+private:
+    void check_index(std::size_t index) const;
+
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t layers_;
+    double core_area_mm2_;
+    double edge_mm_;
+    std::vector<CoreTile> tiles_;
+};
+
+}  // namespace hp::floorplan

@@ -1,0 +1,90 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hp::linalg {
+
+namespace {
+
+/// Sum of squares of off-diagonal entries; the Jacobi convergence measure.
+double off_diagonal_norm(const Matrix& a) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (i != j) acc += a(i, j) * a(i, j);
+    return std::sqrt(acc);
+}
+
+}  // namespace
+
+SymmetricEigen jacobi_eigen(const Matrix& m, double symmetry_tol,
+                            std::size_t max_sweeps) {
+    if (!m.square())
+        throw std::invalid_argument("jacobi_eigen: matrix must be square");
+    // Scale the symmetry tolerance by the matrix magnitude so large
+    // conductance values (1e2..1e4 W/K) are not rejected for rounding noise.
+    const double scale = std::max(1.0, m.max_abs());
+    if (!m.is_symmetric(symmetry_tol * scale))
+        throw std::invalid_argument("jacobi_eigen: matrix must be symmetric");
+
+    const std::size_t n = m.rows();
+    Matrix a = m;
+    Matrix q = Matrix::identity(n);
+
+    const double tol = 1e-14 * std::max(1.0, a.max_abs()) * static_cast<double>(n);
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diagonal_norm(a) <= tol) break;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t r = p + 1; r < n; ++r) {
+                const double apr = a(p, r);
+                if (std::abs(apr) <= tol / static_cast<double>(n)) continue;
+                // Classic Jacobi rotation annihilating a(p,r).
+                const double theta = (a(r, r) - a(p, p)) / (2.0 * apr);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akr = a(k, r);
+                    a(k, p) = c * akp - s * akr;
+                    a(k, r) = s * akp + c * akr;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double ark = a(r, k);
+                    a(p, k) = c * apk - s * ark;
+                    a(r, k) = s * apk + c * ark;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double qkp = q(k, p);
+                    const double qkr = q(k, r);
+                    q(k, p) = c * qkp - s * qkr;
+                    q(k, r) = s * qkp + c * qkr;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs ascending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return a(x, x) < a(y, y);
+    });
+
+    SymmetricEigen result{Vector(n), Matrix(n, n)};
+    for (std::size_t j = 0; j < n; ++j) {
+        result.values[j] = a(order[j], order[j]);
+        for (std::size_t i = 0; i < n; ++i)
+            result.vectors(i, j) = q(i, order[j]);
+    }
+    return result;
+}
+
+}  // namespace hp::linalg

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace hp::linalg {
+
+/// Result of a symmetric eigendecomposition: M = Q * diag(values) * Q^T with
+/// orthonormal Q (eigenvectors stored as columns), eigenvalues sorted
+/// ascending.
+struct SymmetricEigen {
+    Vector values;
+    Matrix vectors;  // column j is the eigenvector of values[j]
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Robust and simple; O(N^3) per sweep with typically < 15 sweeps for the
+/// well-conditioned SPD matrices produced by RC thermal networks. Throws
+/// std::invalid_argument if @p m is not symmetric to within @p symmetry_tol.
+SymmetricEigen jacobi_eigen(const Matrix& m, double symmetry_tol = 1e-8,
+                            std::size_t max_sweeps = 64);
+
+}  // namespace hp::linalg

@@ -1,0 +1,50 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace hp::linalg {
+
+Matrix expm_pade(const Matrix& m) {
+    if (!m.square())
+        throw std::invalid_argument("expm_pade: matrix must be square");
+    const std::size_t n = m.rows();
+
+    // Scale M by 2^-s so that ||M/2^s|| is small enough for the Padé(6,6)
+    // approximant, then square the result s times.
+    const double norm = m.max_abs() * static_cast<double>(n);  // cheap norm bound
+    int s = 0;
+    if (norm > 0.5) s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+    const double scale = std::ldexp(1.0, -s);  // 2^-s
+    const Matrix a = m * scale;
+
+    // Padé(6,6) coefficients for e^A: N(A)/D(A) with
+    // N = sum c_k A^k, D = sum c_k (-A)^k.
+    constexpr double c[] = {1.0,
+                            1.0 / 2.0,
+                            5.0 / 44.0,
+                            1.0 / 66.0,
+                            1.0 / 792.0,
+                            1.0 / 15840.0,
+                            1.0 / 665280.0};
+
+    Matrix power = Matrix::identity(n);
+    Matrix numerator = Matrix::identity(n);   // c0 * I
+    Matrix denominator = Matrix::identity(n);
+    double sign = 1.0;
+    for (int k = 1; k <= 6; ++k) {
+        power = power * a;
+        sign = -sign;
+        numerator += power * c[k];
+        denominator += power * (c[k] * sign);
+    }
+
+    Matrix result = LuDecomposition(denominator).solve(numerator);
+    for (int i = 0; i < s; ++i) result = result * result;
+    return result;
+}
+
+}  // namespace hp::linalg

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace hp::linalg {
+
+/// Matrix exponential e^M by scaling-and-squaring with a diagonal Padé(6,6)
+/// approximant.
+///
+/// This is the general-purpose reference used to validate the much faster
+/// eigendecomposition-based exponential in the MatEx thermal solver; it makes
+/// no structural assumptions about @p m beyond squareness.
+Matrix expm_pade(const Matrix& m);
+
+}  // namespace hp::linalg

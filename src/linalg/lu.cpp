@@ -1,0 +1,94 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hp::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& m) : lu_(m) {
+    if (!m.square())
+        throw std::invalid_argument("LuDecomposition: matrix must be square");
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot: pick the largest magnitude entry in this column.
+        std::size_t pivot = col;
+        double pivot_mag = std::abs(lu_(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double mag = std::abs(lu_(r, col));
+            if (mag > pivot_mag) {
+                pivot = r;
+                pivot_mag = mag;
+            }
+        }
+        if (pivot_mag == 0.0)
+            throw std::domain_error("LuDecomposition: singular matrix");
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(lu_(pivot, j), lu_(col, j));
+            std::swap(perm_[pivot], perm_[col]);
+            perm_sign_ = -perm_sign_;
+        }
+        const double inv_pivot = 1.0 / lu_(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = lu_(r, col) * inv_pivot;
+            lu_(r, col) = factor;
+            if (factor == 0.0) continue;
+            for (std::size_t j = col + 1; j < n; ++j)
+                lu_(r, j) -= factor * lu_(col, j);
+        }
+    }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+    const std::size_t n = size();
+    if (b.size() != n)
+        throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+    // Apply permutation, then forward- and back-substitute.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+    for (std::size_t i = 1; i < n; ++i) {
+        double acc = y[i];
+        for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+        y[i] = acc;
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
+        y[ii] = acc / lu_(ii, ii);
+    }
+    return y;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+    const std::size_t n = size();
+    if (b.rows() != n)
+        throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+    Matrix x(n, b.cols());
+    Vector column(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < n; ++r) column[r] = b(r, c);
+        const Vector sol = solve(column);
+        for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+    }
+    return x;
+}
+
+Matrix LuDecomposition::inverse() const { return solve(Matrix::identity(size())); }
+
+double LuDecomposition::determinant() const {
+    double det = perm_sign_;
+    for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+    return det;
+}
+
+Vector solve(const Matrix& m, const Vector& b) {
+    return LuDecomposition(m).solve(b);
+}
+
+Matrix inverse(const Matrix& m) { return LuDecomposition(m).inverse(); }
+
+}  // namespace hp::linalg

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace hp::linalg {
+
+/// LU decomposition with partial pivoting (Doolittle / Crout hybrid).
+///
+/// Decomposes a square matrix M as P*M = L*U once and then solves any number
+/// of right-hand sides in O(N^2). The thermal model uses this for B^{-1}
+/// (steady-state temperatures, Eq. (3) of the paper) and for assembling
+/// C = -A^{-1} B.
+class LuDecomposition {
+public:
+    /// Decomposes @p m. Throws std::invalid_argument if @p m is not square
+    /// and std::domain_error if it is numerically singular.
+    explicit LuDecomposition(const Matrix& m);
+
+    std::size_t size() const { return lu_.rows(); }
+
+    /// Solves M x = b. Throws std::invalid_argument on size mismatch.
+    Vector solve(const Vector& b) const;
+
+    /// Solves M X = B column-by-column.
+    Matrix solve(const Matrix& b) const;
+
+    /// The full inverse M^{-1} (N solves).
+    Matrix inverse() const;
+
+    /// det(M); product of U's diagonal times the permutation sign.
+    double determinant() const;
+
+private:
+    Matrix lu_;                 // packed L (unit diagonal, below) and U (on/above)
+    std::vector<std::size_t> perm_;
+    int perm_sign_ = 1;
+};
+
+/// Convenience one-shot solve of M x = b.
+Vector solve(const Matrix& m, const Vector& b);
+
+/// Convenience one-shot inverse.
+Matrix inverse(const Matrix& m);
+
+}  // namespace hp::linalg

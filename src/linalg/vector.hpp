@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace hp::linalg {
+
+/// Dense real-valued vector used throughout the thermal and scheduling math.
+///
+/// A thin, bounds-asserted wrapper over std::vector<double> with the
+/// element-wise arithmetic the RC thermal model needs. All operations that
+/// combine two vectors require equal sizes and throw std::invalid_argument
+/// otherwise.
+class Vector {
+public:
+    Vector() = default;
+
+    /// Creates a vector of @p size elements, all equal to @p fill.
+    explicit Vector(std::size_t size, double fill = 0.0) : data_(size, fill) {}
+
+    Vector(std::initializer_list<double> init) : data_(init) {}
+
+    /// Wraps an existing buffer (moves it in; no copy).
+    explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double operator[](std::size_t i) const {
+        assert(i < data_.size());
+        return data_[i];
+    }
+    double& operator[](std::size_t i) {
+        assert(i < data_.size());
+        return data_[i];
+    }
+
+    /// Bounds-checked access; throws std::out_of_range.
+    double at(std::size_t i) const { return data_.at(i); }
+    double& at(std::size_t i) { return data_.at(i); }
+
+    const double* data() const { return data_.data(); }
+    double* data() { return data_.data(); }
+
+    auto begin() { return data_.begin(); }
+    auto end() { return data_.end(); }
+    auto begin() const { return data_.begin(); }
+    auto end() const { return data_.end(); }
+
+    Vector& operator+=(const Vector& rhs) {
+        check_same_size(rhs);
+        for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+        return *this;
+    }
+    Vector& operator-=(const Vector& rhs) {
+        check_same_size(rhs);
+        for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+        return *this;
+    }
+    Vector& operator*=(double s) {
+        for (double& x : data_) x *= s;
+        return *this;
+    }
+    Vector& operator/=(double s) {
+        for (double& x : data_) x /= s;
+        return *this;
+    }
+
+    friend Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+    friend Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+    friend Vector operator*(Vector lhs, double s) { return lhs *= s; }
+    friend Vector operator*(double s, Vector rhs) { return rhs *= s; }
+    friend Vector operator/(Vector lhs, double s) { return lhs /= s; }
+
+    friend bool operator==(const Vector& a, const Vector& b) {
+        return a.data_ == b.data_;
+    }
+
+    /// Euclidean inner product.
+    double dot(const Vector& rhs) const {
+        check_same_size(rhs);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * rhs.data_[i];
+        return acc;
+    }
+
+    /// Euclidean (L2) norm.
+    double norm() const { return std::sqrt(dot(*this)); }
+
+    /// Largest absolute element; 0 for an empty vector.
+    double max_abs() const {
+        double m = 0.0;
+        for (double x : data_) m = std::max(m, std::abs(x));
+        return m;
+    }
+
+    /// Largest element; throws std::logic_error on an empty vector.
+    double max() const {
+        if (data_.empty()) throw std::logic_error("Vector::max on empty vector");
+        double m = data_.front();
+        for (double x : data_) m = std::max(m, x);
+        return m;
+    }
+
+    /// Smallest element; throws std::logic_error on an empty vector.
+    double min() const {
+        if (data_.empty()) throw std::logic_error("Vector::min on empty vector");
+        double m = data_.front();
+        for (double x : data_) m = std::min(m, x);
+        return m;
+    }
+
+    /// Index of the largest element; throws std::logic_error on empty.
+    std::size_t argmax() const {
+        if (data_.empty()) throw std::logic_error("Vector::argmax on empty vector");
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < data_.size(); ++i)
+            if (data_[i] > data_[best]) best = i;
+        return best;
+    }
+
+    const std::vector<double>& raw() const { return data_; }
+
+private:
+    void check_same_size(const Vector& rhs) const {
+        if (data_.size() != rhs.data_.size())
+            throw std::invalid_argument("Vector size mismatch");
+    }
+
+    std::vector<double> data_;
+};
+
+}  // namespace hp::linalg

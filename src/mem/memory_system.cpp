@@ -1,0 +1,61 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp::mem {
+
+MemorySystem::MemorySystem(const arch::ManyCore& chip, DramParams params)
+    : chip_(&chip), params_(params) {
+    if (params_.controllers == 0)
+        throw std::invalid_argument("MemorySystem: need at least one MC");
+
+    // Attach controllers to edge-midpoint routers of layer 0, cycling over
+    // the four sides: bottom, top, left, right.
+    const auto& plan = chip.plan();
+    const std::size_t rows = plan.rows();
+    const std::size_t cols = plan.cols();
+    const std::size_t candidates[4] = {
+        plan.index_of(0, cols / 2, 0),
+        plan.index_of(rows - 1, cols / 2, 0),
+        plan.index_of(rows / 2, 0, 0),
+        plan.index_of(rows / 2, cols - 1, 0),
+    };
+    for (std::size_t m = 0; m < params_.controllers; ++m)
+        controller_cores_.push_back(candidates[m % 4]);
+    std::sort(controller_cores_.begin(), controller_cores_.end());
+    controller_cores_.erase(
+        std::unique(controller_cores_.begin(), controller_cores_.end()),
+        controller_cores_.end());
+
+    // Average bank -> controller hop distance (banks and the serving MC are
+    // both address-interleaved, i.e. uniform).
+    double total_hops = 0.0;
+    for (std::size_t bank = 0; bank < chip.core_count(); ++bank)
+        for (std::size_t mc : controller_cores_)
+            total_hops += static_cast<double>(plan.manhattan_hops(bank, mc));
+    const double avg_hops =
+        total_hops / static_cast<double>(chip.core_count() *
+                                         controller_cores_.size());
+    miss_latency_s_ = 2.0 * avg_hops * chip.params().noc_hop_latency_s +
+                      params_.access_latency_s;
+}
+
+double MemorySystem::queueing_delay_s(double total_miss_rate,
+                                      double max_utilization) const {
+    if (total_miss_rate <= 0.0) return 0.0;
+    const double per_mc_rate =
+        total_miss_rate / static_cast<double>(controller_cores_.size());
+    const double service_s = static_cast<double>(params_.line_bytes) /
+                             params_.bandwidth_bytes_s_per_mc;
+    const double u = std::min(per_mc_rate * service_s, max_utilization);
+    return service_s * u / (2.0 * (1.0 - u));
+}
+
+double MemorySystem::saturation_miss_rate() const {
+    const double service_s = static_cast<double>(params_.line_bytes) /
+                             params_.bandwidth_bytes_s_per_mc;
+    return static_cast<double>(controller_cores_.size()) / service_s;
+}
+
+}  // namespace hp::mem

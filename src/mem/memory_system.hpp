@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/manycore.hpp"
+
+namespace hp::mem {
+
+/// Off-chip memory parameters.
+struct DramParams {
+    double access_latency_s = 60e-9;          ///< row activate + CAS + bus
+    double bandwidth_bytes_s_per_mc = 25.6e9; ///< one DDR channel per MC
+    std::size_t controllers = 4;              ///< MCs at the mesh edge
+    std::size_t line_bytes = 64;
+};
+
+/// Memory controllers at the mesh boundary serving LLC misses.
+///
+/// An LLC miss travels from the bank to its (address-interleaved, hence
+/// uniformly distributed) memory controller, pays the DRAM access latency,
+/// and returns. With S-NUCA's uniform bank distribution the per-core miss
+/// penalty reduces to the core-independent average bank-to-MC distance, so
+/// the model exposes one zero-load penalty plus an M/D/1 channel-queueing
+/// term for the aggregate miss rate.
+class MemorySystem {
+public:
+    explicit MemorySystem(const arch::ManyCore& chip, DramParams params = {});
+
+    const DramParams& params() const { return params_; }
+
+    /// Cores whose routers host a memory controller (layer 0 edge midpoints).
+    const std::vector<std::size_t>& controller_cores() const {
+        return controller_cores_;
+    }
+
+    /// Zero-load penalty of one LLC *miss* (bank->MC round trip + DRAM),
+    /// averaged over banks and controllers. Seconds.
+    double miss_latency_s() const { return miss_latency_s_; }
+
+    /// Average extra latency one LLC *access* of a thread with the given
+    /// miss ratio pays. Seconds.
+    double access_penalty_s(double miss_ratio) const {
+        return miss_ratio * miss_latency_s_;
+    }
+
+    /// M/D/1 queueing delay at a controller when the chip misses
+    /// @p total_miss_rate times per second in aggregate (spread uniformly
+    /// over the controllers). Utilisation is clamped below 1.
+    double queueing_delay_s(double total_miss_rate,
+                            double max_utilization = 0.95) const;
+
+    /// Aggregate miss rate at which the DRAM channels saturate (misses/s).
+    double saturation_miss_rate() const;
+
+private:
+    const arch::ManyCore* chip_;
+    DramParams params_;
+    std::vector<std::size_t> controller_cores_;
+    double miss_latency_s_ = 0.0;
+};
+
+}  // namespace hp::mem

@@ -1,0 +1,57 @@
+#include "noc/mesh.hpp"
+
+#include <stdexcept>
+
+namespace hp::noc {
+
+MeshNoc::MeshNoc(const floorplan::GridFloorplan& plan, NocParams params)
+    : plan_(&plan), params_(params) {
+    const std::size_t n = plan.core_count();
+    adjacency_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j : plan.neighbors(i))
+            adjacency_[i].emplace_back(j, links_++);
+        for (std::size_t j : plan.stack_neighbors(i))
+            adjacency_[i].emplace_back(j, links_++);
+    }
+}
+
+LinkId MeshNoc::link_between(std::size_t from, std::size_t to) const {
+    if (from >= adjacency_.size())
+        throw std::out_of_range("MeshNoc::link_between: bad router");
+    for (const auto& [neighbor, link] : adjacency_[from])
+        if (neighbor == to) return link;
+    throw std::invalid_argument("MeshNoc::link_between: routers not adjacent");
+}
+
+std::vector<LinkId> MeshNoc::route(std::size_t src, std::size_t dst) const {
+    const auto& src_tile = plan_->tile(src);
+    const auto& dst_tile = plan_->tile(dst);
+
+    std::vector<LinkId> out;
+    std::size_t row = src_tile.row;
+    std::size_t col = src_tile.col;
+    std::size_t layer = src_tile.layer;
+    std::size_t at = src;
+
+    const auto step_to = [&](std::size_t next) {
+        out.push_back(link_between(at, next));
+        at = next;
+    };
+    // X first (columns), then Y (rows), then Z (layers).
+    while (col != dst_tile.col) {
+        col += col < dst_tile.col ? 1 : std::size_t(-1);
+        step_to(plan_->index_of(row, col, layer));
+    }
+    while (row != dst_tile.row) {
+        row += row < dst_tile.row ? 1 : std::size_t(-1);
+        step_to(plan_->index_of(row, col, layer));
+    }
+    while (layer != dst_tile.layer) {
+        layer += layer < dst_tile.layer ? 1 : std::size_t(-1);
+        step_to(plan_->index_of(row, col, layer));
+    }
+    return out;
+}
+
+}  // namespace hp::noc

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+
+namespace hp::noc {
+
+/// Directed link id within a MeshNoc.
+using LinkId = std::size_t;
+
+/// Parameters of the mesh interconnect (paper Table I: 1.5 ns/hop, 256-bit
+/// links).
+struct NocParams {
+    double hop_latency_s = 1.5e-9;      ///< router + traversal per hop
+    std::size_t link_width_bits = 256;
+    double clock_hz = 2.0e9;            ///< NoC clock (flit/cycle per link)
+
+    /// Peak bandwidth of one directed link (bytes/s).
+    double link_bandwidth_bytes_s() const {
+        return static_cast<double>(link_width_bits) / 8.0 * clock_hz;
+    }
+};
+
+/// Dimension-ordered (X, then Y, then Z) routed mesh matching a
+/// GridFloorplan — one router per core, directed links between adjacent
+/// routers, vertical TSV links between stacked layers.
+///
+/// XY routing is deterministic and deadlock-free, and is what makes S-NUCA's
+/// static bank mapping cheap: the route for an address is a pure function of
+/// (source, bank).
+class MeshNoc {
+public:
+    /// @p plan must outlive the NoC.
+    explicit MeshNoc(const floorplan::GridFloorplan& plan, NocParams params = {});
+
+    const floorplan::GridFloorplan& plan() const { return *plan_; }
+    const NocParams& params() const { return params_; }
+    std::size_t router_count() const { return plan_->core_count(); }
+    std::size_t link_count() const { return links_; }
+
+    /// Directed link from router @p from to adjacent router @p to; throws
+    /// std::invalid_argument if the routers are not adjacent.
+    LinkId link_between(std::size_t from, std::size_t to) const;
+
+    /// The ordered sequence of directed links a packet from @p src to
+    /// @p dst traverses under X-Y-Z dimension-ordered routing (empty when
+    /// src == dst).
+    std::vector<LinkId> route(std::size_t src, std::size_t dst) const;
+
+    /// Zero-load latency of one hop count (routers * hop latency).
+    double zero_load_latency_s(std::size_t hops) const {
+        return static_cast<double>(hops) * params_.hop_latency_s;
+    }
+
+private:
+    const floorplan::GridFloorplan* plan_;
+    NocParams params_;
+    std::size_t links_ = 0;
+    // adjacency_[router] -> list of (neighbor, link id); at most 6 entries.
+    std::vector<std::vector<std::pair<std::size_t, LinkId>>> adjacency_;
+};
+
+}  // namespace hp::noc

@@ -1,0 +1,83 @@
+#include "noc/traffic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp::noc {
+
+TrafficModel::TrafficModel(const MeshNoc& mesh, TransactionBytes bytes)
+    : mesh_(&mesh), bytes_(bytes), cores_(mesh.router_count()) {
+    const std::size_t links = mesh.link_count();
+    traversal_.assign(cores_ * links, 0.0);
+    load_share_.assign(cores_ * links, 0.0);
+
+    const double per_bank = 1.0 / static_cast<double>(cores_);
+    for (std::size_t core = 0; core < cores_; ++core) {
+        double* traversal = &traversal_[core * links];
+        double* load = &load_share_[core * links];
+        for (std::size_t bank = 0; bank < cores_; ++bank) {
+            for (LinkId l : mesh.route(core, bank)) {
+                traversal[l] += per_bank;
+                load[l] += per_bank * bytes_.request;
+            }
+            for (LinkId l : mesh.route(bank, core)) {
+                traversal[l] += per_bank;
+                load[l] += per_bank * bytes_.reply;
+            }
+        }
+    }
+}
+
+std::vector<double> TrafficModel::link_utilization(
+    const std::vector<double>& rates) const {
+    if (rates.size() != cores_)
+        throw std::invalid_argument("TrafficModel: rate vector size mismatch");
+    const std::size_t links = mesh_->link_count();
+    std::vector<double> bytes_per_s(links, 0.0);
+    for (std::size_t core = 0; core < cores_; ++core) {
+        const double rate = rates[core];
+        if (rate <= 0.0) continue;
+        const double* load = &load_share_[core * links];
+        for (std::size_t l = 0; l < links; ++l)
+            bytes_per_s[l] += rate * load[l];
+    }
+    const double capacity = mesh_->params().link_bandwidth_bytes_s();
+    for (double& u : bytes_per_s) u /= capacity;
+    return bytes_per_s;
+}
+
+std::vector<double> TrafficModel::queueing_delay_s(
+    const std::vector<double>& rates, double max_utilization) const {
+    std::vector<double> util = link_utilization(rates);
+    const std::size_t links = mesh_->link_count();
+
+    // Per-link M/D/1 waiting time with the mean transaction's service time.
+    const double mean_bytes = (bytes_.request + bytes_.reply) / 2.0;
+    const double service_s =
+        mean_bytes / mesh_->params().link_bandwidth_bytes_s();
+    std::vector<double> delay(links);
+    for (std::size_t l = 0; l < links; ++l) {
+        const double u = std::min(util[l], max_utilization);
+        delay[l] = service_s * u / (2.0 * (1.0 - u));
+    }
+
+    std::vector<double> per_core(cores_, 0.0);
+    for (std::size_t core = 0; core < cores_; ++core) {
+        const double* traversal = &traversal_[core * links];
+        double acc = 0.0;
+        for (std::size_t l = 0; l < links; ++l) acc += traversal[l] * delay[l];
+        per_core[core] = acc;
+    }
+    return per_core;
+}
+
+double TrafficModel::saturation_rate_per_core() const {
+    // Uniform unit rate on every core -> utilisation per link; the most
+    // loaded link determines the ceiling.
+    const std::vector<double> unit(cores_, 1.0);
+    const std::vector<double> util = link_utilization(unit);
+    const double worst = *std::max_element(util.begin(), util.end());
+    return worst > 0.0 ? 1.0 / worst : 0.0;
+}
+
+}  // namespace hp::noc

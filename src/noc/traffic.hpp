@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "noc/mesh.hpp"
+
+namespace hp::noc {
+
+/// Bytes moved per LLC transaction in each direction.
+struct TransactionBytes {
+    double request = 16.0;  ///< address + command flit(s)
+    double reply = 80.0;    ///< 64 B cache line + header
+};
+
+/// Analytic link-contention model for S-NUCA LLC traffic.
+///
+/// Each core issues LLC transactions at some rate; S-NUCA's static address
+/// interleaving spreads destinations uniformly over all banks, so the
+/// request takes route(core, bank) and the reply route(bank, core). The
+/// model accumulates the offered load on every directed link and converts
+/// utilisation into an M/D/1 queueing delay per link,
+///
+///     d_link = s * u / (2 (1 - u)),   s = service time of one transaction,
+///
+/// then reports, per core, the expected extra round-trip delay of one of its
+/// transactions — the congestion term the interval performance model adds on
+/// top of the zero-load LLC latency. Per-(core, link) expected traversal
+/// counts are precomputed once (O(n^2 * diameter)), so an update costs
+/// O(n * links).
+class TrafficModel {
+public:
+    /// @p mesh must outlive the model.
+    explicit TrafficModel(const MeshNoc& mesh, TransactionBytes bytes = {});
+
+    const MeshNoc& mesh() const { return *mesh_; }
+
+    /// Per-link utilisation in [0, 1) for the given per-core transaction
+    /// rates (transactions/s, size core_count).
+    std::vector<double> link_utilization(
+        const std::vector<double>& core_transaction_rates) const;
+
+    /// Expected extra (queueing) round-trip delay per transaction for every
+    /// core, seconds. Utilisation is clamped to @p max_utilization to keep
+    /// the M/D/1 term finite under saturation.
+    std::vector<double> queueing_delay_s(
+        const std::vector<double>& core_transaction_rates,
+        double max_utilization = 0.95) const;
+
+    /// Largest sustainable uniform per-core transaction rate (the rate at
+    /// which the most-loaded link saturates) — the NoC's bisection-limited
+    /// throughput ceiling.
+    double saturation_rate_per_core() const;
+
+private:
+    const MeshNoc* mesh_;
+    TransactionBytes bytes_;
+    std::size_t cores_;
+    // traversal_[core * links + link]: expected traversals of `link` by one
+    // transaction from `core` (request leg + reply leg), averaged over banks.
+    std::vector<double> traversal_;
+    // load_share_[core * links + link]: bytes offered to `link` per
+    // transaction issued by `core`.
+    std::vector<double> load_share_;
+};
+
+}  // namespace hp::noc

@@ -1,0 +1,57 @@
+#include "perf/interval_model.hpp"
+
+#include <stdexcept>
+
+namespace hp::perf {
+
+IntervalPerformanceModel::IntervalPerformanceModel(const arch::ManyCore& chip,
+                                                   PerfParams params)
+    : chip_(&chip), params_(params) {
+    if (params_.refill_mlp <= 0.0)
+        throw std::invalid_argument(
+            "IntervalPerformanceModel: refill MLP must be positive");
+    for (std::size_t c = 1; c < chip.core_count(); ++c)
+        if (chip.amd(c) < chip.amd(reference_core_)) reference_core_ = c;
+    if (params_.model_dram)
+        memory_ = std::make_shared<const mem::MemorySystem>(chip, params_.dram);
+}
+
+double IntervalPerformanceModel::effective_cpi(
+    const PhasePoint& phase, std::size_t core, double freq_hz,
+    double extra_llc_latency_s) const {
+    double per_access_latency_s =
+        chip_->llc_access_latency_s(core) + extra_llc_latency_s;
+    if (memory_)
+        per_access_latency_s +=
+            memory_->access_penalty_s(phase.llc_miss_ratio);
+    const double memory_cycles_per_instr =
+        phase.llc_apki / 1000.0 * per_access_latency_s * freq_hz;
+    return phase.base_cpi + memory_cycles_per_instr;
+}
+
+double IntervalPerformanceModel::instructions_per_second(
+    const PhasePoint& phase, std::size_t core, double freq_hz,
+    double extra_llc_latency_s) const {
+    return freq_hz / effective_cpi(phase, core, freq_hz, extra_llc_latency_s);
+}
+
+double IntervalPerformanceModel::power_activity(const PhasePoint& phase,
+                                                std::size_t core,
+                                                double freq_hz,
+                                                double f_ref_hz) const {
+    return instructions_per_second(phase, core, freq_hz) /
+           instructions_per_second(phase, reference_core_, f_ref_hz);
+}
+
+double IntervalPerformanceModel::migration_stall_s(
+    std::size_t destination) const {
+    const double lines =
+        static_cast<double>(chip_->private_state_bytes()) /
+        static_cast<double>(chip_->params().cache_block_bytes);
+    const double refill_s = lines *
+                            chip_->llc_access_latency_s(destination) /
+                            params_.refill_mlp;
+    return params_.migration_base_overhead_s + refill_s;
+}
+
+}  // namespace hp::perf

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "arch/manycore.hpp"
+#include "mem/memory_system.hpp"
+
+namespace hp::perf {
+
+/// Performance characteristics of one execution phase of a thread, the unit
+/// of work the interval model consumes (a Sniper-style CPI stack reduced to
+/// its compute, LLC and DRAM components).
+struct PhasePoint {
+    double base_cpi = 0.5;          ///< cycles/instr excluding memory stalls
+    double llc_apki = 1.0;          ///< LLC accesses per kilo-instruction
+    double nominal_power_w = 5.0;   ///< dynamic W at (f_ref, V_ref), full activity
+    double llc_miss_ratio = 0.0;    ///< fraction of LLC accesses going to DRAM
+};
+
+/// Tunables of the interval performance model.
+struct PerfParams {
+    /// Fixed OS/context-switch cost of one thread migration, seconds.
+    double migration_base_overhead_s = 30e-6;
+    /// Memory-level parallelism assumed while the private caches refill from
+    /// the shared LLC after a migration.
+    double refill_mlp = 4.0;
+    /// Model the DRAM tier (LLC misses pay the bank->MC->DRAM round trip).
+    bool model_dram = true;
+    mem::DramParams dram;
+};
+
+/// Interval (CPI-stack) performance model for S-NUCA many-cores.
+///
+/// Effective CPI on a given core at a given frequency is
+///   CPI_eff = CPI_base + APKI/1000 * latency_LLC(core) * f
+/// i.e. the memory component scales with the core's AMD-dependent average
+/// LLC round trip and grows with frequency (memory-bound threads gain little
+/// from high f or from DVFS-down — exactly the asymmetry HotPotato's
+/// CPI-sorted migration heuristic exploits).
+class IntervalPerformanceModel {
+public:
+    explicit IntervalPerformanceModel(const arch::ManyCore& chip,
+                                      PerfParams params = {});
+
+    const arch::ManyCore& chip() const { return *chip_; }
+    const PerfParams& params() const { return params_; }
+
+    /// Cycles per instruction of @p phase on @p core at @p freq_hz.
+    /// @p extra_llc_latency_s adds per-access delay on top of the zero-load
+    /// LLC round trip (the NoC contention term, see noc::TrafficModel).
+    double effective_cpi(const PhasePoint& phase, std::size_t core,
+                         double freq_hz,
+                         double extra_llc_latency_s = 0.0) const;
+
+    /// Instruction throughput (instructions/second).
+    double instructions_per_second(const PhasePoint& phase, std::size_t core,
+                                   double freq_hz,
+                                   double extra_llc_latency_s = 0.0) const;
+
+    /// Dynamic-power activity: instruction throughput relative to the
+    /// reference operating point (an AMD-minimal core at @p f_ref_hz).
+    /// Dynamic energy per instruction is roughly constant at fixed voltage,
+    /// so P_dyn = P_nominal * (V/V_ref)^2 * activity; memory-bound threads
+    /// and outer-ring cores burn proportionally less power.
+    double power_activity(const PhasePoint& phase, std::size_t core,
+                          double freq_hz, double f_ref_hz) const;
+
+    /// Core with the smallest AMD (the reference for power_activity).
+    std::size_t reference_core() const { return reference_core_; }
+
+    /// The DRAM tier, or nullptr when PerfParams::model_dram is off.
+    const mem::MemorySystem* memory_system() const { return memory_.get(); }
+
+    /// Wall-clock stall a thread pays when migrating onto @p destination:
+    /// fixed OS overhead plus demand-refill of the private L1 state through
+    /// the destination's average LLC latency.
+    double migration_stall_s(std::size_t destination) const;
+
+private:
+    const arch::ManyCore* chip_;
+    PerfParams params_;
+    std::size_t reference_core_ = 0;
+    std::shared_ptr<const mem::MemorySystem> memory_;
+};
+
+}  // namespace hp::perf

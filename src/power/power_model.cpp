@@ -1,0 +1,6 @@
+#include "power/power_model.hpp"
+
+// max_frequency_within is a header-only template; this translation unit
+// exists so the library has a stable archive member for the module.
+
+namespace hp::power {}

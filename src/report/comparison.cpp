@@ -1,0 +1,75 @@
+#include "report/comparison.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::report {
+
+ComparisonRunner::ComparisonRunner(const arch::ManyCore& chip,
+                                   const thermal::ThermalModel& model,
+                                   const thermal::MatExSolver& solver,
+                                   sim::SimConfig config)
+    : chip_(&chip), model_(&model), solver_(&solver), config_(config) {}
+
+void ComparisonRunner::add_scheduler(std::string label,
+                                     SchedulerFactory factory) {
+    if (!factory)
+        throw std::invalid_argument("ComparisonRunner: null factory");
+    schedulers_.emplace_back(std::move(label), std::move(factory));
+}
+
+void ComparisonRunner::add_workload(std::string label,
+                                    std::vector<workload::TaskSpec> tasks) {
+    workloads_.emplace_back(std::move(label), std::move(tasks));
+}
+
+std::vector<RunRecord> ComparisonRunner::run_all() const {
+    std::vector<RunRecord> records;
+    for (const auto& [workload_label, tasks] : workloads_) {
+        for (const auto& [scheduler_label, factory] : schedulers_) {
+            sim::Simulator sim(*chip_, *model_, *solver_, config_);
+            sim.add_tasks(tasks);
+            std::unique_ptr<sim::Scheduler> scheduler = factory();
+            RunRecord record;
+            record.scheduler = scheduler_label;
+            record.workload = workload_label;
+            record.result = sim.run(*scheduler);
+            records.push_back(std::move(record));
+        }
+    }
+    return records;
+}
+
+std::string to_markdown(const std::vector<RunRecord>& records) {
+    std::ostringstream out;
+    out << "| workload | scheduler | makespan [ms] | avg response [ms] | "
+           "peak [C] | DTM [ms] | migrations | energy [J] |\n";
+    out << "|---|---|---|---|---|---|---|---|\n";
+    out.setf(std::ios::fixed);
+    out.precision(2);
+    for (const RunRecord& r : records) {
+        const auto& s = r.result;
+        out << "| " << r.workload << " | " << r.scheduler << " | "
+            << s.makespan_s * 1e3 << " | "
+            << s.average_response_time_s() * 1e3 << " | "
+            << s.peak_temperature_c << " | " << s.dtm_throttled_s * 1e3
+            << " | " << s.migrations << " | " << s.total_energy_j;
+        out << (s.all_finished ? " |\n" : " (INCOMPLETE) |\n");
+    }
+    return out.str();
+}
+
+void write_csv(std::ostream& out, const std::vector<RunRecord>& records) {
+    out << "workload,scheduler,makespan_s,avg_response_s,peak_c,"
+           "dtm_throttled_s,migrations,energy_j,all_finished\n";
+    for (const RunRecord& r : records) {
+        const auto& s = r.result;
+        out << r.workload << ',' << r.scheduler << ',' << s.makespan_s << ','
+            << s.average_response_time_s() << ',' << s.peak_temperature_c
+            << ',' << s.dtm_throttled_s << ',' << s.migrations << ','
+            << s.total_energy_j << ',' << (s.all_finished ? 1 : 0) << '\n';
+    }
+}
+
+}  // namespace hp::report

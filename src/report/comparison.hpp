@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace hp::report {
+
+/// Outcome of one (scheduler, workload) run in a comparison campaign.
+struct RunRecord {
+    std::string scheduler;
+    std::string workload;
+    sim::SimResult result;
+};
+
+/// A scheduler factory: fresh instance per run (schedulers are stateful).
+using SchedulerFactory =
+    std::function<std::unique_ptr<sim::Scheduler>()>;
+
+/// Runs the same workloads under several schedulers on one machine and
+/// collects the results — the boilerplate behind every comparison bench in
+/// this repo, packaged for downstream studies.
+class ComparisonRunner {
+public:
+    /// All references must outlive the runner.
+    ComparisonRunner(const arch::ManyCore& chip,
+                     const thermal::ThermalModel& model,
+                     const thermal::MatExSolver& solver,
+                     sim::SimConfig config = {});
+
+    /// Registers a scheduler under @p label.
+    void add_scheduler(std::string label, SchedulerFactory factory);
+
+    /// Registers a workload (task list) under @p label.
+    void add_workload(std::string label,
+                      std::vector<workload::TaskSpec> tasks);
+
+    /// Runs every (scheduler x workload) combination; records appear in
+    /// workload-major order.
+    std::vector<RunRecord> run_all() const;
+
+private:
+    const arch::ManyCore* chip_;
+    const thermal::ThermalModel* model_;
+    const thermal::MatExSolver* solver_;
+    sim::SimConfig config_;
+    std::vector<std::pair<std::string, SchedulerFactory>> schedulers_;
+    std::vector<std::pair<std::string, std::vector<workload::TaskSpec>>>
+        workloads_;
+};
+
+/// Renders records as a GitHub-flavoured markdown table (one row per run).
+std::string to_markdown(const std::vector<RunRecord>& records);
+
+/// Writes one CSV row per run: workload, scheduler, makespan, avg response,
+/// peak temperature, DTM, migrations, energy.
+void write_csv(std::ostream& out, const std::vector<RunRecord>& records);
+
+}  // namespace hp::report

@@ -1,0 +1,48 @@
+#include "sched/global_rotation.hpp"
+
+#include <stdexcept>
+
+#include "sched/placement.hpp"
+
+namespace hp::sched {
+
+GlobalRotationScheduler::GlobalRotationScheduler(double interval_s)
+    : interval_s_(interval_s), next_rotation_s_(interval_s) {
+    if (interval_s <= 0.0)
+        throw std::invalid_argument(
+            "GlobalRotationScheduler: interval must be positive");
+}
+
+void GlobalRotationScheduler::initialize(sim::SimContext& ctx) {
+    // Snake order: even rows left-to-right, odd rows right-to-left, layer by
+    // layer — consecutive cycle positions are always mesh/TSV neighbours.
+    const auto& plan = ctx.chip().plan();
+    cycle_.clear();
+    for (std::size_t l = 0; l < plan.layers(); ++l)
+        for (std::size_t r = 0; r < plan.rows(); ++r)
+            for (std::size_t k = 0; k < plan.cols(); ++k) {
+                const std::size_t c = r % 2 == 0 ? k : plan.cols() - 1 - k;
+                cycle_.push_back(plan.index_of(r, c, l));
+            }
+}
+
+bool GlobalRotationScheduler::on_task_arrival(sim::SimContext& ctx,
+                                              sim::TaskId task) {
+    const sim::Task& t = ctx.task(task);
+    std::vector<std::size_t> free = free_cores_by_amd(ctx);
+    if (free.size() < t.thread_count) return false;
+    free.resize(t.thread_count);
+    place_task_threads(ctx, task, free);
+    return true;
+}
+
+void GlobalRotationScheduler::on_step(sim::SimContext& ctx) {
+    if (ctx.now() + 1e-12 < next_rotation_s_) return;
+    bool any_thread = false;
+    for (std::size_t c = 0; c < ctx.chip().core_count(); ++c)
+        if (ctx.thread_on(c) != sim::kNone) any_thread = true;
+    if (any_thread) ctx.rotate(cycle_);
+    next_rotation_s_ = ctx.now() + interval_s_;
+}
+
+}  // namespace hp::sched

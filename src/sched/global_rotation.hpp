@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hp::sched {
+
+/// Whole-chip synchronous rotation: one snake-order cycle through every core
+/// of the chip, rotated by one position every fixed interval.
+///
+/// This is the "why AMD rings?" ablation for HotPotato. It shares the
+/// thermal-averaging idea but ignores the S-NUCA structure: threads are
+/// dragged through every AMD position (memory-bound threads periodically
+/// land on the slow corners), the rotation cannot stop for cool workloads,
+/// and with few threads the whole chip still churns. Ring-structured
+/// rotation dominates it on performance at equal thermal safety.
+class GlobalRotationScheduler : public sim::Scheduler {
+public:
+    explicit GlobalRotationScheduler(double interval_s = 0.5e-3);
+
+    std::string name() const override { return "global-rotation"; }
+
+    void initialize(sim::SimContext& ctx) override;
+    bool on_task_arrival(sim::SimContext& ctx, sim::TaskId task) override;
+    void on_step(sim::SimContext& ctx) override;
+
+    /// The snake-order cycle (exposed for tests).
+    const std::vector<std::size_t>& cycle() const { return cycle_; }
+
+private:
+    double interval_s_;
+    double next_rotation_s_ = 0.0;
+    std::vector<std::size_t> cycle_;
+};
+
+}  // namespace hp::sched

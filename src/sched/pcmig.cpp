@@ -1,0 +1,55 @@
+#include "sched/pcmig.hpp"
+
+#include <algorithm>
+
+#include "linalg/vector.hpp"
+
+namespace hp::sched {
+
+linalg::Vector PcMigScheduler::predict(sim::SimContext& ctx) const {
+    const std::size_t n = ctx.chip().core_count();
+    linalg::Vector core_power(n);
+    for (std::size_t c = 0; c < n; ++c) core_power[c] = ctx.core_power(c);
+    return ctx.matex().transient(ctx.temperatures(),
+                                 ctx.thermal_model().pad_power(core_power),
+                                 ctx.config().ambient_c,
+                                 params_.prediction_horizon_s);
+}
+
+void PcMigScheduler::on_epoch(sim::SimContext& ctx) {
+    // DVFS first (PCGov behaviour), then check whether DVFS alone suffices.
+    apply_tsp_dvfs(ctx);
+
+    const double limit = ctx.config().t_dtm_c - params_.migration_margin_c;
+    for (std::size_t m = 0; m < params_.max_migrations_per_epoch; ++m) {
+        const linalg::Vector predicted = predict(ctx);
+        // Hottest predicted core that actually hosts a thread.
+        std::size_t hottest = sim::kNone;
+        double hottest_t = limit;
+        for (std::size_t c = 0; c < ctx.chip().core_count(); ++c) {
+            if (ctx.thread_on(c) == sim::kNone) continue;
+            if (predicted[c] > hottest_t) {
+                hottest_t = predicted[c];
+                hottest = c;
+            }
+        }
+        if (hottest == sim::kNone) break;  // nothing is about to overheat
+
+        // Coolest free core as evacuation target.
+        std::size_t coolest = sim::kNone;
+        double coolest_t = 1e300;
+        for (std::size_t c : ctx.free_cores()) {
+            if (predicted[c] < coolest_t) {
+                coolest_t = predicted[c];
+                coolest = c;
+            }
+        }
+        if (coolest == sim::kNone) break;  // fully loaded: DVFS must cope
+        if (coolest_t >= hottest_t) break; // no thermal benefit available
+
+        ctx.migrate(ctx.thread_on(hottest), coolest);
+        apply_tsp_dvfs(ctx);  // mapping changed; rebudget
+    }
+}
+
+}  // namespace hp::sched

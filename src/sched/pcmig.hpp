@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "sched/pcgov.hpp"
+
+namespace hp::sched {
+
+/// Tunables of PCMig's on-demand migration policy.
+struct PcMigParams {
+    /// Look-ahead horizon of the temperature prediction.
+    double prediction_horizon_s = 5e-3;
+    /// Migrate when the predicted peak comes within this margin of T_DTM.
+    double migration_margin_c = 1.0;
+    /// At most this many migrations per scheduler epoch (migration is a
+    /// measure of last resort in PCMig, not a periodic activity).
+    std::size_t max_migrations_per_epoch = 1;
+};
+
+/// PCMig (Rapp et al., TC'20/DATE'19): the state-of-the-art thermal-aware
+/// S-NUCA scheduler the paper compares against.
+///
+/// Extends PCGov's TSP-driven DVFS with *asynchronous, on-demand* thread
+/// migrations: every epoch it predicts the temperature a few milliseconds
+/// ahead and, if a core is about to reach the DTM threshold, evacuates its
+/// thread to the coolest free core.
+///
+/// Substitution note (DESIGN.md §2): the original uses a neural network to
+/// predict post-migration temperatures; here the prediction is the exact
+/// MatEx transient the network was trained to approximate.
+class PcMigScheduler : public PcGovScheduler {
+public:
+    explicit PcMigScheduler(PcMigParams params = {}) : params_(params) {}
+
+    std::string name() const override { return "PCMig"; }
+
+    void on_epoch(sim::SimContext& ctx) override;
+
+private:
+    /// Predicted per-node temperatures after the horizon, holding current
+    /// power constant.
+    linalg::Vector predict(sim::SimContext& ctx) const;
+
+    PcMigParams params_;
+};
+
+}  // namespace hp::sched

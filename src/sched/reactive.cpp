@@ -1,0 +1,44 @@
+#include "sched/reactive.hpp"
+
+#include "sched/placement.hpp"
+
+namespace hp::sched {
+
+bool ReactiveMigrationScheduler::on_task_arrival(sim::SimContext& ctx,
+                                                 sim::TaskId task) {
+    const sim::Task& t = ctx.task(task);
+    std::vector<std::size_t> free = free_cores_by_amd(ctx);
+    if (free.size() < t.thread_count) return false;
+    free.resize(t.thread_count);
+    place_task_threads(ctx, task, free);
+    return true;
+}
+
+void ReactiveMigrationScheduler::on_epoch(sim::SimContext& ctx) {
+    const double trigger = ctx.config().t_dtm_c - trigger_margin_c_;
+    // One evacuation per epoch: hottest over-trigger core to coolest free
+    // core (if that is actually cooler).
+    std::size_t hottest = sim::kNone;
+    double hottest_t = trigger;
+    for (std::size_t c = 0; c < ctx.chip().core_count(); ++c) {
+        if (ctx.thread_on(c) == sim::kNone) continue;
+        if (ctx.sensor_reading(c) > hottest_t) {
+            hottest_t = ctx.sensor_reading(c);
+            hottest = c;
+        }
+    }
+    if (hottest == sim::kNone) return;
+
+    std::size_t coolest = sim::kNone;
+    double coolest_t = 1e300;
+    for (std::size_t c : ctx.free_cores()) {
+        if (ctx.sensor_reading(c) < coolest_t) {
+            coolest_t = ctx.sensor_reading(c);
+            coolest = c;
+        }
+    }
+    if (coolest == sim::kNone || coolest_t >= hottest_t) return;
+    ctx.migrate(ctx.thread_on(hottest), coolest);
+}
+
+}  // namespace hp::sched

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "sim/scheduler.hpp"
+
+namespace hp::sched {
+
+/// Naive reactive thermal management: no DVFS, no prediction, no rotation —
+/// when a core's *measured* temperature crosses a trigger just below the DTM
+/// threshold, its thread is evacuated to the coolest free core.
+///
+/// This is the weakest credible baseline: by the time the trigger fires the
+/// heat is already in the silicon, so on hot workloads it oscillates between
+/// evacuations and hardware DTM. Exists to quantify what PCMig's prediction
+/// and HotPotato's proactive rotation actually buy.
+class ReactiveMigrationScheduler : public sim::Scheduler {
+public:
+    /// Migration fires at T_DTM - @p trigger_margin_c.
+    explicit ReactiveMigrationScheduler(double trigger_margin_c = 1.0)
+        : trigger_margin_c_(trigger_margin_c) {}
+
+    std::string name() const override { return "reactive"; }
+
+    bool on_task_arrival(sim::SimContext& ctx, sim::TaskId task) override;
+    void on_epoch(sim::SimContext& ctx) override;
+
+private:
+    double trigger_margin_c_;
+};
+
+}  // namespace hp::sched

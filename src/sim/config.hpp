@@ -1,0 +1,35 @@
+#pragma once
+
+#include "thermal/sensors.hpp"
+
+namespace hp::sim {
+
+/// Knobs of the interval thermal simulation (paper §VI experimental setup).
+struct SimConfig {
+    /// Integration/progress step; power is piecewise-constant per step and
+    /// the thermal response within a step is solved analytically (MatEx).
+    double micro_step_s = 1e-4;
+    /// Period of Scheduler::on_epoch invocations.
+    double scheduler_epoch_s = 1e-3;
+    double ambient_c = 45.0;       ///< paper: 45 °C
+    double t_dtm_c = 70.0;         ///< paper: 70 °C thermal threshold
+    /// DTM releases the frequency crash once the hottest core has cooled this
+    /// far below the threshold.
+    double dtm_hysteresis_c = 2.0;
+    /// Sliding window for per-thread power history (paper: last 10 ms).
+    double power_history_window_s = 10e-3;
+    /// Hard wall on simulated time (guards against non-terminating setups).
+    double max_sim_time_s = 20.0;
+    /// Trace sampling period; <= 0 disables tracing.
+    double trace_interval_s = -1.0;
+    /// Model NoC link contention: per-core LLC latency grows with the
+    /// queueing delay of the S-NUCA traffic (noc::TrafficModel), refreshed
+    /// every scheduler epoch. Off by default (zero-load latency only).
+    bool model_noc_contention = false;
+    /// Drive DTM (and SimContext::sensor_reading) from quantised, noisy,
+    /// sampled thermal sensors instead of ground truth. Off by default.
+    bool dtm_uses_sensors = false;
+    thermal::SensorParams sensor_params;
+};
+
+}  // namespace hp::sim

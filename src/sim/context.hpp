@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/manycore.hpp"
+#include "linalg/vector.hpp"
+#include "perf/interval_model.hpp"
+#include "power/power_model.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace hp::sim {
+
+/// The simulator-side interface a Scheduler works against.
+///
+/// Exposes read access to the machine state (mapping, temperatures, power
+/// history) and the three actuation knobs thermal managers use: per-core
+/// DVFS, single-thread migration and synchronous ring rotation. Implemented
+/// by Simulator; schedulers never see simulator internals.
+class SimContext {
+public:
+    virtual ~SimContext() = default;
+
+    // --- static environment -------------------------------------------------
+    virtual double now() const = 0;
+    virtual const SimConfig& config() const = 0;
+    virtual const arch::ManyCore& chip() const = 0;
+    virtual const thermal::ThermalModel& thermal_model() const = 0;
+    virtual const thermal::MatExSolver& matex() const = 0;
+    virtual const power::PowerModel& power_model() const = 0;
+    virtual const perf::IntervalPerformanceModel& perf_model() const = 0;
+
+    // --- machine state -------------------------------------------------------
+    /// Full node temperature vector (cores first, see ThermalModel layout).
+    virtual const linalg::Vector& temperatures() const = 0;
+    virtual double core_temperature(std::size_t core) const = 0;
+    /// What the thermal sensor on @p core reports: quantised/noisy/sampled
+    /// when SimConfig::dtm_uses_sensors is set, ground truth otherwise.
+    virtual double sensor_reading(std::size_t core) const = 0;
+    /// Thread occupying @p core, or kNone.
+    virtual ThreadId thread_on(std::size_t core) const = 0;
+    /// Core hosting @p thread, or kNone if unplaced.
+    virtual std::size_t core_of(ThreadId thread) const = 0;
+    virtual std::vector<std::size_t> free_cores() const = 0;
+    virtual const Task& task(TaskId id) const = 0;
+    virtual const Thread& thread(ThreadId id) const = 0;
+    /// Scheduler-requested frequency of @p core (DTM may override it).
+    virtual double frequency(std::size_t core) const = 0;
+    /// Per-core power drawn in the last micro-step.
+    virtual double core_power(std::size_t core) const = 0;
+
+    // --- scheduling estimates ------------------------------------------------
+    /// Average measured power of @p thread over the history window
+    /// (paper Algorithm 1 input P_history; falls back to a model-based
+    /// estimate before any history exists).
+    virtual double thread_recent_power(ThreadId thread) const = 0;
+    /// Effective CPI of @p thread in the last step (its memory-boundedness
+    /// measure used by Algorithm 2's sorting).
+    virtual double thread_cpi(ThreadId thread) const = 0;
+    /// Performance/power characteristics of the thread's current phase.
+    virtual const perf::PhasePoint& thread_phase_point(ThreadId thread) const = 0;
+    /// Model-based power estimate for @p thread if it ran on @p core at
+    /// @p freq_hz with the die at the DTM threshold (conservative leakage).
+    virtual double estimate_thread_power(ThreadId thread, std::size_t core,
+                                         double freq_hz) const = 0;
+
+    // --- actuation ------------------------------------------------------------
+    virtual void set_frequency(std::size_t core, double f_hz) = 0;
+    /// Initial placement of an unplaced thread on a free core (no stall).
+    virtual void place(ThreadId thread, std::size_t core) = 0;
+    /// Moves a placed thread to a free core; the thread pays the migration
+    /// stall. Throws std::logic_error if the destination is occupied.
+    virtual void migrate(ThreadId thread, std::size_t core) = 0;
+    /// Synchronous rotation: the occupant of cores_in_cycle[i] moves to
+    /// cores_in_cycle[i+1] (wrapping), empty slots rotate as holes; every
+    /// moved thread pays the migration stall. No-op on < 2 cores.
+    virtual void rotate(const std::vector<std::size_t>& cores_in_cycle) = 0;
+};
+
+}  // namespace hp::sim

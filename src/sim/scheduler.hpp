@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "sim/context.hpp"
+
+namespace hp::sim {
+
+/// Base class for thermal-aware schedulers (HotPotato, PCGov, PCMig, static
+/// mappers). The simulator drives the hooks; all machine interaction goes
+/// through the SimContext.
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Called once before the first step.
+    virtual void initialize(SimContext& /*ctx*/) {}
+
+    /// A task arrived (or is being re-offered from the pending queue).
+    /// Place its threads via ctx.place() and return true, or return false to
+    /// keep it queued; the simulator re-offers pending tasks every scheduler
+    /// epoch and whenever a task finishes.
+    virtual bool on_task_arrival(SimContext& ctx, TaskId task) = 0;
+
+    /// A task completed; its cores are already free.
+    virtual void on_task_finish(SimContext& /*ctx*/, TaskId /*task*/) {}
+
+    /// Called every SimConfig::scheduler_epoch_s.
+    virtual void on_epoch(SimContext& /*ctx*/) {}
+
+    /// Called every micro-step, before power is computed — the hook
+    /// synchronous rotation uses.
+    virtual void on_step(SimContext& /*ctx*/) {}
+};
+
+}  // namespace hp::sim

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/manycore.hpp"
+#include "noc/mesh.hpp"
+#include "noc/traffic.hpp"
+#include "perf/interval_model.hpp"
+#include "power/power_model.hpp"
+#include "sim/config.hpp"
+#include "sim/context.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/types.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/generator.hpp"
+
+namespace hp::sim {
+
+/// HotSniper-analogue interval thermal simulator.
+///
+/// Advances the machine in fixed micro-steps: per step it computes per-core
+/// power from the interval performance model (honouring DVFS, DTM throttling
+/// and migration stalls), integrates the RC thermal network analytically with
+/// MatEx, retires instructions, resolves barrier phases and task
+/// completions, and drives the Scheduler hooks (arrival/finish/epoch/step).
+/// Hardware DTM is simulated below the scheduler: crossing T_DTM crashes all
+/// cores to the lowest DVFS level until the hysteresis releases it.
+class Simulator final : public SimContext {
+public:
+    /// @p chip, @p model and @p matex must outlive the simulator; the matex
+    /// solver must have been built for @p model.
+    Simulator(const arch::ManyCore& chip, const thermal::ThermalModel& model,
+              const thermal::MatExSolver& matex, SimConfig config = {},
+              power::PowerParams power_params = {},
+              perf::PerfParams perf_params = {});
+
+    /// Registers a task for injection at its arrival time. Must be called
+    /// before run(). Throws if the task needs more threads than cores.
+    void add_task(const workload::TaskSpec& spec);
+    void add_tasks(const std::vector<workload::TaskSpec>& specs);
+
+    /// Runs the full simulation under @p scheduler and returns the metrics.
+    /// May be called once per Simulator instance.
+    SimResult run(Scheduler& scheduler);
+
+    // --- SimContext ----------------------------------------------------------
+    double now() const override { return now_; }
+    const SimConfig& config() const override { return config_; }
+    const arch::ManyCore& chip() const override { return *chip_; }
+    const thermal::ThermalModel& thermal_model() const override {
+        return *thermal_;
+    }
+    const thermal::MatExSolver& matex() const override { return *matex_; }
+    const power::PowerModel& power_model() const override {
+        return power_model_;
+    }
+    const perf::IntervalPerformanceModel& perf_model() const override {
+        return perf_model_;
+    }
+    const linalg::Vector& temperatures() const override { return temps_; }
+    double core_temperature(std::size_t core) const override;
+    double sensor_reading(std::size_t core) const override;
+    ThreadId thread_on(std::size_t core) const override;
+    std::size_t core_of(ThreadId thread) const override;
+    std::vector<std::size_t> free_cores() const override;
+    const Task& task(TaskId id) const override;
+    const Thread& thread(ThreadId id) const override;
+    double frequency(std::size_t core) const override;
+    double core_power(std::size_t core) const override;
+    double thread_recent_power(ThreadId thread) const override;
+    double thread_cpi(ThreadId thread) const override;
+    const perf::PhasePoint& thread_phase_point(ThreadId thread) const override;
+    double estimate_thread_power(ThreadId thread, std::size_t core,
+                                 double freq_hz) const override;
+    void set_frequency(std::size_t core, double f_hz) override;
+    void place(ThreadId thread, std::size_t core) override;
+    void migrate(ThreadId thread, std::size_t core) override;
+    void rotate(const std::vector<std::size_t>& cores_in_cycle) override;
+
+private:
+    void check_core(std::size_t core) const;
+    /// Power-gating hooks: a thread arriving on a gated core pays the wake
+    /// stall; a vacated core starts its idle dwell.
+    void occupant_arrived(std::size_t core, ThreadId id);
+    void core_vacated(std::size_t core);
+    bool thread_active_this_phase(const Thread& t) const;
+    double effective_frequency(std::size_t core) const;
+    /// Per-core power for the coming step; also refreshes thread CPI/power
+    /// bookkeeping.
+    linalg::Vector compute_step_power();
+    void advance_progress(double dt);
+    void resolve_phases_and_completions(Scheduler& scheduler);
+    void assign_phase_budgets(Task& task);
+    void offer_pending(Scheduler& scheduler);
+    void update_dtm();
+    void record_trace_sample();
+    /// Refreshes per-core NoC queueing delays from current throughputs (only
+    /// when SimConfig::model_noc_contention is set).
+    void refresh_noc_contention();
+
+    const arch::ManyCore* chip_;
+    const thermal::ThermalModel* thermal_;
+    const thermal::MatExSolver* matex_;
+    SimConfig config_;
+    power::PowerModel power_model_;
+    perf::IntervalPerformanceModel perf_model_;
+    std::unique_ptr<noc::MeshNoc> noc_;            // contention modelling only
+    std::unique_ptr<noc::TrafficModel> traffic_;
+    std::vector<double> noc_delay_s_;              // per-core extra LLC latency
+    std::unique_ptr<thermal::SensorBank> sensors_;  // when dtm_uses_sensors
+
+    std::vector<Task> tasks_;
+    std::vector<Thread> threads_;
+    std::vector<workload::TaskSpec> specs_;
+
+    // Machine state.
+    double now_ = 0.0;
+    linalg::Vector temps_;
+    std::vector<double> set_frequency_hz_;   // scheduler-requested
+    std::vector<double> last_core_power_w_;
+    std::vector<ThreadId> core_occupant_;
+    std::vector<std::size_t> thread_core_;
+    std::vector<double> core_idle_since_s_;  // power gating bookkeeping
+    std::vector<bool> core_gated_;
+    bool dtm_active_ = false;
+
+    // Bookkeeping.
+    std::vector<double> task_energy_j_;
+    std::deque<TaskId> pending_;
+    std::size_t next_arrival_index_ = 0;
+    SimResult result_;
+    double next_trace_s_ = 0.0;
+    bool ran_ = false;
+};
+
+}  // namespace hp::sim

@@ -1,0 +1,35 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hp::sim {
+
+void write_trace_csv(std::ostream& out,
+                     const std::vector<TraceSample>& trace) {
+    if (trace.empty()) return;
+    const std::size_t n = trace.front().core_temperature_c.size();
+    out << "time_s,max_temp_c";
+    for (std::size_t c = 0; c < n; ++c) out << ",temp_c" << c;
+    for (std::size_t c = 0; c < n; ++c) out << ",power_c" << c;
+    for (std::size_t c = 0; c < n; ++c) out << ",freq_c" << c;
+    out << '\n';
+    for (const TraceSample& s : trace) {
+        out << s.time_s << ',' << s.max_core_temperature_c;
+        for (double t : s.core_temperature_c) out << ',' << t;
+        for (double p : s.core_power_w) out << ',' << p;
+        for (double f : s.core_frequency_hz) out << ',' << f;
+        out << '\n';
+    }
+}
+
+void write_trace_csv(const std::string& path,
+                     const std::vector<TraceSample>& trace) {
+    std::ofstream file(path);
+    if (!file)
+        throw std::runtime_error("write_trace_csv: cannot open " + path);
+    write_trace_csv(file, trace);
+}
+
+}  // namespace hp::sim

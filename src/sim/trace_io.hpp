@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hp::sim {
+
+/// Writes a thermal/power trace as CSV:
+/// time_s,max_temp_c,T0..Tn-1,P0..Pn-1,F0..Fn-1 — the format the Fig. 2
+/// reproduction and the examples emit for plotting.
+void write_trace_csv(std::ostream& out, const std::vector<TraceSample>& trace);
+
+/// Convenience overload writing to @p path; throws std::runtime_error when
+/// the file cannot be opened.
+void write_trace_csv(const std::string& path,
+                     const std::vector<TraceSample>& trace);
+
+}  // namespace hp::sim

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace hp::sim {
+
+using ThreadId = std::size_t;
+using TaskId = std::size_t;
+
+/// Sentinel for "no core" / "no thread".
+inline constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Run-time state of one thread of a task.
+struct Thread {
+    ThreadId id = kNone;
+    TaskId task = kNone;
+    std::size_t role = 0;  ///< 0 = master, >= 1 = worker
+
+    /// Instructions left in the current phase; 0 while idling at the barrier.
+    double remaining_instructions = 0.0;
+    /// Absolute time until which the thread is stalled by a migration.
+    double stall_until_s = 0.0;
+    bool finished = false;
+
+    /// Average power over the sliding history window (paper: last 10 ms).
+    double recent_power_w = 0.0;
+    /// Power drawn in the most recent micro-step.
+    double current_power_w = 0.0;
+    /// Effective CPI in the most recent micro-step (0 while idle).
+    double current_cpi = 0.0;
+};
+
+/// Run-time state of one multi-threaded benchmark instance.
+struct Task {
+    TaskId id = kNone;
+    const workload::BenchmarkProfile* profile = nullptr;
+    std::size_t thread_count = 0;
+    double arrival_s = 0.0;
+    double start_s = -1.0;   ///< first placement; -1 while queued
+    double finish_s = -1.0;  ///< completion; -1 while running
+    std::size_t phase = 0;
+    std::vector<ThreadId> threads;
+    bool placed = false;
+    bool finished = false;
+};
+
+/// One decimated sample of the thermal/power trace.
+struct TraceSample {
+    double time_s = 0.0;
+    std::vector<double> core_temperature_c;
+    std::vector<double> core_power_w;
+    std::vector<double> core_frequency_hz;
+    double max_core_temperature_c = 0.0;
+};
+
+/// Per-task outcome.
+struct TaskResult {
+    TaskId id = kNone;
+    std::string benchmark;
+    std::size_t threads = 0;
+    double arrival_s = 0.0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    /// Energy drawn by the cores this task's threads occupied (J).
+    double energy_j = 0.0;
+
+    double response_time_s() const { return finish_s - arrival_s; }
+
+    /// Energy-delay product (J*s) — the usual efficiency figure of merit.
+    double energy_delay_product() const {
+        return energy_j * response_time_s();
+    }
+};
+
+/// Aggregate outcome of one simulation run.
+struct SimResult {
+    std::vector<TaskResult> tasks;
+    bool all_finished = false;
+    double makespan_s = 0.0;            ///< last finish time
+    double simulated_time_s = 0.0;
+    double peak_temperature_c = 0.0;    ///< max core temp ever observed
+    double dtm_throttled_s = 0.0;       ///< time spent with DTM active
+    std::size_t dtm_triggers = 0;
+    std::size_t migrations = 0;
+    /// Total chip energy over the run (J), including idle cores.
+    double total_energy_j = 0.0;
+    /// Portion of total_energy_j drawn by cores without a thread.
+    double idle_energy_j = 0.0;
+    std::vector<TraceSample> trace;     ///< empty unless tracing enabled
+
+    /// Mean response time over finished tasks (0 if none finished).
+    double average_response_time_s() const;
+
+    /// Nearest-rank percentile of per-task response times; @p p in
+    /// [0, 100]. Returns 0 when no tasks finished; throws
+    /// std::invalid_argument outside the range.
+    double response_time_percentile_s(double p) const;
+
+    /// Mean chip power over the simulated time (W).
+    double average_power_w() const {
+        return simulated_time_s > 0.0 ? total_energy_j / simulated_time_s
+                                      : 0.0;
+    }
+};
+
+}  // namespace hp::sim

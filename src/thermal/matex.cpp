@@ -1,0 +1,166 @@
+#include "thermal/matex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eigen_sym.hpp"
+
+namespace hp::thermal {
+
+MatExSolver::MatExSolver(const ThermalModel& model) : model_(&model) {
+    const std::size_t n = model.node_count();
+    const linalg::Vector& cap = model.capacitance();
+
+    // Symmetrise: S = A^{-1/2} B A^{-1/2}. S shares eigenvalues with A^{-1}B.
+    linalg::Vector inv_sqrt_cap(n);
+    for (std::size_t i = 0; i < n; ++i) inv_sqrt_cap[i] = 1.0 / std::sqrt(cap[i]);
+    linalg::Matrix s(n, n);
+    const linalg::Matrix& b = model.conductance();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            s(i, j) = inv_sqrt_cap[i] * b(i, j) * inv_sqrt_cap[j];
+
+    const linalg::SymmetricEigen eig = linalg::jacobi_eigen(s);
+
+    // C = -A^{-1}B = V·diag(-μ)·V^{-1} with V = A^{-1/2}·U, V^{-1} = U^T·A^{1/2}.
+    lambda_ = linalg::Vector(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (eig.values[k] <= 0.0)
+            throw std::domain_error(
+                "MatExSolver: conductance matrix is not positive definite");
+        lambda_[k] = -eig.values[k];
+    }
+    v_ = linalg::Matrix(n, n);
+    v_inv_ = linalg::Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double sqrt_cap = std::sqrt(cap[i]);
+        for (std::size_t k = 0; k < n; ++k) {
+            v_(i, k) = eig.vectors(i, k) * inv_sqrt_cap[i];
+            v_inv_(k, i) = eig.vectors(i, k) * sqrt_cap;
+        }
+    }
+}
+
+linalg::Vector MatExSolver::apply_exponential(const linalg::Vector& x,
+                                              double dt) const {
+    linalg::Vector modal = v_inv_ * x;
+    for (std::size_t k = 0; k < modal.size(); ++k)
+        modal[k] *= std::exp(lambda_[k] * dt);
+    return v_ * modal;
+}
+
+linalg::Matrix MatExSolver::exponential(double dt) const {
+    const std::size_t n = lambda_.size();
+    linalg::Matrix scaled = v_;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double e = std::exp(lambda_[k] * dt);
+        for (std::size_t i = 0; i < n; ++i) scaled(i, k) *= e;
+    }
+    return scaled * v_inv_;
+}
+
+linalg::Vector MatExSolver::transient(const linalg::Vector& t_init,
+                                      const linalg::Vector& node_power,
+                                      double ambient_celsius, double dt) const {
+    const linalg::Vector steady =
+        model_->steady_state(node_power, ambient_celsius);
+    return steady + apply_exponential(t_init - steady, dt);
+}
+
+MatExSolver::Peak MatExSolver::peak_core_temperature_exact(
+    const linalg::Vector& t_init, const linalg::Vector& node_power,
+    double ambient_celsius, double dt) const {
+    if (dt <= 0.0)
+        throw std::invalid_argument(
+            "peak_core_temperature_exact: dt must be positive");
+    const linalg::Vector steady =
+        model_->steady_state(node_power, ambient_celsius);
+    const linalg::Vector modal = v_inv_ * (t_init - steady);
+    const std::size_t n = lambda_.size();
+
+    Peak best;
+    best.temperature_c = -1e300;
+    for (std::size_t i = 0; i < model_->core_count(); ++i) {
+        // T_i(t) = steady_i + f(t), f(t) = sum_k c_k e^{lambda_k t}.
+        const auto f = [&](double t) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += v_(i, k) * modal[k] * std::exp(lambda_[k] * t);
+            return acc;
+        };
+        const auto df = [&](double t) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += v_(i, k) * modal[k] * lambda_[k] *
+                       std::exp(lambda_[k] * t);
+            return acc;
+        };
+
+        // Candidates: both endpoints plus the first stationary point, found
+        // by bisection on a sign change of f' (bracketed by a coarse scan)
+        // refined with Newton steps.
+        double cand_t = dt;
+        double cand_v = std::max(f(0.0), f(dt));
+        double cand_at = f(0.0) >= f(dt) ? 0.0 : dt;
+
+        constexpr int kScan = 16;
+        double prev_t = 0.0, prev_g = df(0.0);
+        for (int s = 1; s <= kScan; ++s) {
+            const double t = dt * static_cast<double>(s) / kScan;
+            const double g = df(t);
+            if (prev_g == 0.0 || (prev_g > 0.0) != (g > 0.0)) {
+                // Bracketed stationary point in [prev_t, t].
+                double lo = prev_t, hi = t;
+                double glo = prev_g;
+                for (int it = 0; it < 60; ++it) {
+                    const double mid = 0.5 * (lo + hi);
+                    const double gm = df(mid);
+                    if ((gm > 0.0) == (glo > 0.0)) {
+                        lo = mid;
+                        glo = gm;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                cand_t = 0.5 * (lo + hi);
+                const double v = f(cand_t);
+                if (v > cand_v) {
+                    cand_v = v;
+                    cand_at = cand_t;
+                }
+                break;  // first interior extremum is the relevant hump
+            }
+            prev_t = t;
+            prev_g = g;
+        }
+
+        const double temp = steady[i] + cand_v;
+        if (temp > best.temperature_c) {
+            best.temperature_c = temp;
+            best.time_s = cand_at;
+            best.core = i;
+        }
+    }
+    return best;
+}
+
+double MatExSolver::peak_core_temperature(const linalg::Vector& t_init,
+                                          const linalg::Vector& node_power,
+                                          double ambient_celsius, double dt,
+                                          std::size_t samples) const {
+    if (samples == 0)
+        throw std::invalid_argument("peak_core_temperature: samples must be > 0");
+    const linalg::Vector steady =
+        model_->steady_state(node_power, ambient_celsius);
+    const linalg::Vector offset = t_init - steady;
+    double peak = -1e300;
+    for (std::size_t s = 1; s <= samples; ++s) {
+        const double t = dt * static_cast<double>(s) / static_cast<double>(samples);
+        const linalg::Vector temp = steady + apply_exponential(offset, t);
+        for (std::size_t i = 0; i < model_->core_count(); ++i)
+            peak = std::max(peak, temp[i]);
+    }
+    return peak;
+}
+
+}  // namespace hp::thermal

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace hp::thermal {
+
+/// Analytic transient solver after MatEx (Pagani et al., DATE'15).
+///
+/// Diagonalises C = -A^{-1}B once via the symmetrised eigenproblem
+/// S = A^{-1/2} B A^{-1/2} (A is diagonal, B symmetric positive definite, so
+/// all eigenvalues of C are strictly negative — exactly the property the
+/// paper's periodic-steady-state argument, Eq. (8)-(9), relies on). After the
+/// one-time O(N^3) setup, evaluating the exact transient response
+///
+///   T(t) = T_steady + e^{Ct} (T_init - T_steady)          (paper Eq. (4))
+///
+/// for any t costs a pair of O(N^2) matrix-vector products, with no
+/// time-stepping error.
+class MatExSolver {
+public:
+    /// One-time eigendecomposition of the model's C matrix. The solver keeps
+    /// a reference to @p model, which must outlive it.
+    explicit MatExSolver(const ThermalModel& model);
+
+    const ThermalModel& model() const { return *model_; }
+
+    /// Eigenvalues of C, ascending (all strictly negative; 1/|λ| are the
+    /// network's thermal time constants in seconds).
+    const linalg::Vector& eigenvalues() const { return lambda_; }
+
+    /// Eigenvector matrix V with C = V·diag(λ)·V^{-1}.
+    const linalg::Matrix& eigenvectors() const { return v_; }
+    const linalg::Matrix& eigenvectors_inverse() const { return v_inv_; }
+
+    /// Applies e^{C·dt} to @p x in O(N^2).
+    linalg::Vector apply_exponential(const linalg::Vector& x, double dt) const;
+
+    /// Materialises the full matrix e^{C·dt} (O(N^3); used by caches and
+    /// tests, not in per-epoch simulation).
+    linalg::Matrix exponential(double dt) const;
+
+    /// Exact temperature after holding @p node_power constant for @p dt
+    /// seconds starting from @p t_init (paper Eq. (4)).
+    linalg::Vector transient(const linalg::Vector& t_init,
+                             const linalg::Vector& node_power,
+                             double ambient_celsius, double dt) const;
+
+    /// Largest core temperature reached anywhere in (0, dt] while holding
+    /// @p node_power, conservatively estimated by sampling @p samples points
+    /// of the exact solution (the per-node transient is not monotonic, so the
+    /// endpoint alone can miss an interior hump).
+    double peak_core_temperature(const linalg::Vector& t_init,
+                                 const linalg::Vector& node_power,
+                                 double ambient_celsius, double dt,
+                                 std::size_t samples = 8) const;
+
+    /// Location and value of a core-temperature peak.
+    struct Peak {
+        double temperature_c = 0.0;
+        double time_s = 0.0;
+        std::size_t core = 0;
+    };
+
+    /// Exact peak core temperature over [0, dt] via the MatEx method
+    /// (Pagani et al.): per core the transient is a sum of decaying
+    /// exponentials T_i(t) = steady_i + Σ_k c_ik e^{λ_k t}, whose interior
+    /// extremum is the root of the analytic derivative — found by Newton
+    /// iteration with bisection fallback, no time-stepping or sampling
+    /// error.
+    Peak peak_core_temperature_exact(const linalg::Vector& t_init,
+                                     const linalg::Vector& node_power,
+                                     double ambient_celsius, double dt) const;
+
+private:
+    const ThermalModel* model_;
+    linalg::Vector lambda_;
+    linalg::Matrix v_;
+    linalg::Matrix v_inv_;
+};
+
+}  // namespace hp::thermal

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "floorplan/floorplan.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace hp::thermal {
+
+/// Physical parameters of the layered RC network generated for a grid
+/// floorplan. The defaults are calibrated so that a 14 nm, 0.81 mm² core at
+/// its ~6 W peak power reaches ≈ 80 °C on a 45 °C-ambient 16-core chip
+/// (the paper's motivational example) while a fully-loaded 64-core chip at
+/// medium power sits near the 70 °C DTM threshold.
+struct RcNetworkConfig {
+    // Heat capacities (J/K). Silicon nodes are fast (~ms), the spreader is
+    // intermediate (~100 ms) and the sink is slow (~seconds); these three
+    // time scales produce the epoch-level ripple plus slow drift seen in
+    // interval thermal simulation.
+    double silicon_capacitance = 2.0e-3;
+    double spreader_capacitance = 0.2;
+    double sink_capacitance_per_core = 0.3;
+
+    // Thermal resistances (K/W). For 0.81 mm² cores the lateral silicon path
+    // (thin die, small contact area) is weak and the vertical path through
+    // die + TIM dominates, so single hot cores form sharp hotspots while the
+    // copper spreader does the lateral averaging.
+    double silicon_lateral_resistance = 50.0;     ///< between adjacent cores
+    double spreader_lateral_resistance = 4.0;     ///< between adjacent spreader cells
+    double silicon_to_spreader_resistance = 7.0;  ///< vertical, per core
+    double spreader_to_sink_resistance = 1.6;     ///< vertical, per core
+    double sink_to_ambient_resistance_per_core = 1.8;  ///< total R = this / n
+    /// The physical spreader/sink overhang extends beyond the die edge, so
+    /// boundary cells shed extra heat through the peripheral copper; modelled
+    /// as an additional conductance to the sink per exposed tile edge. This
+    /// is what makes high-AMD (boundary) rings thermally unconstrained, the
+    /// gradient HotPotato's ring ordering exploits.
+    double spreader_peripheral_resistance = 3.0;  ///< per missing neighbour
+    /// Vertical resistance between stacked silicon layers (bond + TSV array)
+    /// in a 3D floorplan; upper layers reach the sink only through the
+    /// layers below them — the classic 3D-stacking thermal penalty.
+    double interlayer_resistance = 3.0;
+};
+
+/// Compact RC thermal model A·T' + B·T = P + T_amb·G  (paper Eq. (1)).
+///
+/// Node layout for an n-core chip with footprint f (= cores per layer;
+/// f == n for planar chips): nodes [0, n) are silicon (core) nodes, layer by
+/// layer, [n, n+f) are the heat-spreader cells under layer 0 and node n+f is
+/// the heat sink, giving N = n + f + 1 thermal nodes. Stacked layers couple
+/// vertically through the inter-layer (TSV/bond) resistance; only layer 0
+/// touches the spreader. A is diagonal (per-node capacitance), B is a
+/// symmetric positive-definite conductance matrix and G couples the sink to
+/// ambient.
+class ThermalModel {
+public:
+    /// Builds the layered network for @p plan with parameters @p config.
+    ThermalModel(const floorplan::GridFloorplan& plan,
+                 const RcNetworkConfig& config);
+
+    /// Constructs a model directly from matrices, for tests and synthetic
+    /// networks. @p capacitance is the diagonal of A. Throws
+    /// std::invalid_argument on inconsistent sizes or an asymmetric B.
+    ThermalModel(linalg::Vector capacitance, linalg::Matrix conductance,
+                 linalg::Vector ambient_conductance, std::size_t core_count);
+
+    std::size_t node_count() const { return capacitance_.size(); }
+    std::size_t core_count() const { return core_count_; }
+
+    /// Diagonal of the capacitance matrix A (J/K).
+    const linalg::Vector& capacitance() const { return capacitance_; }
+    /// Conductance matrix B (W/K), symmetric positive definite.
+    const linalg::Matrix& conductance() const { return conductance_; }
+    /// Ambient coupling vector G (W/K).
+    const linalg::Vector& ambient_conductance() const {
+        return ambient_conductance_;
+    }
+
+    /// Expands an n-entry per-core power vector to the full N-entry node
+    /// power vector (non-core nodes dissipate nothing).
+    linalg::Vector pad_power(const linalg::Vector& core_power) const;
+
+    /// Steady-state temperatures T = B^{-1}(P + T_amb·G)  (paper Eq. (3)).
+    /// @p node_power must have node_count() entries (use pad_power).
+    linalg::Vector steady_state(const linalg::Vector& node_power,
+                                double ambient_celsius) const;
+
+    /// The ambient-only equilibrium B^{-1}·T_amb·G — every node at T_amb.
+    linalg::Vector ambient_equilibrium(double ambient_celsius) const;
+
+    /// Cached LU decomposition of B, shared with the MatEx solver.
+    const linalg::LuDecomposition& conductance_lu() const { return *b_lu_; }
+
+private:
+    void validate() const;
+
+    std::size_t core_count_;
+    linalg::Vector capacitance_;
+    linalg::Matrix conductance_;
+    linalg::Vector ambient_conductance_;
+    std::shared_ptr<const linalg::LuDecomposition> b_lu_;
+};
+
+}  // namespace hp::thermal

@@ -1,0 +1,55 @@
+#include "thermal/reference_integrator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::thermal {
+
+ReferenceIntegrator::ReferenceIntegrator(const ThermalModel& model)
+    : model_(&model) {}
+
+linalg::Vector ReferenceIntegrator::derivative(
+    const linalg::Vector& temperature, const linalg::Vector& node_power,
+    double ambient_celsius) const {
+    // T' = A^{-1} (P + T_amb G - B T); A is diagonal.
+    linalg::Vector rhs = node_power +
+                         ambient_celsius * model_->ambient_conductance() -
+                         model_->conductance() * temperature;
+    const linalg::Vector& cap = model_->capacitance();
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] /= cap[i];
+    return rhs;
+}
+
+linalg::Vector ReferenceIntegrator::integrate(const linalg::Vector& t_init,
+                                              const linalg::Vector& node_power,
+                                              double ambient_celsius,
+                                              double duration,
+                                              double max_step) const {
+    if (duration < 0.0)
+        throw std::invalid_argument("ReferenceIntegrator: negative duration");
+    if (max_step <= 0.0)
+        throw std::invalid_argument("ReferenceIntegrator: non-positive step");
+    if (t_init.size() != model_->node_count() ||
+        node_power.size() != model_->node_count())
+        throw std::invalid_argument("ReferenceIntegrator: size mismatch");
+
+    const std::size_t steps =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     std::ceil(duration / max_step)));
+    const double h = duration / static_cast<double>(steps);
+
+    linalg::Vector t = t_init;
+    for (std::size_t s = 0; s < steps; ++s) {
+        const linalg::Vector k1 = derivative(t, node_power, ambient_celsius);
+        const linalg::Vector k2 =
+            derivative(t + k1 * (h / 2.0), node_power, ambient_celsius);
+        const linalg::Vector k3 =
+            derivative(t + k2 * (h / 2.0), node_power, ambient_celsius);
+        const linalg::Vector k4 =
+            derivative(t + k3 * h, node_power, ambient_celsius);
+        t += (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+    }
+    return t;
+}
+
+}  // namespace hp::thermal

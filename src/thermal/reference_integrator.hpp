@@ -1,0 +1,33 @@
+#pragma once
+
+#include "linalg/vector.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace hp::thermal {
+
+/// Brute-force RK4 integrator for A·T' + B·T = P + T_amb·G.
+///
+/// Exists purely as an independent numerical reference: tests integrate the
+/// ODE directly and compare against the analytic MatEx solution and against
+/// the periodic-steady-state peak-temperature formula (Algorithm 1). Too slow
+/// for simulation use.
+class ReferenceIntegrator {
+public:
+    explicit ReferenceIntegrator(const ThermalModel& model);
+
+    /// Integrates for @p duration seconds holding @p node_power constant,
+    /// using fixed RK4 steps of at most @p max_step seconds. Returns T(end).
+    linalg::Vector integrate(const linalg::Vector& t_init,
+                             const linalg::Vector& node_power,
+                             double ambient_celsius, double duration,
+                             double max_step = 1e-4) const;
+
+private:
+    linalg::Vector derivative(const linalg::Vector& temperature,
+                              const linalg::Vector& node_power,
+                              double ambient_celsius) const;
+
+    const ThermalModel* model_;
+};
+
+}  // namespace hp::thermal

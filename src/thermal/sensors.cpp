@@ -1,0 +1,49 @@
+#include "thermal/sensors.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::thermal {
+
+SensorBank::SensorBank(std::size_t cores, SensorParams params)
+    : params_(params),
+      rng_(params.seed),
+      noise_(0.0, params.noise_sigma_c > 0.0 ? params.noise_sigma_c : 1e-12),
+      raw_(cores),
+      filtered_(cores) {
+    if (cores == 0)
+        throw std::invalid_argument("SensorBank: need at least one sensor");
+    if (params_.quantization_c < 0.0 || params_.noise_sigma_c < 0.0 ||
+        params_.sample_period_s <= 0.0 || params_.filter_alpha <= 0.0 ||
+        params_.filter_alpha > 1.0)
+        throw std::invalid_argument("SensorBank: bad parameters");
+}
+
+void SensorBank::observe(const linalg::Vector& true_core_temps, double now_s) {
+    if (true_core_temps.size() != raw_.size())
+        throw std::invalid_argument("SensorBank: temperature size mismatch");
+    if (primed_ && now_s - last_sample_s_ < params_.sample_period_s - 1e-12)
+        return;  // hold previous readings until the next sample instant
+    last_sample_s_ = now_s;
+
+    for (std::size_t i = 0; i < raw_.size(); ++i) {
+        double reading = true_core_temps[i];
+        if (params_.noise_sigma_c > 0.0) reading += noise_(rng_);
+        if (params_.quantization_c > 0.0)
+            reading = std::round(reading / params_.quantization_c) *
+                      params_.quantization_c;
+        raw_[i] = reading;
+        filtered_[i] = primed_ ? filtered_[i] + params_.filter_alpha *
+                                                    (reading - filtered_[i])
+                               : reading;
+    }
+    primed_ = true;
+}
+
+double SensorBank::max_reading() const {
+    double m = -1e300;
+    for (double r : filtered_) m = std::max(m, r);
+    return m;
+}
+
+}  // namespace hp::thermal

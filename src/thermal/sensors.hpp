@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/vector.hpp"
+
+namespace hp::thermal {
+
+/// Characteristics of on-die thermal sensors.
+///
+/// Real DTM hardware never sees ground-truth temperatures: diodes are
+/// quantised (typically 0.5-1 °C steps), noisy (sigma ~0.5-1 °C) and sampled
+/// at a finite period. Policies tuned on perfect temperatures can chatter or
+/// under-react on real silicon; this model lets the simulator (and tests)
+/// quantify that gap.
+struct SensorParams {
+    double quantization_c = 0.5;   ///< reading granularity
+    double noise_sigma_c = 0.5;    ///< Gaussian read noise
+    double sample_period_s = 1e-3; ///< readings refresh at this period
+    std::uint64_t seed = 1;        ///< noise stream seed (deterministic runs)
+    /// Exponential smoothing weight applied by the sensor filter driver
+    /// (1.0 = raw readings; lower = smoother, laggier).
+    double filter_alpha = 0.6;
+};
+
+/// Per-core thermal sensor bank with sample-and-hold semantics.
+class SensorBank {
+public:
+    /// @p cores is the number of sensors (one per core).
+    SensorBank(std::size_t cores, SensorParams params = {});
+
+    const SensorParams& params() const { return params_; }
+
+    /// Feeds ground-truth core temperatures at simulation time @p now_s.
+    /// Readings only change when a sample period has elapsed; between
+    /// samples the previous (held) readings persist.
+    void observe(const linalg::Vector& true_core_temps, double now_s);
+
+    /// Latest filtered readings (valid after the first observe()).
+    const linalg::Vector& readings() const { return filtered_; }
+
+    /// Latest raw (quantised + noisy, unfiltered) readings.
+    const linalg::Vector& raw_readings() const { return raw_; }
+
+    /// Hottest filtered reading.
+    double max_reading() const;
+
+private:
+    SensorParams params_;
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> noise_;
+    linalg::Vector raw_;
+    linalg::Vector filtered_;
+    double last_sample_s_ = -1e300;
+    bool primed_ = false;
+};
+
+}  // namespace hp::thermal

@@ -1,0 +1,174 @@
+#include "workload/benchmark.hpp"
+
+#include <stdexcept>
+
+namespace hp::workload {
+
+double BenchmarkProfile::total_instructions(std::size_t threads) const {
+    const double workers =
+        threads > 0 ? static_cast<double>(threads - 1) : 0.0;
+    double total = 0.0;
+    for (const PhaseSpec& p : phases)
+        total += p.master_instructions + workers * p.worker_instructions;
+    return total;
+}
+
+namespace {
+
+/// Shorthand for a perf::PhasePoint literal.
+perf::PhasePoint pp(double cpi, double apki, double watts,
+                    double miss_ratio = 0.0) {
+    return perf::PhasePoint{.base_cpi = cpi,
+                            .llc_apki = apki,
+                            .nominal_power_w = watts,
+                            .llc_miss_ratio = miss_ratio};
+}
+
+std::vector<BenchmarkProfile> make_profiles() {
+    std::vector<BenchmarkProfile> v;
+
+    // streamcluster: memory-heavy clustering with repeated barrier-separated
+    // passes over the point set; the master re-centres between passes.
+    v.push_back(BenchmarkProfile{
+        .name = "streamcluster",
+        .phases =
+            {
+                {"load", 10e6, 0.0, pp(0.9, 8.0, 3.7, 0.05)},
+                {"pass1", 60e6, 60e6, pp(0.9, 8.0, 3.7, 0.05)},
+                {"recenter1", 15e6, 0.0, pp(0.9, 8.0, 3.7, 0.05)},
+                {"pass2", 60e6, 60e6, pp(0.9, 8.0, 3.7, 0.05)},
+                {"recenter2", 15e6, 0.0, pp(0.9, 8.0, 3.7, 0.05)},
+                {"pass3", 60e6, 60e6, pp(0.9, 8.0, 3.7, 0.05)},
+                {"recenter3", 15e6, 0.0, pp(0.9, 8.0, 3.7, 0.05)},
+                {"pass4", 60e6, 60e6, pp(0.9, 8.0, 3.7, 0.05)},
+                {"recenter4", 15e6, 0.0, pp(0.9, 8.0, 3.7, 0.05)},
+                {"pass5", 60e6, 60e6, pp(0.9, 8.0, 3.7, 0.05)},
+            },
+        .default_threads = 4,
+    });
+
+    // x264: frame pipeline with serial rate-control passes between parallel
+    // encode bursts.
+    v.push_back(BenchmarkProfile{
+        .name = "x264",
+        .phases =
+            {
+                {"setup", 40e6, 0.0, pp(0.65, 2.0, 4.2, 0.02)},
+                {"gop1", 110e6, 110e6, pp(0.65, 2.0, 4.2, 0.02)},
+                {"ratectl1", 30e6, 0.0, pp(0.65, 2.0, 4.2, 0.02)},
+                {"gop2", 110e6, 110e6, pp(0.65, 2.0, 4.2, 0.02)},
+                {"ratectl2", 30e6, 0.0, pp(0.65, 2.0, 4.2, 0.02)},
+                {"gop3", 110e6, 110e6, pp(0.65, 2.0, 4.2, 0.02)},
+                {"flush", 30e6, 0.0, pp(0.65, 2.0, 4.2, 0.02)},
+            },
+        .default_threads = 4,
+    });
+
+    // bodytrack: per-frame alternation between a serial tracking step and a
+    // parallel particle-evaluation step.
+    v.push_back(BenchmarkProfile{
+        .name = "bodytrack",
+        .phases =
+            {
+                {"frame1-prep", 30e6, 0.0, pp(0.7, 1.5, 5.0, 0.02)},
+                {"frame1-eval", 80e6, 80e6, pp(0.7, 1.5, 5.0, 0.02)},
+                {"frame2-prep", 30e6, 0.0, pp(0.7, 1.5, 5.0, 0.02)},
+                {"frame2-eval", 80e6, 80e6, pp(0.7, 1.5, 5.0, 0.02)},
+                {"frame3-prep", 30e6, 0.0, pp(0.7, 1.5, 5.0, 0.02)},
+                {"frame3-eval", 80e6, 80e6, pp(0.7, 1.5, 5.0, 0.02)},
+                {"frame4-prep", 30e6, 0.0, pp(0.7, 1.5, 5.0, 0.02)},
+                {"frame4-eval", 80e6, 80e6, pp(0.7, 1.5, 5.0, 0.02)},
+            },
+        .default_threads = 4,
+    });
+
+    // canneal: cache-aggressive simulated annealing — the paper's coolest,
+    // most memory-bound benchmark (lowest speedup potential in Fig. 4a).
+    v.push_back(BenchmarkProfile{
+        .name = "canneal",
+        .phases =
+            {
+                {"netlist-load", 40e6, 0.0, pp(1.0, 12.0, 1.6, 0.08)},
+                {"anneal", 150e6, 150e6, pp(1.0, 12.0, 1.6, 0.08)},
+                {"final", 20e6, 0.0, pp(1.0, 12.0, 1.6, 0.08)},
+            },
+        .default_threads = 4,
+    });
+
+    // blackscholes: the paper's motivational example — serial data
+    // preparation (master), parallel pricing (workers), serial wrap-up; hot
+    // and compute-bound.
+    v.push_back(BenchmarkProfile{
+        .name = "blackscholes",
+        .phases =
+            {
+                {"prep", 175e6, 0.0, pp(0.55, 0.5, 5.7, 0.01)},
+                {"price", 0.0, 210e6, pp(0.55, 0.5, 5.7, 0.01)},
+                {"wrapup", 91e6, 0.0, pp(0.55, 0.5, 5.7, 0.01)},
+            },
+        .default_threads = 2,
+    });
+
+    // dedup: pipelined compression; the master chunks/re-anchors between
+    // parallel compression bursts.
+    v.push_back(BenchmarkProfile{
+        .name = "dedup",
+        .phases =
+            {
+                {"chunk", 40e6, 0.0, pp(0.8, 4.0, 3.6, 0.04)},
+                {"compress1", 130e6, 130e6, pp(0.8, 4.0, 3.6, 0.04)},
+                {"rechunk", 40e6, 0.0, pp(0.8, 4.0, 3.6, 0.04)},
+                {"compress2", 130e6, 130e6, pp(0.8, 4.0, 3.6, 0.04)},
+                {"reassemble", 40e6, 0.0, pp(0.8, 4.0, 3.6, 0.04)},
+            },
+        .default_threads = 4,
+    });
+
+    // fluidanimate: iterative SPH solver; each timestep ends in a serial
+    // cell-redistribution step on the master.
+    v.push_back(BenchmarkProfile{
+        .name = "fluidanimate",
+        .phases =
+            {
+                {"step1", 90e6, 90e6, pp(0.75, 3.0, 3.4, 0.03)},
+                {"redist1", 25e6, 0.0, pp(0.75, 3.0, 3.4, 0.03)},
+                {"step2", 90e6, 90e6, pp(0.75, 3.0, 3.4, 0.03)},
+                {"redist2", 25e6, 0.0, pp(0.75, 3.0, 3.4, 0.03)},
+                {"step3", 90e6, 90e6, pp(0.75, 3.0, 3.4, 0.03)},
+                {"redist3", 25e6, 0.0, pp(0.75, 3.0, 3.4, 0.03)},
+                {"step4", 90e6, 90e6, pp(0.75, 3.0, 3.4, 0.03)},
+            },
+        .default_threads = 4,
+    });
+
+    // swaptions: Monte-Carlo pricing — compute-bound and hot per active
+    // core; the master only distributes work and collects results.
+    v.push_back(BenchmarkProfile{
+        .name = "swaptions",
+        .phases =
+            {
+                {"setup", 20e6, 0.0, pp(0.5, 0.3, 3.4, 0.01)},
+                {"simulate", 0.0, 600e6, pp(0.5, 0.3, 3.4, 0.01)},
+                {"collect", 15e6, 0.0, pp(0.5, 0.3, 3.4, 0.01)},
+            },
+        .default_threads = 4,
+    });
+
+    return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& parsec_profiles() {
+    static const std::vector<BenchmarkProfile> profiles = make_profiles();
+    return profiles;
+}
+
+const BenchmarkProfile& profile_by_name(std::string_view name) {
+    for (const BenchmarkProfile& p : parsec_profiles())
+        if (p.name == name) return p;
+    throw std::invalid_argument("profile_by_name: unknown benchmark '" +
+                                std::string(name) + "'");
+}
+
+}  // namespace hp::workload

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/interval_model.hpp"
+
+namespace hp::workload {
+
+/// One barrier-delimited phase of a multi-threaded benchmark.
+///
+/// Each phase gives the master thread (role 0) and every worker thread
+/// (roles >= 1) an instruction budget; a budget of zero means that role is
+/// idle (blocked on the barrier) for the whole phase. The phase ends when all
+/// threads with non-zero budgets retire them — this reproduces the
+/// master/worker alternation visible in the paper's Fig. 2 blackscholes
+/// trace.
+struct PhaseSpec {
+    std::string label;
+    double master_instructions = 0.0;
+    double worker_instructions = 0.0;
+    perf::PhasePoint perf;
+};
+
+/// A synthetic stand-in for one PARSEC benchmark with sim-small input.
+///
+/// Real PARSEC binaries are not runnable in this environment; profiles are
+/// calibrated so that (CPI, memory intensity, power, phase structure) match
+/// the paper's qualitative characterisation — see DESIGN.md §2.
+struct BenchmarkProfile {
+    std::string name;
+    std::vector<PhaseSpec> phases;
+    std::size_t default_threads = 2;
+
+    /// Sum of all instruction budgets for an instance with @p threads threads
+    /// (workers = threads - 1).
+    double total_instructions(std::size_t threads) const;
+};
+
+/// The eight PARSEC benchmarks the paper evaluates (streamcluster, x264,
+/// bodytrack, canneal, blackscholes, dedup, fluidanimate, swaptions), in
+/// that order.
+const std::vector<BenchmarkProfile>& parsec_profiles();
+
+/// Lookup by name; throws std::invalid_argument for an unknown benchmark.
+const BenchmarkProfile& profile_by_name(std::string_view name);
+
+}  // namespace hp::workload

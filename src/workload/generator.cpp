@@ -1,0 +1,62 @@
+#include "workload/generator.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace hp::workload {
+
+std::vector<TaskSpec> homogeneous_fill(const BenchmarkProfile& profile,
+                                       std::size_t core_budget,
+                                       std::uint64_t seed) {
+    if (core_budget < 2)
+        throw std::invalid_argument("homogeneous_fill: need at least 2 cores");
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> pick(0, 2);
+    static constexpr std::size_t kSizes[] = {2, 4, 8};
+
+    std::vector<TaskSpec> out;
+    std::size_t used = 0;
+    while (used < core_budget) {
+        std::size_t threads = kSizes[pick(rng)];
+        if (used + threads > core_budget) threads = core_budget - used;
+        if (threads < 2) {
+            // A single leftover core cannot host a 2-thread minimum instance;
+            // grow the previous task instead.
+            if (!out.empty()) out.back().thread_count += threads;
+            break;
+        }
+        out.push_back(TaskSpec{&profile, threads, 0.0});
+        used += threads;
+    }
+    return out;
+}
+
+std::vector<TaskSpec> poisson_mix(std::size_t task_count,
+                                  double arrivals_per_s,
+                                  std::size_t min_threads,
+                                  std::size_t max_threads,
+                                  std::uint64_t seed) {
+    if (arrivals_per_s <= 0.0)
+        throw std::invalid_argument("poisson_mix: rate must be positive");
+    if (min_threads < 2 || max_threads < min_threads)
+        throw std::invalid_argument("poisson_mix: bad thread-count range");
+
+    std::mt19937_64 rng(seed);
+    const auto& profiles = parsec_profiles();
+    std::uniform_int_distribution<std::size_t> pick_bench(0,
+                                                          profiles.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_threads(min_threads,
+                                                            max_threads);
+    std::exponential_distribution<double> inter_arrival(arrivals_per_s);
+
+    std::vector<TaskSpec> out;
+    out.reserve(task_count);
+    double t = 0.0;
+    for (std::size_t i = 0; i < task_count; ++i) {
+        if (i > 0) t += inter_arrival(rng);
+        out.push_back(TaskSpec{&profiles[pick_bench(rng)], pick_threads(rng), t});
+    }
+    return out;
+}
+
+}  // namespace hp::workload

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace hp::workload {
+
+/// A benchmark instance to be injected into the simulator.
+struct TaskSpec {
+    const BenchmarkProfile* profile = nullptr;
+    std::size_t thread_count = 2;
+    double arrival_s = 0.0;
+};
+
+/// Fig. 4(a) workload: fully loads @p core_budget cores with vari-sized
+/// multi-threaded instances of a single benchmark, all arriving at t = 0
+/// (closed system). Instance sizes cycle deterministically through
+/// {2, 4, 8, 4, ...} drawn with @p seed so that thread counts sum exactly to
+/// @p core_budget.
+std::vector<TaskSpec> homogeneous_fill(const BenchmarkProfile& profile,
+                                       std::size_t core_budget,
+                                       std::uint64_t seed);
+
+/// Fig. 4(b) workload: a random multi-program mix of @p task_count instances
+/// drawn uniformly from the eight PARSEC profiles with thread counts in
+/// [min_threads, max_threads], arriving as a Poisson process of rate
+/// @p arrivals_per_s (open system).
+std::vector<TaskSpec> poisson_mix(std::size_t task_count,
+                                  double arrivals_per_s,
+                                  std::size_t min_threads,
+                                  std::size_t max_threads,
+                                  std::uint64_t seed);
+
+}  // namespace hp::workload

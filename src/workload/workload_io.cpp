@@ -1,0 +1,161 @@
+#include "workload/workload_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::workload {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+    throw std::runtime_error("workload_io: line " + std::to_string(line) +
+                             ": " + what);
+}
+
+/// Strips comments and surrounding whitespace; returns true if anything
+/// remains.
+bool clean_line(std::string& line) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+    while (!line.empty() && is_space(line.front())) line.erase(line.begin());
+    while (!line.empty() && is_space(line.back())) line.pop_back();
+    return !line.empty();
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+    std::ifstream file(path);
+    if (!file)
+        throw std::runtime_error("workload_io: cannot open " + path);
+    return file;
+}
+
+}  // namespace
+
+std::vector<BenchmarkProfile> read_profiles(std::istream& in) {
+    std::vector<BenchmarkProfile> out;
+    BenchmarkProfile current;
+    bool in_block = false;
+    std::string line;
+    std::size_t line_no = 0;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!clean_line(line)) continue;
+        std::istringstream fields(line);
+        std::string keyword;
+        fields >> keyword;
+
+        if (keyword == "benchmark") {
+            if (in_block) fail(line_no, "nested 'benchmark' (missing 'end'?)");
+            current = BenchmarkProfile{};
+            if (!(fields >> current.name))
+                fail(line_no, "'benchmark' needs a name");
+            in_block = true;
+        } else if (keyword == "threads") {
+            if (!in_block) fail(line_no, "'threads' outside benchmark block");
+            if (!(fields >> current.default_threads) ||
+                current.default_threads < 1)
+                fail(line_no, "'threads' needs a positive count");
+        } else if (keyword == "phase") {
+            if (!in_block) fail(line_no, "'phase' outside benchmark block");
+            PhaseSpec phase;
+            double master_m = 0.0, worker_m = 0.0;
+            if (!(fields >> phase.label >> master_m >> worker_m >>
+                  phase.perf.base_cpi >> phase.perf.llc_apki >>
+                  phase.perf.nominal_power_w))
+                fail(line_no,
+                     "'phase' needs: label master_Minstr worker_Minstr cpi "
+                     "apki watts [miss_ratio]");
+            fields >> phase.perf.llc_miss_ratio;  // optional trailing field
+            if (master_m < 0.0 || worker_m < 0.0 || phase.perf.base_cpi <= 0.0 ||
+                phase.perf.llc_apki < 0.0 || phase.perf.nominal_power_w <= 0.0 ||
+                phase.perf.llc_miss_ratio < 0.0 ||
+                phase.perf.llc_miss_ratio > 1.0)
+                fail(line_no, "'phase' values out of range");
+            phase.master_instructions = master_m * 1e6;
+            phase.worker_instructions = worker_m * 1e6;
+            current.phases.push_back(std::move(phase));
+        } else if (keyword == "end") {
+            if (!in_block) fail(line_no, "'end' without 'benchmark'");
+            if (current.phases.empty())
+                fail(line_no, "benchmark '" + current.name + "' has no phases");
+            out.push_back(std::move(current));
+            in_block = false;
+        } else {
+            fail(line_no, "unknown directive '" + keyword + "'");
+        }
+    }
+    if (in_block) fail(line_no, "unterminated benchmark block");
+    return out;
+}
+
+std::vector<BenchmarkProfile> read_profiles_file(const std::string& path) {
+    auto file = open_or_throw(path);
+    return read_profiles(file);
+}
+
+void write_profiles(std::ostream& out,
+                    const std::vector<BenchmarkProfile>& profiles) {
+    for (const BenchmarkProfile& p : profiles) {
+        out << "benchmark " << p.name << '\n';
+        out << "threads " << p.default_threads << '\n';
+        for (const PhaseSpec& phase : p.phases)
+            out << "phase " << phase.label << ' '
+                << phase.master_instructions / 1e6 << ' '
+                << phase.worker_instructions / 1e6 << ' '
+                << phase.perf.base_cpi << ' ' << phase.perf.llc_apki << ' '
+                << phase.perf.nominal_power_w << ' '
+                << phase.perf.llc_miss_ratio << '\n';
+        out << "end\n";
+    }
+}
+
+std::vector<TaskSpec> read_tasks(
+    std::istream& in, const std::vector<BenchmarkProfile>& profiles) {
+    const auto resolve = [&](const std::string& name,
+                             std::size_t line_no) -> const BenchmarkProfile* {
+        for (const BenchmarkProfile& p : profiles)
+            if (p.name == name) return &p;
+        for (const BenchmarkProfile& p : parsec_profiles())
+            if (p.name == name) return &p;
+        fail(line_no, "unknown benchmark '" + name + "'");
+    };
+
+    std::vector<TaskSpec> out;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!clean_line(line)) continue;
+        std::istringstream fields(line);
+        std::string keyword, name;
+        TaskSpec spec;
+        if (!(fields >> keyword) || keyword != "task")
+            fail(line_no, "expected 'task <benchmark> <threads> <arrival_s>'");
+        if (!(fields >> name >> spec.thread_count >> spec.arrival_s))
+            fail(line_no, "'task' needs: benchmark threads arrival_seconds");
+        if (spec.thread_count < 1 || spec.arrival_s < 0.0)
+            fail(line_no, "'task' values out of range");
+        spec.profile = resolve(name, line_no);
+        out.push_back(spec);
+    }
+    return out;
+}
+
+std::vector<TaskSpec> read_tasks_file(
+    const std::string& path, const std::vector<BenchmarkProfile>& profiles) {
+    auto file = open_or_throw(path);
+    return read_tasks(file, profiles);
+}
+
+void write_tasks(std::ostream& out, const std::vector<TaskSpec>& tasks) {
+    for (const TaskSpec& t : tasks)
+        out << "task " << (t.profile ? t.profile->name : "?") << ' '
+            << t.thread_count << ' ' << t.arrival_s << '\n';
+}
+
+}  // namespace hp::workload

@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "arch/dvfs.hpp"
+#include "arch/manycore.hpp"
+
+namespace {
+
+using hp::arch::AmdRing;
+using hp::arch::DvfsParams;
+using hp::arch::ManyCore;
+
+// ------------------------------------------------------------------ DVFS ---
+
+TEST(Dvfs, VoltageEndpoints) {
+    DvfsParams d;
+    EXPECT_DOUBLE_EQ(d.voltage_for(d.f_min_hz), d.v_min);
+    EXPECT_DOUBLE_EQ(d.voltage_for(d.f_max_hz), d.v_max);
+    EXPECT_DOUBLE_EQ(d.voltage_for(0.0), d.v_min);      // clamped
+    EXPECT_DOUBLE_EQ(d.voltage_for(10.0e9), d.v_max);   // clamped
+}
+
+TEST(Dvfs, VoltageMonotone) {
+    DvfsParams d;
+    double prev = 0.0;
+    for (double f : d.levels()) {
+        EXPECT_GE(d.voltage_for(f), prev);
+        prev = d.voltage_for(f);
+    }
+}
+
+TEST(Dvfs, LevelTableMatchesPaper) {
+    // Paper: fine-grained DVFS at 100 MHz steps between 1 and 4 GHz.
+    DvfsParams d;
+    const auto levels = d.levels();
+    EXPECT_EQ(levels.size(), 31u);
+    EXPECT_DOUBLE_EQ(levels.front(), 1.0e9);
+    EXPECT_DOUBLE_EQ(levels.back(), 4.0e9);
+    EXPECT_NEAR(levels[1] - levels[0], 0.1e9, 1.0);
+    EXPECT_EQ(d.level_count(), levels.size());
+}
+
+TEST(Dvfs, QuantizeDown) {
+    DvfsParams d;
+    EXPECT_DOUBLE_EQ(d.quantize_down(4.05e9), 4.0e9);
+    EXPECT_DOUBLE_EQ(d.quantize_down(3.99e9), 3.9e9);
+    EXPECT_DOUBLE_EQ(d.quantize_down(0.5e9), 1.0e9);
+    EXPECT_DOUBLE_EQ(d.quantize_down(1.0e9), 1.0e9);
+}
+
+// -------------------------------------------------------------------- AMD ---
+
+TEST(ManyCore, PaperConfigurations) {
+    const ManyCore big = ManyCore::paper_64core();
+    EXPECT_EQ(big.core_count(), 64u);
+    EXPECT_DOUBLE_EQ(big.params().peak_frequency_hz, 4.0e9);
+    const ManyCore small = ManyCore::paper_16core();
+    EXPECT_EQ(small.core_count(), 16u);
+}
+
+TEST(ManyCore, AmdKnownValues4x4) {
+    const ManyCore chip = ManyCore::paper_16core();
+    // Centre cores (1,1),(1,2),(2,1),(2,2) have AMD 2.0; corners 3.0.
+    EXPECT_DOUBLE_EQ(chip.amd(5), 2.0);
+    EXPECT_DOUBLE_EQ(chip.amd(0), 3.0);
+    EXPECT_DOUBLE_EQ(chip.amd(15), 3.0);
+}
+
+TEST(ManyCore, AmdGrowsFromCentre) {
+    const ManyCore chip = ManyCore::paper_64core();
+    // Centre cores have strictly lower AMD than edge cores.
+    const double centre = chip.amd(chip.plan().index_of(3, 3));
+    const double corner = chip.amd(0);
+    EXPECT_LT(centre, corner);
+}
+
+TEST(ManyCore, RingsPartitionAllCores) {
+    for (const ManyCore& chip :
+         {ManyCore::paper_16core(), ManyCore::paper_64core()}) {
+        std::set<std::size_t> seen;
+        for (const AmdRing& ring : chip.rings())
+            for (std::size_t core : ring.cores) {
+                EXPECT_TRUE(seen.insert(core).second) << "core in two rings";
+                EXPECT_EQ(chip.ring_of(core),
+                          static_cast<std::size_t>(
+                              &ring - chip.rings().data()));
+            }
+        EXPECT_EQ(seen.size(), chip.core_count());
+    }
+}
+
+TEST(ManyCore, RingsSortedByAmd) {
+    const ManyCore chip = ManyCore::paper_64core();
+    for (std::size_t r = 1; r < chip.rings().size(); ++r)
+        EXPECT_LT(chip.rings()[r - 1].amd, chip.rings()[r].amd);
+}
+
+TEST(ManyCore, RingMembersShareAmd) {
+    const ManyCore chip = ManyCore::paper_64core();
+    for (const AmdRing& ring : chip.rings())
+        for (std::size_t core : ring.cores)
+            EXPECT_NEAR(chip.amd(core), ring.amd, 1e-9);
+}
+
+TEST(ManyCore, InnermostRingIs4Cores4x4) {
+    const ManyCore chip = ManyCore::paper_16core();
+    ASSERT_FALSE(chip.rings().empty());
+    const AmdRing& inner = chip.rings().front();
+    EXPECT_EQ(inner.cores.size(), 4u);
+    // Must be exactly the centre cores 5, 6, 9, 10.
+    std::set<std::size_t> cores(inner.cores.begin(), inner.cores.end());
+    EXPECT_EQ(cores, (std::set<std::size_t>{5, 6, 9, 10}));
+}
+
+TEST(ManyCore, RingRotationOrderIsCyclicallyAdjacent) {
+    // Cores sorted by angle: consecutive rotation hops should be short
+    // (bounded by half the ring diameter), never a jump across the chip.
+    const ManyCore chip = ManyCore::paper_64core();
+    const AmdRing& inner = chip.rings().front();
+    for (std::size_t j = 0; j < inner.cores.size(); ++j) {
+        const std::size_t a = inner.cores[j];
+        const std::size_t b = inner.cores[(j + 1) % inner.cores.size()];
+        EXPECT_LE(chip.plan().manhattan_hops(a, b), 2u);
+    }
+}
+
+// ------------------------------------------------------------ LLC latency ---
+
+TEST(ManyCore, LlcLatencyMatchesFormula) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const auto& p = chip.params();
+    for (std::size_t c : {0u, 27u, 63u}) {
+        const double expected =
+            p.llc_bank_access_latency_s + 2.0 * chip.amd(c) * p.noc_hop_latency_s;
+        EXPECT_DOUBLE_EQ(chip.llc_access_latency_s(c), expected);
+    }
+}
+
+TEST(ManyCore, LlcLatencyIncreasesWithAmd) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const std::size_t centre = chip.rings().front().cores.front();
+    const std::size_t outer = chip.rings().back().cores.front();
+    EXPECT_LT(chip.llc_access_latency_s(centre),
+              chip.llc_access_latency_s(outer));
+}
+
+TEST(ManyCore, PrivateStateMatchesTableI) {
+    const ManyCore chip = ManyCore::paper_64core();
+    EXPECT_EQ(chip.private_state_bytes(), (16u + 16u) * 1024u);
+}
+
+TEST(ManyCore, OutOfRangeThrows) {
+    const ManyCore chip = ManyCore::paper_16core();
+    EXPECT_THROW((void)chip.amd(16), std::out_of_range);
+    EXPECT_THROW((void)chip.ring_of(16), std::out_of_range);
+}
+
+class RingStructure
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RingStructure, EveryRingHasAtLeastTwoCoresOnEvenGrids) {
+    const auto [rows, cols] = GetParam();
+    const ManyCore chip(rows, cols);
+    std::size_t total = 0;
+    for (const AmdRing& ring : chip.rings()) {
+        EXPECT_GE(ring.cores.size(), 2u);
+        total += ring.cores.size();
+    }
+    EXPECT_EQ(total, chip.core_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenGrids, RingStructure,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{2, 2},
+                                           std::pair<std::size_t, std::size_t>{4, 4},
+                                           std::pair<std::size_t, std::size_t>{6, 6},
+                                           std::pair<std::size_t, std::size_t>{8, 8}));
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/options.hpp"
+
+namespace {
+
+using hp::cli::CliOptions;
+using hp::cli::make_scheduler;
+using hp::cli::parse;
+
+TEST(CliParse, Defaults) {
+    const CliOptions o = parse({});
+    EXPECT_EQ(o.rows, 8u);
+    EXPECT_EQ(o.cols, 8u);
+    EXPECT_EQ(o.layers, 1u);
+    EXPECT_EQ(o.scheduler, "hotpotato");
+    EXPECT_FALSE(o.help);
+}
+
+TEST(CliParse, AllFlags) {
+    const CliOptions o = parse({
+        "--rows", "4", "--cols", "6", "--layers", "2",
+        "--scheduler", "pcmig", "--tasks", "5", "--rate", "12.5",
+        "--min-threads", "3", "--max-threads", "4", "--seed", "99",
+        "--t-dtm", "75", "--ambient", "40", "--max-time", "2.5",
+        "--trace", "out.csv", "--trace-interval", "0.002",
+    });
+    EXPECT_EQ(o.rows, 4u);
+    EXPECT_EQ(o.cols, 6u);
+    EXPECT_EQ(o.layers, 2u);
+    EXPECT_EQ(o.scheduler, "pcmig");
+    EXPECT_EQ(o.tasks, 5u);
+    EXPECT_DOUBLE_EQ(o.arrivals_per_s, 12.5);
+    EXPECT_EQ(o.min_threads, 3u);
+    EXPECT_EQ(o.max_threads, 4u);
+    EXPECT_EQ(o.seed, 99u);
+    EXPECT_DOUBLE_EQ(o.t_dtm_c, 75.0);
+    EXPECT_DOUBLE_EQ(o.ambient_c, 40.0);
+    EXPECT_DOUBLE_EQ(o.max_time_s, 2.5);
+    EXPECT_EQ(o.trace_file, "out.csv");
+    EXPECT_DOUBLE_EQ(o.trace_interval_s, 0.002);
+}
+
+TEST(CliParse, HelpFlag) {
+    EXPECT_TRUE(parse({"--help"}).help);
+    EXPECT_TRUE(parse({"-h"}).help);
+    EXPECT_FALSE(hp::cli::usage().empty());
+}
+
+TEST(CliParse, Errors) {
+    EXPECT_THROW((void)parse({"--bogus"}), std::invalid_argument);
+    EXPECT_THROW((void)parse({"--rows"}), std::invalid_argument);
+    EXPECT_THROW((void)parse({"--rows", "abc"}), std::invalid_argument);
+    EXPECT_THROW((void)parse({"--rows", "0"}), std::invalid_argument);
+    EXPECT_THROW((void)parse({"--rate", "1x"}), std::invalid_argument);
+    EXPECT_THROW((void)parse({"--min-threads", "1"}), std::invalid_argument);
+    EXPECT_THROW(
+        (void)parse({"--tasks-file", "a", "--benchmark", "blackscholes"}),
+        std::invalid_argument);
+}
+
+TEST(CliParse, FidelityFlags) {
+    const CliOptions o =
+        parse({"--noc-contention", "--sensors", "--power-gating"});
+    EXPECT_TRUE(o.noc_contention);
+    EXPECT_TRUE(o.sensors);
+    EXPECT_TRUE(o.power_gating);
+    const CliOptions d = parse({});
+    EXPECT_FALSE(d.noc_contention);
+    EXPECT_FALSE(d.sensors);
+    EXPECT_FALSE(d.power_gating);
+}
+
+TEST(CliScheduler, AllNamesResolve) {
+    for (const char* name : {"hotpotato", "hotpotato-dvfs", "pcmig", "pcgov",
+                             "tsp-dvfs", "static", "reactive",
+                             "global-rotation"}) {
+        auto sched = make_scheduler(name);
+        ASSERT_NE(sched, nullptr) << name;
+        EXPECT_FALSE(sched->name().empty());
+    }
+    EXPECT_THROW((void)make_scheduler("nope"), std::invalid_argument);
+}
+
+TEST(CliRun, SmallEndToEnd) {
+    CliOptions o = parse({"--rows", "4", "--cols", "4", "--tasks", "3",
+                          "--rate", "100", "--max-time", "5",
+                          "--max-threads", "4"});
+    std::ostringstream out;
+    const int rc = hp::cli::run(o, out);
+    EXPECT_EQ(rc, 0);
+    const std::string report = out.str();
+    EXPECT_NE(report.find("makespan"), std::string::npos);
+    EXPECT_NE(report.find("HotPotato"), std::string::npos);
+    EXPECT_NE(report.find("peak temperature"), std::string::npos);
+}
+
+TEST(CliRun, HomogeneousFillAndStackedMachine) {
+    CliOptions o = parse({"--rows", "4", "--cols", "4", "--layers", "2",
+                          "--benchmark", "canneal", "--scheduler", "pcgov",
+                          "--max-time", "10"});
+    std::ostringstream out;
+    const int rc = hp::cli::run(o, out);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.str().find("x2 layers"), std::string::npos);
+    EXPECT_NE(out.str().find("32 cores"), std::string::npos);
+}
+
+TEST(CliRun, UnknownBenchmarkThrows) {
+    CliOptions o = parse({"--benchmark", "doesnotexist"});
+    std::ostringstream out;
+    EXPECT_THROW((void)hp::cli::run(o, out), std::invalid_argument);
+}
+
+}  // namespace

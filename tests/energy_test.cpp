@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "sched/static_schedulers.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using hp::arch::ManyCore;
+using hp::sched::StaticScheduler;
+using hp::sched::TspDvfsScheduler;
+using hp::sim::SimConfig;
+using hp::sim::SimResult;
+using hp::sim::Simulator;
+using hp::thermal::MatExSolver;
+using hp::thermal::RcNetworkConfig;
+using hp::thermal::ThermalModel;
+using hp::workload::profile_by_name;
+using hp::workload::TaskSpec;
+
+struct Bench {
+    ManyCore chip = ManyCore::paper_16core();
+    ThermalModel model{chip.plan(), RcNetworkConfig{}};
+    MatExSolver solver{model};
+
+    Simulator make(SimConfig config = {}) const {
+        return Simulator(chip, model, solver, config);
+    }
+};
+
+const Bench& bench() {
+    static const Bench b;
+    return b;
+}
+
+SimConfig no_dtm() {
+    SimConfig c;
+    c.t_dtm_c = 1000.0;
+    c.max_sim_time_s = 5.0;
+    return c;
+}
+
+TEST(Energy, TotalSplitsIntoTaskAndIdle) {
+    Simulator sim = bench().make(no_dtm());
+    sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    double task_energy = 0.0;
+    for (const auto& t : r.tasks) task_energy += t.energy_j;
+    EXPECT_NEAR(task_energy + r.idle_energy_j, r.total_energy_j,
+                1e-9 * r.total_energy_j);
+    EXPECT_GT(task_energy, 0.0);
+    EXPECT_GT(r.idle_energy_j, 0.0);  // 14 idle cores burn leakage
+}
+
+TEST(Energy, AveragePowerIsPlausible) {
+    // 2 active cores (~6 W each half the time) + 14 idle cores (~0.3 W).
+    Simulator sim = bench().make(no_dtm());
+    sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    EXPECT_GT(r.average_power_w(), 5.0);
+    EXPECT_LT(r.average_power_w(), 20.0);
+}
+
+TEST(Energy, DvfsReducesTaskEnergy) {
+    // The same work at a lower operating point costs less energy (V^2
+    // scaling beats the longer runtime's leakage).
+    Simulator fast = bench().make(no_dtm());
+    fast.add_task(TaskSpec{&profile_by_name("swaptions"), 4, 0.0});
+    StaticScheduler s_fast({5, 6, 9, 10});
+    const SimResult r_fast = fast.run(s_fast);
+
+    SimConfig managed;  // TSP throttles at the default 70 C threshold
+    managed.max_sim_time_s = 5.0;
+    Simulator slow = bench().make(managed);
+    slow.add_task(TaskSpec{&profile_by_name("swaptions"), 4, 0.0});
+    TspDvfsScheduler s_slow({5, 6, 9, 10});
+    const SimResult r_slow = slow.run(s_slow);
+
+    ASSERT_TRUE(r_fast.all_finished);
+    ASSERT_TRUE(r_slow.all_finished);
+    EXPECT_LT(r_slow.tasks[0].energy_j, r_fast.tasks[0].energy_j);
+    // But it is slower — the classic energy/delay trade.
+    EXPECT_GT(r_slow.tasks[0].response_time_s(),
+              r_fast.tasks[0].response_time_s());
+}
+
+TEST(Energy, EdpIsEnergyTimesDelay) {
+    hp::sim::TaskResult t;
+    t.arrival_s = 1.0;
+    t.finish_s = 3.0;
+    t.energy_j = 5.0;
+    EXPECT_DOUBLE_EQ(t.energy_delay_product(), 10.0);
+}
+
+TEST(Energy, EnergyMatchesPowerTimesTimeForIdleChip) {
+    // An all-idle chip for a fixed horizon: energy == idle power * n * time
+    // (leakage at ~ambient: the chip barely heats).
+    SimConfig cfg;
+    cfg.max_sim_time_s = 0.05;
+    Simulator sim = bench().make(cfg);
+    sim.add_task(TaskSpec{&profile_by_name("canneal"), 2, 10.0});  // never arrives
+    StaticScheduler sched;
+    const SimResult r = sim.run(sched);
+    const double expected = 16 * 0.3 * r.simulated_time_s;
+    EXPECT_NEAR(r.total_energy_j, expected, 0.03 * expected);
+    EXPECT_NEAR(r.idle_energy_j, r.total_energy_j, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.hpp"
+
+namespace {
+
+using hp::floorplan::GridFloorplan;
+
+TEST(Floorplan, BasicGeometry) {
+    GridFloorplan plan(4, 4, 0.81);
+    EXPECT_EQ(plan.core_count(), 16u);
+    EXPECT_NEAR(plan.core_edge_mm(), 0.9, 1e-12);
+    const auto& t = plan.tile(5);  // row 1, col 1
+    EXPECT_EQ(t.row, 1u);
+    EXPECT_EQ(t.col, 1u);
+    EXPECT_NEAR(t.x_mm, 0.9, 1e-12);
+    EXPECT_NEAR(t.y_mm, 0.9, 1e-12);
+}
+
+TEST(Floorplan, InvalidConstructionThrows) {
+    EXPECT_THROW(GridFloorplan(0, 4, 0.81), std::invalid_argument);
+    EXPECT_THROW(GridFloorplan(4, 0, 0.81), std::invalid_argument);
+    EXPECT_THROW(GridFloorplan(4, 4, 0.0), std::invalid_argument);
+    EXPECT_THROW(GridFloorplan(4, 4, -1.0), std::invalid_argument);
+}
+
+TEST(Floorplan, IndexOfRoundTrip) {
+    GridFloorplan plan(3, 5, 1.0);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 5; ++c) {
+            const std::size_t i = plan.index_of(r, c);
+            EXPECT_EQ(plan.tile(i).row, r);
+            EXPECT_EQ(plan.tile(i).col, c);
+        }
+    EXPECT_THROW((void)plan.index_of(3, 0), std::out_of_range);
+    EXPECT_THROW((void)plan.index_of(0, 5), std::out_of_range);
+}
+
+TEST(Floorplan, CornerHasTwoNeighborsCentreHasFour) {
+    GridFloorplan plan(4, 4, 1.0);
+    EXPECT_EQ(plan.neighbors(0).size(), 2u);                    // corner
+    EXPECT_EQ(plan.neighbors(plan.index_of(0, 1)).size(), 3u);  // edge
+    EXPECT_EQ(plan.neighbors(plan.index_of(1, 1)).size(), 4u);  // interior
+}
+
+TEST(Floorplan, NeighborsAreMutual) {
+    GridFloorplan plan(5, 3, 1.0);
+    for (std::size_t i = 0; i < plan.core_count(); ++i)
+        for (std::size_t j : plan.neighbors(i)) {
+            const auto back = plan.neighbors(j);
+            EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+        }
+}
+
+TEST(Floorplan, ManhattanHops) {
+    GridFloorplan plan(4, 4, 1.0);
+    EXPECT_EQ(plan.manhattan_hops(0, 0), 0u);
+    EXPECT_EQ(plan.manhattan_hops(0, 15), 6u);  // (0,0) -> (3,3)
+    EXPECT_EQ(plan.manhattan_hops(5, 10), 2u);  // (1,1) -> (2,2)
+    EXPECT_EQ(plan.manhattan_hops(5, 10), plan.manhattan_hops(10, 5));
+}
+
+TEST(Floorplan, OutOfRangeThrows) {
+    GridFloorplan plan(2, 2, 1.0);
+    EXPECT_THROW((void)plan.tile(4), std::out_of_range);
+    EXPECT_THROW((void)plan.neighbors(4), std::out_of_range);
+    EXPECT_THROW((void)plan.manhattan_hops(0, 4), std::out_of_range);
+}
+
+class FloorplanSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FloorplanSizes, ManhattanHopsIsAMetric) {
+    const auto [rows, cols] = GetParam();
+    GridFloorplan plan(rows, cols, 0.81);
+    const std::size_t n = plan.core_count();
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b) {
+            EXPECT_EQ(plan.manhattan_hops(a, b), plan.manhattan_hops(b, a));
+            if (a != b) {
+                EXPECT_GT(plan.manhattan_hops(a, b), 0u);
+            }
+            // Triangle inequality through an arbitrary midpoint.
+            const std::size_t mid = (a + b) / 2;
+            EXPECT_LE(plan.manhattan_hops(a, b),
+                      plan.manhattan_hops(a, mid) + plan.manhattan_hops(mid, b));
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FloorplanSizes,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4},
+                                           std::pair{3, 5}, std::pair{8, 8}));
+
+}  // namespace

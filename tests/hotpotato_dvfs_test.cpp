@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "core/hotpotato.hpp"
+#include "core/hotpotato_dvfs.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using hp::arch::ManyCore;
+using hp::core::HotPotatoDvfsScheduler;
+using hp::core::HotPotatoScheduler;
+using hp::sim::SimConfig;
+using hp::sim::SimResult;
+using hp::sim::Simulator;
+using hp::thermal::MatExSolver;
+using hp::thermal::RcNetworkConfig;
+using hp::thermal::ThermalModel;
+using hp::workload::profile_by_name;
+using hp::workload::TaskSpec;
+
+struct Bench {
+    ManyCore chip = ManyCore::paper_16core();
+    ThermalModel model{chip.plan(), RcNetworkConfig{}};
+    MatExSolver solver{model};
+
+    Simulator make(SimConfig config = {}) const {
+        return Simulator(chip, model, solver, config);
+    }
+};
+
+const Bench& bench() {
+    static const Bench b;
+    return b;
+}
+
+SimConfig fast_config() {
+    SimConfig c;
+    c.max_sim_time_s = 5.0;
+    return c;
+}
+
+/// A genuinely unsustainable workload: a synthetic always-active 6.2 W
+/// compute loop on every core. No rotation interval can generate headroom —
+/// the regime the paper's future-work DVFS unification targets.
+const hp::workload::BenchmarkProfile& hot_loop() {
+    static const hp::workload::BenchmarkProfile profile{
+        .name = "hotloop",
+        .phases = {hp::workload::PhaseSpec{
+            .label = "loop",
+            .master_instructions = 3e9,
+            .worker_instructions = 3e9,
+            .perf = {.base_cpi = 0.5, .llc_apki = 0.3,
+                     .nominal_power_w = 6.2}}},
+        .default_threads = 4,
+    };
+    return profile;
+}
+
+void add_overload(Simulator& sim) {
+    for (int i = 0; i < 4; ++i)
+        sim.add_task(TaskSpec{&hot_loop(), 4, 0.0});
+}
+
+TEST(HotPotatoDvfs, AvoidsDtmWherePlainHotPotatoCannot) {
+    Simulator plain_sim = bench().make(fast_config());
+    add_overload(plain_sim);
+    HotPotatoScheduler plain;
+    const SimResult r_plain = plain_sim.run(plain);
+
+    Simulator dvfs_sim = bench().make(fast_config());
+    add_overload(dvfs_sim);
+    HotPotatoDvfsScheduler dvfs;
+    const SimResult r_dvfs = dvfs_sim.run(dvfs);
+
+    ASSERT_TRUE(r_plain.all_finished);
+    ASSERT_TRUE(r_dvfs.all_finished);
+    // The unified scheduler trades DTM bang-bang for smooth DVFS: it must
+    // cut thermal violations substantially.
+    EXPECT_LT(r_dvfs.dtm_throttled_s, r_plain.dtm_throttled_s);
+    EXPECT_LE(r_dvfs.peak_temperature_c, 70.6);
+}
+
+TEST(HotPotatoDvfs, MatchesPlainHotPotatoWhenRotationSuffices) {
+    // On the motivational workload rotation alone is enough; the DVFS
+    // extension must never engage and must reproduce plain behaviour.
+    Simulator plain_sim = bench().make(fast_config());
+    plain_sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    HotPotatoScheduler plain;
+    const SimResult r_plain = plain_sim.run(plain);
+
+    Simulator dvfs_sim = bench().make(fast_config());
+    dvfs_sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    HotPotatoDvfsScheduler dvfs;
+    const SimResult r_dvfs = dvfs_sim.run(dvfs);
+
+    EXPECT_FALSE(dvfs.dvfs_engaged());
+    EXPECT_DOUBLE_EQ(r_plain.tasks[0].response_time_s(),
+                     r_dvfs.tasks[0].response_time_s());
+}
+
+TEST(HotPotatoDvfs, DisengagesWhenLoadDrops) {
+    // Overload followed by nothing: after the hot tasks finish, frequencies
+    // must return to f_max (engaged_ false) for a late cool task.
+    Simulator sim = bench().make(fast_config());
+    add_overload(sim);
+    sim.add_task(TaskSpec{&profile_by_name("canneal"), 2, 0.3});
+    HotPotatoDvfsScheduler dvfs;
+    const SimResult r = sim.run(dvfs);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_FALSE(dvfs.dvfs_engaged());
+}
+
+TEST(HotPotatoDvfs, EnergyNotWorseThanBangBang) {
+    // Smooth DVFS at lower voltage should spend no more energy than
+    // DTM-duty-cycling at full voltage.
+    Simulator plain_sim = bench().make(fast_config());
+    add_overload(plain_sim);
+    HotPotatoScheduler plain;
+    const SimResult r_plain = plain_sim.run(plain);
+
+    Simulator dvfs_sim = bench().make(fast_config());
+    add_overload(dvfs_sim);
+    HotPotatoDvfsScheduler dvfs;
+    const SimResult r_dvfs = dvfs_sim.run(dvfs);
+
+    EXPECT_LE(r_dvfs.total_energy_j, r_plain.total_energy_j * 1.05);
+}
+
+}  // namespace

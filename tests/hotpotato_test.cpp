@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "core/hotpotato.hpp"
+#include "sched/pcgov.hpp"
+#include "sched/pcmig.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using hp::arch::ManyCore;
+using hp::core::HotPotatoParams;
+using hp::core::HotPotatoScheduler;
+using hp::sched::PcGovScheduler;
+using hp::sched::PcMigScheduler;
+using hp::sim::SimConfig;
+using hp::sim::SimResult;
+using hp::sim::Simulator;
+using hp::thermal::MatExSolver;
+using hp::thermal::RcNetworkConfig;
+using hp::thermal::ThermalModel;
+using hp::workload::profile_by_name;
+using hp::workload::TaskSpec;
+
+struct Bench {
+    ManyCore chip = ManyCore::paper_16core();
+    ThermalModel model{chip.plan(), RcNetworkConfig{}};
+    MatExSolver solver{model};
+
+    Simulator make(SimConfig config = {}) const {
+        return Simulator(chip, model, solver, config);
+    }
+};
+
+const Bench& bench() {
+    static const Bench b;
+    return b;
+}
+
+SimConfig fast_config() {
+    SimConfig c;
+    c.micro_step_s = 1e-4;
+    c.max_sim_time_s = 5.0;
+    return c;
+}
+
+// -------------------------------------------------------------- HotPotato ---
+
+TEST(HotPotato, ParamsValidated) {
+    HotPotatoParams empty;
+    empty.tau_ladder_s.clear();
+    EXPECT_THROW(HotPotatoScheduler{empty}, std::invalid_argument);
+    HotPotatoParams unsorted;
+    unsorted.tau_ladder_s = {1e-3, 0.5e-3};
+    EXPECT_THROW(HotPotatoScheduler{unsorted}, std::invalid_argument);
+}
+
+TEST(HotPotato, HotTaskFinishesThermallySafe) {
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    HotPotatoScheduler hp;
+    const SimResult r = sim.run(hp);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_EQ(r.dtm_triggers, 0u);
+    EXPECT_LE(r.peak_temperature_c, 70.5);
+}
+
+TEST(HotPotato, BeatsDvfsBaselineOnHotWorkload) {
+    // The headline claim on the motivational workload.
+    Simulator hp_sim = bench().make(fast_config());
+    hp_sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    HotPotatoScheduler hp;
+    const SimResult r_hp = hp_sim.run(hp);
+
+    Simulator mig_sim = bench().make(fast_config());
+    mig_sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    PcMigScheduler pcmig;
+    const SimResult r_mig = mig_sim.run(pcmig);
+
+    ASSERT_TRUE(r_hp.all_finished);
+    ASSERT_TRUE(r_mig.all_finished);
+    EXPECT_LT(r_hp.tasks[0].response_time_s(),
+              r_mig.tasks[0].response_time_s());
+}
+
+TEST(HotPotato, CoolWorkloadDisablesRotation) {
+    // canneal is cool: no rotation needed, so HotPotato should settle with
+    // rotation off (tau -> infinity per Algorithm 2 lines 23-27) and incur
+    // few migrations.
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(TaskSpec{&profile_by_name("canneal"), 2, 0.0});
+    HotPotatoScheduler hp;
+    const SimResult r = sim.run(hp);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_FALSE(hp.rotation_enabled());
+    EXPECT_LT(r.migrations, 20u);
+    EXPECT_EQ(r.dtm_triggers, 0u);
+}
+
+TEST(HotPotato, PredictionIsConservative) {
+    // The predicted peak must upper-bound (within model slack) the observed
+    // peak throughout a hot run.
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(TaskSpec{&profile_by_name("swaptions"), 4, 0.0});
+    HotPotatoScheduler hp;
+    const SimResult r = sim.run(hp);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_LE(r.peak_temperature_c, hp.max_predicted_peak_c() + 3.0);
+    EXPECT_LE(r.peak_temperature_c, 70.5);
+}
+
+TEST(HotPotato, FullChipStillSafe) {
+    // Fill all 16 cores with hot 4-thread swaptions instances.
+    Simulator sim = bench().make(fast_config());
+    for (int i = 0; i < 4; ++i)
+        sim.add_task(TaskSpec{&profile_by_name("swaptions"), 4, 0.0});
+    HotPotatoScheduler hp;
+    const SimResult r = sim.run(hp);
+    ASSERT_TRUE(r.all_finished);
+    // Fully loaded hot chip: rotation has no free slots to exploit inside a
+    // ring, but the schedule must stay near the threshold with at most brief
+    // DTM interventions.
+    EXPECT_LT(r.dtm_throttled_s, 0.2 * r.makespan_s);
+}
+
+TEST(HotPotato, QueuesWhenChipFull) {
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(TaskSpec{&profile_by_name("canneal"), 16, 0.0});
+    sim.add_task(TaskSpec{&profile_by_name("canneal"), 4, 0.0});
+    HotPotatoScheduler hp;
+    const SimResult r = sim.run(hp);
+    ASSERT_TRUE(r.all_finished);
+    // Second task queued behind the full chip.
+    EXPECT_GE(r.tasks[1].start_s, r.tasks[0].finish_s - 1e-6);
+}
+
+TEST(HotPotato, RotationIntervalStaysOnLadder) {
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    HotPotatoScheduler hp;
+    (void)sim.run(hp);
+    const HotPotatoParams defaults;
+    bool on_ladder = false;
+    for (double tau : defaults.tau_ladder_s)
+        if (tau == hp.rotation_interval_s()) on_ladder = true;
+    EXPECT_TRUE(on_ladder);
+}
+
+// -------------------------------------------------------------- baselines ---
+
+TEST(PcGov, KeepsHotWorkloadSafeViaDvfs) {
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(TaskSpec{&profile_by_name("swaptions"), 4, 0.0});
+    PcGovScheduler sched;
+    const SimResult r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_EQ(r.dtm_triggers, 0u);
+    EXPECT_LE(r.peak_temperature_c, 70.5);
+    EXPECT_EQ(r.migrations, 0u);  // PCGov never migrates
+}
+
+TEST(PcMig, MigratesOnlyOnDemand) {
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    PcMigScheduler sched;
+    const SimResult r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_EQ(r.dtm_triggers, 0u);
+    // Asynchronous last-resort migrations: far fewer than a 0.5 ms rotation
+    // (which would be ~hundreds over the run).
+    EXPECT_LT(r.migrations, 60u);
+}
+
+TEST(PcMig, AtLeastAsFastAsPcGovOnHotWorkload) {
+    Simulator gov_sim = bench().make(fast_config());
+    gov_sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    PcGovScheduler gov;
+    const SimResult r_gov = gov_sim.run(gov);
+
+    Simulator mig_sim = bench().make(fast_config());
+    mig_sim.add_task(TaskSpec{&profile_by_name("blackscholes"), 2, 0.0});
+    PcMigScheduler mig;
+    const SimResult r_mig = mig_sim.run(mig);
+
+    ASSERT_TRUE(r_gov.all_finished);
+    ASSERT_TRUE(r_mig.all_finished);
+    EXPECT_LE(r_mig.tasks[0].response_time_s(),
+              r_gov.tasks[0].response_time_s() * 1.02);
+}
+
+TEST(Schedulers, AllHandleTwoTaskMix) {
+    for (int which = 0; which < 3; ++which) {
+        Simulator sim = bench().make(fast_config());
+        sim.add_task(TaskSpec{&profile_by_name("x264"), 4, 0.0});
+        sim.add_task(TaskSpec{&profile_by_name("canneal"), 4, 0.01});
+        std::unique_ptr<hp::sim::Scheduler> sched;
+        if (which == 0) sched = std::make_unique<HotPotatoScheduler>();
+        if (which == 1) sched = std::make_unique<PcGovScheduler>();
+        if (which == 2) sched = std::make_unique<PcMigScheduler>();
+        const SimResult r = sim.run(*sched);
+        EXPECT_TRUE(r.all_finished) << sched->name();
+        EXPECT_EQ(r.dtm_triggers, 0u) << sched->name();
+    }
+}
+
+}  // namespace

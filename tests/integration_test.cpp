@@ -1,0 +1,106 @@
+// End-to-end shape checks: miniature (16-core) versions of the paper's
+// comparative experiments, asserting the qualitative claims that the full
+// 64-core bench binaries reproduce quantitatively.
+
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "core/hotpotato.hpp"
+#include "sched/pcmig.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using hp::arch::ManyCore;
+using hp::core::HotPotatoScheduler;
+using hp::sched::PcMigScheduler;
+using hp::sim::SimConfig;
+using hp::sim::SimResult;
+using hp::sim::Simulator;
+using hp::thermal::MatExSolver;
+using hp::thermal::RcNetworkConfig;
+using hp::thermal::ThermalModel;
+using hp::workload::profile_by_name;
+
+struct Bench {
+    ManyCore chip = ManyCore::paper_16core();
+    ThermalModel model{chip.plan(), RcNetworkConfig{}};
+    MatExSolver solver{model};
+};
+
+const Bench& bench() {
+    static const Bench b;
+    return b;
+}
+
+SimResult run_fill(const char* benchmark, hp::sim::Scheduler& sched) {
+    SimConfig cfg;
+    cfg.max_sim_time_s = 10.0;
+    Simulator sim(bench().chip, bench().model, bench().solver, cfg);
+    sim.add_tasks(hp::workload::homogeneous_fill(profile_by_name(benchmark),
+                                                 16, 2023));
+    return sim.run(sched);
+}
+
+class HomogeneousShape : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HomogeneousShape, HotPotatoNeverLosesAndStaysSafe) {
+    // Fig. 4(a) claim at 16-core scale: HotPotato's makespan is never worse
+    // than PCMig's (small slack for simulation noise), without relying on
+    // sustained DTM throttling.
+    PcMigScheduler pcmig;
+    const SimResult r_mig = run_fill(GetParam(), pcmig);
+    HotPotatoScheduler hotpotato;
+    const SimResult r_hp = run_fill(GetParam(), hotpotato);
+
+    ASSERT_TRUE(r_mig.all_finished) << GetParam();
+    ASSERT_TRUE(r_hp.all_finished) << GetParam();
+    EXPECT_LE(r_hp.makespan_s, r_mig.makespan_s * 1.02) << GetParam();
+    EXPECT_LT(r_hp.dtm_throttled_s, 0.1 * r_hp.makespan_s) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Parsec, HomogeneousShape,
+                         ::testing::Values("blackscholes", "bodytrack",
+                                           "canneal", "x264", "swaptions",
+                                           "dedup", "fluidanimate",
+                                           "streamcluster"));
+
+TEST(HeterogeneousShape, HotPotatoWinsAtMediumLoad) {
+    // Fig. 4(b) claim: a clear win in the medium-load open system.
+    const auto run = [&](hp::sim::Scheduler& sched) {
+        SimConfig cfg;
+        cfg.max_sim_time_s = 20.0;
+        Simulator sim(bench().chip, bench().model, bench().solver, cfg);
+        sim.add_tasks(hp::workload::poisson_mix(10, 40.0, 2, 4, 5));
+        return sim.run(sched);
+    };
+    PcMigScheduler pcmig;
+    HotPotatoScheduler hotpotato;
+    const SimResult r_mig = run(pcmig);
+    const SimResult r_hp = run(hotpotato);
+    ASSERT_TRUE(r_mig.all_finished);
+    ASSERT_TRUE(r_hp.all_finished);
+    EXPECT_LT(r_hp.average_response_time_s(),
+              r_mig.average_response_time_s());
+}
+
+TEST(CannealShape, MemoryBoundGainIsSmall) {
+    // Fig. 4(a): canneal is cool, so the HotPotato advantage is small
+    // compared against a hot benchmark on the same machine.
+    PcMigScheduler mig1, mig2;
+    HotPotatoScheduler hp1, hp2;
+    const double canneal_gain =
+        run_fill("canneal", mig1).makespan_s /
+            run_fill("canneal", hp1).makespan_s -
+        1.0;
+    const double hot_gain = run_fill("bodytrack", mig2).makespan_s /
+                                run_fill("bodytrack", hp2).makespan_s -
+                            1.0;
+    EXPECT_LT(canneal_gain, hot_gain);
+    EXPECT_LT(canneal_gain, 0.08);  // near-tie, as the paper reports
+}
+
+}  // namespace

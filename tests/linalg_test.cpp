@@ -1,0 +1,293 @@
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace {
+
+using hp::linalg::Matrix;
+using hp::linalg::Vector;
+
+Matrix random_spd(std::size_t n, std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+    // A^T A + n I is symmetric positive definite.
+    Matrix spd = a.transpose() * a;
+    for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+    return spd;
+}
+
+// ---------------------------------------------------------------- Vector ---
+
+TEST(Vector, ArithmeticIsElementwise) {
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{4.0, 5.0, 6.0};
+    const Vector sum = a + b;
+    const Vector diff = b - a;
+    const Vector scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(sum[0], 5.0);
+    EXPECT_DOUBLE_EQ(sum[2], 9.0);
+    EXPECT_DOUBLE_EQ(diff[1], 3.0);
+    EXPECT_DOUBLE_EQ(scaled[2], 6.0);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+    Vector a{1.0, 2.0};
+    Vector b{1.0, 2.0, 3.0};
+    EXPECT_THROW(a += b, std::invalid_argument);
+    EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+}
+
+TEST(Vector, DotAndNorm) {
+    Vector a{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+    EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vector, MinMaxArgmax) {
+    Vector a{2.0, -7.0, 5.0, 1.0};
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), -7.0);
+    EXPECT_DOUBLE_EQ(a.max_abs(), 7.0);
+    EXPECT_EQ(a.argmax(), 2u);
+}
+
+TEST(Vector, EmptyMinMaxThrows) {
+    Vector empty;
+    EXPECT_THROW((void)empty.max(), std::logic_error);
+    EXPECT_THROW((void)empty.min(), std::logic_error);
+    EXPECT_THROW((void)empty.argmax(), std::logic_error);
+}
+
+// ---------------------------------------------------------------- Matrix ---
+
+TEST(Matrix, InitializerListAndAccess) {
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNeutral) {
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix i = Matrix::identity(2);
+    EXPECT_EQ(m * i, m);
+    EXPECT_EQ(i * m, m);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Vector x{1.0, 1.0};
+    const Vector y = a * x;
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW((void)(a * b), std::invalid_argument);
+    EXPECT_THROW((void)(a * Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+    Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    EXPECT_EQ(a.transpose().transpose(), a);
+    EXPECT_EQ(a.transpose().rows(), 3u);
+}
+
+TEST(Matrix, SymmetryCheck) {
+    Matrix s{{2.0, 1.0}, {1.0, 2.0}};
+    Matrix ns{{2.0, 1.0}, {0.0, 2.0}};
+    EXPECT_TRUE(s.is_symmetric());
+    EXPECT_FALSE(ns.is_symmetric());
+}
+
+TEST(Matrix, DiagonalRoundTrip) {
+    const Vector d{1.0, 2.0, 3.0};
+    const Matrix m = Matrix::diagonal(d);
+    EXPECT_EQ(m.diagonal_vector(), d);
+    EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+// -------------------------------------------------------------------- LU ---
+
+TEST(Lu, SolvesKnownSystem) {
+    Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+    const Vector x = hp::linalg::solve(a, Vector{3.0, 5.0});
+    // 2x + y = 3, x + 3y = 5 => x = 4/5, y = 7/5
+    EXPECT_NEAR(x[0], 0.8, 1e-12);
+    EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+    Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(hp::linalg::LuDecomposition lu(a), std::domain_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+    Matrix a(2, 3);
+    EXPECT_THROW(hp::linalg::LuDecomposition lu(a), std::invalid_argument);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_NEAR(hp::linalg::LuDecomposition(a).determinant(), -2.0, 1e-12);
+    EXPECT_NEAR(hp::linalg::LuDecomposition(Matrix::identity(5)).determinant(),
+                1.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+    Matrix a{{0.0, 1.0}, {1.0, 0.0}};  // needs a row swap
+    const Vector x = hp::linalg::solve(a, Vector{2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+class LuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuProperty, InverseResidualIsTiny) {
+    std::mt19937_64 rng(GetParam());
+    const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 14;
+    const Matrix a = random_spd(n, rng);
+    const Matrix inv = hp::linalg::inverse(a);
+    const Matrix residual = a * inv - Matrix::identity(n);
+    EXPECT_LT(residual.max_abs(), 1e-9);
+}
+
+TEST_P(LuProperty, SolveMatchesMultiplication) {
+    std::mt19937_64 rng(1000 + GetParam());
+    const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 10;
+    const Matrix a = random_spd(n, rng);
+    std::uniform_real_distribution<double> dist(-5.0, 5.0);
+    Vector x(n);
+    for (auto& v : x) v = dist(rng);
+    const Vector b = a * x;
+    const Vector solved = hp::linalg::solve(a, b);
+    EXPECT_LT((solved - x).max_abs(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuProperty, ::testing::Range(0, 12));
+
+// ----------------------------------------------------------------- Eigen ---
+
+TEST(Eigen, DiagonalMatrixEigenvaluesSorted) {
+    const Matrix m = Matrix::diagonal(Vector{3.0, 1.0, 2.0});
+    const auto eig = hp::linalg::jacobi_eigen(m);
+    EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, Known2x2) {
+    Matrix m{{2.0, 1.0}, {1.0, 2.0}};  // eigenvalues 1 and 3
+    const auto eig = hp::linalg::jacobi_eigen(m);
+    EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, AsymmetricThrows) {
+    Matrix m{{1.0, 2.0}, {0.0, 1.0}};
+    EXPECT_THROW((void)hp::linalg::jacobi_eigen(m), std::invalid_argument);
+}
+
+class EigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenProperty, ReconstructsMatrix) {
+    std::mt19937_64 rng(GetParam());
+    const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 12;
+    const Matrix m = random_spd(n, rng);
+    const auto eig = hp::linalg::jacobi_eigen(m);
+    const Matrix rebuilt = eig.vectors * Matrix::diagonal(eig.values) *
+                           eig.vectors.transpose();
+    EXPECT_LT((rebuilt - m).max_abs(), 1e-8 * std::max(1.0, m.max_abs()));
+}
+
+TEST_P(EigenProperty, EigenvectorsOrthonormal) {
+    std::mt19937_64 rng(500 + GetParam());
+    const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 12;
+    const Matrix m = random_spd(n, rng);
+    const auto eig = hp::linalg::jacobi_eigen(m);
+    const Matrix gram = eig.vectors.transpose() * eig.vectors;
+    EXPECT_LT((gram - Matrix::identity(n)).max_abs(), 1e-9);
+}
+
+TEST_P(EigenProperty, SpdEigenvaluesPositive) {
+    std::mt19937_64 rng(900 + GetParam());
+    const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 12;
+    const auto eig = hp::linalg::jacobi_eigen(random_spd(n, rng));
+    for (std::size_t k = 0; k < n; ++k) EXPECT_GT(eig.values[k], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EigenProperty, ::testing::Range(0, 12));
+
+// ------------------------------------------------------------------ expm ---
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+    const Matrix e = hp::linalg::expm_pade(Matrix(3, 3));
+    EXPECT_LT((e - Matrix::identity(3)).max_abs(), 1e-13);
+}
+
+TEST(Expm, DiagonalMatrix) {
+    const Matrix m = Matrix::diagonal(Vector{-1.0, 0.5, 2.0});
+    const Matrix e = hp::linalg::expm_pade(m);
+    EXPECT_NEAR(e(0, 0), std::exp(-1.0), 1e-10);
+    EXPECT_NEAR(e(1, 1), std::exp(0.5), 1e-10);
+    EXPECT_NEAR(e(2, 2), std::exp(2.0), 1e-10);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-12);
+}
+
+TEST(Expm, NilpotentMatrixExactSeries) {
+    // For strictly upper triangular N, e^N = I + N + N^2/2.
+    Matrix n{{0.0, 1.0, 2.0}, {0.0, 0.0, 3.0}, {0.0, 0.0, 0.0}};
+    const Matrix e = hp::linalg::expm_pade(n);
+    EXPECT_NEAR(e(0, 1), 1.0, 1e-10);
+    EXPECT_NEAR(e(0, 2), 2.0 + 1.5, 1e-10);  // N + N^2/2 at (0,2)
+    EXPECT_NEAR(e(1, 2), 3.0, 1e-10);
+    EXPECT_NEAR(e(0, 0), 1.0, 1e-12);
+}
+
+TEST(Expm, InverseProperty) {
+    std::mt19937_64 rng(7);
+    const Matrix m = random_spd(5, rng) * 0.3;
+    const Matrix a = hp::linalg::expm_pade(m);
+    const Matrix b = hp::linalg::expm_pade(m * -1.0);
+    EXPECT_LT((a * b - Matrix::identity(5)).max_abs(), 1e-8);
+}
+
+TEST(Expm, MatchesEigenDecompositionForSymmetric) {
+    std::mt19937_64 rng(11);
+    const Matrix m = random_spd(6, rng) * -0.2;  // negative definite
+    const auto eig = hp::linalg::jacobi_eigen(m);
+    Vector exp_vals(6);
+    for (std::size_t k = 0; k < 6; ++k) exp_vals[k] = std::exp(eig.values[k]);
+    const Matrix via_eigen = eig.vectors * Matrix::diagonal(exp_vals) *
+                             eig.vectors.transpose();
+    const Matrix via_pade = hp::linalg::expm_pade(m);
+    EXPECT_LT((via_eigen - via_pade).max_abs(), 1e-9);
+}
+
+}  // namespace

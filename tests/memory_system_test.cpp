@@ -1,0 +1,115 @@
+#include <sstream>
+#include "workload/workload_io.hpp"
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "mem/memory_system.hpp"
+#include "perf/interval_model.hpp"
+
+namespace {
+
+using hp::arch::ManyCore;
+using hp::mem::DramParams;
+using hp::mem::MemorySystem;
+
+TEST(MemorySystem, ControllersSitOnDistinctEdgeRouters) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const MemorySystem mem(chip);
+    const auto& mcs = mem.controller_cores();
+    EXPECT_EQ(mcs.size(), 4u);
+    for (std::size_t mc : mcs) {
+        const auto& tile = chip.plan().tile(mc);
+        const bool on_edge = tile.row == 0 || tile.row == 7 || tile.col == 0 ||
+                             tile.col == 7;
+        EXPECT_TRUE(on_edge) << "MC at core " << mc;
+        EXPECT_EQ(tile.layer, 0u);
+    }
+}
+
+TEST(MemorySystem, MissLatencyDominatedByDram) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const MemorySystem mem(chip);
+    // Must exceed the raw DRAM access and stay within DRAM + worst NoC trip.
+    EXPECT_GT(mem.miss_latency_s(), 60e-9);
+    EXPECT_LT(mem.miss_latency_s(), 60e-9 + 2 * 14 * 1.5e-9 + 1e-9);
+}
+
+TEST(MemorySystem, AccessPenaltyScalesWithMissRatio) {
+    const ManyCore chip = ManyCore::paper_16core();
+    const MemorySystem mem(chip);
+    EXPECT_DOUBLE_EQ(mem.access_penalty_s(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(mem.access_penalty_s(0.5),
+                     0.5 * mem.miss_latency_s());
+    EXPECT_DOUBLE_EQ(mem.access_penalty_s(1.0), mem.miss_latency_s());
+}
+
+TEST(MemorySystem, QueueingDelayConvexAndClamped) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const MemorySystem mem(chip);
+    const double sat = mem.saturation_miss_rate();
+    ASSERT_GT(sat, 0.0);
+    EXPECT_DOUBLE_EQ(mem.queueing_delay_s(0.0), 0.0);
+    const double d25 = mem.queueing_delay_s(0.25 * sat);
+    const double d50 = mem.queueing_delay_s(0.5 * sat);
+    EXPECT_GT(d50, 2.0 * d25);
+    EXPECT_TRUE(std::isfinite(mem.queueing_delay_s(100.0 * sat)));
+}
+
+TEST(MemorySystem, SaturationRateMatchesChannelMath) {
+    const ManyCore chip = ManyCore::paper_64core();
+    DramParams p;  // 4 x 25.6 GB/s, 64 B lines
+    const MemorySystem mem(chip, p);
+    EXPECT_NEAR(mem.saturation_miss_rate(), 4.0 * 25.6e9 / 64.0, 1.0);
+}
+
+TEST(MemorySystem, ZeroControllersThrows) {
+    const ManyCore chip = ManyCore::paper_16core();
+    DramParams p;
+    p.controllers = 0;
+    EXPECT_THROW(MemorySystem(chip, p), std::invalid_argument);
+}
+
+TEST(PerfWithDram, MissRatioSlowsMemoryBoundPhases) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const hp::perf::IntervalPerformanceModel perf(chip);
+    ASSERT_NE(perf.memory_system(), nullptr);
+    hp::perf::PhasePoint hits{.base_cpi = 1.0, .llc_apki = 12.0,
+                              .nominal_power_w = 2.0, .llc_miss_ratio = 0.0};
+    hp::perf::PhasePoint misses = hits;
+    misses.llc_miss_ratio = 0.2;
+    const std::size_t core = perf.reference_core();
+    EXPECT_GT(perf.effective_cpi(misses, core, 4.0e9),
+              perf.effective_cpi(hits, core, 4.0e9) * 1.3);
+}
+
+TEST(PerfWithDram, CanBeDisabled) {
+    const ManyCore chip = ManyCore::paper_16core();
+    hp::perf::PerfParams params;
+    params.model_dram = false;
+    const hp::perf::IntervalPerformanceModel perf(chip, params);
+    EXPECT_EQ(perf.memory_system(), nullptr);
+    hp::perf::PhasePoint p{.base_cpi = 1.0, .llc_apki = 12.0,
+                           .nominal_power_w = 2.0, .llc_miss_ratio = 0.9};
+    // Miss ratio ignored without the DRAM tier.
+    hp::perf::PhasePoint q = p;
+    q.llc_miss_ratio = 0.0;
+    EXPECT_DOUBLE_EQ(perf.effective_cpi(p, 0, 4.0e9),
+                     perf.effective_cpi(q, 0, 4.0e9));
+}
+
+TEST(WorkloadIoDram, MissRatioRoundTrips) {
+    std::istringstream in(
+        "benchmark m\nthreads 2\nphase p 10 10 1.0 8 3.0 0.25\nend\n");
+    const auto profiles = hp::workload::read_profiles(in);
+    ASSERT_EQ(profiles.size(), 1u);
+    EXPECT_DOUBLE_EQ(profiles[0].phases[0].perf.llc_miss_ratio, 0.25);
+    std::ostringstream out;
+    hp::workload::write_profiles(out, profiles);
+    EXPECT_NE(out.str().find("0.25"), std::string::npos);
+    // Out-of-range ratio rejected.
+    std::istringstream bad(
+        "benchmark m\nthreads 2\nphase p 10 10 1.0 8 3.0 1.5\nend\n");
+    EXPECT_THROW((void)hp::workload::read_profiles(bad), std::runtime_error);
+}
+
+}  // namespace

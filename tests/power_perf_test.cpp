@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "perf/interval_model.hpp"
+#include "power/power_model.hpp"
+
+namespace {
+
+using hp::arch::DvfsParams;
+using hp::arch::ManyCore;
+using hp::perf::IntervalPerformanceModel;
+using hp::perf::PhasePoint;
+using hp::power::PowerModel;
+using hp::power::PowerParams;
+
+// ----------------------------------------------------------------- power ---
+
+TEST(PowerModel, IdlePowerMatchesPaperAtReference) {
+    PowerModel pm(PowerParams{}, DvfsParams{});
+    EXPECT_DOUBLE_EQ(pm.idle_power_w(45.0), 0.3);  // paper §VI
+}
+
+TEST(PowerModel, LeakageGrowsWithTemperature) {
+    PowerModel pm(PowerParams{}, DvfsParams{});
+    EXPECT_GT(pm.idle_power_w(70.0), pm.idle_power_w(45.0));
+    EXPECT_GT(pm.idle_power_w(45.0), pm.idle_power_w(30.0));
+    // Linearised leakage never goes non-positive.
+    EXPECT_GT(pm.idle_power_w(-200.0), 0.0);
+}
+
+TEST(PowerModel, ActivePowerAtReferencePoint) {
+    PowerModel pm(PowerParams{}, DvfsParams{});
+    // Full activity at 4 GHz / V_ref / 45 C: nominal + idle leakage.
+    EXPECT_NEAR(pm.active_power_w(5.0, 4.0e9, 1.0, 45.0), 5.3, 1e-12);
+}
+
+TEST(PowerModel, DvfsReducesPowerSuperlinearly) {
+    PowerModel pm(PowerParams{}, DvfsParams{});
+    const double p4 = pm.active_power_w(6.0, 4.0e9, 1.0, 45.0);
+    const double p2 = pm.active_power_w(6.0, 2.0e9, 0.5, 45.0);
+    // Halving frequency (and throughput) cuts dynamic power by more than 2x
+    // because voltage drops too.
+    EXPECT_LT(p2 - pm.idle_power_w(45.0), 0.5 * (p4 - pm.idle_power_w(45.0)));
+}
+
+TEST(PowerModel, MaxFrequencyWithinBudget) {
+    PowerModel pm(PowerParams{}, DvfsParams{});
+    const auto unit_activity = [](double f) { return f / 4.0e9; };
+    // Huge budget: full speed. Tiny budget: f_min.
+    EXPECT_DOUBLE_EQ(pm.max_frequency_within(100.0, 6.0, unit_activity, 45.0),
+                     4.0e9);
+    EXPECT_DOUBLE_EQ(pm.max_frequency_within(0.0, 6.0, unit_activity, 45.0),
+                     1.0e9);
+    // Budget for exactly the reference power: must return f_max.
+    const double p_ref = pm.active_power_w(6.0, 4.0e9, 1.0, 45.0);
+    EXPECT_DOUBLE_EQ(
+        pm.max_frequency_within(p_ref, 6.0,
+                                [](double) { return 1.0; }, 45.0),
+        4.0e9);
+}
+
+TEST(PowerModel, FrequencySearchIsMonotoneInBudget) {
+    PowerModel pm(PowerParams{}, DvfsParams{});
+    const auto act = [](double f) { return f / 4.0e9; };
+    double prev = 0.0;
+    for (double budget = 0.5; budget < 8.0; budget += 0.25) {
+        const double f = pm.max_frequency_within(budget, 6.0, act, 45.0);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+// ------------------------------------------------------------------ perf ---
+
+TEST(PerfModel, EffectiveCpiFormula) {
+    const ManyCore chip = ManyCore::paper_16core();
+    const IntervalPerformanceModel perf(chip);
+    const PhasePoint point{.base_cpi = 0.5, .llc_apki = 2.0,
+                           .nominal_power_w = 5.0};
+    const std::size_t core = 5;  // AMD 2.0
+    const double expected =
+        0.5 + 2.0 / 1000.0 * chip.llc_access_latency_s(core) * 4.0e9;
+    EXPECT_DOUBLE_EQ(perf.effective_cpi(point, core, 4.0e9), expected);
+}
+
+TEST(PerfModel, MemoryBoundThreadsSufferMoreOnOuterCores) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const IntervalPerformanceModel perf(chip);
+    const std::size_t centre = chip.rings().front().cores.front();
+    const std::size_t corner = chip.rings().back().cores.front();
+    const PhasePoint compute{.base_cpi = 0.5, .llc_apki = 0.3,
+                             .nominal_power_w = 6.0};
+    const PhasePoint memory{.base_cpi = 1.0, .llc_apki = 12.0,
+                            .nominal_power_w = 2.0};
+    const auto slowdown = [&](const PhasePoint& p) {
+        return perf.instructions_per_second(p, centre, 4.0e9) /
+               perf.instructions_per_second(p, corner, 4.0e9);
+    };
+    EXPECT_GT(slowdown(memory), slowdown(compute));
+    EXPECT_GT(slowdown(memory), 1.1);   // memory-bound: >10% penalty
+    EXPECT_LT(slowdown(compute), 1.05); // compute-bound: barely any
+}
+
+TEST(PerfModel, HigherFrequencyHelpsComputeBoundMore) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const IntervalPerformanceModel perf(chip);
+    const std::size_t core = chip.rings().front().cores.front();
+    const PhasePoint compute{.base_cpi = 0.5, .llc_apki = 0.3,
+                             .nominal_power_w = 6.0};
+    const PhasePoint memory{.base_cpi = 1.0, .llc_apki = 12.0,
+                            .nominal_power_w = 2.0};
+    const auto speedup = [&](const PhasePoint& p) {
+        return perf.instructions_per_second(p, core, 4.0e9) /
+               perf.instructions_per_second(p, core, 2.0e9);
+    };
+    EXPECT_GT(speedup(compute), speedup(memory));
+    EXPECT_LT(speedup(memory), 1.8);  // memory wall
+    EXPECT_GT(speedup(compute), 1.9);
+}
+
+TEST(PerfModel, PowerActivityIsOneAtReference) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const IntervalPerformanceModel perf(chip);
+    const PhasePoint p{.base_cpi = 0.7, .llc_apki = 3.0, .nominal_power_w = 5.0};
+    EXPECT_DOUBLE_EQ(
+        perf.power_activity(p, perf.reference_core(), 4.0e9, 4.0e9), 1.0);
+}
+
+TEST(PerfModel, PowerActivityBelowOneOffReference) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const IntervalPerformanceModel perf(chip);
+    const PhasePoint p{.base_cpi = 0.7, .llc_apki = 3.0, .nominal_power_w = 5.0};
+    const std::size_t corner = chip.rings().back().cores.front();
+    EXPECT_LT(perf.power_activity(p, corner, 4.0e9, 4.0e9), 1.0);
+    EXPECT_LT(perf.power_activity(p, perf.reference_core(), 2.0e9, 4.0e9),
+              0.6);
+}
+
+TEST(PerfModel, MigrationStallComponents) {
+    const ManyCore chip = ManyCore::paper_64core();
+    const IntervalPerformanceModel perf(chip);
+    const std::size_t centre = chip.rings().front().cores.front();
+    const std::size_t corner = chip.rings().back().cores.front();
+    // Base OS overhead plus refill: always above the base, larger on the
+    // farther (higher LLC latency) destination.
+    EXPECT_GT(perf.migration_stall_s(centre),
+              perf.params().migration_base_overhead_s);
+    EXPECT_GT(perf.migration_stall_s(corner), perf.migration_stall_s(centre));
+    // Order of magnitude: tens of microseconds.
+    EXPECT_LT(perf.migration_stall_s(corner), 1e-3);
+}
+
+TEST(PerfModel, InvalidParamsThrow) {
+    const ManyCore chip = ManyCore::paper_16core();
+    hp::perf::PerfParams bad;
+    bad.refill_mlp = 0.0;
+    EXPECT_THROW(IntervalPerformanceModel(chip, bad), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "core/hotpotato.hpp"
+#include "report/comparison.hpp"
+#include "sched/pcgov.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using hp::report::ComparisonRunner;
+using hp::report::RunRecord;
+
+struct Bench {
+    hp::arch::ManyCore chip = hp::arch::ManyCore::paper_16core();
+    hp::thermal::ThermalModel model{chip.plan(), hp::thermal::RcNetworkConfig{}};
+    hp::thermal::MatExSolver solver{model};
+};
+
+const Bench& bench() {
+    static const Bench b;
+    return b;
+}
+
+ComparisonRunner make_runner() {
+    hp::sim::SimConfig cfg;
+    cfg.max_sim_time_s = 10.0;
+    ComparisonRunner runner(bench().chip, bench().model, bench().solver, cfg);
+    runner.add_scheduler("HotPotato", [] {
+        return std::make_unique<hp::core::HotPotatoScheduler>();
+    });
+    runner.add_scheduler("PCGov", [] {
+        return std::make_unique<hp::sched::PcGovScheduler>();
+    });
+    runner.add_workload(
+        "bs2", {{&hp::workload::profile_by_name("blackscholes"), 2, 0.0}});
+    runner.add_workload(
+        "mix", {{&hp::workload::profile_by_name("canneal"), 4, 0.0},
+                {&hp::workload::profile_by_name("x264"), 4, 0.0}});
+    return runner;
+}
+
+TEST(Report, RunsEveryCombination) {
+    const auto records = make_runner().run_all();
+    ASSERT_EQ(records.size(), 4u);  // 2 schedulers x 2 workloads
+    EXPECT_EQ(records[0].workload, "bs2");
+    EXPECT_EQ(records[0].scheduler, "HotPotato");
+    EXPECT_EQ(records[1].scheduler, "PCGov");
+    EXPECT_EQ(records[2].workload, "mix");
+    for (const RunRecord& r : records) {
+        EXPECT_TRUE(r.result.all_finished);
+        EXPECT_GT(r.result.makespan_s, 0.0);
+    }
+}
+
+TEST(Report, MarkdownHasHeaderAndAllRows) {
+    const auto records = make_runner().run_all();
+    const std::string md = hp::report::to_markdown(records);
+    EXPECT_NE(md.find("| workload | scheduler |"), std::string::npos);
+    EXPECT_NE(md.find("HotPotato"), std::string::npos);
+    EXPECT_NE(md.find("PCGov"), std::string::npos);
+    // Header + separator + 4 rows.
+    EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 6);
+}
+
+TEST(Report, CsvRoundTripStructure) {
+    const auto records = make_runner().run_all();
+    std::ostringstream out;
+    hp::report::write_csv(out, records);
+    const std::string csv = out.str();
+    EXPECT_NE(csv.find("workload,scheduler,makespan_s"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+              static_cast<long>(records.size()) + 1);
+}
+
+TEST(Report, NullFactoryRejected) {
+    hp::sim::SimConfig cfg;
+    ComparisonRunner runner(bench().chip, bench().model, bench().solver, cfg);
+    EXPECT_THROW(runner.add_scheduler("bad", nullptr), std::invalid_argument);
+}
+
+}  // namespace

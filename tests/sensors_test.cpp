@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "sched/static_schedulers.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/sensors.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using hp::linalg::Vector;
+using hp::thermal::SensorBank;
+using hp::thermal::SensorParams;
+
+SensorParams quiet() {
+    SensorParams p;
+    p.noise_sigma_c = 0.0;
+    p.filter_alpha = 1.0;
+    return p;
+}
+
+TEST(Sensors, QuantizationSnapsToGrid) {
+    SensorParams p = quiet();
+    p.quantization_c = 0.5;
+    SensorBank bank(3, p);
+    bank.observe(Vector{45.26, 60.74, 70.01}, 0.0);
+    EXPECT_DOUBLE_EQ(bank.readings()[0], 45.5);
+    EXPECT_DOUBLE_EQ(bank.readings()[1], 60.5);
+    EXPECT_DOUBLE_EQ(bank.readings()[2], 70.0);
+}
+
+TEST(Sensors, HoldsBetweenSamples) {
+    SensorParams p = quiet();
+    p.sample_period_s = 1e-3;
+    SensorBank bank(1, p);
+    bank.observe(Vector{50.0}, 0.0);
+    bank.observe(Vector{60.0}, 0.5e-3);  // too early: held
+    EXPECT_DOUBLE_EQ(bank.readings()[0], 50.0);
+    bank.observe(Vector{60.0}, 1.0e-3);  // sample instant: refreshed
+    EXPECT_DOUBLE_EQ(bank.readings()[0], 60.0);
+}
+
+TEST(Sensors, NoiseHasRequestedScale) {
+    SensorParams p;
+    p.quantization_c = 0.0;
+    p.noise_sigma_c = 1.0;
+    p.filter_alpha = 1.0;
+    p.sample_period_s = 1e-6;
+    SensorBank bank(1, p);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        bank.observe(Vector{50.0}, i * 1e-6);
+        const double e = bank.raw_readings()[0] - 50.0;
+        sum += e;
+        sum_sq += e * e;
+    }
+    const double mean = sum / n;
+    const double stddev = std::sqrt(sum_sq / n - mean * mean);
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(stddev, 1.0, 0.1);
+}
+
+TEST(Sensors, FilterSmoothsNoise) {
+    SensorParams raw;
+    raw.noise_sigma_c = 1.0;
+    raw.filter_alpha = 1.0;
+    raw.sample_period_s = 1e-6;
+    SensorParams filt = raw;
+    filt.filter_alpha = 0.1;
+    SensorBank bank_raw(1, raw), bank_filt(1, filt);
+    double var_raw = 0.0, var_filt = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+        const Vector truth{50.0};
+        bank_raw.observe(truth, i * 1e-6);
+        bank_filt.observe(truth, i * 1e-6);
+        if (i < 500) continue;  // let the filter settle
+        var_raw += std::pow(bank_raw.readings()[0] - 50.0, 2);
+        var_filt += std::pow(bank_filt.readings()[0] - 50.0, 2);
+    }
+    EXPECT_LT(var_filt, 0.3 * var_raw);
+}
+
+TEST(Sensors, DeterministicForSeed) {
+    SensorParams p;
+    p.seed = 42;
+    SensorBank a(2, p), b(2, p);
+    a.observe(Vector{50.0, 60.0}, 0.0);
+    b.observe(Vector{50.0, 60.0}, 0.0);
+    EXPECT_EQ(a.readings()[0], b.readings()[0]);
+    EXPECT_EQ(a.readings()[1], b.readings()[1]);
+}
+
+TEST(Sensors, InvalidParamsThrow) {
+    SensorParams p;
+    p.sample_period_s = 0.0;
+    EXPECT_THROW(SensorBank(1, p), std::invalid_argument);
+    p = SensorParams{};
+    p.filter_alpha = 0.0;
+    EXPECT_THROW(SensorBank(1, p), std::invalid_argument);
+    EXPECT_THROW(SensorBank(0, SensorParams{}), std::invalid_argument);
+    SensorBank ok(2, SensorParams{});
+    EXPECT_THROW(ok.observe(Vector{1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Sensors, DtmWithNoisySensorsStaysBounded) {
+    // Sensor-driven DTM on the hot Fig. 2(a) workload: triggers fire around
+    // the threshold despite 0.5 C noise, and hysteresis prevents unbounded
+    // chatter.
+    hp::arch::ManyCore chip = hp::arch::ManyCore::paper_16core();
+    hp::thermal::ThermalModel model(chip.plan(), hp::thermal::RcNetworkConfig{});
+    hp::thermal::MatExSolver solver(model);
+
+    hp::sim::SimConfig cfg;
+    cfg.max_sim_time_s = 5.0;
+    cfg.dtm_uses_sensors = true;
+    hp::sim::Simulator sim(chip, model, solver, cfg);
+    sim.add_task({&hp::workload::profile_by_name("blackscholes"), 2, 0.0});
+    hp::sched::StaticScheduler sched({5, 10});
+    const auto r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_GE(r.dtm_triggers, 1u);
+    EXPECT_LT(r.dtm_triggers, 500u);          // hysteresis bounds chatter
+    EXPECT_LT(r.peak_temperature_c, 74.0);    // still protected
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "sched/static_schedulers.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_io.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+
+#include <sstream>
+
+namespace {
+
+using hp::arch::ManyCore;
+using hp::sched::FixedRotationScheduler;
+using hp::sched::StaticScheduler;
+using hp::sched::TspDvfsScheduler;
+using hp::sim::SimConfig;
+using hp::sim::SimResult;
+using hp::sim::Simulator;
+using hp::thermal::MatExSolver;
+using hp::thermal::RcNetworkConfig;
+using hp::thermal::ThermalModel;
+using hp::workload::profile_by_name;
+using hp::workload::TaskSpec;
+
+/// Shared 16-core test bench; thermal model/eigendecomposition built once.
+struct Bench {
+    ManyCore chip = ManyCore::paper_16core();
+    ThermalModel model{chip.plan(), RcNetworkConfig{}};
+    MatExSolver solver{model};
+
+    Simulator make(SimConfig config = {}) const {
+        return Simulator(chip, model, solver, config);
+    }
+};
+
+const Bench& bench() {
+    static const Bench b;
+    return b;
+}
+
+SimConfig fast_config() {
+    SimConfig c;
+    c.micro_step_s = 1e-4;
+    c.max_sim_time_s = 5.0;
+    return c;
+}
+
+TaskSpec blackscholes2(double arrival = 0.0) {
+    return TaskSpec{&profile_by_name("blackscholes"), 2, arrival};
+}
+
+// -------------------------------------------------------------- mechanics ---
+
+TEST(Simulator, RejectsBadTasks) {
+    Simulator sim = bench().make();
+    EXPECT_THROW(sim.add_task(TaskSpec{nullptr, 2, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(sim.add_task(TaskSpec{&profile_by_name("x264"), 0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(sim.add_task(TaskSpec{&profile_by_name("x264"), 17, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(Simulator, RunTwiceThrows) {
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(blackscholes2());
+    StaticScheduler sched({5, 10});
+    (void)sim.run(sched);
+    EXPECT_THROW((void)sim.run(sched), std::logic_error);
+}
+
+TEST(Simulator, SingleTaskFinishesWithPlausibleResponseTime) {
+    SimConfig cfg = fast_config();
+    cfg.t_dtm_c = 1000.0;  // disable DTM: raw performance
+    Simulator sim = bench().make(cfg);
+    sim.add_task(blackscholes2());
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    ASSERT_EQ(r.tasks.size(), 1u);
+    // Calibrated to the paper's motivational example: ~68 ms at 4 GHz.
+    EXPECT_NEAR(r.tasks[0].response_time_s(), 68e-3, 5e-3);
+}
+
+TEST(Simulator, UnmanagedHotRunViolatesThreshold) {
+    // Fig. 2(a): blackscholes at peak frequency exceeds 70 C (here DTM is
+    // disabled via a huge threshold to observe the raw thermal excursion).
+    SimConfig cfg = fast_config();
+    cfg.t_dtm_c = 1000.0;
+    Simulator sim = bench().make(cfg);
+    sim.add_task(blackscholes2());
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    EXPECT_GT(r.peak_temperature_c, 70.0);
+    EXPECT_LT(r.peak_temperature_c, 95.0);  // sane range
+}
+
+TEST(Simulator, DtmThrottlesWhenThresholdCrossed) {
+    Simulator sim = bench().make(fast_config());  // T_DTM = 70 C
+    sim.add_task(blackscholes2());
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    EXPECT_GE(r.dtm_triggers, 1u);
+    EXPECT_GT(r.dtm_throttled_s, 0.0);
+    // DTM caps the excursion: hysteresis-bounded overshoot, not runaway.
+    EXPECT_LT(r.peak_temperature_c, 73.0);
+    // Throttling costs time versus the unmanaged 68 ms.
+    EXPECT_GT(r.tasks[0].response_time_s(), 70e-3);
+}
+
+TEST(Simulator, TspDvfsKeepsRunThermallySafe) {
+    // Fig. 2(b): TSP budgeting must avoid DTM entirely, at a response-time
+    // cost versus the unmanaged run.
+    Simulator sim = bench().make(fast_config());
+    sim.add_task(blackscholes2());
+    TspDvfsScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_EQ(r.dtm_triggers, 0u);
+    EXPECT_LE(r.peak_temperature_c, 70.5);
+    EXPECT_GT(r.tasks[0].response_time_s(), 70e-3);
+}
+
+TEST(Simulator, RotationKeepsRunSafeAndFasterThanDvfs) {
+    // Fig. 2(c): synchronous rotation at peak frequency — safe, and faster
+    // than the DVFS run.
+    Simulator rot_sim = bench().make(fast_config());
+    rot_sim.add_task(blackscholes2());
+    FixedRotationScheduler rot({5, 6, 10, 9}, 0.5e-3);
+    const SimResult r_rot = rot_sim.run(rot);
+
+    Simulator dvfs_sim = bench().make(fast_config());
+    dvfs_sim.add_task(blackscholes2());
+    TspDvfsScheduler dvfs({5, 10});
+    const SimResult r_dvfs = dvfs_sim.run(dvfs);
+
+    ASSERT_TRUE(r_rot.all_finished);
+    EXPECT_EQ(r_rot.dtm_triggers, 0u);
+    EXPECT_LE(r_rot.peak_temperature_c, 70.5);
+    EXPECT_GT(r_rot.migrations, 50u);  // rotations happened
+    // Paper ordering: unmanaged (68) < rotation (74) < DVFS (84).
+    EXPECT_GT(r_rot.tasks[0].response_time_s(), 68e-3);
+    EXPECT_LT(r_rot.tasks[0].response_time_s(),
+              r_dvfs.tasks[0].response_time_s());
+}
+
+TEST(Simulator, MigrationsCostTime) {
+    SimConfig cfg = fast_config();
+    cfg.t_dtm_c = 1000.0;
+    Simulator pinned = bench().make(cfg);
+    pinned.add_task(blackscholes2());
+    StaticScheduler s({5, 10});
+    const SimResult r_pinned = pinned.run(s);
+
+    Simulator rotated = bench().make(cfg);
+    rotated.add_task(blackscholes2());
+    FixedRotationScheduler rot({5, 6, 10, 9}, 0.5e-3);
+    const SimResult r_rot = rotated.run(rot);
+
+    EXPECT_GT(r_rot.tasks[0].response_time_s(),
+              r_pinned.tasks[0].response_time_s());
+    // Paper: ~8% rotation overhead at tau = 0.5 ms; allow a loose band.
+    const double overhead = r_rot.tasks[0].response_time_s() /
+                                r_pinned.tasks[0].response_time_s() -
+                            1.0;
+    EXPECT_GT(overhead, 0.02);
+    EXPECT_LT(overhead, 0.20);
+}
+
+TEST(Simulator, QueuedTaskStartsAfterFirstFinishes) {
+    SimConfig cfg = fast_config();
+    cfg.t_dtm_c = 1000.0;
+    Simulator sim = bench().make(cfg);
+    // 9-thread tasks: two of them cannot run at once on 16 cores with the
+    // static fallback placement... they can (9+9 > 16), so the second queues.
+    sim.add_task(TaskSpec{&profile_by_name("swaptions"), 9, 0.0});
+    sim.add_task(TaskSpec{&profile_by_name("swaptions"), 9, 0.0});
+    StaticScheduler sched;
+    const SimResult r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    ASSERT_EQ(r.tasks.size(), 2u);
+    // Second task observed a queueing delay: started at the first's finish.
+    const auto& second = r.tasks[1];
+    EXPECT_GT(second.start_s, 0.0);
+    EXPECT_GE(second.finish_s, r.tasks[0].finish_s);
+}
+
+TEST(Simulator, PhaseBarriersIdleWorkers) {
+    // During blackscholes' serial phases the worker core must draw idle-level
+    // power. Observe via a trace.
+    SimConfig cfg = fast_config();
+    cfg.t_dtm_c = 1000.0;
+    cfg.trace_interval_s = 1e-3;
+    Simulator sim = bench().make(cfg);
+    sim.add_task(blackscholes2());
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    ASSERT_FALSE(r.trace.empty());
+    // Early in phase 1 only the master (core 5) is hot.
+    const auto& early = r.trace[2];
+    EXPECT_GT(early.core_power_w[5], 3.0);
+    EXPECT_LT(early.core_power_w[10], 1.0);
+}
+
+TEST(Simulator, TraceRoundTripsThroughCsv) {
+    SimConfig cfg = fast_config();
+    cfg.trace_interval_s = 5e-3;
+    Simulator sim = bench().make(cfg);
+    sim.add_task(blackscholes2());
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    ASSERT_GT(r.trace.size(), 2u);
+    std::ostringstream out;
+    hp::sim::write_trace_csv(out, r.trace);
+    const std::string csv = out.str();
+    EXPECT_NE(csv.find("time_s,max_temp_c"), std::string::npos);
+    // Header plus one line per sample.
+    const std::size_t lines =
+        static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, r.trace.size() + 1);
+}
+
+TEST(Simulator, ArrivalTimesAreHonoured) {
+    SimConfig cfg = fast_config();
+    cfg.t_dtm_c = 1000.0;
+    Simulator sim = bench().make(cfg);
+    sim.add_task(blackscholes2(0.0));
+    sim.add_task(blackscholes2(0.050));
+    StaticScheduler sched;
+    const SimResult r = sim.run(sched);
+    ASSERT_TRUE(r.all_finished);
+    EXPECT_GE(r.tasks[1].start_s, 0.050);
+}
+
+TEST(Simulator, MaxSimTimeStopsRunawayRuns) {
+    SimConfig cfg = fast_config();
+    cfg.max_sim_time_s = 0.01;  // far too short for blackscholes
+    Simulator sim = bench().make(cfg);
+    sim.add_task(blackscholes2());
+    StaticScheduler sched({5, 10});
+    const SimResult r = sim.run(sched);
+    EXPECT_FALSE(r.all_finished);
+    EXPECT_NEAR(r.simulated_time_s, 0.01, 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "arch/manycore.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/benchmark.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using hp::arch::ManyCore;
+using hp::sim::SimConfig;
+using hp::sim::SimContext;
+using hp::sim::SimResult;
+using hp::sim::Simulator;
+using hp::thermal::MatExSolver;
+using hp::thermal::RcNetworkConfig;
+using hp::thermal::ThermalModel;
+
+/// A scheduler that performs random-but-legal actions every epoch and checks
+/// the machine's self-consistency invariants as it goes. Any mapping
+/// corruption, double-occupancy or stale thread reference shows up as a
+/// test failure or an exception out of the simulator.
+class FuzzScheduler : public hp::sim::Scheduler {
+public:
+    explicit FuzzScheduler(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "fuzz"; }
+
+    bool on_task_arrival(SimContext& ctx, hp::sim::TaskId task) override {
+        auto free = ctx.free_cores();
+        const auto& t = ctx.task(task);
+        if (free.size() < t.thread_count) return false;
+        std::shuffle(free.begin(), free.end(), rng_);
+        for (std::size_t i = 0; i < t.thread_count; ++i)
+            ctx.place(t.threads[i], free[i]);
+        return true;
+    }
+
+    void on_epoch(SimContext& ctx) override {
+        check_mapping_consistency(ctx);
+
+        std::uniform_int_distribution<int> action(0, 3);
+        switch (action(rng_)) {
+            case 0: {  // random migration to a free core
+                const auto free = ctx.free_cores();
+                if (free.empty()) break;
+                std::vector<std::size_t> occupied;
+                for (std::size_t c = 0; c < ctx.chip().core_count(); ++c)
+                    if (ctx.thread_on(c) != hp::sim::kNone) occupied.push_back(c);
+                if (occupied.empty()) break;
+                const std::size_t src =
+                    occupied[rng_() % occupied.size()];
+                ctx.migrate(ctx.thread_on(src), free[rng_() % free.size()]);
+                break;
+            }
+            case 1: {  // rotate a random contiguous ring
+                const auto& rings = ctx.chip().rings();
+                const auto& ring = rings[rng_() % rings.size()];
+                ctx.rotate(ring.cores);
+                break;
+            }
+            case 2: {  // random DVFS on a random core
+                const std::size_t c = rng_() % ctx.chip().core_count();
+                std::uniform_real_distribution<double> f(0.5e9, 5e9);
+                ctx.set_frequency(c, f(rng_));
+                // set_frequency must quantize into the legal range.
+                EXPECT_GE(ctx.frequency(c), ctx.chip().dvfs().f_min_hz);
+                EXPECT_LE(ctx.frequency(c), ctx.chip().dvfs().f_max_hz);
+                break;
+            }
+            default:
+                break;  // do nothing this epoch
+        }
+    }
+
+    void check_mapping_consistency(SimContext& ctx) {
+        for (std::size_t c = 0; c < ctx.chip().core_count(); ++c) {
+            const hp::sim::ThreadId id = ctx.thread_on(c);
+            if (id == hp::sim::kNone) continue;
+            EXPECT_EQ(ctx.core_of(id), c) << "mapping out of sync";
+            EXPECT_FALSE(ctx.thread(id).finished)
+                << "finished thread still mapped";
+        }
+    }
+
+private:
+    std::mt19937_64 rng_;
+};
+
+class StressSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressSweep, RandomActionsPreserveInvariants) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+    ManyCore chip = GetParam() % 2 == 0 ? ManyCore::paper_16core()
+                                        : ManyCore::stacked_32core();
+    ThermalModel model(chip.plan(), RcNetworkConfig{});
+    MatExSolver solver(model);
+
+    SimConfig cfg;
+    cfg.max_sim_time_s = 3.0;
+    cfg.t_dtm_c = 70.0;
+    Simulator sim(chip, model, solver, cfg);
+    sim.add_tasks(hp::workload::poisson_mix(6, 80.0, 2, 4, seed));
+
+    FuzzScheduler fuzz(seed * 7919 + 13);
+    const SimResult r = sim.run(fuzz);
+
+    ASSERT_TRUE(r.all_finished) << "seed " << seed;
+    // Physical sanity regardless of how threads were shuffled around.
+    EXPECT_GT(r.peak_temperature_c, cfg.ambient_c);
+    EXPECT_LT(r.peak_temperature_c, 120.0);
+    double task_energy = 0.0;
+    for (const auto& t : r.tasks) {
+        EXPECT_GT(t.response_time_s(), 0.0);
+        EXPECT_GE(t.start_s, t.arrival_s);
+        EXPECT_GT(t.energy_j, 0.0);
+        task_energy += t.energy_j;
+    }
+    EXPECT_NEAR(task_energy + r.idle_energy_j, r.total_energy_j,
+                1e-9 * std::max(1.0, r.total_energy_j));
+    EXPECT_GT(r.total_energy_j, 0.0);
+    EXPECT_LE(r.makespan_s, r.simulated_time_s + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep, ::testing::Range(0, 10));
+
+TEST(StressApi, IllegalActionsThrow) {
+    ManyCore chip = ManyCore::paper_16core();
+    ThermalModel model(chip.plan(), RcNetworkConfig{});
+    MatExSolver solver(model);
+    SimConfig cfg;
+    cfg.max_sim_time_s = 0.01;
+    Simulator sim(chip, model, solver, cfg);
+    sim.add_task({&hp::workload::profile_by_name("canneal"), 2, 0.0});
+
+    struct Prober : hp::sim::Scheduler {
+        std::string name() const override { return "prober"; }
+        bool on_task_arrival(SimContext& ctx, hp::sim::TaskId task) override {
+            const auto& t = ctx.task(task);
+            ctx.place(t.threads[0], 5);
+            ctx.place(t.threads[1], 10);
+            // Double placement, occupied destinations, bad indices.
+            EXPECT_THROW(ctx.place(t.threads[0], 6), std::logic_error);
+            EXPECT_THROW(ctx.migrate(t.threads[0], 10), std::logic_error);
+            EXPECT_THROW(ctx.migrate(t.threads[0], 99), std::out_of_range);
+            EXPECT_THROW((void)ctx.core_temperature(99), std::out_of_range);
+            EXPECT_THROW(ctx.set_frequency(99, 4e9), std::out_of_range);
+            EXPECT_THROW((void)ctx.thread(9999), std::out_of_range);
+            EXPECT_THROW((void)ctx.task(9999), std::out_of_range);
+            return true;
+        }
+    } prober;
+    (void)sim.run(prober);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using hp::workload::BenchmarkProfile;
+using hp::workload::parsec_profiles;
+using hp::workload::profile_by_name;
+using hp::workload::TaskSpec;
+
+TEST(Benchmarks, PaperSuiteIsPresent) {
+    // §VI: streamcluster, x264, bodytrack, canneal, blackscholes, dedup,
+    // fluidanimate, swaptions.
+    const auto& profiles = parsec_profiles();
+    EXPECT_EQ(profiles.size(), 8u);
+    for (const char* name :
+         {"streamcluster", "x264", "bodytrack", "canneal", "blackscholes",
+          "dedup", "fluidanimate", "swaptions"})
+        EXPECT_NO_THROW((void)profile_by_name(name)) << name;
+    EXPECT_THROW((void)profile_by_name("facesim"), std::invalid_argument);
+}
+
+TEST(Benchmarks, ProfilesAreWellFormed) {
+    for (const BenchmarkProfile& p : parsec_profiles()) {
+        EXPECT_FALSE(p.phases.empty()) << p.name;
+        EXPECT_GE(p.default_threads, 2u) << p.name;
+        for (const auto& phase : p.phases) {
+            EXPECT_GE(phase.master_instructions, 0.0);
+            EXPECT_GE(phase.worker_instructions, 0.0);
+            EXPECT_GT(phase.master_instructions + phase.worker_instructions,
+                      0.0)
+                << p.name << " has an all-idle phase";
+            EXPECT_GT(phase.perf.base_cpi, 0.0);
+            EXPECT_GE(phase.perf.llc_apki, 0.0);
+            EXPECT_GT(phase.perf.nominal_power_w, 0.0);
+        }
+    }
+}
+
+TEST(Benchmarks, CannealIsCoolestAndMostMemoryBound) {
+    // The paper singles canneal out: memory-intensive, produces very little
+    // heat, lowest speedup potential.
+    const BenchmarkProfile& canneal = profile_by_name("canneal");
+    for (const BenchmarkProfile& p : parsec_profiles()) {
+        if (p.name == "canneal") continue;
+        for (const auto& phase : p.phases) {
+            EXPECT_GT(phase.perf.nominal_power_w,
+                      canneal.phases[0].perf.nominal_power_w);
+            EXPECT_LT(phase.perf.llc_apki, canneal.phases[0].perf.llc_apki);
+        }
+    }
+}
+
+TEST(Benchmarks, BlackscholesHasMasterWorkerAlternation) {
+    // Fig. 2's three phases: master prep, worker pricing, master wrap-up.
+    const BenchmarkProfile& bs = profile_by_name("blackscholes");
+    ASSERT_EQ(bs.phases.size(), 3u);
+    EXPECT_GT(bs.phases[0].master_instructions, 0.0);
+    EXPECT_DOUBLE_EQ(bs.phases[0].worker_instructions, 0.0);
+    EXPECT_DOUBLE_EQ(bs.phases[1].master_instructions, 0.0);
+    EXPECT_GT(bs.phases[1].worker_instructions, 0.0);
+    EXPECT_GT(bs.phases[2].master_instructions, 0.0);
+    EXPECT_DOUBLE_EQ(bs.phases[2].worker_instructions, 0.0);
+}
+
+TEST(Benchmarks, TotalInstructionsScalesWithThreads) {
+    const BenchmarkProfile& sw = profile_by_name("swaptions");
+    EXPECT_GT(sw.total_instructions(4), sw.total_instructions(2));
+    EXPECT_GT(sw.total_instructions(2), 0.0);
+}
+
+// ------------------------------------------------------------- generators ---
+
+TEST(HomogeneousFill, FillsExactBudget) {
+    const BenchmarkProfile& p = profile_by_name("swaptions");
+    for (std::size_t budget : {8u, 16u, 64u}) {
+        const auto specs = hp::workload::homogeneous_fill(p, budget, 42);
+        std::size_t total = 0;
+        for (const TaskSpec& s : specs) {
+            EXPECT_EQ(s.profile, &p);
+            EXPECT_DOUBLE_EQ(s.arrival_s, 0.0);
+            EXPECT_GE(s.thread_count, 2u);
+            total += s.thread_count;
+        }
+        EXPECT_EQ(total, budget);
+    }
+}
+
+TEST(HomogeneousFill, DeterministicForSeed) {
+    const BenchmarkProfile& p = profile_by_name("x264");
+    const auto a = hp::workload::homogeneous_fill(p, 64, 7);
+    const auto b = hp::workload::homogeneous_fill(p, 64, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].thread_count, b[i].thread_count);
+}
+
+TEST(HomogeneousFill, RejectsTinyBudget) {
+    EXPECT_THROW(
+        (void)hp::workload::homogeneous_fill(profile_by_name("dedup"), 1, 0),
+        std::invalid_argument);
+}
+
+TEST(PoissonMix, ArrivalsAreOrderedAndStartAtZero) {
+    const auto specs = hp::workload::poisson_mix(20, 10.0, 2, 8, 123);
+    ASSERT_EQ(specs.size(), 20u);
+    EXPECT_DOUBLE_EQ(specs.front().arrival_s, 0.0);
+    for (std::size_t i = 1; i < specs.size(); ++i)
+        EXPECT_GE(specs[i].arrival_s, specs[i - 1].arrival_s);
+}
+
+TEST(PoissonMix, ThreadCountsWithinRange) {
+    const auto specs = hp::workload::poisson_mix(50, 5.0, 2, 8, 9);
+    for (const TaskSpec& s : specs) {
+        EXPECT_GE(s.thread_count, 2u);
+        EXPECT_LE(s.thread_count, 8u);
+        EXPECT_NE(s.profile, nullptr);
+    }
+}
+
+TEST(PoissonMix, UsesMultipleBenchmarks) {
+    const auto specs = hp::workload::poisson_mix(40, 5.0, 2, 8, 11);
+    std::set<const BenchmarkProfile*> used;
+    for (const TaskSpec& s : specs) used.insert(s.profile);
+    EXPECT_GT(used.size(), 3u);
+}
+
+TEST(PoissonMix, HigherRateArrivesFaster) {
+    const auto slow = hp::workload::poisson_mix(30, 2.0, 2, 4, 5);
+    const auto fast = hp::workload::poisson_mix(30, 50.0, 2, 4, 5);
+    EXPECT_GT(slow.back().arrival_s, fast.back().arrival_s);
+}
+
+TEST(PoissonMix, InvalidArgsThrow) {
+    EXPECT_THROW((void)hp::workload::poisson_mix(10, 0.0, 2, 4, 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)hp::workload::poisson_mix(10, 1.0, 1, 4, 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)hp::workload::poisson_mix(10, 1.0, 4, 2, 1),
+                 std::invalid_argument);
+}
+
+}  // namespace
