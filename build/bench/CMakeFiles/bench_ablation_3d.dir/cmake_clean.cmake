@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_3d.dir/bench_ablation_3d.cpp.o"
+  "CMakeFiles/bench_ablation_3d.dir/bench_ablation_3d.cpp.o.d"
+  "bench_ablation_3d"
+  "bench_ablation_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fidelity.dir/bench_ablation_fidelity.cpp.o"
+  "CMakeFiles/bench_ablation_fidelity.dir/bench_ablation_fidelity.cpp.o.d"
+  "bench_ablation_fidelity"
+  "bench_ablation_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optimality.dir/bench_ablation_optimality.cpp.o"
+  "CMakeFiles/bench_ablation_optimality.dir/bench_ablation_optimality.cpp.o.d"
+  "bench_ablation_optimality"
+  "bench_ablation_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rings.dir/bench_ablation_rings.cpp.o"
+  "CMakeFiles/bench_ablation_rings.dir/bench_ablation_rings.cpp.o.d"
+  "bench_ablation_rings"
+  "bench_ablation_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tau.dir/bench_ablation_tau.cpp.o"
+  "CMakeFiles/bench_ablation_tau.dir/bench_ablation_tau.cpp.o.d"
+  "bench_ablation_tau"
+  "bench_ablation_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_traces.dir/bench_fig2_traces.cpp.o"
+  "CMakeFiles/bench_fig2_traces.dir/bench_fig2_traces.cpp.o.d"
+  "bench_fig2_traces"
+  "bench_fig2_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

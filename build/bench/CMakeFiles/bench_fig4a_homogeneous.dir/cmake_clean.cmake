@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_homogeneous.dir/bench_fig4a_homogeneous.cpp.o"
+  "CMakeFiles/bench_fig4a_homogeneous.dir/bench_fig4a_homogeneous.cpp.o.d"
+  "bench_fig4a_homogeneous"
+  "bench_fig4a_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_heterogeneous.dir/bench_fig4b_heterogeneous.cpp.o"
+  "CMakeFiles/bench_fig4b_heterogeneous.dir/bench_fig4b_heterogeneous.cpp.o.d"
+  "bench_fig4b_heterogeneous"
+  "bench_fig4b_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

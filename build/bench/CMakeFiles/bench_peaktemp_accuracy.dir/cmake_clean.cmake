@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peaktemp_accuracy.dir/bench_peaktemp_accuracy.cpp.o"
+  "CMakeFiles/bench_peaktemp_accuracy.dir/bench_peaktemp_accuracy.cpp.o.d"
+  "bench_peaktemp_accuracy"
+  "bench_peaktemp_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peaktemp_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

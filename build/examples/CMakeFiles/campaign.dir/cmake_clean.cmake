@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign.dir/campaign.cpp.o"
+  "CMakeFiles/campaign.dir/campaign.cpp.o.d"
+  "campaign"
+  "campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

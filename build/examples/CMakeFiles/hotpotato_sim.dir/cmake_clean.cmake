@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpotato_sim.dir/hotpotato_sim.cpp.o"
+  "CMakeFiles/hotpotato_sim.dir/hotpotato_sim.cpp.o.d"
+  "hotpotato_sim"
+  "hotpotato_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpotato_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

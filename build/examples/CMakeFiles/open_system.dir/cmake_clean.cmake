@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_system.dir/open_system.cpp.o"
+  "CMakeFiles/open_system.dir/open_system.cpp.o.d"
+  "open_system"
+  "open_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

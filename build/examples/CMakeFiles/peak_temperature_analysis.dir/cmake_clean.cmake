@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_temperature_analysis.dir/peak_temperature_analysis.cpp.o"
+  "CMakeFiles/peak_temperature_analysis.dir/peak_temperature_analysis.cpp.o.d"
+  "peak_temperature_analysis"
+  "peak_temperature_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_temperature_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_faceoff.dir/scheduler_faceoff.cpp.o"
+  "CMakeFiles/scheduler_faceoff.dir/scheduler_faceoff.cpp.o.d"
+  "scheduler_faceoff"
+  "scheduler_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_heatmap.dir/thermal_heatmap.cpp.o"
+  "CMakeFiles/thermal_heatmap.dir/thermal_heatmap.cpp.o.d"
+  "thermal_heatmap"
+  "thermal_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("linalg")
+subdirs("floorplan")
+subdirs("noc")
+subdirs("mem")
+subdirs("thermal")
+subdirs("arch")
+subdirs("power")
+subdirs("perf")
+subdirs("workload")
+subdirs("sim")
+subdirs("sched")
+subdirs("core")
+subdirs("cli")
+subdirs("report")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_arch.dir/dvfs.cpp.o"
+  "CMakeFiles/hp_arch.dir/dvfs.cpp.o.d"
+  "CMakeFiles/hp_arch.dir/manycore.cpp.o"
+  "CMakeFiles/hp_arch.dir/manycore.cpp.o.d"
+  "libhp_arch.a"
+  "libhp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

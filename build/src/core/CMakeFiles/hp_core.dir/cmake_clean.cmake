@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_core.dir/hotpotato.cpp.o"
+  "CMakeFiles/hp_core.dir/hotpotato.cpp.o.d"
+  "CMakeFiles/hp_core.dir/hotpotato_dvfs.cpp.o"
+  "CMakeFiles/hp_core.dir/hotpotato_dvfs.cpp.o.d"
+  "CMakeFiles/hp_core.dir/peak_temperature.cpp.o"
+  "CMakeFiles/hp_core.dir/peak_temperature.cpp.o.d"
+  "CMakeFiles/hp_core.dir/rotation_planner.cpp.o"
+  "CMakeFiles/hp_core.dir/rotation_planner.cpp.o.d"
+  "libhp_core.a"
+  "libhp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

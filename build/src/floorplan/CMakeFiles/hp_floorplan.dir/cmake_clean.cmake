@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/hp_floorplan.dir/floorplan.cpp.o.d"
+  "libhp_floorplan.a"
+  "libhp_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen_sym.cpp" "src/linalg/CMakeFiles/hp_linalg.dir/eigen_sym.cpp.o" "gcc" "src/linalg/CMakeFiles/hp_linalg.dir/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/expm.cpp" "src/linalg/CMakeFiles/hp_linalg.dir/expm.cpp.o" "gcc" "src/linalg/CMakeFiles/hp_linalg.dir/expm.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/linalg/CMakeFiles/hp_linalg.dir/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/hp_linalg.dir/lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/hp_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/hp_linalg.dir/expm.cpp.o"
+  "CMakeFiles/hp_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/hp_linalg.dir/lu.cpp.o"
+  "CMakeFiles/hp_linalg.dir/lu.cpp.o.d"
+  "libhp_linalg.a"
+  "libhp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/hp_mem.dir/memory_system.cpp.o.d"
+  "libhp_mem.a"
+  "libhp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhp_mem.a"
+)

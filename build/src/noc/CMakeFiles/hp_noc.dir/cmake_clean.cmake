@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_noc.dir/mesh.cpp.o"
+  "CMakeFiles/hp_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/hp_noc.dir/traffic.cpp.o"
+  "CMakeFiles/hp_noc.dir/traffic.cpp.o.d"
+  "libhp_noc.a"
+  "libhp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

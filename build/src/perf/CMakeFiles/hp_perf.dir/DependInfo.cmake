@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/interval_model.cpp" "src/perf/CMakeFiles/hp_perf.dir/interval_model.cpp.o" "gcc" "src/perf/CMakeFiles/hp_perf.dir/interval_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/hp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/hp_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_perf.dir/interval_model.cpp.o"
+  "CMakeFiles/hp_perf.dir/interval_model.cpp.o.d"
+  "libhp_perf.a"
+  "libhp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

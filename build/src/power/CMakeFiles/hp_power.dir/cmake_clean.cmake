@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_power.dir/power_model.cpp.o"
+  "CMakeFiles/hp_power.dir/power_model.cpp.o.d"
+  "libhp_power.a"
+  "libhp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

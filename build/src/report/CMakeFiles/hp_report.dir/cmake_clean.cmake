@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_report.dir/comparison.cpp.o"
+  "CMakeFiles/hp_report.dir/comparison.cpp.o.d"
+  "libhp_report.a"
+  "libhp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

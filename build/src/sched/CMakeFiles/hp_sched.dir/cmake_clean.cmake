@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_sched.dir/global_rotation.cpp.o"
+  "CMakeFiles/hp_sched.dir/global_rotation.cpp.o.d"
+  "CMakeFiles/hp_sched.dir/pcgov.cpp.o"
+  "CMakeFiles/hp_sched.dir/pcgov.cpp.o.d"
+  "CMakeFiles/hp_sched.dir/pcmig.cpp.o"
+  "CMakeFiles/hp_sched.dir/pcmig.cpp.o.d"
+  "CMakeFiles/hp_sched.dir/placement.cpp.o"
+  "CMakeFiles/hp_sched.dir/placement.cpp.o.d"
+  "CMakeFiles/hp_sched.dir/reactive.cpp.o"
+  "CMakeFiles/hp_sched.dir/reactive.cpp.o.d"
+  "CMakeFiles/hp_sched.dir/static_schedulers.cpp.o"
+  "CMakeFiles/hp_sched.dir/static_schedulers.cpp.o.d"
+  "CMakeFiles/hp_sched.dir/tsp.cpp.o"
+  "CMakeFiles/hp_sched.dir/tsp.cpp.o.d"
+  "libhp_sched.a"
+  "libhp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

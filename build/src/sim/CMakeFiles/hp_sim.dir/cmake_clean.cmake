@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hp_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/hp_sim.dir/trace_io.cpp.o.d"
+  "libhp_sim.a"
+  "libhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/matex.cpp" "src/thermal/CMakeFiles/hp_thermal.dir/matex.cpp.o" "gcc" "src/thermal/CMakeFiles/hp_thermal.dir/matex.cpp.o.d"
+  "/root/repo/src/thermal/rc_network.cpp" "src/thermal/CMakeFiles/hp_thermal.dir/rc_network.cpp.o" "gcc" "src/thermal/CMakeFiles/hp_thermal.dir/rc_network.cpp.o.d"
+  "/root/repo/src/thermal/reference_integrator.cpp" "src/thermal/CMakeFiles/hp_thermal.dir/reference_integrator.cpp.o" "gcc" "src/thermal/CMakeFiles/hp_thermal.dir/reference_integrator.cpp.o.d"
+  "/root/repo/src/thermal/sensors.cpp" "src/thermal/CMakeFiles/hp_thermal.dir/sensors.cpp.o" "gcc" "src/thermal/CMakeFiles/hp_thermal.dir/sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/hp_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

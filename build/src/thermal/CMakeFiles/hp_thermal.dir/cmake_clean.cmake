@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_thermal.dir/matex.cpp.o"
+  "CMakeFiles/hp_thermal.dir/matex.cpp.o.d"
+  "CMakeFiles/hp_thermal.dir/rc_network.cpp.o"
+  "CMakeFiles/hp_thermal.dir/rc_network.cpp.o.d"
+  "CMakeFiles/hp_thermal.dir/reference_integrator.cpp.o"
+  "CMakeFiles/hp_thermal.dir/reference_integrator.cpp.o.d"
+  "CMakeFiles/hp_thermal.dir/sensors.cpp.o"
+  "CMakeFiles/hp_thermal.dir/sensors.cpp.o.d"
+  "libhp_thermal.a"
+  "libhp_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

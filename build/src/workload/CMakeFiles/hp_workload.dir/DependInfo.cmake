@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark.cpp" "src/workload/CMakeFiles/hp_workload.dir/benchmark.cpp.o" "gcc" "src/workload/CMakeFiles/hp_workload.dir/benchmark.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/hp_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/hp_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/workload_io.cpp" "src/workload/CMakeFiles/hp_workload.dir/workload_io.cpp.o" "gcc" "src/workload/CMakeFiles/hp_workload.dir/workload_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/hp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/hp_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_workload.dir/benchmark.cpp.o"
+  "CMakeFiles/hp_workload.dir/benchmark.cpp.o.d"
+  "CMakeFiles/hp_workload.dir/generator.cpp.o"
+  "CMakeFiles/hp_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/hp_workload.dir/workload_io.cpp.o"
+  "CMakeFiles/hp_workload.dir/workload_io.cpp.o.d"
+  "libhp_workload.a"
+  "libhp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

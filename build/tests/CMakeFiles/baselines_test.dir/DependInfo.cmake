@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/hp_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hp_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/hp_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/hp_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_test.dir/floorplan_test.cpp.o"
+  "CMakeFiles/floorplan_test.dir/floorplan_test.cpp.o.d"
+  "floorplan_test"
+  "floorplan_test.pdb"
+  "floorplan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

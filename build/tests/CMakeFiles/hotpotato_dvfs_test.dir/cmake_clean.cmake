@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpotato_dvfs_test.dir/hotpotato_dvfs_test.cpp.o"
+  "CMakeFiles/hotpotato_dvfs_test.dir/hotpotato_dvfs_test.cpp.o.d"
+  "hotpotato_dvfs_test"
+  "hotpotato_dvfs_test.pdb"
+  "hotpotato_dvfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpotato_dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

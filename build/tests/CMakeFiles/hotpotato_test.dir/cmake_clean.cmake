@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpotato_test.dir/hotpotato_test.cpp.o"
+  "CMakeFiles/hotpotato_test.dir/hotpotato_test.cpp.o.d"
+  "hotpotato_test"
+  "hotpotato_test.pdb"
+  "hotpotato_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpotato_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matex_peak_test.dir/matex_peak_test.cpp.o"
+  "CMakeFiles/matex_peak_test.dir/matex_peak_test.cpp.o.d"
+  "matex_peak_test"
+  "matex_peak_test.pdb"
+  "matex_peak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matex_peak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

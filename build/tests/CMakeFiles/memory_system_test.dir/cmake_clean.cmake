@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_system_test.dir/memory_system_test.cpp.o"
+  "CMakeFiles/memory_system_test.dir/memory_system_test.cpp.o.d"
+  "memory_system_test"
+  "memory_system_test.pdb"
+  "memory_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

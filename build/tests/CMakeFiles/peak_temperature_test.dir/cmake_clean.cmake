@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_temperature_test.dir/peak_temperature_test.cpp.o"
+  "CMakeFiles/peak_temperature_test.dir/peak_temperature_test.cpp.o.d"
+  "peak_temperature_test"
+  "peak_temperature_test.pdb"
+  "peak_temperature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_temperature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

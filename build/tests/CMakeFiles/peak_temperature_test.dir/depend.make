@@ -1,0 +1,2 @@
+# Empty dependencies file for peak_temperature_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_gating_test.dir/power_gating_test.cpp.o"
+  "CMakeFiles/power_gating_test.dir/power_gating_test.cpp.o.d"
+  "power_gating_test"
+  "power_gating_test.pdb"
+  "power_gating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_gating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_perf_test.dir/power_perf_test.cpp.o"
+  "CMakeFiles/power_perf_test.dir/power_perf_test.cpp.o.d"
+  "power_perf_test"
+  "power_perf_test.pdb"
+  "power_perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotation_planner_test.dir/rotation_planner_test.cpp.o"
+  "CMakeFiles/rotation_planner_test.dir/rotation_planner_test.cpp.o.d"
+  "rotation_planner_test"
+  "rotation_planner_test.pdb"
+  "rotation_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotation_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

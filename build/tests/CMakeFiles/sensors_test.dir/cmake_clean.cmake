@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensors_test.dir/sensors_test.cpp.o"
+  "CMakeFiles/sensors_test.dir/sensors_test.cpp.o.d"
+  "sensors_test"
+  "sensors_test.pdb"
+  "sensors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacked_test.dir/stacked_test.cpp.o"
+  "CMakeFiles/stacked_test.dir/stacked_test.cpp.o.d"
+  "stacked_test"
+  "stacked_test.pdb"
+  "stacked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

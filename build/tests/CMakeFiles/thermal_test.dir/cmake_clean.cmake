@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_test.dir/thermal_test.cpp.o"
+  "CMakeFiles/thermal_test.dir/thermal_test.cpp.o.d"
+  "thermal_test"
+  "thermal_test.pdb"
+  "thermal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_test.dir/tsp_test.cpp.o"
+  "CMakeFiles/tsp_test.dir/tsp_test.cpp.o.d"
+  "tsp_test"
+  "tsp_test.pdb"
+  "tsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
