@@ -6,6 +6,8 @@
 #include "arch/manycore.hpp"
 #include "core/hotpotato.hpp"
 #include "core/hotpotato_dvfs.hpp"
+#include "fault/fault_io.hpp"
+#include "report/resilience.hpp"
 #include "sched/pcgov.hpp"
 #include "sched/pcmig.hpp"
 #include "sched/reactive.hpp"
@@ -49,6 +51,13 @@ simulation:
   --max-time S             simulated-time budget     (default 30)
   --trace PATH             write a thermal trace CSV
   --trace-interval S       trace sampling period     (default 1e-3)
+
+resilience:
+  --faults PATH            fault schedule CSV
+                           (time_s,kind,target,duration_s,magnitude)
+  --fault-seed S           seed for fault perturbations (default 1)
+  --watchdog               thermal-runaway watchdog (emergency f_min
+                           throttle; implied by --faults)
   --help                   this text
 )";
 }
@@ -99,6 +108,10 @@ CliOptions parse(const std::vector<std::string>& args) {
             o.power_gating = true;
             continue;
         }
+        if (flag == "--watchdog") {
+            o.watchdog = true;
+            continue;
+        }
         const auto value = [&]() -> const std::string& {
             if (i + 1 >= args.size())
                 throw std::invalid_argument(flag + " needs a value");
@@ -122,16 +135,37 @@ CliOptions parse(const std::vector<std::string>& args) {
         else if (flag == "--trace") o.trace_file = value();
         else if (flag == "--trace-interval")
             o.trace_interval_s = parse_double(flag, value());
+        else if (flag == "--faults") o.faults_file = value();
+        else if (flag == "--fault-seed") o.fault_seed = parse_uint(flag, value());
         else
             throw std::invalid_argument("unknown flag: " + flag);
     }
+
+    // Semantic validation: collect every violation before throwing so the
+    // user can fix a bad invocation in one pass.
+    std::vector<std::string> violations;
     if (o.rows == 0 || o.cols == 0 || o.layers == 0)
-        throw std::invalid_argument("machine dimensions must be positive");
+        violations.push_back("machine dimensions must be positive");
     if (!o.tasks_file.empty() && !o.benchmark.empty())
-        throw std::invalid_argument(
+        violations.push_back(
             "--tasks-file and --benchmark are mutually exclusive");
     if (o.min_threads < 2 || o.max_threads < o.min_threads)
-        throw std::invalid_argument("bad thread-count range");
+        violations.push_back(
+            "bad thread-count range: need 2 <= --min-threads <= "
+            "--max-threads");
+    if (o.t_dtm_c <= o.ambient_c)
+        violations.push_back("--t-dtm must exceed --ambient");
+    if (o.max_time_s <= 0.0)
+        violations.push_back("--max-time must be positive");
+    if (o.arrivals_per_s <= 0.0)
+        violations.push_back("--rate must be positive");
+    if (o.trace_interval_s <= 0.0)
+        violations.push_back("--trace-interval must be positive");
+    if (!violations.empty()) {
+        std::string message = "invalid options:";
+        for (const std::string& v : violations) message += "\n  - " + v;
+        throw std::invalid_argument(message);
+    }
     return o;
 }
 
@@ -165,6 +199,12 @@ int run(const CliOptions& options, std::ostream& out) {
     config.dtm_uses_sensors = options.sensors;
     if (!options.trace_file.empty())
         config.trace_interval_s = options.trace_interval_s;
+    config.thermal_watchdog = options.watchdog;
+    if (!options.faults_file.empty()) {
+        config.fault_schedule =
+            fault::read_fault_schedule_file(options.faults_file);
+        config.fault_seed = options.fault_seed;
+    }
     power::PowerParams power_params;
     power_params.power_gating = options.power_gating;
     sim::Simulator simulator(chip, model, solver, config, power_params);
@@ -215,6 +255,9 @@ int run(const CliOptions& options, std::ostream& out) {
     out << "migrations         : " << result.migrations << "\n";
     out << "energy             : " << result.total_energy_j << " J (avg "
         << result.average_power_w() << " W)\n";
+    out << report::render_resilience(result.resilience);
+    if (!result.resilience.fault_log.empty()) out << "fault log:\n";
+    report::write_fault_log(out, result.resilience);
     if (!options.trace_file.empty())
         out << "trace              : " << options.trace_file << "\n";
     return result.all_finished ? 0 : 1;

@@ -44,6 +44,12 @@ struct CliOptions {
     std::string trace_file;       ///< write CSV trace here if non-empty
     double trace_interval_s = 1e-3;
 
+    // Fault injection / resilience.
+    std::string faults_file;      ///< fault schedule CSV (empty: no faults)
+    std::uint64_t fault_seed = 1; ///< RNG seed for fault perturbations
+    bool watchdog = false;        ///< thermal-runaway watchdog (forced on
+                                  ///< whenever --faults is given)
+
     bool help = false;
 };
 
@@ -51,7 +57,10 @@ struct CliOptions {
 std::string usage();
 
 /// Parses argv-style arguments (excluding the program name). Throws
-/// std::invalid_argument with a message on unknown flags or bad values.
+/// std::invalid_argument on unknown flags or bad values. Semantic checks
+/// (positive dimensions, consistent ranges, usable fault/trace settings) are
+/// aggregated: the exception message lists every violation at once, one per
+/// line, so a bad invocation can be fixed in a single edit.
 CliOptions parse(const std::vector<std::string>& args);
 
 /// Instantiates the scheduler named in @p name; throws std::invalid_argument

@@ -32,15 +32,28 @@ HotPotatoScheduler::HotPotatoScheduler(HotPotatoParams params)
         throw std::invalid_argument("HotPotato: tau ladder must be ascending");
 }
 
-void HotPotatoScheduler::initialize(sim::SimContext& ctx) {
+void HotPotatoScheduler::rebuild_rings(sim::SimContext& ctx) {
     rings_.clear();
     for (const arch::AmdRing& r : ctx.chip().rings()) {
         Ring ring;
-        ring.cores = r.cores;
         ring.amd = r.amd;
-        ring.slots.assign(r.cores.size(), sim::kNone);
+        for (std::size_t c : r.cores)
+            if (ctx.core_available(c)) ring.cores.push_back(c);
+        if (ring.cores.empty()) continue;  // whole ring lost
+        ring.slots.assign(ring.cores.size(), sim::kNone);
+        for (std::size_t j = 0; j < ring.cores.size(); ++j) {
+            const sim::ThreadId id = ctx.thread_on(ring.cores[j]);
+            if (id != sim::kNone && !ctx.thread(id).finished)
+                ring.slots[j] = id;
+        }
         rings_.push_back(std::move(ring));
     }
+}
+
+void HotPotatoScheduler::initialize(sim::SimContext& ctx) {
+    rebuild_rings(ctx);
+    displaced_.clear();
+    sensor_fallback_ = false;
     // Start at the ladder rung closest to the requested initial τ.
     tau_index_ = 0;
     double best = kInfPeak;
@@ -222,7 +235,55 @@ bool HotPotatoScheduler::on_task_arrival(sim::SimContext& ctx,
 void HotPotatoScheduler::on_task_finish(sim::SimContext& ctx,
                                         sim::TaskId /*task*/) {
     sync_finished_threads(ctx);
+    retry_displaced(ctx);
     exploit_headroom(ctx);
+}
+
+void HotPotatoScheduler::retry_displaced(sim::SimContext& ctx) {
+    if (displaced_.empty()) return;
+    std::vector<sim::ThreadId> still_waiting;
+    for (sim::ThreadId id : displaced_) {
+        if (ctx.thread(id).finished || ctx.core_of(id) != sim::kNone) continue;
+        if (!place_thread(ctx, id)) still_waiting.push_back(id);
+    }
+    displaced_ = std::move(still_waiting);
+}
+
+void HotPotatoScheduler::on_core_failure(
+    sim::SimContext& ctx, std::size_t /*core*/,
+    const std::vector<sim::ThreadId>& evicted) {
+    ensure_analyzer(ctx);
+    sync_finished_threads(ctx);
+    // Re-form the rotation domains without the dead core: surviving threads
+    // keep their cores (slots re-seeded from the live mapping), the ring
+    // merely closes ranks around the hole.
+    rebuild_rings(ctx);
+    for (sim::ThreadId id : evicted)
+        if (!place_thread(ctx, id)) displaced_.push_back(id);
+    restore_safety(ctx);
+}
+
+void HotPotatoScheduler::on_core_recovery(sim::SimContext& ctx,
+                                          std::size_t /*core*/) {
+    sync_finished_threads(ctx);
+    rebuild_rings(ctx);
+    retry_displaced(ctx);
+}
+
+void HotPotatoScheduler::update_sensor_fallback(sim::SimContext& ctx) {
+    const bool untrusted = ctx.untrusted_sensor_count() > 0;
+    if (untrusted == sensor_fallback_) return;
+    const arch::DvfsParams& dvfs = ctx.chip().dvfs();
+    // Sensing is compromised: the peak predictions feeding Algorithm 1/2 can
+    // no longer be cross-checked against reality, so surrender performance
+    // for guaranteed headroom until the voting filter trusts the bank again.
+    const double f =
+        untrusted ? dvfs.quantize_down(params_.sensor_fallback_freq_fraction *
+                                       dvfs.f_max_hz)
+                  : dvfs.f_max_hz;
+    for (std::size_t c = 0; c < ctx.chip().core_count(); ++c)
+        ctx.set_frequency(c, f);
+    sensor_fallback_ = untrusted;
 }
 
 void HotPotatoScheduler::restore_safety(sim::SimContext& ctx) {
@@ -362,6 +423,8 @@ void HotPotatoScheduler::exploit_headroom(sim::SimContext& ctx) {
 void HotPotatoScheduler::on_epoch(sim::SimContext& ctx) {
     ensure_analyzer(ctx);
     sync_finished_threads(ctx);
+    update_sensor_fallback(ctx);
+    retry_displaced(ctx);
     const double limit = ctx.config().t_dtm_c - params_.headroom_delta_c;
     const double peak = predict_peak(ctx);
     last_predicted_peak_c_ = peak;

@@ -26,6 +26,12 @@ struct HotPotatoParams {
     /// Cap on promotion migrations per epoch (keeps the heuristic from
     /// thrashing threads between rings on noisy power history).
     std::size_t max_promotions_per_epoch = 2;
+    /// Graceful-degradation knob: while any thermal sensor is flagged
+    /// untrusted (voting filter), every core is throttled to this fraction
+    /// of f_max (quantised down to a DVFS level). Rotation keeps running —
+    /// the fallback only surrenders the "always at peak frequency" property
+    /// until sensing recovers.
+    double sensor_fallback_freq_fraction = 0.75;
 };
 
 /// HotPotato: thermal management of S-NUCA many-cores via synchronous thread
@@ -51,6 +57,13 @@ public:
     void on_task_finish(sim::SimContext& ctx, sim::TaskId task) override;
     void on_epoch(sim::SimContext& ctx) override;
     void on_step(sim::SimContext& ctx) override;
+    /// Graceful degradation on core loss: re-forms the AMD rings without the
+    /// dead core, re-places the evicted threads (queueing any that do not
+    /// fit) and restores thermal safety for the shrunken chip.
+    void on_core_failure(sim::SimContext& ctx, std::size_t core,
+                         const std::vector<sim::ThreadId>& evicted) override;
+    /// Re-admits a recovered core to its ring and retries displaced threads.
+    void on_core_recovery(sim::SimContext& ctx, std::size_t core) override;
 
     // Introspection (tests, benchmarks, examples).
     bool rotation_enabled() const { return rotation_on_; }
@@ -59,6 +72,12 @@ public:
     /// at the fastest ladder rung) — the condition under which the DVFS
     /// extension engages.
     bool at_fastest_rotation() const { return rotation_on_ && tau_index_ == 0; }
+    /// True while the untrusted-sensor conservative throttle is engaged.
+    bool sensor_fallback_engaged() const { return sensor_fallback_; }
+    /// Evicted threads still waiting for a free slot (normally empty).
+    const std::vector<sim::ThreadId>& displaced_threads() const {
+        return displaced_;
+    }
     double last_predicted_peak_c() const { return last_predicted_peak_c_; }
     /// Largest peak prediction made over the whole run — the conservatism
     /// bound tests compare the observed peak against.
@@ -82,6 +101,13 @@ private:
 
     void ensure_analyzer(sim::SimContext& ctx);
     void sync_finished_threads(sim::SimContext& ctx);
+    /// Rebuilds rings_ from the chip's AMD rings, excluding offline cores and
+    /// seeding slots from the current mapping.
+    void rebuild_rings(sim::SimContext& ctx);
+    /// Retries placement of threads displaced by core failures.
+    void retry_displaced(sim::SimContext& ctx);
+    /// Engages/releases the conservative DVFS throttle on sensor trust.
+    void update_sensor_fallback(sim::SimContext& ctx);
     double slot_power(sim::SimContext& ctx, sim::ThreadId id) const;
     std::vector<RotationRingSpec> build_ring_specs(sim::SimContext& ctx) const;
     /// Predicted peak with an explicit rotation setting.
@@ -107,6 +133,8 @@ private:
     HotPotatoParams params_;
     std::unique_ptr<PeakTemperatureAnalyzer> analyzer_;
     std::vector<Ring> rings_;
+    std::vector<sim::ThreadId> displaced_;
+    bool sensor_fallback_ = false;
     bool rotation_on_ = true;
     std::size_t tau_index_ = 0;
     double next_rotation_s_ = 0.0;

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hp::fault {
+
+/// Kinds of injected hardware faults.
+///
+/// Sensor faults corrupt what the thermal sensor reports (ground truth is
+/// untouched); core faults take a core offline (fail-stop: the core draws no
+/// power and cannot host a thread); rotation aborts drop a synchronous
+/// rotation mid-flight, leaving the mapping unchanged.
+enum class FaultKind {
+    kSensorStuck,    ///< sensor reports a constant value (magnitude, °C)
+    kSensorDrift,    ///< reading drifts by magnitude °C/s since onset
+    kSensorSpike,    ///< reading offset by ~magnitude °C (seeded jitter)
+    kSensorDropout,  ///< sensor returns no reading at all
+    kCoreTransient,  ///< core offline for duration_s, then recovers
+    kCorePermanent,  ///< core offline for the rest of the run
+    kRotationAbort,  ///< rotations issued in the window are dropped
+};
+
+/// Canonical lower-snake name (the fault-schedule CSV vocabulary).
+const char* to_string(FaultKind kind);
+
+/// Inverse of to_string(); nullopt for unknown names.
+std::optional<FaultKind> kind_from_string(std::string_view name);
+
+/// One scripted fault.
+struct FaultEvent {
+    double time_s = 0.0;          ///< onset (simulated seconds)
+    FaultKind kind = FaultKind::kSensorStuck;
+    std::size_t target = 0;       ///< sensor/core index; unused for aborts
+    /// Active window; <= 0 means "until the end of the run" for sensor
+    /// faults, is ignored for permanent core failures, and makes a rotation
+    /// abort one-shot (drop exactly the next rotation).
+    double duration_s = 0.0;
+    double magnitude = 0.0;       ///< stuck value / drift rate / spike °C
+};
+
+/// A scripted fault campaign: what goes wrong, and when.
+struct FaultSchedule {
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /// Structural violations (bad kind/target/duration combinations) for
+    /// @p core_count cores, all at once; empty when valid.
+    std::vector<std::string> validate(std::size_t core_count) const;
+};
+
+/// One applied fault (or recovery), as recorded during a run.
+struct FaultLogEntry {
+    double time_s = 0.0;
+    FaultKind kind = FaultKind::kSensorStuck;
+    std::size_t target = 0;
+    std::string note;
+};
+
+}  // namespace hp::fault

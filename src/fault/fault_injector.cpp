@@ -1,0 +1,198 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hp::fault {
+
+namespace {
+constexpr double kForever = std::numeric_limits<double>::infinity();
+
+bool is_sensor_kind(FaultKind k) {
+    return k == FaultKind::kSensorStuck || k == FaultKind::kSensorDrift ||
+           k == FaultKind::kSensorSpike || k == FaultKind::kSensorDropout;
+}
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::kSensorStuck: return "sensor_stuck";
+        case FaultKind::kSensorDrift: return "sensor_drift";
+        case FaultKind::kSensorSpike: return "sensor_spike";
+        case FaultKind::kSensorDropout: return "sensor_dropout";
+        case FaultKind::kCoreTransient: return "core_transient";
+        case FaultKind::kCorePermanent: return "core_permanent";
+        case FaultKind::kRotationAbort: return "rotation_abort";
+    }
+    return "unknown";
+}
+
+std::optional<FaultKind> kind_from_string(std::string_view name) {
+    for (FaultKind k :
+         {FaultKind::kSensorStuck, FaultKind::kSensorDrift,
+          FaultKind::kSensorSpike, FaultKind::kSensorDropout,
+          FaultKind::kCoreTransient, FaultKind::kCorePermanent,
+          FaultKind::kRotationAbort})
+        if (name == to_string(k)) return k;
+    return std::nullopt;
+}
+
+std::vector<std::string> FaultSchedule::validate(
+    std::size_t core_count) const {
+    std::vector<std::string> violations;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent& e = events[i];
+        const std::string where = "event " + std::to_string(i) + " (" +
+                                  to_string(e.kind) + "): ";
+        if (e.time_s < 0.0)
+            violations.push_back(where + "negative onset time");
+        if (!std::isfinite(e.time_s) || !std::isfinite(e.duration_s) ||
+            !std::isfinite(e.magnitude))
+            violations.push_back(where + "non-finite field");
+        if (e.kind != FaultKind::kRotationAbort && e.target >= core_count)
+            violations.push_back(where + "target " +
+                                 std::to_string(e.target) + " out of range (" +
+                                 std::to_string(core_count) + " cores)");
+        if (e.kind == FaultKind::kCoreTransient && e.duration_s <= 0.0)
+            violations.push_back(where +
+                                 "transient core failure needs duration > 0");
+    }
+    return violations;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::size_t core_count,
+                             std::uint64_t seed)
+    : events_(std::move(schedule.events)),
+      core_failed_(core_count, false),
+      rng_(seed) {
+    const std::vector<std::string> violations =
+        FaultSchedule{events_}.validate(core_count);
+    if (!violations.empty()) {
+        std::string msg = "FaultInjector: invalid schedule:";
+        for (const std::string& v : violations) msg += "\n  - " + v;
+        throw std::invalid_argument(msg);
+    }
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.time_s < b.time_s;
+                     });
+}
+
+void FaultInjector::record(double now, const FaultEvent& e, std::string note) {
+    log_.push_back(FaultLogEntry{now, e.kind, e.target, std::move(note)});
+}
+
+void FaultInjector::advance(double now, std::vector<FaultEvent>* started,
+                            std::vector<FaultEvent>* ended) {
+    // Expire finished windows first so a back-to-back schedule on the same
+    // target sees the old fault gone before the new one lands.
+    for (std::size_t i = 0; i < active_.size();) {
+        Active& a = active_[i];
+        const bool spent = a.one_shot_abort && a.consumed;
+        if (now >= a.end_s || spent) {
+            if (a.event.kind == FaultKind::kCoreTransient) {
+                core_failed_[a.event.target] = false;
+                record(now, a.event, "core recovered");
+            } else if (!spent) {
+                record(now, a.event, "fault window closed");
+            }
+            if (ended) ended->push_back(a.event);
+            active_[i] = active_.back();
+            active_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    while (next_event_ < events_.size() &&
+           events_[next_event_].time_s <= now) {
+        const FaultEvent& e = events_[next_event_++];
+        Active a;
+        a.event = e;
+        switch (e.kind) {
+            case FaultKind::kCorePermanent:
+                a.end_s = kForever;
+                core_failed_[e.target] = true;
+                record(now, e, "core failed permanently");
+                break;
+            case FaultKind::kCoreTransient:
+                a.end_s = e.time_s + e.duration_s;
+                core_failed_[e.target] = true;
+                record(now, e, "core failed (transient)");
+                break;
+            case FaultKind::kRotationAbort:
+                a.one_shot_abort = e.duration_s <= 0.0;
+                a.end_s = a.one_shot_abort ? kForever
+                                           : e.time_s + e.duration_s;
+                record(now, e, "rotation abort armed");
+                break;
+            default:  // sensor faults
+                a.end_s = e.duration_s > 0.0 ? e.time_s + e.duration_s
+                                             : kForever;
+                record(now, e, "sensor fault active");
+                break;
+        }
+        ++injected_;
+        active_.push_back(std::move(a));
+        if (started) started->push_back(e);
+    }
+}
+
+bool FaultInjector::core_failed(std::size_t core) const {
+    return core < core_failed_.size() && core_failed_[core];
+}
+
+std::size_t FaultInjector::failed_core_count() const {
+    std::size_t n = 0;
+    for (bool f : core_failed_)
+        if (f) ++n;
+    return n;
+}
+
+bool FaultInjector::sensor_faulty(std::size_t sensor) const {
+    for (const Active& a : active_)
+        if (is_sensor_kind(a.event.kind) && a.event.target == sensor)
+            return true;
+    return false;
+}
+
+double FaultInjector::corrupt_reading(std::size_t sensor, double reading,
+                                      double now) {
+    for (const Active& a : active_) {
+        const FaultEvent& e = a.event;
+        if (e.target != sensor) continue;
+        switch (e.kind) {
+            case FaultKind::kSensorStuck:
+                reading = e.magnitude;
+                break;
+            case FaultKind::kSensorDrift:
+                reading += e.magnitude * (now - e.time_s);
+                break;
+            case FaultKind::kSensorSpike:
+                // Seeded +/-10% jitter: spikes are noisy in real silicon, but
+                // two runs with the same seed spike identically.
+                reading += e.magnitude * (1.0 + jitter_(rng_));
+                break;
+            case FaultKind::kSensorDropout:
+                return std::numeric_limits<double>::quiet_NaN();
+            default:
+                break;
+        }
+    }
+    return reading;
+}
+
+bool FaultInjector::consume_rotation_abort(double now) {
+    for (Active& a : active_) {
+        if (a.event.kind != FaultKind::kRotationAbort) continue;
+        if (a.one_shot_abort && a.consumed) continue;
+        a.consumed = true;
+        record(now, a.event, "rotation aborted");
+        return true;
+    }
+    return false;
+}
+
+}  // namespace hp::fault

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace hp::fault {
+
+/// Deterministic, seeded fault injector driven by a scripted FaultSchedule.
+///
+/// The simulator advances the injector once per micro-step; the injector
+/// activates events whose onset has passed and expires finished windows,
+/// reporting both transitions so the simulator can evict threads from dying
+/// cores and hand recovered cores back. Sensor corruption is applied through
+/// corrupt_reading(), which the SensorBank invokes per raw sample — the
+/// injector never sees ground truth except through that hook.
+///
+/// All behaviour is a pure function of (schedule, seed, query times): two
+/// runs with the same inputs inject bit-identical faults.
+class FaultInjector {
+public:
+    /// @p core_count bounds the valid fault targets; throws
+    /// std::invalid_argument when the schedule fails validation.
+    FaultInjector(FaultSchedule schedule, std::size_t core_count,
+                  std::uint64_t seed = 1);
+
+    /// Activates / expires events up to @p now. Newly started events are
+    /// appended to @p started, newly ended (transient recoveries, closed
+    /// sensor windows) to @p ended; either may be null.
+    void advance(double now, std::vector<FaultEvent>* started = nullptr,
+                 std::vector<FaultEvent>* ended = nullptr);
+
+    /// True while @p core is offline (transient window or permanent loss).
+    bool core_failed(std::size_t core) const;
+    std::size_t failed_core_count() const;
+
+    /// True while any fault is active on @p sensor.
+    bool sensor_faulty(std::size_t sensor) const;
+
+    /// Runs an otherwise-healthy raw reading of @p sensor through the active
+    /// sensor faults. Returns NaN for a dropped-out sensor.
+    double corrupt_reading(std::size_t sensor, double reading, double now);
+
+    /// True — and consumes the abort — when a rotation issued at @p now falls
+    /// into an active abort window (one-shot aborts fire once; windowed
+    /// aborts drop every rotation inside the window).
+    bool consume_rotation_abort(double now);
+
+    /// Every applied transition (onset and recovery), in time order.
+    const std::vector<FaultLogEntry>& log() const { return log_; }
+    std::size_t injected_count() const { return injected_; }
+    /// Faults currently in their active window.
+    std::size_t active_fault_count() const { return active_.size(); }
+
+private:
+    struct Active {
+        FaultEvent event;
+        double end_s = 0.0;   ///< infinity for permanent faults
+        bool one_shot_abort = false;
+        bool consumed = false;
+    };
+
+    void record(double now, const FaultEvent& e, std::string note);
+
+    std::vector<FaultEvent> events_;   // sorted by onset
+    std::size_t next_event_ = 0;
+    std::vector<Active> active_;
+    std::vector<bool> core_failed_;
+    std::vector<FaultLogEntry> log_;
+    std::size_t injected_ = 0;
+    std::mt19937_64 rng_;
+    std::uniform_real_distribution<double> jitter_{-0.1, 0.1};
+};
+
+}  // namespace hp::fault

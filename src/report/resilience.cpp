@@ -1,0 +1,40 @@
+#include "report/resilience.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "fault/fault.hpp"
+
+namespace hp::report {
+
+std::string render_resilience(const sim::ResilienceStats& s) {
+    if (s.faults_injected == 0 && s.watchdog_triggers == 0) return "";
+    std::ostringstream out;
+    out << "faults injected    : " << s.faults_injected << " ("
+        << s.core_failures << " core, " << s.sensor_faults << " sensor, "
+        << s.rotation_aborts << " rotation aborts)\n";
+    out << "threads re-placed  : " << s.threads_replaced << " ("
+        << s.threads_stranded << " stranded at eviction)\n";
+    out << "watchdog           : " << s.watchdog_triggers << " triggers, "
+        << s.watchdog_throttled_s * 1e3 << " ms emergency throttle\n";
+    if (s.watchdog_triggers > 0)
+        out << "worst recovery     : " << s.worst_recovery_s * 1e3
+            << " ms\n";
+    out << "time above T_DTM   : " << s.thermal_violation_s * 1e3
+        << " ms\n";
+    if (s.peak_during_fault_c > 0.0)
+        out << "peak during faults : " << s.peak_during_fault_c << " C\n";
+    if (s.untrusted_sensor_samples > 0)
+        out << "untrusted samples  : " << s.untrusted_sensor_samples
+            << " (masked by neighbour vote)\n";
+    return out.str();
+}
+
+void write_fault_log(std::ostream& out, const sim::ResilienceStats& s) {
+    for (const auto& e : s.fault_log)
+        out << "  t=" << e.time_s << " s  " << fault::to_string(e.kind)
+            << " target=" << e.target
+            << (e.note.empty() ? "" : "  (" + e.note + ")") << "\n";
+}
+
+}  // namespace hp::report

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace hp::report {
+
+/// Renders the resilience section of a simulation report — fault counts,
+/// graceful-degradation actions, and watchdog/recovery timing — in the same
+/// `label : value` style as the CLI driver. Returns an empty string when no
+/// faults were injected and the watchdog never fired (nothing to report).
+std::string render_resilience(const sim::ResilienceStats& stats);
+
+/// Writes the chronological fault log (one indented line per injected or
+/// expired fault) to @p out. No-op when the log is empty.
+void write_fault_log(std::ostream& out, const sim::ResilienceStats& stats);
+
+}  // namespace hp::report

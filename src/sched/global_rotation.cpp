@@ -13,17 +13,36 @@ GlobalRotationScheduler::GlobalRotationScheduler(double interval_s)
             "GlobalRotationScheduler: interval must be positive");
 }
 
-void GlobalRotationScheduler::initialize(sim::SimContext& ctx) {
+void GlobalRotationScheduler::rebuild_cycle(sim::SimContext& ctx) {
     // Snake order: even rows left-to-right, odd rows right-to-left, layer by
     // layer — consecutive cycle positions are always mesh/TSV neighbours.
+    // Offline cores are skipped: the cycle closes ranks around the hole (the
+    // bridging move costs extra hops, but rotation correctness holds).
     const auto& plan = ctx.chip().plan();
     cycle_.clear();
     for (std::size_t l = 0; l < plan.layers(); ++l)
         for (std::size_t r = 0; r < plan.rows(); ++r)
             for (std::size_t k = 0; k < plan.cols(); ++k) {
                 const std::size_t c = r % 2 == 0 ? k : plan.cols() - 1 - k;
-                cycle_.push_back(plan.index_of(r, c, l));
+                const std::size_t core = plan.index_of(r, c, l);
+                if (ctx.core_available(core)) cycle_.push_back(core);
             }
+}
+
+void GlobalRotationScheduler::initialize(sim::SimContext& ctx) {
+    rebuild_cycle(ctx);
+}
+
+void GlobalRotationScheduler::on_core_failure(
+    sim::SimContext& ctx, std::size_t core,
+    const std::vector<sim::ThreadId>& evicted) {
+    rebuild_cycle(ctx);
+    Scheduler::on_core_failure(ctx, core, evicted);  // default re-placement
+}
+
+void GlobalRotationScheduler::on_core_recovery(sim::SimContext& ctx,
+                                               std::size_t /*core*/) {
+    rebuild_cycle(ctx);
 }
 
 bool GlobalRotationScheduler::on_task_arrival(sim::SimContext& ctx,

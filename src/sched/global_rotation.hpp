@@ -25,11 +25,19 @@ public:
     void initialize(sim::SimContext& ctx) override;
     bool on_task_arrival(sim::SimContext& ctx, sim::TaskId task) override;
     void on_step(sim::SimContext& ctx) override;
+    /// Graceful degradation: closes the snake cycle around the dead core and
+    /// re-places the evicted threads on the best free cores.
+    void on_core_failure(sim::SimContext& ctx, std::size_t core,
+                         const std::vector<sim::ThreadId>& evicted) override;
+    /// Re-admits a recovered core to the cycle.
+    void on_core_recovery(sim::SimContext& ctx, std::size_t core) override;
 
-    /// The snake-order cycle (exposed for tests).
+    /// The snake-order cycle (exposed for tests); excludes offline cores.
     const std::vector<std::size_t>& cycle() const { return cycle_; }
 
 private:
+    void rebuild_cycle(sim::SimContext& ctx);
+
     double interval_s_;
     double next_rotation_s_ = 0.0;
     std::vector<std::size_t> cycle_;

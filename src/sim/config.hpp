@@ -1,5 +1,10 @@
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
 #include "thermal/sensors.hpp"
 
 namespace hp::sim {
@@ -30,6 +35,56 @@ struct SimConfig {
     /// sampled thermal sensors instead of ground truth. Off by default.
     bool dtm_uses_sensors = false;
     thermal::SensorParams sensor_params;
+
+    // --- robustness ---------------------------------------------------------
+    /// Scripted fault campaign; empty = fault-free run, bit-identical to a
+    /// simulator without the fault subsystem. A non-empty schedule implies a
+    /// sensor bank (sensor faults need sensors to corrupt) and arms the
+    /// thermal-runaway watchdog.
+    fault::FaultSchedule fault_schedule;
+    std::uint64_t fault_seed = 1;
+    /// Independent thermal-runaway protection: when any core exceeds
+    /// t_dtm_c + watchdog_margin_c the simulator forces an emergency
+    /// frequency crash until the chip cools below the DTM release point, and
+    /// records the time-to-recover. Engages automatically when faults are
+    /// injected; set true to arm it for fault-free runs too.
+    bool thermal_watchdog = false;
+    double watchdog_margin_c = 0.5;
+    /// NaN/divergence guard: any non-finite node temperature, or one above
+    /// the sanity bound, aborts the run with a diagnostic naming the step
+    /// time and offending node. The effective bound is
+    /// max(max_sane_temperature_c, t_dtm_c + 50) so configs that disable DTM
+    /// with a huge threshold keep a proportionate guard instead of failing
+    /// validation.
+    double max_sane_temperature_c = 300.0;
+
+    /// All configuration violations at once (empty = valid). The simulator
+    /// rejects invalid configs with the full list in the exception message.
+    std::vector<std::string> validate() const {
+        std::vector<std::string> v;
+        if (micro_step_s <= 0.0)
+            v.push_back("micro_step_s must be positive");
+        if (scheduler_epoch_s <= 0.0)
+            v.push_back("scheduler_epoch_s must be positive");
+        if (t_dtm_c <= ambient_c)
+            v.push_back("t_dtm_c must exceed ambient_c");
+        if (dtm_hysteresis_c < 0.0)
+            v.push_back("dtm_hysteresis_c must be non-negative");
+        if (power_history_window_s <= 0.0)
+            v.push_back("power_history_window_s must be positive");
+        if (max_sim_time_s <= 0.0)
+            v.push_back("max_sim_time_s must be positive");
+        if ((dtm_uses_sensors || !fault_schedule.empty()) &&
+            sensor_params.sample_period_s < micro_step_s)
+            v.push_back(
+                "sensor sample_period_s must be >= micro_step_s (sensors "
+                "cannot sample faster than the simulation steps)");
+        if (watchdog_margin_c < 0.0)
+            v.push_back("watchdog_margin_c must be non-negative");
+        if (max_sane_temperature_c <= ambient_c)
+            v.push_back("max_sane_temperature_c must exceed ambient_c");
+        return v;
+    }
 };
 
 }  // namespace hp::sim

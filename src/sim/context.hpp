@@ -40,6 +40,17 @@ public:
     /// What the thermal sensor on @p core reports: quantised/noisy/sampled
     /// when SimConfig::dtm_uses_sensors is set, ground truth otherwise.
     virtual double sensor_reading(std::size_t core) const = 0;
+    /// False while @p core is taken offline by an injected fault. Failed
+    /// cores draw no power, are excluded from free_cores() and reject
+    /// place()/migrate(). Always true without fault injection.
+    virtual bool core_available(std::size_t /*core*/) const { return true; }
+    /// Cores currently offline (empty without fault injection).
+    virtual std::vector<std::size_t> failed_cores() const { return {}; }
+    /// False when the voting filter flagged @p core's sensor as lying or
+    /// dropped out in the latest sample. Always true without sensors.
+    virtual bool sensor_trusted(std::size_t /*core*/) const { return true; }
+    /// Number of sensors currently flagged untrusted.
+    virtual std::size_t untrusted_sensor_count() const { return 0; }
     /// Thread occupying @p core, or kNone.
     virtual ThreadId thread_on(std::size_t core) const = 0;
     /// Core hosting @p thread, or kNone if unplaced.

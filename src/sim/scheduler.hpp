@@ -27,6 +27,25 @@ public:
     /// A task completed; its cores are already free.
     virtual void on_task_finish(SimContext& /*ctx*/, TaskId /*task*/) {}
 
+    /// A core went offline (fault injection); its occupant thread — if any —
+    /// was already evicted and appears in @p evicted with core_of() == kNone.
+    /// Re-place the evicted threads and drop the core from any rotation
+    /// structures. The default re-places each thread on the best free core
+    /// (ties to low ids), which keeps every scheduler functional — if
+    /// degraded — under core loss.
+    virtual void on_core_failure(SimContext& ctx, std::size_t core,
+                                 const std::vector<ThreadId>& evicted) {
+        (void)core;
+        for (ThreadId id : evicted) {
+            const std::vector<std::size_t> free = ctx.free_cores();
+            if (free.empty()) return;  // stranded until capacity frees up
+            ctx.place(id, free.front());
+        }
+    }
+
+    /// A transiently failed core came back online and may be used again.
+    virtual void on_core_recovery(SimContext& /*ctx*/, std::size_t /*core*/) {}
+
     /// Called every SimConfig::scheduler_epoch_s.
     virtual void on_epoch(SimContext& /*ctx*/) {}
 

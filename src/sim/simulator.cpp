@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace hp::sim {
 
@@ -44,8 +45,12 @@ Simulator::Simulator(const arch::ManyCore& chip,
     if (&matex.model() != &model)
         throw std::invalid_argument(
             "Simulator: MatEx solver built for a different thermal model");
-    if (config_.micro_step_s <= 0.0 || config_.scheduler_epoch_s <= 0.0)
-        throw std::invalid_argument("Simulator: non-positive step sizes");
+    if (const std::vector<std::string> violations = config_.validate();
+        !violations.empty()) {
+        std::string msg = "Simulator: invalid configuration:";
+        for (const std::string& v : violations) msg += "\n  - " + v;
+        throw std::invalid_argument(msg);
+    }
 
     const std::size_t n = chip.core_count();
     set_frequency_hz_.assign(n, chip.dvfs().f_max_hz);
@@ -56,9 +61,32 @@ Simulator::Simulator(const arch::ManyCore& chip,
     noc_delay_s_.assign(n, 0.0);
     temps_ = model.ambient_equilibrium(config_.ambient_c);
 
-    if (config_.dtm_uses_sensors)
+    // A fault schedule implies sensor-driven DTM (sensor faults need sensors
+    // to corrupt) with the voting filter armed, plus the runaway watchdog.
+    const bool injecting = !config_.fault_schedule.empty();
+    if (injecting && !config_.sensor_params.vote_filter)
+        config_.sensor_params.vote_filter = true;
+    watchdog_enabled_ = config_.thermal_watchdog || injecting;
+    if (config_.dtm_uses_sensors || injecting) {
         sensors_ = std::make_unique<thermal::SensorBank>(
             n, config_.sensor_params);
+        // Voting topology: mesh neighbours plus stacked (TSV) neighbours.
+        std::vector<std::vector<std::size_t>> neighbors(n);
+        for (std::size_t c = 0; c < n; ++c) {
+            neighbors[c] = chip.plan().neighbors(c);
+            for (std::size_t s : chip.plan().stack_neighbors(c))
+                neighbors[c].push_back(s);
+        }
+        sensors_->set_neighbors(std::move(neighbors));
+    }
+    if (injecting) {
+        injector_ = std::make_unique<fault::FaultInjector>(
+            config_.fault_schedule, n, config_.fault_seed);
+        sensors_->set_corruptor(
+            [this](std::size_t sensor, double reading, double now_s) {
+                return injector_->corrupt_reading(sensor, reading, now_s);
+            });
+    }
     if (config_.model_noc_contention) {
         noc::NocParams noc_params;
         noc_params.hop_latency_s = chip.params().noc_hop_latency_s;
@@ -114,6 +142,28 @@ double Simulator::sensor_reading(std::size_t core) const {
     return sensors_ ? sensors_->readings()[core] : temps_[core];
 }
 
+bool Simulator::core_available(std::size_t core) const {
+    check_core(core);
+    return !(injector_ && injector_->core_failed(core));
+}
+
+std::vector<std::size_t> Simulator::failed_cores() const {
+    std::vector<std::size_t> out;
+    if (!injector_) return out;
+    for (std::size_t c = 0; c < chip_->core_count(); ++c)
+        if (injector_->core_failed(c)) out.push_back(c);
+    return out;
+}
+
+bool Simulator::sensor_trusted(std::size_t core) const {
+    check_core(core);
+    return !sensors_ || sensors_->trusted()[core];
+}
+
+std::size_t Simulator::untrusted_sensor_count() const {
+    return sensors_ ? sensors_->untrusted_count() : 0;
+}
+
 ThreadId Simulator::thread_on(std::size_t core) const {
     check_core(core);
     return core_occupant_[core];
@@ -127,7 +177,7 @@ std::size_t Simulator::core_of(ThreadId thread) const {
 std::vector<std::size_t> Simulator::free_cores() const {
     std::vector<std::size_t> out;
     for (std::size_t c = 0; c < core_occupant_.size(); ++c)
-        if (core_occupant_[c] == kNone) out.push_back(c);
+        if (core_occupant_[c] == kNone && core_available(c)) out.push_back(c);
     return out;
 }
 
@@ -184,6 +234,8 @@ void Simulator::set_frequency(std::size_t core, double f_hz) {
 
 void Simulator::place(ThreadId id, std::size_t core) {
     check_core(core);
+    if (!core_available(core))
+        throw std::logic_error("Simulator::place: core is offline");
     Thread& t = threads_.at(id);
     if (thread_core_[id] != kNone)
         throw std::logic_error("Simulator::place: thread already placed");
@@ -199,6 +251,8 @@ void Simulator::place(ThreadId id, std::size_t core) {
 
 void Simulator::migrate(ThreadId id, std::size_t core) {
     check_core(core);
+    if (!core_available(core))
+        throw std::logic_error("Simulator::migrate: destination is offline");
     if (thread_core_.at(id) == kNone)
         throw std::logic_error("Simulator::migrate: thread not placed");
     if (core_occupant_[core] != kNone)
@@ -219,6 +273,17 @@ void Simulator::migrate(ThreadId id, std::size_t core) {
 void Simulator::rotate(const std::vector<std::size_t>& cores_in_cycle) {
     if (cores_in_cycle.size() < 2) return;
     for (std::size_t c : cores_in_cycle) check_core(c);
+    if (injector_) {
+        if (injector_->consume_rotation_abort(now_)) {
+            ++result_.resilience.rotation_aborts;
+            return;  // the rotation aborts mid-flight: mapping unchanged
+        }
+        // Defensive: never rotate a thread onto a dead core. The scheduler is
+        // notified of failures before its step hook, so a cycle through an
+        // offline core means it has not re-formed its rings yet — skip.
+        for (std::size_t c : cores_in_cycle)
+            if (injector_->core_failed(c)) return;
+    }
     // Shift occupants (threads and holes alike) by one position.
     const std::size_t k = cores_in_cycle.size();
     std::vector<ThreadId> occupants(k);
@@ -260,7 +325,8 @@ bool Simulator::thread_active_this_phase(const Thread& t) const {
 }
 
 double Simulator::effective_frequency(std::size_t core) const {
-    return dtm_active_ ? chip_->dvfs().f_min_hz : set_frequency_hz_[core];
+    return dtm_active_ || watchdog_active_ ? chip_->dvfs().f_min_hz
+                                           : set_frequency_hz_[core];
 }
 
 linalg::Vector Simulator::compute_step_power() {
@@ -268,6 +334,13 @@ linalg::Vector Simulator::compute_step_power() {
     linalg::Vector core_power(n);
     const power::PowerParams& pwr = power_model_.params();
     for (std::size_t c = 0; c < n; ++c) {
+        if (injector_ && injector_->core_failed(c)) {
+            // Fail-stop: a dead core is power-cut (its occupant was evicted
+            // when the fault landed).
+            core_power[c] = 0.0;
+            last_core_power_w_[c] = 0.0;
+            continue;
+        }
         const ThreadId id = core_occupant_[c];
         double watts = power_model_.idle_power_w(temps_[c]);
         if (id == kNone && pwr.power_gating) {
@@ -407,12 +480,17 @@ void Simulator::update_dtm() {
         max_core = std::max(max_core, temps_[c]);
     result_.peak_temperature_c = std::max(result_.peak_temperature_c, max_core);
     if (sensors_) {
-        // Hardware DTM sees the sensors, not ground truth.
+        // Hardware DTM sees the sensors, not ground truth — but it trusts
+        // the vote-masked estimate, so one lying diode can neither blind nor
+        // panic it. Without the vote filter masked == filtered readings.
         linalg::Vector core_temps(chip_->core_count());
         for (std::size_t c = 0; c < chip_->core_count(); ++c)
             core_temps[c] = temps_[c];
         sensors_->observe(core_temps, now_);
-        max_core = sensors_->max_reading();
+        max_core = sensors_->max_masked_reading();
+        if (injector_)
+            result_.resilience.untrusted_sensor_samples +=
+                sensors_->untrusted_count();
     }
     if (!dtm_active_ && max_core > config_.t_dtm_c) {
         dtm_active_ = true;
@@ -420,6 +498,101 @@ void Simulator::update_dtm() {
     } else if (dtm_active_ &&
                max_core < config_.t_dtm_c - config_.dtm_hysteresis_c) {
         dtm_active_ = false;
+    }
+}
+
+void Simulator::apply_faults(Scheduler& scheduler) {
+    if (!injector_) return;
+    std::vector<fault::FaultEvent> started, ended;
+    injector_->advance(now_, &started, &ended);
+
+    for (const fault::FaultEvent& e : started) {
+        switch (e.kind) {
+            case fault::FaultKind::kCorePermanent:
+            case fault::FaultKind::kCoreTransient: {
+                ++result_.resilience.core_failures;
+                const std::size_t core = e.target;
+                std::vector<ThreadId> evicted;
+                const ThreadId occupant = core_occupant_[core];
+                if (occupant != kNone) {
+                    core_occupant_[core] = kNone;
+                    thread_core_[occupant] = kNone;
+                    evicted.push_back(occupant);
+                }
+                core_gated_[core] = false;
+                scheduler.on_core_failure(*this, core, evicted);
+                for (ThreadId id : evicted) {
+                    if (thread_core_[id] != kNone)
+                        ++result_.resilience.threads_replaced;
+                    else
+                        ++result_.resilience.threads_stranded;
+                }
+                break;
+            }
+            case fault::FaultKind::kSensorStuck:
+            case fault::FaultKind::kSensorDrift:
+            case fault::FaultKind::kSensorSpike:
+            case fault::FaultKind::kSensorDropout:
+                ++result_.resilience.sensor_faults;
+                break;
+            case fault::FaultKind::kRotationAbort:
+                break;  // counted only when a rotation actually drops
+        }
+    }
+
+    for (const fault::FaultEvent& e : ended) {
+        if (e.kind != fault::FaultKind::kCoreTransient) continue;
+        core_vacated(e.target);
+        scheduler.on_core_recovery(*this, e.target);
+        offer_pending(scheduler);  // regained capacity may unblock the queue
+    }
+    result_.resilience.faults_injected = injector_->injected_count();
+}
+
+void Simulator::update_watchdog() {
+    if (!watchdog_enabled_) return;
+    double truth_max = -1e300;
+    for (std::size_t c = 0; c < chip_->core_count(); ++c)
+        truth_max = std::max(truth_max, temps_[c]);
+    // The watchdog is an independent protection circuit: it monitors its own
+    // (trusted) reference above the DTM threshold and crashes the chip to
+    // f_min until the DTM release point — the backstop when deceived sensors
+    // keep the regular DTM asleep.
+    if (!watchdog_active_ &&
+        truth_max > config_.t_dtm_c + config_.watchdog_margin_c) {
+        watchdog_active_ = true;
+        watchdog_engaged_s_ = now_;
+        ++result_.resilience.watchdog_triggers;
+    } else if (watchdog_active_ &&
+               truth_max < config_.t_dtm_c - config_.dtm_hysteresis_c) {
+        watchdog_active_ = false;
+        result_.resilience.worst_recovery_s =
+            std::max(result_.resilience.worst_recovery_s,
+                     now_ - watchdog_engaged_s_);
+    }
+    if (truth_max > config_.t_dtm_c)
+        result_.resilience.thermal_violation_s += config_.micro_step_s;
+    if (injector_ && injector_->active_fault_count() > 0)
+        result_.resilience.peak_during_fault_c =
+            std::max(result_.resilience.peak_during_fault_c, truth_max);
+}
+
+void Simulator::check_temperatures_sane() const {
+    const double bound =
+        std::max(config_.max_sane_temperature_c, config_.t_dtm_c + 50.0);
+    for (std::size_t i = 0; i < temps_.size(); ++i) {
+        const double t = temps_[i];
+        if (std::isfinite(t) && t <= bound) continue;
+        const std::size_t cores = chip_->core_count();
+        const std::string node =
+            i < cores ? "core " + std::to_string(i)
+                      : "node " + std::to_string(i) + " (non-core)";
+        throw std::runtime_error(
+            "Simulator: thermal divergence at t=" + std::to_string(now_) +
+            " s: " + node + " reached " + std::to_string(t) +
+            " C (sanity bound " + std::to_string(bound) +
+            " C) — non-finite or runaway temperatures indicate divergent "
+            "inputs (power, thermal model) rather than a physical run");
     }
 }
 
@@ -487,6 +660,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
             ++next_arrival_index_;
             offer_pending(scheduler);
         }
+        apply_faults(scheduler);
         if (step % epoch_steps == 0) {
             refresh_noc_contention();
             offer_pending(scheduler);
@@ -512,8 +686,11 @@ SimResult Simulator::run(Scheduler& scheduler) {
         advance_progress(dt);
         temps_ = matex_->transient(temps_, thermal_->pad_power(core_power),
                                    config_.ambient_c, dt);
+        check_temperatures_sane();
         if (dtm_active_) result_.dtm_throttled_s += dt;
+        if (watchdog_active_) result_.resilience.watchdog_throttled_s += dt;
         update_dtm();
+        update_watchdog();
         resolve_phases_and_completions(scheduler);
 
         now_ = static_cast<double>(++step) * dt;
@@ -532,6 +709,15 @@ SimResult Simulator::run(Scheduler& scheduler) {
     for (const TaskResult& t : result_.tasks)
         makespan = std::max(makespan, t.finish_s);
     result_.makespan_s = makespan;
+    if (injector_) {
+        // A watchdog engaged at the end of the run still counts as an open
+        // recovery interval.
+        if (watchdog_active_)
+            result_.resilience.worst_recovery_s =
+                std::max(result_.resilience.worst_recovery_s,
+                         now_ - watchdog_engaged_s_);
+        result_.resilience.fault_log = injector_->log();
+    }
     if (config_.trace_interval_s > 0.0) record_trace_sample();
     return result_;
 }

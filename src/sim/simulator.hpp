@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "arch/manycore.hpp"
+#include "fault/fault_injector.hpp"
 #include "noc/mesh.hpp"
 #include "noc/traffic.hpp"
 #include "perf/interval_model.hpp"
@@ -64,6 +65,10 @@ public:
     const linalg::Vector& temperatures() const override { return temps_; }
     double core_temperature(std::size_t core) const override;
     double sensor_reading(std::size_t core) const override;
+    bool core_available(std::size_t core) const override;
+    std::vector<std::size_t> failed_cores() const override;
+    bool sensor_trusted(std::size_t core) const override;
+    std::size_t untrusted_sensor_count() const override;
     ThreadId thread_on(std::size_t core) const override;
     std::size_t core_of(ThreadId thread) const override;
     std::vector<std::size_t> free_cores() const override;
@@ -97,6 +102,15 @@ private:
     void assign_phase_budgets(Task& task);
     void offer_pending(Scheduler& scheduler);
     void update_dtm();
+    /// Activates scheduled faults: evicts threads from dying cores (driving
+    /// Scheduler::on_core_failure), hands recovered cores back, tallies
+    /// resilience stats.
+    void apply_faults(Scheduler& scheduler);
+    /// Independent thermal-runaway protection on ground-truth temperatures.
+    void update_watchdog();
+    /// NaN/divergence guard over the node temperature vector; throws
+    /// std::runtime_error naming the step time and offending node.
+    void check_temperatures_sane() const;
     void record_trace_sample();
     /// Refreshes per-core NoC queueing delays from current throughputs (only
     /// when SimConfig::model_noc_contention is set).
@@ -112,6 +126,7 @@ private:
     std::unique_ptr<noc::TrafficModel> traffic_;
     std::vector<double> noc_delay_s_;              // per-core extra LLC latency
     std::unique_ptr<thermal::SensorBank> sensors_;  // when dtm_uses_sensors
+    std::unique_ptr<fault::FaultInjector> injector_;  // when faults scheduled
 
     std::vector<Task> tasks_;
     std::vector<Thread> threads_;
@@ -127,6 +142,9 @@ private:
     std::vector<double> core_idle_since_s_;  // power gating bookkeeping
     std::vector<bool> core_gated_;
     bool dtm_active_ = false;
+    bool watchdog_enabled_ = false;
+    bool watchdog_active_ = false;
+    double watchdog_engaged_s_ = 0.0;
 
     // Bookkeeping.
     std::vector<double> task_energy_j_;

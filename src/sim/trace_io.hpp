@@ -18,4 +18,15 @@ void write_trace_csv(std::ostream& out, const std::vector<TraceSample>& trace);
 void write_trace_csv(const std::string& path,
                      const std::vector<TraceSample>& trace);
 
+/// Parses a trace CSV written by write_trace_csv (round-trips). Malformed
+/// rows — wrong field count, non-numeric fields — are rejected with a
+/// std::runtime_error naming the source (@p source_name / file path) and
+/// line number, never a bare numeric-conversion exception.
+std::vector<TraceSample> read_trace_csv(
+    std::istream& in, const std::string& source_name = "<stream>");
+
+/// Convenience overload reading @p path; throws std::runtime_error when the
+/// file cannot be opened.
+std::vector<TraceSample> read_trace_csv_file(const std::string& path);
+
 }  // namespace hp::sim

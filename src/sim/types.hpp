@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "workload/benchmark.hpp"
 
 namespace hp::sim {
@@ -77,6 +78,36 @@ struct TaskResult {
     }
 };
 
+/// Resilience accounting of one run under fault injection.
+///
+/// All fields stay zero (and log empty) for fault-free runs, so SimResult
+/// comparisons against pre-fault-subsystem baselines remain meaningful.
+struct ResilienceStats {
+    std::size_t faults_injected = 0;   ///< events whose onset was reached
+    std::size_t core_failures = 0;     ///< transient + permanent
+    std::size_t sensor_faults = 0;
+    std::size_t rotation_aborts = 0;   ///< rotations actually dropped
+    /// Threads evicted from failing cores that the scheduler re-placed
+    /// within its on_core_failure hook.
+    std::size_t threads_replaced = 0;
+    /// Threads evicted that could not be re-seated at eviction time.
+    /// Schedulers keep retrying as capacity frees, so a stranded thread
+    /// may still run to completion later.
+    std::size_t threads_stranded = 0;
+    std::size_t watchdog_triggers = 0;
+    double watchdog_throttled_s = 0.0;
+    /// Longest watchdog engage-to-release interval (time-to-recover).
+    double worst_recovery_s = 0.0;
+    /// Simulated time with the true hottest core above T_DTM.
+    double thermal_violation_s = 0.0;
+    /// Hottest true core temperature while any fault was active.
+    double peak_during_fault_c = 0.0;
+    /// Untrusted-sensor verdicts summed over samples (exposure measure).
+    std::size_t untrusted_sensor_samples = 0;
+    /// Every fault onset/recovery, in time order.
+    std::vector<fault::FaultLogEntry> fault_log;
+};
+
 /// Aggregate outcome of one simulation run.
 struct SimResult {
     std::vector<TaskResult> tasks;
@@ -92,6 +123,8 @@ struct SimResult {
     /// Portion of total_energy_j drawn by cores without a thread.
     double idle_energy_j = 0.0;
     std::vector<TraceSample> trace;     ///< empty unless tracing enabled
+    /// Fault-injection accounting (all-zero for fault-free runs).
+    ResilienceStats resilience;
 
     /// Mean response time over finished tasks (0 if none finished).
     double average_response_time_s() const;

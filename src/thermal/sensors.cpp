@@ -1,5 +1,6 @@
 #include "thermal/sensors.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -10,39 +11,171 @@ SensorBank::SensorBank(std::size_t cores, SensorParams params)
       rng_(params.seed),
       noise_(0.0, params.noise_sigma_c > 0.0 ? params.noise_sigma_c : 1e-12),
       raw_(cores),
-      filtered_(cores) {
+      filtered_(cores),
+      masked_(cores),
+      trusted_(cores, true) {
     if (cores == 0)
         throw std::invalid_argument("SensorBank: need at least one sensor");
     if (params_.quantization_c < 0.0 || params_.noise_sigma_c < 0.0 ||
         params_.sample_period_s <= 0.0 || params_.filter_alpha <= 0.0 ||
-        params_.filter_alpha > 1.0)
+        params_.filter_alpha > 1.0 || params_.vote_threshold_c <= 0.0 ||
+        params_.slew_limit_c <= 0.0)
         throw std::invalid_argument("SensorBank: bad parameters");
+}
+
+void SensorBank::set_corruptor(Corruptor corruptor) {
+    corruptor_ = std::move(corruptor);
+}
+
+void SensorBank::set_neighbors(
+    std::vector<std::vector<std::size_t>> neighbors) {
+    if (neighbors.size() != raw_.size())
+        throw std::invalid_argument(
+            "SensorBank: neighbor list size must match sensor count");
+    for (const auto& list : neighbors)
+        for (std::size_t id : list)
+            if (id >= raw_.size())
+                throw std::invalid_argument(
+                    "SensorBank: neighbor id out of range");
+    neighbors_ = std::move(neighbors);
+}
+
+SensorBank::VoteStats SensorBank::vote_stats(
+    std::size_t sensor, const linalg::Vector& values,
+    const std::vector<char>* plausible) const {
+    std::vector<double> votes;
+    const auto add_vote = [&](std::size_t id, bool require_plausible) {
+        if (id == sensor || !std::isfinite(values[id])) return;
+        if (require_plausible && plausible && !(*plausible)[id]) return;
+        votes.push_back(values[id]);
+    };
+    const auto collect = [&](bool require_plausible) {
+        votes.clear();
+        if (!neighbors_.empty()) {
+            for (std::size_t id : neighbors_[sensor])
+                add_vote(id, require_plausible);
+        } else {
+            for (std::size_t id = 0; id < values.size(); ++id)
+                add_vote(id, require_plausible);
+        }
+    };
+    collect(true);
+    // If every voter is itself implausible, fall back to the full vote —
+    // a bad median still beats no median for masking purposes.
+    if (votes.empty() && plausible) collect(false);
+    if (votes.empty())
+        return {values[sensor], values[sensor], false};  // nobody left to vote
+    const double max = *std::max_element(votes.begin(), votes.end());
+    const std::size_t mid = votes.size() / 2;
+    std::nth_element(votes.begin(), votes.begin() + mid, votes.end());
+    if (votes.size() % 2 == 1) return {votes[mid], max, true};
+    const double upper = votes[mid];
+    const double lower = *std::max_element(votes.begin(), votes.begin() + mid);
+    return {0.5 * (lower + upper), max, true};
+}
+
+bool SensorBank::plausible_reading(std::size_t sensor, double reading,
+                                   const VoteStats& vote) const {
+    if (!vote.valid || !std::isfinite(vote.median)) return true;
+    // Implausibly cold: well below what the surrounding silicon reports.
+    // Purely spatial — a stuck-cold diode must never earn trust by being
+    // stuck consistently (that is exactly the DTM-blinding fault).
+    if (reading < vote.median - params_.vote_threshold_c) return false;
+    // Implausibly hot: hotter than EVERY voter by the full threshold. An
+    // honest hotspot under a sparse workload legitimately out-reads all its
+    // idle neighbours, but it got there through its thermal RC — so a
+    // sensor that was trusted last sample and moved within the slew limit
+    // keeps its trust. Spikes and stuck-at faults jump discontinuously and
+    // fail the continuity clause (and once untrusted, stay untrusted until
+    // spatially plausible again).
+    if (reading > vote.max + params_.vote_threshold_c) {
+        const bool continuous =
+            primed_ && trusted_[sensor] &&
+            std::abs(reading - raw_[sensor]) <= params_.slew_limit_c;
+        return continuous;
+    }
+    return true;
 }
 
 void SensorBank::observe(const linalg::Vector& true_core_temps, double now_s) {
     if (true_core_temps.size() != raw_.size())
         throw std::invalid_argument("SensorBank: temperature size mismatch");
+    // Sample-and-hold: too-early and out-of-order (past) timestamps both
+    // leave the held readings untouched.
     if (primed_ && now_s - last_sample_s_ < params_.sample_period_s - 1e-12)
-        return;  // hold previous readings until the next sample instant
+        return;
     last_sample_s_ = now_s;
 
+    // Pass 1: raw acquisition (noise, quantisation, fault corruption).
+    linalg::Vector sample(raw_.size());
     for (std::size_t i = 0; i < raw_.size(); ++i) {
         double reading = true_core_temps[i];
         if (params_.noise_sigma_c > 0.0) reading += noise_(rng_);
         if (params_.quantization_c > 0.0)
             reading = std::round(reading / params_.quantization_c) *
                       params_.quantization_c;
+        if (corruptor_) reading = corruptor_(i, reading, now_s);
+        sample[i] = reading;
+    }
+
+    // Pass 2a: provisional verdicts against the raw sample. A sensor is
+    // provisionally implausible when it fails the vote over the full
+    // neighbourhood; these verdicts only decide who may vote in pass 2b.
+    std::vector<char> plausible(raw_.size(), 1);
+    for (std::size_t i = 0; i < raw_.size(); ++i) {
+        if (!std::isfinite(sample[i])) {
+            plausible[i] = 0;
+        } else if (params_.vote_filter) {
+            plausible[i] =
+                plausible_reading(i, sample[i], vote_stats(i, sample));
+        }
+    }
+
+    // Pass 2b: final verdicts and masking vote only among provisionally
+    // plausible sensors, so a lying diode cannot drag the median used to
+    // mask its neighbours (and an honest sensor flagged in pass 2a only
+    // because a liar sat in its vote set is rehabilitated).
+    for (std::size_t i = 0; i < raw_.size(); ++i) {
+        const double reading = sample[i];
+        if (!std::isfinite(reading)) {
+            // Dropout: hold the last good raw sample, mask by the vote.
+            trusted_[i] = false;
+            masked_[i] = vote_stats(i, sample, &plausible).median;
+            if (!std::isfinite(masked_[i]))
+                masked_[i] = primed_ ? filtered_[i] : true_core_temps[i];
+            continue;
+        }
+        // Plausibility consults the held raw sample and previous verdict —
+        // evaluate it before this sample overwrites them.
+        const VoteStats vote = vote_stats(i, sample, &plausible);
+        const bool ok =
+            !params_.vote_filter || plausible_reading(i, reading, vote);
         raw_[i] = reading;
         filtered_[i] = primed_ ? filtered_[i] + params_.filter_alpha *
                                                     (reading - filtered_[i])
                                : reading;
+        trusted_[i] = ok;
+        masked_[i] = ok ? filtered_[i] : vote.median;
     }
     primed_ = true;
+}
+
+std::size_t SensorBank::untrusted_count() const {
+    std::size_t n = 0;
+    for (bool t : trusted_)
+        if (!t) ++n;
+    return n;
 }
 
 double SensorBank::max_reading() const {
     double m = -1e300;
     for (double r : filtered_) m = std::max(m, r);
+    return m;
+}
+
+double SensorBank::max_masked_reading() const {
+    double m = -1e300;
+    for (double r : masked_) m = std::max(m, r);
     return m;
 }
 

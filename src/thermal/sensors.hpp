@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <random>
+#include <vector>
 
 #include "linalg/vector.hpp"
 
@@ -22,36 +24,112 @@ struct SensorParams {
     /// Exponential smoothing weight applied by the sensor filter driver
     /// (1.0 = raw readings; lower = smoother, laggier).
     double filter_alpha = 0.6;
+    /// Median-of-neighbors voting. A reading is flagged untrusted (and masked
+    /// by its neighbours' median) when it is implausibly cold — more than
+    /// vote_threshold_c below the voter median — or implausibly hot — more
+    /// than vote_threshold_c above even the hottest voter AND discontinuous
+    /// with its own history (see slew_limit_c). The cold test is purely
+    /// spatial (a stuck-cold diode must never earn trust by being stuck
+    /// consistently); the hot test needs the temporal clause because under a
+    /// sparse workload an honest hotspot legitimately reads tens of °C above
+    /// every idle neighbour — what it cannot do is get there in one sample.
+    /// Off by default (trusts every sensor).
+    bool vote_filter = false;
+    double vote_threshold_c = 10.0;
+    /// Temporal-continuity bound for the hot-side vote: a sensor that was
+    /// trusted last sample and moved by at most this much keeps its trust
+    /// even when it out-reads every voter. Real silicon heats through its
+    /// thermal RC (well under 1 °C per sample period here); spike and
+    /// stuck-at faults appear as discontinuous jumps and break the bound.
+    double slew_limit_c = 5.0;
 };
 
 /// Per-core thermal sensor bank with sample-and-hold semantics.
+///
+/// Fault awareness: an optional corruptor hook (wired to the FaultInjector
+/// by the simulator) transforms each raw sample before filtering, modelling
+/// stuck-at / drift / spike faults; a NaN from the hook models a dropout.
+/// With SensorParams::vote_filter enabled, each sample is voted against the
+/// median of its neighbours — implausible readings are flagged untrusted and
+/// masked, so one lying diode cannot blind (or panic) the DTM.
 class SensorBank {
 public:
+    /// Transforms a raw sample of @p sensor taken at @p now_s; NaN = dropout.
+    using Corruptor =
+        std::function<double(std::size_t sensor, double reading, double now_s)>;
+
     /// @p cores is the number of sensors (one per core).
     SensorBank(std::size_t cores, SensorParams params = {});
 
     const SensorParams& params() const { return params_; }
 
+    /// Installs (or clears, with nullptr) the fault hook.
+    void set_corruptor(Corruptor corruptor);
+
+    /// Voting topology: @p neighbors[i] lists the sensors voting on sensor i
+    /// (typically the mesh neighbours). Without this, every other sensor
+    /// votes (global median). Throws on a size mismatch or out-of-range id.
+    void set_neighbors(std::vector<std::vector<std::size_t>> neighbors);
+
     /// Feeds ground-truth core temperatures at simulation time @p now_s.
     /// Readings only change when a sample period has elapsed; between
-    /// samples the previous (held) readings persist.
+    /// samples — and for out-of-order (past) timestamps — the previous
+    /// (held) readings persist.
     void observe(const linalg::Vector& true_core_temps, double now_s);
 
-    /// Latest filtered readings (valid after the first observe()).
+    /// Latest filtered readings (valid after the first observe()). These are
+    /// what the scheduler sees: faults pass through uncorrected.
     const linalg::Vector& readings() const { return filtered_; }
 
-    /// Latest raw (quantised + noisy, unfiltered) readings.
+    /// Latest raw (quantised + noisy + corrupted, unfiltered) readings.
+    /// Dropped-out sensors hold their last good sample here.
     const linalg::Vector& raw_readings() const { return raw_; }
+
+    /// Fault-masked readings: untrusted entries are replaced by the median
+    /// of their neighbours. Equals readings() when the vote filter is off
+    /// and no dropout occurred. The DTM/watchdog drive off these.
+    const linalg::Vector& masked_readings() const { return masked_; }
+
+    /// Per-sensor trust verdict from the latest sample (all true when the
+    /// vote filter is off and no dropout occurred).
+    const std::vector<bool>& trusted() const { return trusted_; }
+    std::size_t untrusted_count() const;
 
     /// Hottest filtered reading.
     double max_reading() const;
+    /// Hottest fault-masked reading (what thermal protection should trust).
+    double max_masked_reading() const;
 
 private:
+    /// Median and max over the voters of @p sensor. `valid` is false when no
+    /// voter was available (the vote degenerates to the sensor's own value).
+    struct VoteStats {
+        double median;
+        double max;
+        bool valid;
+    };
+
+    /// Vote statistics for @p sensor. With @p plausible, voters flagged
+    /// implausible are excluded (falling back to the full vote when that
+    /// leaves nobody).
+    VoteStats vote_stats(std::size_t sensor, const linalg::Vector& values,
+                         const std::vector<char>* plausible = nullptr) const;
+
+    /// Asymmetric plausibility test of @p sensor's @p reading against its
+    /// vote; consults the sensor's held raw sample and previous trust
+    /// verdict for the hot-side continuity clause.
+    bool plausible_reading(std::size_t sensor, double reading,
+                           const VoteStats& vote) const;
+
     SensorParams params_;
     std::mt19937_64 rng_;
     std::normal_distribution<double> noise_;
+    Corruptor corruptor_;
+    std::vector<std::vector<std::size_t>> neighbors_;  // empty = global vote
     linalg::Vector raw_;
     linalg::Vector filtered_;
+    linalg::Vector masked_;
+    std::vector<bool> trusted_;
     double last_sample_s_ = -1e300;
     bool primed_ = false;
 };

@@ -10,9 +10,10 @@ namespace hp::workload {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-    throw std::runtime_error("workload_io: line " + std::to_string(line) +
-                             ": " + what);
+[[noreturn]] void fail(const std::string& source, std::size_t line,
+                       const std::string& what) {
+    throw std::runtime_error("workload_io: " + source + ":" +
+                             std::to_string(line) + ": " + what);
 }
 
 /// Strips comments and surrounding whitespace; returns true if anything
@@ -35,7 +36,8 @@ std::ifstream open_or_throw(const std::string& path) {
 
 }  // namespace
 
-std::vector<BenchmarkProfile> read_profiles(std::istream& in) {
+std::vector<BenchmarkProfile> read_profiles(std::istream& in,
+                                            const std::string& source_name) {
     std::vector<BenchmarkProfile> out;
     BenchmarkProfile current;
     bool in_block = false;
@@ -50,24 +52,24 @@ std::vector<BenchmarkProfile> read_profiles(std::istream& in) {
         fields >> keyword;
 
         if (keyword == "benchmark") {
-            if (in_block) fail(line_no, "nested 'benchmark' (missing 'end'?)");
+            if (in_block) fail(source_name, line_no, "nested 'benchmark' (missing 'end'?)");
             current = BenchmarkProfile{};
             if (!(fields >> current.name))
-                fail(line_no, "'benchmark' needs a name");
+                fail(source_name, line_no, "'benchmark' needs a name");
             in_block = true;
         } else if (keyword == "threads") {
-            if (!in_block) fail(line_no, "'threads' outside benchmark block");
+            if (!in_block) fail(source_name, line_no, "'threads' outside benchmark block");
             if (!(fields >> current.default_threads) ||
                 current.default_threads < 1)
-                fail(line_no, "'threads' needs a positive count");
+                fail(source_name, line_no, "'threads' needs a positive count");
         } else if (keyword == "phase") {
-            if (!in_block) fail(line_no, "'phase' outside benchmark block");
+            if (!in_block) fail(source_name, line_no, "'phase' outside benchmark block");
             PhaseSpec phase;
             double master_m = 0.0, worker_m = 0.0;
             if (!(fields >> phase.label >> master_m >> worker_m >>
                   phase.perf.base_cpi >> phase.perf.llc_apki >>
                   phase.perf.nominal_power_w))
-                fail(line_no,
+                fail(source_name, line_no,
                      "'phase' needs: label master_Minstr worker_Minstr cpi "
                      "apki watts [miss_ratio]");
             fields >> phase.perf.llc_miss_ratio;  // optional trailing field
@@ -75,27 +77,27 @@ std::vector<BenchmarkProfile> read_profiles(std::istream& in) {
                 phase.perf.llc_apki < 0.0 || phase.perf.nominal_power_w <= 0.0 ||
                 phase.perf.llc_miss_ratio < 0.0 ||
                 phase.perf.llc_miss_ratio > 1.0)
-                fail(line_no, "'phase' values out of range");
+                fail(source_name, line_no, "'phase' values out of range");
             phase.master_instructions = master_m * 1e6;
             phase.worker_instructions = worker_m * 1e6;
             current.phases.push_back(std::move(phase));
         } else if (keyword == "end") {
-            if (!in_block) fail(line_no, "'end' without 'benchmark'");
+            if (!in_block) fail(source_name, line_no, "'end' without 'benchmark'");
             if (current.phases.empty())
-                fail(line_no, "benchmark '" + current.name + "' has no phases");
+                fail(source_name, line_no, "benchmark '" + current.name + "' has no phases");
             out.push_back(std::move(current));
             in_block = false;
         } else {
-            fail(line_no, "unknown directive '" + keyword + "'");
+            fail(source_name, line_no, "unknown directive '" + keyword + "'");
         }
     }
-    if (in_block) fail(line_no, "unterminated benchmark block");
+    if (in_block) fail(source_name, line_no, "unterminated benchmark block");
     return out;
 }
 
 std::vector<BenchmarkProfile> read_profiles_file(const std::string& path) {
     auto file = open_or_throw(path);
-    return read_profiles(file);
+    return read_profiles(file, path);
 }
 
 void write_profiles(std::ostream& out,
@@ -115,14 +117,15 @@ void write_profiles(std::ostream& out,
 }
 
 std::vector<TaskSpec> read_tasks(
-    std::istream& in, const std::vector<BenchmarkProfile>& profiles) {
+    std::istream& in, const std::vector<BenchmarkProfile>& profiles,
+    const std::string& source_name) {
     const auto resolve = [&](const std::string& name,
                              std::size_t line_no) -> const BenchmarkProfile* {
         for (const BenchmarkProfile& p : profiles)
             if (p.name == name) return &p;
         for (const BenchmarkProfile& p : parsec_profiles())
             if (p.name == name) return &p;
-        fail(line_no, "unknown benchmark '" + name + "'");
+        fail(source_name, line_no, "unknown benchmark '" + name + "'");
     };
 
     std::vector<TaskSpec> out;
@@ -135,11 +138,11 @@ std::vector<TaskSpec> read_tasks(
         std::string keyword, name;
         TaskSpec spec;
         if (!(fields >> keyword) || keyword != "task")
-            fail(line_no, "expected 'task <benchmark> <threads> <arrival_s>'");
+            fail(source_name, line_no, "expected 'task <benchmark> <threads> <arrival_s>'");
         if (!(fields >> name >> spec.thread_count >> spec.arrival_s))
-            fail(line_no, "'task' needs: benchmark threads arrival_seconds");
+            fail(source_name, line_no, "'task' needs: benchmark threads arrival_seconds");
         if (spec.thread_count < 1 || spec.arrival_s < 0.0)
-            fail(line_no, "'task' values out of range");
+            fail(source_name, line_no, "'task' values out of range");
         spec.profile = resolve(name, line_no);
         out.push_back(spec);
     }
@@ -149,7 +152,7 @@ std::vector<TaskSpec> read_tasks(
 std::vector<TaskSpec> read_tasks_file(
     const std::string& path, const std::vector<BenchmarkProfile>& profiles) {
     auto file = open_or_throw(path);
-    return read_tasks(file, profiles);
+    return read_tasks(file, profiles, path);
 }
 
 void write_tasks(std::ostream& out, const std::vector<TaskSpec>& tasks) {

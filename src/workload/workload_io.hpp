@@ -30,9 +30,11 @@ namespace hp::workload {
 /// Task lines resolve benchmark names against the profiles passed in (plus
 /// the built-in PARSEC set).
 
-/// Parses benchmark profile blocks from @p in. Throws std::runtime_error
-/// with a line number on malformed input.
-std::vector<BenchmarkProfile> read_profiles(std::istream& in);
+/// Parses benchmark profile blocks from @p in. Malformed input is rejected
+/// with a std::runtime_error naming the source (@p source_name / file path)
+/// and line number — never a bare numeric-conversion exception.
+std::vector<BenchmarkProfile> read_profiles(
+    std::istream& in, const std::string& source_name = "<stream>");
 std::vector<BenchmarkProfile> read_profiles_file(const std::string& path);
 
 /// Writes @p profiles in the same format (round-trips with read_profiles).
@@ -42,10 +44,11 @@ void write_profiles(std::ostream& out,
 /// Parses a task list; benchmark names are resolved against @p profiles
 /// first, then the built-in PARSEC profiles. The returned TaskSpecs point
 /// into @p profiles / the built-in set, which must outlive them. Throws
-/// std::runtime_error with a line number on malformed input or unknown
-/// benchmark names.
+/// std::runtime_error carrying the source name and line number on malformed
+/// input or unknown benchmark names.
 std::vector<TaskSpec> read_tasks(std::istream& in,
-                                 const std::vector<BenchmarkProfile>& profiles);
+                                 const std::vector<BenchmarkProfile>& profiles,
+                                 const std::string& source_name = "<stream>");
 std::vector<TaskSpec> read_tasks_file(
     const std::string& path, const std::vector<BenchmarkProfile>& profiles);
 

@@ -43,6 +43,31 @@ TEST(CliParse, AllFlags) {
     EXPECT_DOUBLE_EQ(o.trace_interval_s, 0.002);
 }
 
+TEST(CliParse, FaultFlags) {
+    const CliOptions o = parse({
+        "--faults", "faults.csv", "--fault-seed", "17", "--watchdog",
+    });
+    EXPECT_EQ(o.faults_file, "faults.csv");
+    EXPECT_EQ(o.fault_seed, 17u);
+    EXPECT_TRUE(o.watchdog);
+    EXPECT_FALSE(parse({}).watchdog);
+}
+
+TEST(CliParse, AggregatesAllViolationsInOneError) {
+    try {
+        (void)parse({"--rows", "0", "--min-threads", "1", "--t-dtm", "40",
+                     "--max-time", "0", "--rate", "-1"});
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("dimensions"), std::string::npos) << what;
+        EXPECT_NE(what.find("thread-count"), std::string::npos) << what;
+        EXPECT_NE(what.find("--t-dtm"), std::string::npos) << what;
+        EXPECT_NE(what.find("--max-time"), std::string::npos) << what;
+        EXPECT_NE(what.find("--rate"), std::string::npos) << what;
+    }
+}
+
 TEST(CliParse, HelpFlag) {
     EXPECT_TRUE(parse({"--help"}).help);
     EXPECT_TRUE(parse({"-h"}).help);

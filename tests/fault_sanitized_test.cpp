@@ -1,0 +1,101 @@
+// Memory-safety stress of the fault subsystem and fault-aware sensor bank.
+//
+// Built as a second executable with -fsanitize=address,undefined (see
+// tests/CMakeLists.txt), so heap errors and UB in the fault paths fail the
+// default ctest run even when the rest of the tree is unsanitized. The
+// scenarios are chosen to churn the allocating paths: schedule parsing,
+// active-window insertion/removal, log growth, and per-sample corruption.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_io.hpp"
+#include "thermal/sensors.hpp"
+
+namespace {
+
+using hp::fault::FaultEvent;
+using hp::fault::FaultInjector;
+using hp::fault::FaultKind;
+using hp::fault::FaultSchedule;
+using hp::linalg::Vector;
+using hp::thermal::SensorBank;
+using hp::thermal::SensorParams;
+
+TEST(FaultSanitized, ScheduleChurnsThroughManyWindows) {
+    FaultSchedule schedule;
+    for (int i = 0; i < 200; ++i) {
+        FaultEvent e;
+        e.time_s = 0.01 * i;
+        e.kind = i % 3 == 0 ? FaultKind::kCoreTransient
+                            : (i % 3 == 1 ? FaultKind::kSensorSpike
+                                          : FaultKind::kRotationAbort);
+        e.target = static_cast<std::size_t>(i % 16);
+        e.duration_s = e.kind == FaultKind::kRotationAbort ? 0.0 : 0.05;
+        e.magnitude = 10.0;
+        schedule.events.push_back(e);
+    }
+    FaultInjector injector(schedule, 16, 7);
+    std::vector<FaultEvent> started, ended;
+    for (int step = 0; step < 400; ++step) {
+        const double now = 0.005 * step;
+        injector.advance(now, &started, &ended);
+        (void)injector.consume_rotation_abort(now);
+        for (std::size_t s = 0; s < 16; ++s)
+            (void)injector.corrupt_reading(s, 50.0, now);
+    }
+    EXPECT_EQ(injector.injected_count(), 200u);
+    EXPECT_EQ(started.size(), 200u);
+    EXPECT_GE(injector.log().size(), 200u);
+}
+
+TEST(FaultSanitized, CsvRoundTripAndRejection) {
+    FaultSchedule schedule;
+    for (int i = 0; i < 50; ++i) {
+        FaultEvent e;
+        e.time_s = 0.1 * i;
+        e.kind = FaultKind::kSensorDrift;
+        e.target = static_cast<std::size_t>(i % 8);
+        e.magnitude = 1.5;
+        schedule.events.push_back(e);
+    }
+    std::stringstream buffer;
+    hp::fault::write_fault_schedule(buffer, schedule);
+    const FaultSchedule back = hp::fault::read_fault_schedule(buffer);
+    EXPECT_EQ(back.events.size(), schedule.events.size());
+
+    std::istringstream bad("0.5,sensor_stuck,not_an_index,0,45\n");
+    EXPECT_THROW((void)hp::fault::read_fault_schedule(bad, "bad.csv"),
+                 std::runtime_error);
+}
+
+TEST(FaultSanitized, SensorBankVotesUnderDropoutChurn) {
+    SensorParams params;
+    params.noise_sigma_c = 0.2;
+    params.vote_filter = true;
+    params.sample_period_s = 1e-4;
+    SensorBank bank(16, params);
+    std::vector<std::vector<std::size_t>> neighbors(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+        if (i > 0) neighbors[i].push_back(i - 1);
+        if (i + 1 < 16) neighbors[i].push_back(i + 1);
+    }
+    bank.set_neighbors(neighbors);
+    int tick = 0;
+    bank.set_corruptor([&](std::size_t sensor, double reading, double) {
+        if (sensor == 3 && tick % 2 == 0) return std::nan("");  // flapping
+        if (sensor == 11) return 120.0;                         // stuck hot
+        return reading;
+    });
+    Vector truth(16, 55.0);
+    for (tick = 0; tick < 500; ++tick)
+        bank.observe(truth, tick * 1e-4);
+    EXPECT_FALSE(bank.trusted()[11]);
+    EXPECT_LT(bank.max_masked_reading(), 60.0);  // the lie never leaks
+    EXPECT_GE(bank.untrusted_count(), 1u);
+}
+
+}  // namespace

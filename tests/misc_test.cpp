@@ -35,6 +35,54 @@ TEST(TraceIo, UnwritablePathThrows) {
         std::runtime_error);
 }
 
+TEST(TraceIo, RoundTrips) {
+    hp::sim::TraceSample a;
+    a.time_s = 0.25;
+    a.max_core_temperature_c = 61.5;
+    a.core_temperature_c = {60.0, 61.5};
+    a.core_power_w = {1.25, 0.5};
+    a.core_frequency_hz = {4e9, 1e9};
+    hp::sim::TraceSample b = a;
+    b.time_s = 0.5;
+    std::stringstream buffer;
+    hp::sim::write_trace_csv(buffer, {a, b});
+    const auto back = hp::sim::read_trace_csv(buffer);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_DOUBLE_EQ(back[0].time_s, 0.25);
+    EXPECT_DOUBLE_EQ(back[1].time_s, 0.5);
+    ASSERT_EQ(back[0].core_temperature_c.size(), 2u);
+    EXPECT_DOUBLE_EQ(back[0].core_temperature_c[1], 61.5);
+    EXPECT_DOUBLE_EQ(back[0].core_power_w[0], 1.25);
+    EXPECT_DOUBLE_EQ(back[1].core_frequency_hz[1], 1e9);
+}
+
+TEST(TraceIo, MalformedRowsCarrySourceAndLine) {
+    const auto expect_error = [](const std::string& text,
+                                 const char* fragment) {
+        std::istringstream in(text);
+        try {
+            (void)hp::sim::read_trace_csv(in, "trace.csv");
+            FAIL() << "expected parse error for: " << text;
+        } catch (const std::runtime_error& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("trace.csv:"), std::string::npos) << what;
+            EXPECT_NE(what.find(fragment), std::string::npos) << what;
+        }
+    };
+    const std::string header = "time_s,max_temp_c,temp_c0,power_c0,freq_c0\n";
+    expect_error("bogus,header\n", "expected header");
+    expect_error("time_s,max_temp_c\n", "header must be");
+    expect_error(header + "0,61.5,60\n", "expected 5 fields");
+    expect_error(header + "0,oops,60,1,4e9\n", "bad number");
+}
+
+TEST(TraceIo, EmptyStreamReadsAsEmptyTrace) {
+    std::istringstream in("");
+    EXPECT_TRUE(hp::sim::read_trace_csv(in).empty());
+    EXPECT_THROW(hp::sim::read_trace_csv_file("/nonexistent/trace.csv"),
+                 std::runtime_error);
+}
+
 TEST(CliFiles, ProfilesAndTasksFilesDriveARun) {
     const std::string profiles_path = "/tmp/hp_test_profiles.txt";
     const std::string tasks_path = "/tmp/hp_test_tasks.txt";

@@ -107,6 +107,77 @@ TEST(Sensors, InvalidParamsThrow) {
     EXPECT_THROW(ok.observe(Vector{1.0}, 0.0), std::invalid_argument);
 }
 
+TEST(Sensors, OutOfOrderObserveHoldsReadings) {
+    SensorParams p = quiet();
+    p.quantization_c = 0.0;
+    p.sample_period_s = 1e-3;
+    SensorBank bank(1, p);
+    bank.observe(Vector{50.0}, 1e-3);
+    bank.observe(Vector{99.0}, 0.0);  // time ran backwards: held
+    EXPECT_DOUBLE_EQ(bank.readings()[0], 50.0);
+    bank.observe(Vector{60.0}, 2e-3);  // monotone again: refreshed
+    EXPECT_DOUBLE_EQ(bank.readings()[0], 60.0);
+}
+
+TEST(Sensors, StuckSensorMaskedByNeighborVote) {
+    SensorParams p = quiet();
+    p.quantization_c = 0.0;
+    p.vote_filter = true;  // default 5 C threshold
+    SensorBank bank(4, p);
+    bank.set_corruptor([](std::size_t s, double r, double) {
+        return s == 0 ? 45.0 : r;  // sensor 0 stuck cold
+    });
+    bank.observe(Vector{60.0, 60.0, 61.0, 61.0}, 0.0);
+
+    // The lie passes through the plain filtered view...
+    EXPECT_DOUBLE_EQ(bank.readings()[0], 45.0);
+    // ...but the vote flags it and masks it by the neighbour median.
+    EXPECT_FALSE(bank.trusted()[0]);
+    EXPECT_TRUE(bank.trusted()[1]);
+    EXPECT_EQ(bank.untrusted_count(), 1u);
+    EXPECT_DOUBLE_EQ(bank.masked_readings()[0], 61.0);
+    EXPECT_DOUBLE_EQ(bank.max_masked_reading(), 61.0);
+    EXPECT_DOUBLE_EQ(bank.max_reading(), 61.0);
+}
+
+TEST(Sensors, DropoutHoldsLastGoodSampleAndMasks) {
+    SensorParams p = quiet();
+    p.quantization_c = 0.0;  // vote filter off: dropout masking still works
+    SensorBank bank(3, p);
+    bool drop = false;
+    bank.set_corruptor([&](std::size_t s, double r, double) {
+        return drop && s == 1 ? std::nan("") : r;
+    });
+    bank.observe(Vector{50.0, 60.0, 70.0}, 0.0);
+    drop = true;
+    bank.observe(Vector{51.0, 61.0, 71.0}, 1e-3);
+
+    EXPECT_DOUBLE_EQ(bank.readings()[1], 60.0);      // held, not NaN
+    EXPECT_DOUBLE_EQ(bank.raw_readings()[1], 60.0);  // last good sample
+    EXPECT_FALSE(bank.trusted()[1]);
+    EXPECT_EQ(bank.untrusted_count(), 1u);
+    // Masked view substitutes the median of the live sensors.
+    EXPECT_DOUBLE_EQ(bank.masked_readings()[1], 61.0);
+    EXPECT_DOUBLE_EQ(bank.masked_readings()[0], 51.0);
+}
+
+TEST(Sensors, NeighborTopologyValidatedAndRestrictsVotes) {
+    SensorParams p = quiet();
+    p.quantization_c = 0.0;
+    p.vote_filter = true;
+    SensorBank bank(3, p);
+    EXPECT_THROW(bank.set_neighbors({{0}}), std::invalid_argument);
+    EXPECT_THROW(bank.set_neighbors({{1}, {9}, {1}}), std::invalid_argument);
+    bank.set_neighbors({{1}, {0, 2}, {1}});
+    bank.set_corruptor([](std::size_t s, double r, double) {
+        return s == 2 ? 45.0 : r;  // stuck cold
+    });
+    bank.observe(Vector{60.0, 60.0, 60.0}, 0.0);
+    // Sensor 2's only voter is sensor 1 (reading 60): flagged and masked.
+    EXPECT_FALSE(bank.trusted()[2]);
+    EXPECT_DOUBLE_EQ(bank.masked_readings()[2], 60.0);
+}
+
 TEST(Sensors, DtmWithNoisySensorsStaysBounded) {
     // Sensor-driven DTM on the hot Fig. 2(a) workload: triggers fire around
     // the threshold despite 0.5 C noise, and hysteresis prevents unbounded

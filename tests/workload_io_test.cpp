@@ -81,6 +81,29 @@ TEST(WorkloadIo, ProfileErrorsCarryLineNumbers) {
     expect_error("benchmark a\nphase p 1 1\nend\n", "'phase' needs");
 }
 
+TEST(WorkloadIo, ErrorsNameSourceAndLine) {
+    // The diagnostic carries the caller-supplied source label and the
+    // 1-based line number of the offending row.
+    std::istringstream pin("benchmark a\nphase p 1 1 zzz 1 1\nend\n");
+    try {
+        (void)read_profiles(pin, "profiles.txt");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("workload_io: profiles.txt:2:"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::istringstream tin("task blackscholes 2 0\ntask blackscholes 2 oops\n");
+    try {
+        (void)read_tasks(tin, {}, "tasks.txt");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("workload_io: tasks.txt:2:"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(WorkloadIo, ParsesTasksAgainstCustomAndBuiltins) {
     std::istringstream pin(kProfileText);
     const auto profiles = read_profiles(pin);
