@@ -3,8 +3,14 @@
 // headline numbers? Runs the Fig. 2 rotation case and a 64-core HotPotato
 // full load with each knob toggled, quantifying the sensitivity of the
 // reproduction to substrate detail.
+//
+// Each knob combination is a named config variant on the campaign engine's
+// config axis (the axis exists precisely because RunSetup spans SimConfig
+// *and* PowerParams, so power_gating can vary per run).
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/hotpotato.hpp"
@@ -14,9 +20,7 @@
 
 namespace {
 
-using hp::bench::testbed_16core;
-using hp::bench::testbed_64core;
-using hp::sim::SimConfig;
+using hp::campaign::RunSetup;
 using hp::sim::SimResult;
 
 struct Knobs {
@@ -34,50 +38,72 @@ constexpr Knobs kVariants[] = {
     {"+ all three", true, true, true},
 };
 
-SimResult run_fig2c(const Knobs& k) {
-    SimConfig cfg;
-    cfg.max_sim_time_s = 5.0;
-    cfg.model_noc_contention = k.noc;
-    cfg.dtm_uses_sensors = k.sensors;
-    hp::power::PowerParams pwr;
-    pwr.power_gating = k.gating;
-    hp::sim::Simulator sim(testbed_16core().chip, testbed_16core().model,
-                           testbed_16core().solver, cfg, pwr);
-    sim.add_task({&hp::workload::profile_by_name("blackscholes"), 2, 0.0});
-    hp::sched::FixedRotationScheduler sched({5, 6, 10, 9}, 0.5e-3);
-    return sim.run(sched);
-}
-
-SimResult run_fullload(const Knobs& k) {
-    SimConfig cfg;
-    cfg.max_sim_time_s = 10.0;
-    cfg.model_noc_contention = k.noc;
-    cfg.dtm_uses_sensors = k.sensors;
-    hp::power::PowerParams pwr;
-    pwr.power_gating = k.gating;
-    hp::sim::Simulator sim(testbed_64core().chip, testbed_64core().model,
-                           testbed_64core().solver, cfg, pwr);
-    sim.add_tasks(hp::workload::homogeneous_fill(
-        hp::workload::profile_by_name("x264"), 64, 3));
-    hp::core::HotPotatoScheduler sched;
-    return sim.run(sched);
+void add_variants(hp::campaign::CampaignSpec& spec) {
+    for (const Knobs& k : kVariants)
+        spec.add_config(k.label, [k](RunSetup& setup) {
+            setup.sim.model_noc_contention = k.noc;
+            setup.sim.dtm_uses_sensors = k.sensors;
+            setup.power.power_gating = k.gating;
+        });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     hp::bench::print_header(
         "Ablation: substrate fidelity (NoC contention, sensor DTM, power "
         "gating)",
         "robustness check for the whole reproduction (DESIGN.md SS2 "
         "substitutions)");
 
+    const std::size_t jobs = hp::bench::jobs_from_args(argc, argv);
+
+    // Fig. 2(c) rotation case (16-core, 2-thread blackscholes).
+    hp::campaign::CampaignResult fig2c;
+    {
+        hp::sim::SimConfig cfg;
+        cfg.max_sim_time_s = 5.0;
+        hp::campaign::CampaignSpec spec(hp::bench::testbed_16core(), cfg);
+        spec.add_scheduler("FixedRotation", [] {
+            return std::make_unique<hp::sched::FixedRotationScheduler>(
+                std::vector<std::size_t>{5, 6, 10, 9}, 0.5e-3);
+        });
+        spec.add_workload(
+            "blackscholes-2",
+            {hp::workload::TaskSpec{
+                &hp::workload::profile_by_name("blackscholes"), 2, 0.0}});
+        add_variants(spec);
+        fig2c = hp::bench::run_with_progress(spec, jobs);
+    }
+
+    // 64-core full-load x264 under HotPotato.
+    hp::campaign::CampaignResult fullload;
+    {
+        hp::sim::SimConfig cfg;
+        cfg.max_sim_time_s = 10.0;
+        hp::campaign::CampaignSpec spec(hp::bench::testbed_64core(), cfg);
+        spec.add_scheduler("HotPotato", [] {
+            return std::make_unique<hp::core::HotPotatoScheduler>();
+        });
+        spec.add_workload("x264-full",
+                          hp::workload::homogeneous_fill(
+                              hp::workload::profile_by_name("x264"), 64, 3));
+        add_variants(spec);
+        fullload = hp::bench::run_with_progress(spec, jobs);
+    }
+
     std::printf("\n  Fig. 2(c) rotation case (16-core, 2-thread blackscholes):\n");
     std::printf("  %-26s | %13s | %9s | %4s\n", "model variant",
                 "response [ms]", "peak [C]", "DTM");
     std::printf("  ---------------------------+---------------+-----------+-----\n");
     for (const Knobs& k : kVariants) {
-        const SimResult r = run_fig2c(k);
+        const auto* rec = hp::campaign::find(fig2c.records, "blackscholes-2",
+                                             "FixedRotation", k.label);
+        if (rec == nullptr || rec->failed) {
+            std::printf("  %-26s | FAILED\n", k.label);
+            continue;
+        }
+        const SimResult& r = rec->result;
         std::printf("  %-26s | %13.1f | %9.2f | %zu\n", k.label,
                     r.tasks.at(0).response_time_s() * 1e3,
                     r.peak_temperature_c, r.dtm_triggers);
@@ -88,7 +114,13 @@ int main() {
                 "makespan [ms]", "peak [C]", "energy [J]");
     std::printf("  ---------------------------+---------------+-----------+-------------\n");
     for (const Knobs& k : kVariants) {
-        const SimResult r = run_fullload(k);
+        const auto* rec = hp::campaign::find(fullload.records, "x264-full",
+                                             "HotPotato", k.label);
+        if (rec == nullptr || rec->failed) {
+            std::printf("  %-26s | FAILED\n", k.label);
+            continue;
+        }
+        const SimResult& r = rec->result;
         std::printf("  %-26s | %13.1f | %9.2f | %12.2f\n", k.label,
                     r.makespan_s * 1e3, r.peak_temperature_c,
                     r.total_energy_j);

@@ -41,9 +41,9 @@ int main() {
         "Shen et al., DATE 2023, SSV ('NP-hard ... near-optimal solution')");
 
     const auto& bed = hp::bench::testbed_16core();
-    const hp::perf::IntervalPerformanceModel perf(bed.chip);
-    const hp::core::PeakTemperatureAnalyzer analyzer(bed.solver, 45.0, 0.3);
-    const RotationPlanner planner(bed.chip, perf, analyzer);
+    const hp::perf::IntervalPerformanceModel perf(bed.chip());
+    const hp::core::PeakTemperatureAnalyzer analyzer(bed.solver(), 45.0, 0.3);
+    const RotationPlanner planner(bed.chip(), perf, analyzer);
 
     std::printf("  %-8s | %7s | %12s | %12s | %7s | %s\n", "threads",
                 "trials", "mean gap", "worst gap", "ties", "greedy safe");

@@ -4,7 +4,8 @@
 //    idea, no S-NUCA structure),
 //  * reactive: measured-temperature-triggered evacuation (no rotation),
 //  * PCMig: the DVFS + predictive-migration state of the art,
-// on a mixed 16-core workload and a hot 64-core full load.
+// on a mixed 16-core workload and a hot 64-core full load. Each machine is
+// one campaign (4 schedulers x 1 workload) on the parallel engine.
 
 #include <cstdio>
 #include <memory>
@@ -20,40 +21,51 @@
 
 namespace {
 
-using hp::bench::testbed_16core;
-using hp::bench::testbed_64core;
-using hp::sim::SimResult;
+constexpr const char* kPolicies[] = {
+    "HotPotato (AMD rings)",
+    "global snake rotation",
+    "reactive evacuation",
+    "PCMig",
+};
 
-std::vector<std::pair<const char*, std::unique_ptr<hp::sim::Scheduler>>>
-contenders() {
-    std::vector<std::pair<const char*, std::unique_ptr<hp::sim::Scheduler>>> v;
-    v.emplace_back("HotPotato (AMD rings)",
-                   std::make_unique<hp::core::HotPotatoScheduler>());
-    v.emplace_back("global snake rotation",
-                   std::make_unique<hp::sched::GlobalRotationScheduler>());
-    v.emplace_back("reactive evacuation",
-                   std::make_unique<hp::sched::ReactiveMigrationScheduler>());
-    v.emplace_back("PCMig",
-                   std::make_unique<hp::sched::PcMigScheduler>());
-    return v;
+void add_contenders(hp::campaign::CampaignSpec& spec) {
+    spec.add_scheduler(kPolicies[0], [] {
+        return std::make_unique<hp::core::HotPotatoScheduler>();
+    });
+    spec.add_scheduler(kPolicies[1], [] {
+        return std::make_unique<hp::sched::GlobalRotationScheduler>();
+    });
+    spec.add_scheduler(kPolicies[2], [] {
+        return std::make_unique<hp::sched::ReactiveMigrationScheduler>();
+    });
+    spec.add_scheduler(kPolicies[3], [] {
+        return std::make_unique<hp::sched::PcMigScheduler>();
+    });
 }
 
-void race(const char* title, const hp::bench::Testbed& bed,
-          const std::vector<hp::workload::TaskSpec>& tasks) {
+void race(const char* title, const hp::campaign::StudySetup& bed,
+          const char* workload_label,
+          const std::vector<hp::workload::TaskSpec>& tasks,
+          std::size_t jobs) {
+    hp::sim::SimConfig cfg;
+    cfg.max_sim_time_s = 10.0;
+    hp::campaign::CampaignSpec spec(bed, cfg);
+    add_contenders(spec);
+    spec.add_workload(workload_label, tasks);
+    const auto out = hp::bench::run_with_progress(spec, jobs);
+
     std::printf("\n  %s\n", title);
     std::printf("  %-24s | %12s | %11s | %9s | %10s | %9s\n", "policy",
                 "makespan", "avg resp", "peak [C]", "migrations", "DTM [ms]");
     std::printf("  -------------------------+--------------+-------------+-----------+------------+----------\n");
-    for (auto& [label, sched] : contenders()) {
-        hp::sim::SimConfig cfg;
-        cfg.max_sim_time_s = 10.0;
-        hp::sim::Simulator sim = bed.make_sim(cfg);
-        sim.add_tasks(tasks);
-        const SimResult r = sim.run(*sched);
-        if (!r.all_finished) {
+    for (const char* label : kPolicies) {
+        const auto* rec = hp::campaign::find(out.records, workload_label,
+                                             label);
+        if (rec == nullptr || rec->failed || !rec->result.all_finished) {
             std::printf("  %-24s | DID NOT FINISH\n", label);
             continue;
         }
+        const auto& r = rec->result;
         std::printf("  %-24s | %9.1f ms | %8.1f ms | %9.1f | %10zu | %8.1f\n",
                     label, r.makespan_s * 1e3,
                     r.average_response_time_s() * 1e3, r.peak_temperature_c,
@@ -63,24 +75,27 @@ void race(const char* title, const hp::bench::Testbed& bed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     hp::bench::print_header(
         "Ablation: AMD-ring rotation vs global rotation vs reactive "
         "evacuation",
         "Shen et al., DATE 2023, SSV (ring structure of Algorithm 2)");
 
+    const std::size_t jobs = hp::bench::jobs_from_args(argc, argv);
     {
         std::vector<hp::workload::TaskSpec> tasks = {
             {&hp::workload::profile_by_name("blackscholes"), 2, 0.0},
             {&hp::workload::profile_by_name("canneal"), 4, 0.0},
             {&hp::workload::profile_by_name("bodytrack"), 4, 0.005},
         };
-        race("mixed 3-task workload, 16-core", testbed_16core(), tasks);
+        race("mixed 3-task workload, 16-core", hp::bench::testbed_16core(),
+             "mixed-3task", tasks, jobs);
     }
     {
         const auto tasks = hp::workload::homogeneous_fill(
             hp::workload::profile_by_name("bodytrack"), 64, 11);
-        race("full-load bodytrack, 64-core", testbed_64core(), tasks);
+        race("full-load bodytrack, 64-core", hp::bench::testbed_64core(),
+             "bodytrack-full", tasks, jobs);
     }
 
     std::printf("\n  expected: HotPotato matches or beats every alternative; global\n");

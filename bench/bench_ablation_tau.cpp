@@ -5,8 +5,14 @@
 // instance, printing response time, peak temperature and DTM activity —
 // motivating both the paper's 0.5 ms default and Algorithm 2's
 // updateRotationSpeed() adaptivity.
+//
+// The sweep is one campaign: each tau value is a scheduler variant and each
+// benchmark instance a workload, executed in parallel via --jobs N.
 
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "sched/static_schedulers.hpp"
@@ -14,55 +20,74 @@
 
 namespace {
 
-using hp::bench::testbed_16core;
-using hp::sim::SimConfig;
-using hp::sim::SimResult;
-
-SimResult run_tau(const char* benchmark_name, std::size_t threads,
-                  double tau) {
-    SimConfig cfg;
-    cfg.micro_step_s = 0.5e-4;
-    cfg.max_sim_time_s = 5.0;
-    hp::sim::Simulator sim = testbed_16core().make_sim(cfg);
-    sim.add_task(hp::workload::TaskSpec{
-        &hp::workload::profile_by_name(benchmark_name), threads, 0.0});
-    hp::sched::FixedRotationScheduler sched({5, 6, 10, 9}, tau);
-    return sim.run(sched);
-}
-
-void sweep(const char* benchmark_name, std::size_t threads) {
-    std::printf("\n  workload: %zu-thread %s on the centre ring, T_DTM = 70 C\n",
-                threads, benchmark_name);
-    std::printf("  %-10s | %13s | %9s | %10s | %12s\n", "tau", "response [ms]",
-                "peak [C]", "migrations", "DTM time [ms]");
-    std::printf("  -----------+---------------+-----------+------------+--------------\n");
-    for (double tau : {0.125e-3, 0.25e-3, 0.5e-3, 1e-3, 2e-3, 4e-3, 8e-3, 16e-3,
-                       32e-3, 64e-3}) {
-        const SimResult r = run_tau(benchmark_name, threads, tau);
-        if (!r.all_finished) {
-            std::printf("  %7.3f ms | DID NOT FINISH\n", tau * 1e3);
-            continue;
-        }
-        std::printf("  %7.3f ms | %13.1f | %9.2f | %10zu | %12.1f\n",
-                    tau * 1e3, r.tasks.at(0).response_time_s() * 1e3,
-                    r.peak_temperature_c, r.migrations,
-                    r.dtm_throttled_s * 1e3);
-    }
+std::string tau_label(double tau) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "tau-%.3fms", tau * 1e3);
+    return buf;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     hp::bench::print_header(
         "Ablation: rotation interval tau — migration overhead vs thermal "
         "averaging",
         "Shen et al., DATE 2023, SSV (updateRotationSpeed) + SSVI setup "
         "(0.5 ms initial tau)");
 
-    sweep("blackscholes", 2);
-    sweep("x264", 4);
+    const std::vector<double> taus = {0.125e-3, 0.25e-3, 0.5e-3, 1e-3, 2e-3,
+                                      4e-3,     8e-3,    16e-3,  32e-3, 64e-3};
+
+    hp::sim::SimConfig cfg;
+    cfg.micro_step_s = 0.5e-4;
+    cfg.max_sim_time_s = 5.0;
+
+    hp::campaign::CampaignSpec spec(hp::bench::testbed_16core(), cfg);
+    for (double tau : taus)
+        spec.add_scheduler(tau_label(tau), [tau] {
+            return std::make_unique<hp::sched::FixedRotationScheduler>(
+                std::vector<std::size_t>{5, 6, 10, 9}, tau);
+        });
+
+    const struct {
+        const char* workload;
+        const char* benchmark;
+        std::size_t threads;
+    } sweeps[] = {{"blackscholes-2", "blackscholes", 2},
+                  {"x264-4", "x264", 4}};
+    for (const auto& s : sweeps)
+        spec.add_workload(
+            s.workload,
+            {hp::workload::TaskSpec{
+                &hp::workload::profile_by_name(s.benchmark), s.threads, 0.0}});
+
+    const auto out = hp::bench::run_with_progress(
+        spec, hp::bench::jobs_from_args(argc, argv));
+
+    for (const auto& s : sweeps) {
+        std::printf(
+            "\n  workload: %zu-thread %s on the centre ring, T_DTM = 70 C\n",
+            s.threads, s.benchmark);
+        std::printf("  %-10s | %13s | %9s | %10s | %12s\n", "tau",
+                    "response [ms]", "peak [C]", "migrations", "DTM time [ms]");
+        std::printf("  -----------+---------------+-----------+------------+--------------\n");
+        for (double tau : taus) {
+            const auto* rec = hp::campaign::find(out.records, s.workload,
+                                                 tau_label(tau));
+            if (rec == nullptr || rec->failed || !rec->result.all_finished) {
+                std::printf("  %7.3f ms | DID NOT FINISH\n", tau * 1e3);
+                continue;
+            }
+            const auto& r = rec->result;
+            std::printf("  %7.3f ms | %13.1f | %9.2f | %10zu | %12.1f\n",
+                        tau * 1e3, r.tasks.at(0).response_time_s() * 1e3,
+                        r.peak_temperature_c, r.migrations,
+                        r.dtm_throttled_s * 1e3);
+        }
+    }
 
     std::printf("\n  expected shape: response time first falls (less DTM/overhead)\n");
     std::printf("  then rises again as large tau lets cores heat up between rotations.\n");
+    std::printf("\n  %s", hp::campaign::summary_markdown(out.summary).c_str());
     return 0;
 }

@@ -36,7 +36,7 @@ SimResult run_case(hp::sim::Scheduler& sched, double t_dtm,
     cfg.t_dtm_c = t_dtm;
     cfg.trace_interval_s = 0.5e-3;
     cfg.max_sim_time_s = 2.0;
-    hp::sim::Simulator sim = testbed_16core().make_sim(cfg);
+    hp::sim::Simulator sim = testbed_16core().make_simulator(cfg);
     sim.add_task(hp::workload::TaskSpec{
         &hp::workload::profile_by_name("blackscholes"), 2, 0.0});
     SimResult r = sim.run(sched);

@@ -4,10 +4,14 @@
 // instances start together); the normalized makespan of HotPotato is
 // compared against the state-of-the-art PCMig scheduler for each of the
 // eight benchmarks. Paper: 10.72 % average speedup, canneal lowest (0.73 %).
+//
+// The 16-run grid executes on the parallel campaign engine (--jobs N,
+// default one worker per hardware thread); record content and order are
+// independent of N.
 
 #include <cstdio>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "bench_util.hpp"
 #include "core/hotpotato.hpp"
@@ -15,33 +19,29 @@
 #include "workload/benchmark.hpp"
 #include "workload/generator.hpp"
 
-namespace {
-
-using hp::bench::testbed_64core;
-using hp::sim::SimConfig;
-using hp::sim::SimResult;
-
-SimConfig config() {
-    SimConfig cfg;
-    cfg.micro_step_s = 1e-4;
-    cfg.max_sim_time_s = 10.0;
-    return cfg;
-}
-
-SimResult run(const hp::workload::BenchmarkProfile& profile,
-              hp::sim::Scheduler& sched) {
-    hp::sim::Simulator sim = testbed_64core().make_sim(config());
-    sim.add_tasks(hp::workload::homogeneous_fill(profile, 64, /*seed=*/2023));
-    return sim.run(sched);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
     hp::bench::print_header(
         "Fig. 4(a): homogeneous workloads, 64-core fully loaded, "
         "HotPotato vs PCMig",
         "Shen et al., DATE 2023, Fig. 4(a): avg 10.72% speedup, canneal 0.73%");
+
+    hp::sim::SimConfig cfg;
+    cfg.micro_step_s = 1e-4;
+    cfg.max_sim_time_s = 10.0;
+
+    hp::campaign::CampaignSpec spec(hp::bench::testbed_64core(), cfg);
+    spec.add_scheduler("PCMig", [] {
+        return std::make_unique<hp::sched::PcMigScheduler>();
+    });
+    spec.add_scheduler("HotPotato", [] {
+        return std::make_unique<hp::core::HotPotatoScheduler>();
+    });
+    for (const auto& profile : hp::workload::parsec_profiles())
+        spec.add_workload(profile.name, hp::workload::homogeneous_fill(
+                                            profile, 64, /*seed=*/2023));
+
+    const auto out = hp::bench::run_with_progress(
+        spec, hp::bench::jobs_from_args(argc, argv));
 
     std::printf("  %-14s | %12s | %12s | %8s | %9s | %9s\n", "benchmark",
                 "PCMig [ms]", "HotPot [ms]", "speedup", "peakT HP", "peakT PCM");
@@ -53,22 +53,24 @@ int main() {
     double max_speedup = -1e9;
     std::string max_name;
     for (const auto& profile : hp::workload::parsec_profiles()) {
-        hp::sched::PcMigScheduler pcmig;
-        const SimResult r_mig = run(profile, pcmig);
-        hp::core::HotPotatoScheduler hotpotato;
-        const SimResult r_hp = run(profile, hotpotato);
-
-        if (!r_mig.all_finished || !r_hp.all_finished) {
+        const auto* r_mig =
+            hp::campaign::find(out.records, profile.name, "PCMig");
+        const auto* r_hp =
+            hp::campaign::find(out.records, profile.name, "HotPotato");
+        if (r_mig == nullptr || r_hp == nullptr || r_mig->failed ||
+            r_hp->failed || !r_mig->result.all_finished ||
+            !r_hp->result.all_finished) {
             std::printf("  %-14s | DID NOT FINISH within sim budget\n",
                         profile.name.c_str());
             continue;
         }
         const double speedup =
-            (r_mig.makespan_s / r_hp.makespan_s - 1.0) * 100.0;
+            (r_mig->result.makespan_s / r_hp->result.makespan_s - 1.0) * 100.0;
         std::printf("  %-14s | %12.1f | %12.1f | %+7.2f%% | %7.1f C | %7.1f C\n",
-                    profile.name.c_str(), r_mig.makespan_s * 1e3,
-                    r_hp.makespan_s * 1e3, speedup, r_hp.peak_temperature_c,
-                    r_mig.peak_temperature_c);
+                    profile.name.c_str(), r_mig->result.makespan_s * 1e3,
+                    r_hp->result.makespan_s * 1e3, speedup,
+                    r_hp->result.peak_temperature_c,
+                    r_mig->result.peak_temperature_c);
         geo += speedup;
         ++count;
         if (profile.name == "canneal") canneal_speedup = speedup;
@@ -88,5 +90,6 @@ int main() {
                 avg > 0 ? "PASS" : "FAIL");
     std::printf("  shape check: canneal below average          : %s\n",
                 canneal_speedup < avg ? "PASS" : "FAIL");
+    std::printf("\n  %s", hp::campaign::summary_markdown(out.summary).c_str());
     return 0;
 }

@@ -5,8 +5,14 @@
 // compared against PCMig per load level. Paper: HotPotato wins at every
 // load, with the largest gain (up to 12.27 %) at medium load and small gains
 // at the under-/over-loaded extremes.
+//
+// One workload per arrival rate x two schedulers = a 12-run grid on the
+// parallel campaign engine (--jobs N, default one worker per hardware
+// thread); results are identical at any N.
 
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -16,25 +22,13 @@
 
 namespace {
 
-using hp::bench::testbed_64core;
-using hp::sim::SimConfig;
-using hp::sim::SimResult;
-
-SimResult run(double arrivals_per_s, hp::sim::Scheduler& sched,
-              std::uint64_t seed) {
-    SimConfig cfg;
-    cfg.micro_step_s = 1e-4;
-    cfg.max_sim_time_s = 30.0;
-    hp::sim::Simulator sim = testbed_64core().make_sim(cfg);
-    sim.add_tasks(
-        hp::workload::poisson_mix(/*task_count=*/20, arrivals_per_s,
-                                  /*min_threads=*/2, /*max_threads=*/8, seed));
-    return sim.run(sched);
+std::string rate_label(double rate) {
+    return "poisson-" + std::to_string(static_cast<long long>(rate));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     hp::bench::print_header(
         "Fig. 4(b): heterogeneous open-system workload, HotPotato vs PCMig "
         "across load",
@@ -43,22 +37,45 @@ int main() {
     const std::vector<double> rates = {10.0, 25.0, 50.0, 100.0, 200.0, 400.0};
     constexpr std::uint64_t kSeed = 7;
 
+    hp::sim::SimConfig cfg;
+    cfg.micro_step_s = 1e-4;
+    cfg.max_sim_time_s = 30.0;
+
+    hp::campaign::CampaignSpec spec(hp::bench::testbed_64core(), cfg);
+    spec.add_scheduler("PCMig", [] {
+        return std::make_unique<hp::sched::PcMigScheduler>();
+    });
+    spec.add_scheduler("HotPotato", [] {
+        return std::make_unique<hp::core::HotPotatoScheduler>();
+    });
+    for (double rate : rates)
+        spec.add_workload(
+            rate_label(rate),
+            hp::workload::poisson_mix(/*task_count=*/20, rate,
+                                      /*min_threads=*/2, /*max_threads=*/8,
+                                      kSeed));
+
+    const auto out = hp::bench::run_with_progress(
+        spec, hp::bench::jobs_from_args(argc, argv));
+
     std::printf("  %-14s | %14s | %14s | %8s\n", "arrivals/s",
                 "PCMig avg [ms]", "HotPot avg [ms]", "speedup");
     std::printf("  ---------------+----------------+----------------+---------\n");
 
     double best = -1e9, best_rate = 0.0, first = 0.0, last = 0.0;
     for (double rate : rates) {
-        hp::sched::PcMigScheduler pcmig;
-        const SimResult r_mig = run(rate, pcmig, kSeed);
-        hp::core::HotPotatoScheduler hotpotato;
-        const SimResult r_hp = run(rate, hotpotato, kSeed);
-        if (!r_mig.all_finished || !r_hp.all_finished) {
+        const auto* r_mig =
+            hp::campaign::find(out.records, rate_label(rate), "PCMig");
+        const auto* r_hp =
+            hp::campaign::find(out.records, rate_label(rate), "HotPotato");
+        if (r_mig == nullptr || r_hp == nullptr || r_mig->failed ||
+            r_hp->failed || !r_mig->result.all_finished ||
+            !r_hp->result.all_finished) {
             std::printf("  %-14.0f | DID NOT FINISH within sim budget\n", rate);
             continue;
         }
-        const double mig_ms = r_mig.average_response_time_s() * 1e3;
-        const double hp_ms = r_hp.average_response_time_s() * 1e3;
+        const double mig_ms = r_mig->result.average_response_time_s() * 1e3;
+        const double hp_ms = r_hp->result.average_response_time_s() * 1e3;
         const double speedup = (mig_ms / hp_ms - 1.0) * 100.0;
         std::printf("  %-14.0f | %14.1f | %14.1f | %+7.2f%%\n", rate, mig_ms,
                     hp_ms, speedup);
@@ -76,5 +93,6 @@ int main() {
                 first >= -1.0 && last >= -1.0 && best > 0 ? "PASS" : "FAIL");
     std::printf("  shape check: medium load beats the extremes : %s\n",
                 best > first && best > last ? "PASS" : "FAIL");
+    std::printf("\n  %s", hp::campaign::summary_markdown(out.summary).c_str());
     return 0;
 }

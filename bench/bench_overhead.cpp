@@ -26,7 +26,7 @@ constexpr double kTau = 0.5e-3;
 std::vector<RotationRingSpec> full_load_rings() {
     std::vector<RotationRingSpec> specs;
     std::size_t i = 0;
-    for (const auto& ring : testbed_64core().chip.rings()) {
+    for (const auto& ring : testbed_64core().chip().rings()) {
         RotationRingSpec spec;
         spec.cores = ring.cores;
         for (std::size_t j = 0; j < ring.cores.size(); ++j)
@@ -38,7 +38,7 @@ std::vector<RotationRingSpec> full_load_rings() {
 }
 
 const PeakTemperatureAnalyzer& analyzer() {
-    static const PeakTemperatureAnalyzer a(testbed_64core().solver, kAmbient,
+    static const PeakTemperatureAnalyzer a(testbed_64core().solver(), kAmbient,
                                            kIdle);
     return a;
 }
@@ -46,7 +46,7 @@ const PeakTemperatureAnalyzer& analyzer() {
 /// Design-time phase of Algorithm 1 (paper lines 1-7): eigendecomposition is
 /// shared with the simulator, so this measures the beta/alpha set-up.
 void BM_Algorithm1_DesignTime(benchmark::State& state) {
-    const auto& solver = testbed_64core().solver;
+    const auto& solver = testbed_64core().solver();
     for (auto _ : state) {
         PeakTemperatureAnalyzer a(solver, kAmbient, kIdle);
         benchmark::DoNotOptimize(a.idle_power_w());
@@ -100,7 +100,7 @@ BENCHMARK(BM_Algorithm1_StaticPeak)->Unit(benchmark::kMicrosecond);
 /// Baseline cost: one TSP budget computation (what PCGov/PCMig pay per
 /// epoch).
 void BM_Baseline_TspBudget(benchmark::State& state) {
-    const hp::sched::TspBudget tsp(testbed_64core().model);
+    const hp::sched::TspBudget tsp(testbed_64core().model());
     std::vector<bool> mask(64, true);
     for (auto _ : state)
         benchmark::DoNotOptimize(
@@ -112,12 +112,12 @@ BENCHMARK(BM_Baseline_TspBudget)->Unit(benchmark::kMicrosecond);
 /// migration check).
 void BM_Baseline_MatExPrediction(benchmark::State& state) {
     const auto& tb = testbed_64core();
-    const hp::linalg::Vector t0 = tb.model.ambient_equilibrium(kAmbient);
+    const hp::linalg::Vector t0 = tb.model().ambient_equilibrium(kAmbient);
     hp::linalg::Vector power(64, 2.5);
-    const hp::linalg::Vector padded = tb.model.pad_power(power);
+    const hp::linalg::Vector padded = tb.model().pad_power(power);
     for (auto _ : state)
         benchmark::DoNotOptimize(
-            tb.solver.transient(t0, padded, kAmbient, 5e-3));
+            tb.solver().transient(t0, padded, kAmbient, 5e-3));
 }
 BENCHMARK(BM_Baseline_MatExPrediction)->Unit(benchmark::kMicrosecond);
 

@@ -38,16 +38,16 @@ std::vector<Vector> ring_schedule(const RotationRingSpec& ring,
 double brute_peak(const std::vector<Vector>& schedule, double tau,
                   int samples, double horizon_s) {
     const auto& tb = testbed_16core();
-    Vector t = tb.model.ambient_equilibrium(kAmbient);
+    Vector t = tb.model().ambient_equilibrium(kAmbient);
     const int periods = static_cast<int>(
         horizon_s / (tau * static_cast<double>(schedule.size()))) + 1;
     double peak = -1e300;
     for (int p = 0; p < periods; ++p) {
         for (const Vector& cp : schedule) {
-            const Vector padded = tb.model.pad_power(cp);
+            const Vector padded = tb.model().pad_power(cp);
             for (int s = 0; s < samples; ++s) {
-                t = tb.solver.transient(t, padded, kAmbient, tau / samples);
-                for (std::size_t i = 0; i < tb.model.core_count(); ++i)
+                t = tb.solver().transient(t, padded, kAmbient, tau / samples);
+                for (std::size_t i = 0; i < tb.model().core_count(); ++i)
                     peak = std::max(peak, t[i]);
             }
         }
@@ -64,7 +64,7 @@ int main() {
         "Shen et al., DATE 2023, SSIV (method) + SSV complexity analysis");
 
     const auto& tb = testbed_16core();
-    const PeakTemperatureAnalyzer analyzer(tb.solver, kAmbient, kIdle);
+    const PeakTemperatureAnalyzer analyzer(tb.solver(), kAmbient, kIdle);
     const RotationRingSpec ring{{5, 6, 10, 9}, {6.2, 5.0, kIdle, kIdle}};
     const auto schedule = ring_schedule(ring, 16);
 

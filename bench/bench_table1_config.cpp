@@ -12,7 +12,7 @@ int main() {
     print_header("Table I: Core parameters for simulated S-NUCA processor",
                  "Shen et al., DATE 2023, Table I");
 
-    const auto& chip = hp::bench::testbed_64core().chip;
+    const auto& chip = hp::bench::testbed_64core().chip();
     const auto& p = chip.params();
     const auto& d = chip.dvfs();
 

@@ -1,40 +1,24 @@
 #pragma once
 
 #include <cstdio>
-#include <memory>
+#include <cstdlib>
 #include <string>
 
-#include "arch/manycore.hpp"
-#include "sim/simulator.hpp"
-#include "thermal/matex.hpp"
-#include "thermal/rc_network.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/study_setup.hpp"
 
 namespace hp::bench {
 
-/// A chip plus its (expensive, shareable) thermal model and
-/// eigendecomposition; build once per benchmark binary.
-struct Testbed {
-    arch::ManyCore chip;
-    thermal::ThermalModel model;
-    thermal::MatExSolver solver;
-
-    explicit Testbed(arch::ManyCore c)
-        : chip(std::move(c)),
-          model(chip.plan(), thermal::RcNetworkConfig{}),
-          solver(model) {}
-
-    sim::Simulator make_sim(sim::SimConfig config = {}) const {
-        return sim::Simulator(chip, model, solver, config);
-    }
-};
-
-inline const Testbed& testbed_16core() {
-    static const Testbed t{arch::ManyCore::paper_16core()};
+/// Shared paper machines; built once per benchmark binary. The returned
+/// setup is immutable and thread-safe, so one instance backs every
+/// (possibly parallel) campaign a bench runs — see campaign::StudySetup.
+inline const campaign::StudySetup& testbed_16core() {
+    static const campaign::StudySetup t = campaign::StudySetup::paper_16core();
     return t;
 }
 
-inline const Testbed& testbed_64core() {
-    static const Testbed t{arch::ManyCore::paper_64core()};
+inline const campaign::StudySetup& testbed_64core() {
+    static const campaign::StudySetup t = campaign::StudySetup::paper_64core();
     return t;
 }
 
@@ -43,6 +27,32 @@ inline void print_header(const char* title, const char* paper_ref) {
     std::printf("%s\n", title);
     std::printf("  reproduces: %s\n", paper_ref);
     std::printf("=============================================================================\n");
+}
+
+/// Worker-thread count for bench campaigns: the value of a "--jobs N"
+/// argument when present, else @p fallback (0 = one worker per hardware
+/// thread, the bench default — results are deterministic at any value).
+inline std::size_t jobs_from_args(int argc, char** argv,
+                                  std::size_t fallback = 0) {
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--jobs")
+            return static_cast<std::size_t>(std::strtoull(argv[i + 1],
+                                                          nullptr, 10));
+    return fallback;
+}
+
+/// Runs @p spec with @p jobs workers and a completion counter on stderr.
+inline campaign::CampaignResult run_with_progress(
+    const campaign::CampaignSpec& spec, std::size_t jobs) {
+    campaign::CampaignOptions options;
+    options.jobs = jobs;
+    options.progress = [](const campaign::RunRecord& record, std::size_t done,
+                          std::size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu] %s (%.1f s)%s\n", done, total,
+                     campaign::to_string(record.key).c_str(),
+                     record.wall_time_s, record.failed ? " FAILED" : "");
+    };
+    return campaign::run_campaign(spec, options);
 }
 
 }  // namespace hp::bench

@@ -1,68 +1,82 @@
 // Comparison campaign: runs every scheduler in the library against a small
-// workload matrix on the 64-core part using report::ComparisonRunner, prints
-// a markdown table and writes campaign.csv — the template for downstream
-// scheduling studies built on this library.
+// workload matrix on the 64-core part using the parallel campaign engine,
+// prints a markdown table and writes campaign.csv — the template for
+// downstream scheduling studies built on this library.
+//
+// Pass --jobs N to parallelise (0 = one worker per hardware thread). The
+// records and campaign.csv are byte-identical at every N; only the wall
+// clock printed at the end changes.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
 
-#include "arch/manycore.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/study_setup.hpp"
 #include "core/hotpotato.hpp"
 #include "core/hotpotato_dvfs.hpp"
-#include "report/comparison.hpp"
 #include "sched/global_rotation.hpp"
 #include "sched/pcgov.hpp"
 #include "sched/pcmig.hpp"
 #include "sched/reactive.hpp"
-#include "thermal/matex.hpp"
-#include "thermal/rc_network.hpp"
 #include "workload/generator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hp;
 
-    arch::ManyCore chip = arch::ManyCore::paper_64core();
-    thermal::ThermalModel model(chip.plan(), thermal::RcNetworkConfig{});
-    thermal::MatExSolver solver(model);
+    std::size_t jobs = 1;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--jobs")
+            jobs = static_cast<std::size_t>(
+                std::strtoull(argv[i + 1], nullptr, 10));
 
     sim::SimConfig cfg;
     cfg.max_sim_time_s = 20.0;
-    report::ComparisonRunner runner(chip, model, solver, cfg);
+    campaign::CampaignSpec spec(campaign::StudySetup::paper_64core(), cfg);
 
-    runner.add_scheduler("HotPotato", [] {
+    spec.add_scheduler("HotPotato", [] {
         return std::make_unique<core::HotPotatoScheduler>();
     });
-    runner.add_scheduler("HotPotato+DVFS", [] {
+    spec.add_scheduler("HotPotato+DVFS", [] {
         return std::make_unique<core::HotPotatoDvfsScheduler>();
     });
-    runner.add_scheduler("PCMig", [] {
+    spec.add_scheduler("PCMig", [] {
         return std::make_unique<sched::PcMigScheduler>();
     });
-    runner.add_scheduler("PCGov", [] {
+    spec.add_scheduler("PCGov", [] {
         return std::make_unique<sched::PcGovScheduler>();
     });
-    runner.add_scheduler("reactive", [] {
+    spec.add_scheduler("reactive", [] {
         return std::make_unique<sched::ReactiveMigrationScheduler>();
     });
-    runner.add_scheduler("global-rotation", [] {
+    spec.add_scheduler("global-rotation", [] {
         return std::make_unique<sched::GlobalRotationScheduler>();
     });
 
-    runner.add_workload("full-bodytrack",
-                        workload::homogeneous_fill(
-                            workload::profile_by_name("bodytrack"), 64, 1));
-    runner.add_workload("full-canneal",
-                        workload::homogeneous_fill(
-                            workload::profile_by_name("canneal"), 64, 1));
-    runner.add_workload("poisson-medium",
-                        workload::poisson_mix(20, 100.0, 2, 8, 7));
+    spec.add_workload("full-bodytrack",
+                      workload::homogeneous_fill(
+                          workload::profile_by_name("bodytrack"), 64, 1));
+    spec.add_workload("full-canneal",
+                      workload::homogeneous_fill(
+                          workload::profile_by_name("canneal"), 64, 1));
+    spec.add_workload("poisson-medium",
+                      workload::poisson_mix(20, 100.0, 2, 8, 7));
 
-    const auto records = runner.run_all();
+    campaign::CampaignOptions options;
+    options.jobs = jobs;
+    options.progress = [](const campaign::RunRecord& record, std::size_t done,
+                          std::size_t total) {
+        std::fprintf(stderr, "[%zu/%zu] %s\n", done, total,
+                     campaign::to_string(record.key).c_str());
+    };
+    const campaign::CampaignResult out = campaign::run_campaign(spec, options);
 
-    std::cout << report::to_markdown(records);
+    std::cout << campaign::to_markdown(out.records);
     std::ofstream csv("campaign.csv");
-    report::write_csv(csv, records);
-    std::printf("\nwrote campaign.csv (%zu runs)\n", records.size());
-    return 0;
+    campaign::write_csv(csv, out.records);
+    std::printf("\nwrote campaign.csv (%zu runs)\n", out.records.size());
+    std::cout << "\n" << campaign::summary_markdown(out.summary);
+    return out.summary.failed_runs == 0 ? 0 : 1;
 }

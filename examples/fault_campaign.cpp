@@ -5,29 +5,29 @@
 // --faults CLI flag uses) kills one core permanently and corrupts two thermal
 // sensors mid-run. The run must survive: the rings re-form without the dead
 // core, the voting filter masks the lying sensors, and the watchdog keeps the
-// excursion bounded. A second run with injection disabled demonstrates that
-// the fault subsystem is bit-for-bit transparent when unused.
+// excursion bounded.
+//
+// The whole study is one campaign grid — configs {faulty, clean} x seeds
+// {1, 2} — executed by the parallel engine. The clean runs double as the
+// transparency check: fault_seed only feeds the fault injector, so the two
+// clean records must be bit-identical, demonstrating the fault subsystem is
+// bit-for-bit transparent when unused.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
-#include "arch/manycore.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/study_setup.hpp"
 #include "core/hotpotato.hpp"
 #include "fault/fault_io.hpp"
 #include "report/resilience.hpp"
-#include "sim/simulator.hpp"
-#include "thermal/matex.hpp"
-#include "thermal/rc_network.hpp"
 #include "workload/benchmark.hpp"
 
 int main() {
     using namespace hp;
-
-    arch::ManyCore chip = arch::ManyCore::paper_16core();
-    thermal::ThermalModel model(chip.plan(), thermal::RcNetworkConfig{});
-    thermal::MatExSolver solver(model);
 
     // --- the campaign script, round-tripped through the CSV format --------
     fault::FaultSchedule schedule;
@@ -47,46 +47,69 @@ int main() {
     fault::write_fault_schedule(std::cout, schedule);
     std::cout << "\n";
 
-    const auto run_once = [&](bool inject) {
-        sim::SimConfig cfg;
-        cfg.max_sim_time_s = 5.0;
-        if (inject)
-            cfg.fault_schedule = fault::read_fault_schedule_file(csv_path);
-        sim::Simulator sim(chip, model, solver, cfg);
-        sim.add_task({&workload::profile_by_name("blackscholes"), 2, 0.0});
-        sim.add_task({&workload::profile_by_name("swaptions"), 4, 0.005});
-        core::HotPotatoScheduler hp;
-        return sim.run(hp);
-    };
+    sim::SimConfig cfg;
+    cfg.max_sim_time_s = 5.0;
+    campaign::CampaignSpec spec(campaign::StudySetup::paper_16core(), cfg);
+    spec.add_scheduler("HotPotato", [] {
+        return std::make_unique<core::HotPotatoScheduler>();
+    });
+    spec.add_workload(
+        "blackscholes+swaptions",
+        {workload::TaskSpec{&workload::profile_by_name("blackscholes"), 2,
+                            0.0},
+         workload::TaskSpec{&workload::profile_by_name("swaptions"), 4,
+                            0.005}});
+    spec.add_config("faulty", [&csv_path](campaign::RunSetup& setup) {
+        setup.sim.fault_schedule = fault::read_fault_schedule_file(csv_path);
+    });
+    spec.add_config("clean", nullptr);
+    spec.add_seed(1).add_seed(2);
 
-    const sim::SimResult faulty = run_once(true);
+    campaign::CampaignOptions options;
+    options.jobs = 0;  // one worker per hardware thread
+    const auto out = campaign::run_campaign(spec, options);
+
+    const std::uint64_t seed1 = 1, seed2 = 2;
+    const auto* faulty = campaign::find(out.records, "blackscholes+swaptions",
+                                        "HotPotato", "faulty", &seed1);
+    const auto* clean_a = campaign::find(out.records, "blackscholes+swaptions",
+                                         "HotPotato", "clean", &seed1);
+    const auto* clean_b = campaign::find(out.records, "blackscholes+swaptions",
+                                         "HotPotato", "clean", &seed2);
+    if (faulty == nullptr || clean_a == nullptr || clean_b == nullptr ||
+        faulty->failed || clean_a->failed || clean_b->failed) {
+        std::cout << "campaign run FAILED\n";
+        return 1;
+    }
+
     std::cout << "--- campaign run (core loss + 2 lying sensors) ---\n"
               << "all finished       : "
-              << (faulty.all_finished ? "yes" : "NO") << "\n"
-              << "peak temperature   : " << faulty.peak_temperature_c
+              << (faulty->result.all_finished ? "yes" : "NO") << "\n"
+              << "peak temperature   : " << faulty->result.peak_temperature_c
               << " C (limit 70 C)\n"
-              << "makespan           : " << faulty.makespan_s << " s\n"
-              << report::render_resilience(faulty.resilience)
+              << "makespan           : " << faulty->result.makespan_s << " s\n"
+              << report::render_resilience(faulty->result.resilience)
               << "fault log:\n";
-    report::write_fault_log(std::cout, faulty.resilience);
+    report::write_fault_log(std::cout, faulty->result.resilience);
 
-    const sim::SimResult clean_a = run_once(false);
-    const sim::SimResult clean_b = run_once(false);
     const bool transparent =
-        clean_a.makespan_s == clean_b.makespan_s &&
-        clean_a.peak_temperature_c == clean_b.peak_temperature_c &&
-        clean_a.total_energy_j == clean_b.total_energy_j &&
-        clean_a.resilience.faults_injected == 0;
+        clean_a->result.makespan_s == clean_b->result.makespan_s &&
+        clean_a->result.peak_temperature_c ==
+            clean_b->result.peak_temperature_c &&
+        clean_a->result.total_energy_j == clean_b->result.total_energy_j &&
+        clean_a->result.resilience.faults_injected == 0;
     std::cout << "\n--- injection disabled ---\n"
-              << "peak temperature   : " << clean_a.peak_temperature_c
+              << "peak temperature   : " << clean_a->result.peak_temperature_c
               << " C\n"
-              << "makespan           : " << clean_a.makespan_s << " s\n"
+              << "makespan           : " << clean_a->result.makespan_s << " s\n"
               << "deterministic      : " << (transparent ? "yes" : "NO")
               << " (two fault-free runs are bit-identical)\n"
               << "slowdown from fault: "
-              << (faulty.makespan_s / clean_a.makespan_s - 1.0) * 100.0
-              << " %\n";
+              << (faulty->result.makespan_s / clean_a->result.makespan_s -
+                  1.0) * 100.0
+              << " %\n"
+              << "\n" << campaign::summary_markdown(out.summary);
 
     std::remove(csv_path.c_str());
-    return faulty.all_finished && transparent ? 0 : 1;
+    return faulty->result.all_finished && transparent ? 0 : 1;
 }

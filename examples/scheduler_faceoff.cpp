@@ -1,20 +1,21 @@
 // Scheduler face-off on a custom chip: builds a 6x6 S-NUCA many-core with a
 // user-tweaked cooling solution and races every scheduler in the library —
-// static, TSP-DVFS, PCGov, PCMig, fixed rotation and HotPotato — on the same
-// mixed workload. Demonstrates that the library is not hard-wired to the
-// paper's two configurations.
+// static, TSP-DVFS, PCGov, PCMig and HotPotato — on the same mixed workload.
+// Demonstrates that the library is not hard-wired to the paper's two
+// configurations, and that StudySetup::custom() makes a bespoke machine a
+// one-liner campaign substrate.
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "arch/manycore.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/study_setup.hpp"
 #include "core/hotpotato.hpp"
 #include "sched/pcgov.hpp"
 #include "sched/pcmig.hpp"
 #include "sched/static_schedulers.hpp"
-#include "sim/simulator.hpp"
-#include "thermal/matex.hpp"
 #include "thermal/rc_network.hpp"
 #include "workload/benchmark.hpp"
 
@@ -22,47 +23,56 @@ int main() {
     using namespace hp;
 
     // A 36-core part with a cheaper (weaker) cooling solution than Table I.
-    arch::ManyCore chip(6, 6);
     thermal::RcNetworkConfig cooling;
     cooling.sink_to_ambient_resistance_per_core *= 1.3;  // smaller heat sink
-    thermal::ThermalModel model(chip.plan(), cooling);
-    thermal::MatExSolver solver(model);
+    const campaign::StudySetup setup =
+        campaign::StudySetup::custom(arch::ManyCore(6, 6), cooling);
 
-    const auto workload_of = [](sim::Simulator& sim) {
-        sim.add_task(workload::TaskSpec{
-            &workload::profile_by_name("blackscholes"), 2, 0.0});
-        sim.add_task(workload::TaskSpec{
-            &workload::profile_by_name("bodytrack"), 4, 0.0});
-        sim.add_task(workload::TaskSpec{
-            &workload::profile_by_name("canneal"), 4, 0.005});
-        sim.add_task(workload::TaskSpec{
-            &workload::profile_by_name("swaptions"), 4, 0.010});
-    };
+    sim::SimConfig config;
+    config.max_sim_time_s = 10.0;
+    campaign::CampaignSpec spec(setup, config);
 
-    struct Entry {
-        const char* label;
-        std::unique_ptr<sim::Scheduler> scheduler;
-    };
-    std::vector<Entry> entries;
-    entries.push_back({"static (no mgmt)",
-                       std::make_unique<sched::StaticScheduler>()});
-    entries.push_back({"TSP-DVFS", std::make_unique<sched::TspDvfsScheduler>()});
-    entries.push_back({"PCGov", std::make_unique<sched::PcGovScheduler>()});
-    entries.push_back({"PCMig", std::make_unique<sched::PcMigScheduler>()});
-    entries.push_back({"HotPotato", std::make_unique<core::HotPotatoScheduler>()});
+    const char* kPolicies[] = {"static (no mgmt)", "TSP-DVFS", "PCGov",
+                               "PCMig", "HotPotato"};
+    spec.add_scheduler(kPolicies[0], [] {
+        return std::make_unique<sched::StaticScheduler>();
+    });
+    spec.add_scheduler(kPolicies[1], [] {
+        return std::make_unique<sched::TspDvfsScheduler>();
+    });
+    spec.add_scheduler(kPolicies[2], [] {
+        return std::make_unique<sched::PcGovScheduler>();
+    });
+    spec.add_scheduler(kPolicies[3], [] {
+        return std::make_unique<sched::PcMigScheduler>();
+    });
+    spec.add_scheduler(kPolicies[4], [] {
+        return std::make_unique<core::HotPotatoScheduler>();
+    });
+
+    spec.add_workload(
+        "mixed-4task",
+        {workload::TaskSpec{&workload::profile_by_name("blackscholes"), 2, 0.0},
+         workload::TaskSpec{&workload::profile_by_name("bodytrack"), 4, 0.0},
+         workload::TaskSpec{&workload::profile_by_name("canneal"), 4, 0.005},
+         workload::TaskSpec{&workload::profile_by_name("swaptions"), 4,
+                            0.010}});
+
+    const auto out = campaign::run_campaign(spec);
 
     std::printf("6x6 custom chip, 4-task mixed workload, T_DTM = 70 C\n\n");
     std::printf("  %-18s | %12s | %9s | %11s | %10s | %8s\n", "scheduler",
                 "makespan", "peak [C]", "avg resp", "migrations", "DTM [ms]");
     std::printf("  -------------------+--------------+-----------+-------------+------------+---------\n");
-    for (Entry& e : entries) {
-        sim::SimConfig config;
-        config.max_sim_time_s = 10.0;
-        sim::Simulator sim(chip, model, solver, config);
-        workload_of(sim);
-        const sim::SimResult r = sim.run(*e.scheduler);
+    for (const char* label : kPolicies) {
+        const auto* rec = campaign::find(out.records, "mixed-4task", label);
+        if (rec == nullptr || rec->failed) {
+            std::printf("  %-18s | FAILED\n", label);
+            continue;
+        }
+        const sim::SimResult& r = rec->result;
         std::printf("  %-18s | %9.1f ms | %9.1f | %8.1f ms | %10zu | %8.1f\n",
-                    e.label, r.makespan_s * 1e3, r.peak_temperature_c,
+                    label, r.makespan_s * 1e3, r.peak_temperature_c,
                     r.average_response_time_s() * 1e3, r.migrations,
                     r.dtm_throttled_s * 1e3);
     }

@@ -43,6 +43,10 @@ struct AmdRing {
 ///    (AMD) from the other cores (performance heterogeneity), and
 ///  * cores of equal AMD form concentric rings that are performance- and
 ///    thermal-wise homogeneous — the rotation domains of HotPotato.
+///
+/// Thread safety: immutable after construction — the AMD/ring tables are
+/// precomputed and all accessors are const. Safe to share read-only across
+/// concurrent simulations (see campaign::StudySetup).
 class ManyCore {
 public:
     /// Builds a @p rows x @p cols mesh with parameters @p params and DVFS

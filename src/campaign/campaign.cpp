@@ -1,0 +1,370 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace hp::campaign {
+
+std::string to_string(const RunKey& key) {
+    return key.workload + "/" + key.scheduler + "/" + key.config + "/" +
+           std::to_string(key.seed);
+}
+
+// --- CampaignSpec ----------------------------------------------------------
+
+CampaignSpec::CampaignSpec(StudySetup setup, RunSetup base)
+    : setup_(std::move(setup)), base_(std::move(base)) {}
+
+CampaignSpec::CampaignSpec(StudySetup setup, sim::SimConfig base)
+    : setup_(std::move(setup)) {
+    base_.sim = std::move(base);
+}
+
+CampaignSpec& CampaignSpec::add_scheduler(std::string label,
+                                          SchedulerFactory factory) {
+    if (!factory)
+        throw std::invalid_argument("CampaignSpec: null scheduler factory");
+    schedulers_.push_back({std::move(label), std::move(factory)});
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::add_workload(
+    std::string label, std::vector<workload::TaskSpec> tasks) {
+    workloads_.push_back(
+        {std::move(label),
+         [tasks = std::move(tasks)](std::uint64_t) { return tasks; }});
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::add_workload(std::string label,
+                                         WorkloadFactory factory) {
+    if (!factory)
+        throw std::invalid_argument("CampaignSpec: null workload factory");
+    workloads_.push_back({std::move(label), std::move(factory)});
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::add_config(std::string label,
+                                       ConfigOverride patch) {
+    configs_.push_back({std::move(label), std::move(patch)});
+    return *this;
+}
+
+CampaignSpec& CampaignSpec::add_seed(std::uint64_t seed) {
+    seeds_.push_back(seed);
+    return *this;
+}
+
+std::size_t CampaignSpec::run_count() const {
+    return schedulers_.size() * workloads_.size() *
+           std::max<std::size_t>(configs_.size(), 1) *
+           std::max<std::size_t>(seeds_.size(), 1);
+}
+
+std::vector<RunKey> CampaignSpec::keys() const {
+    const std::vector<std::uint64_t> seeds =
+        seeds_.empty() ? std::vector<std::uint64_t>{base_.sim.fault_seed}
+                       : seeds_;
+    std::vector<RunKey> keys;
+    keys.reserve(run_count());
+    for (const auto& workload : workloads_)
+        for (const auto& scheduler : schedulers_)
+            for (std::size_t c = 0;
+                 c < std::max<std::size_t>(configs_.size(), 1); ++c)
+                for (std::uint64_t seed : seeds) {
+                    RunKey key;
+                    key.index = keys.size();
+                    key.workload = workload.label;
+                    key.scheduler = scheduler.label;
+                    key.config = configs_.empty() ? "base" : configs_[c].label;
+                    key.seed = seed;
+                    keys.push_back(std::move(key));
+                }
+    return keys;
+}
+
+const CampaignSpec::Named<ConfigOverride>* CampaignSpec::find_config(
+    const std::string& label) const {
+    for (const auto& c : configs_)
+        if (c.label == label) return &c;
+    return nullptr;
+}
+
+RunSetup CampaignSpec::setup_for(const RunKey& key) const {
+    RunSetup setup = base_;
+    if (const auto* config = find_config(key.config); config && config->value)
+        config->value(setup);
+    else if (!configs_.empty() && !find_config(key.config))
+        throw std::invalid_argument("CampaignSpec: unknown config label: " +
+                                    key.config);
+    setup.sim.fault_seed = key.seed;
+    return setup;
+}
+
+std::vector<workload::TaskSpec> CampaignSpec::tasks_for(
+    const RunKey& key) const {
+    for (const auto& w : workloads_)
+        if (w.label == key.workload) return w.value(key.seed);
+    throw std::invalid_argument("CampaignSpec: unknown workload label: " +
+                                key.workload);
+}
+
+std::unique_ptr<sim::Scheduler> CampaignSpec::make_scheduler(
+    const RunKey& key) const {
+    for (const auto& s : schedulers_)
+        if (s.label == key.scheduler) return s.value();
+    throw std::invalid_argument("CampaignSpec: unknown scheduler label: " +
+                                key.scheduler);
+}
+
+// --- engine ----------------------------------------------------------------
+
+namespace {
+
+/// One run, all exceptions captured into the record.
+RunRecord execute(const CampaignSpec& spec, RunKey key) {
+    RunRecord record;
+    record.key = std::move(key);
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        const RunSetup setup = spec.setup_for(record.key);
+        sim::Simulator simulator = spec.setup().make_simulator(
+            setup.sim, setup.power, setup.perf);
+        simulator.add_tasks(spec.tasks_for(record.key));
+        const std::unique_ptr<sim::Scheduler> scheduler =
+            spec.make_scheduler(record.key);
+        record.result = simulator.run(*scheduler);
+    } catch (const std::exception& e) {
+        record.failed = true;
+        record.error = e.what();
+        record.result = sim::SimResult{};
+    } catch (...) {
+        record.failed = true;
+        record.error = "unknown exception";
+        record.result = sim::SimResult{};
+    }
+    record.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return record;
+}
+
+std::size_t resolve_jobs(std::size_t requested, std::size_t runs) {
+    std::size_t jobs = requested;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0) jobs = 1;
+    }
+    return std::max<std::size_t>(1, std::min(jobs, runs));
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+    if (spec.scheduler_count() == 0)
+        throw std::invalid_argument("run_campaign: spec has no schedulers");
+    if (spec.workload_count() == 0)
+        throw std::invalid_argument("run_campaign: spec has no workloads");
+
+    const std::vector<RunKey> keys = spec.keys();
+    const std::size_t total = keys.size();
+    const std::size_t jobs = resolve_jobs(options.jobs, total);
+
+    CampaignResult out;
+    out.records.resize(total);
+    const auto campaign_start = std::chrono::steady_clock::now();
+
+    // Fixed-size pool sharding the run list through an atomic cursor.
+    // Results land at their key's index, so record order is the spec's
+    // deterministic enumeration regardless of completion order.
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total) return;
+            out.records[i] = execute(spec, keys[i]);
+            const std::size_t completed =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (options.progress) {
+                const std::lock_guard<std::mutex> lock(progress_mutex);
+                options.progress(out.records[i], completed, total);
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+        for (std::thread& t : pool) t.join();
+    }
+
+    out.summary.total_runs = total;
+    out.summary.jobs = jobs;
+    out.summary.wall_time_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  campaign_start)
+                                  .count();
+    for (const RunRecord& r : out.records) {
+        out.summary.total_run_time_s += r.wall_time_s;
+        if (r.failed) ++out.summary.failed_runs;
+    }
+    out.summary.runs_per_second =
+        out.summary.wall_time_s > 0.0
+            ? static_cast<double>(total) / out.summary.wall_time_s
+            : 0.0;
+    return out;
+}
+
+// --- lookup & rendering ----------------------------------------------------
+
+const RunRecord* find(const std::vector<RunRecord>& records,
+                      const std::string& workload,
+                      const std::string& scheduler, const std::string& config,
+                      const std::uint64_t* seed) {
+    for (const RunRecord& r : records) {
+        if (r.key.workload != workload || r.key.scheduler != scheduler)
+            continue;
+        if (!config.empty() && r.key.config != config) continue;
+        if (seed != nullptr && r.key.seed != *seed) continue;
+        return &r;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/// CSV/markdown cells must stay single-cell: separators collapse to ';'.
+std::string sanitize(const std::string& text) {
+    std::string out = text;
+    for (char& c : out)
+        if (c == ',' || c == '\n' || c == '\r' || c == '|') c = ';';
+    return out;
+}
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_markdown(const std::vector<RunRecord>& records) {
+    std::ostringstream out;
+    out << "| workload | scheduler | config | seed | makespan [ms] | "
+           "avg response [ms] | peak [C] | DTM [ms] | migrations | "
+           "energy [J] |\n";
+    out << "|---|---|---|---|---|---|---|---|---|---|\n";
+    out.setf(std::ios::fixed);
+    out.precision(2);
+    for (const RunRecord& r : records) {
+        out << "| " << r.key.workload << " | " << r.key.scheduler << " | "
+            << r.key.config << " | " << r.key.seed << " | ";
+        if (r.failed) {
+            out << "FAILED: " << sanitize(r.error)
+                << " | - | - | - | - | - |\n";
+            continue;
+        }
+        const auto& s = r.result;
+        out << s.makespan_s * 1e3 << " | "
+            << s.average_response_time_s() * 1e3 << " | "
+            << s.peak_temperature_c << " | " << s.dtm_throttled_s * 1e3
+            << " | " << s.migrations << " | " << s.total_energy_j;
+        out << (s.all_finished ? " |\n" : " (INCOMPLETE) |\n");
+    }
+    return out.str();
+}
+
+void write_csv(std::ostream& out, const std::vector<RunRecord>& records) {
+    out << "workload,scheduler,config,seed,makespan_s,avg_response_s,peak_c,"
+           "dtm_throttled_s,migrations,energy_j,all_finished,failed,error\n";
+    for (const RunRecord& r : records) {
+        const auto& s = r.result;
+        out << sanitize(r.key.workload) << ',' << sanitize(r.key.scheduler)
+            << ',' << sanitize(r.key.config) << ',' << r.key.seed << ','
+            << s.makespan_s << ',' << s.average_response_time_s() << ','
+            << s.peak_temperature_c << ',' << s.dtm_throttled_s << ','
+            << s.migrations << ',' << s.total_energy_j << ','
+            << (s.all_finished ? 1 : 0) << ',' << (r.failed ? 1 : 0) << ','
+            << sanitize(r.error) << '\n';
+    }
+}
+
+void write_json(std::ostream& out, const std::vector<RunRecord>& records,
+                const CampaignSummary& summary) {
+    out << "{\n  \"summary\": {\n"
+        << "    \"total_runs\": " << summary.total_runs << ",\n"
+        << "    \"failed_runs\": " << summary.failed_runs << ",\n"
+        << "    \"jobs\": " << summary.jobs << ",\n"
+        << "    \"wall_time_s\": " << summary.wall_time_s << ",\n"
+        << "    \"total_run_time_s\": " << summary.total_run_time_s << ",\n"
+        << "    \"runs_per_second\": " << summary.runs_per_second << "\n"
+        << "  },\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const RunRecord& r = records[i];
+        const auto& s = r.result;
+        out << "    {\"workload\": \"" << json_escape(r.key.workload)
+            << "\", \"scheduler\": \"" << json_escape(r.key.scheduler)
+            << "\", \"config\": \"" << json_escape(r.key.config)
+            << "\", \"seed\": " << r.key.seed
+            << ", \"failed\": " << (r.failed ? "true" : "false")
+            << ", \"error\": \"" << json_escape(r.error)
+            << "\", \"wall_time_s\": " << r.wall_time_s
+            << ", \"makespan_s\": " << s.makespan_s
+            << ", \"avg_response_s\": " << s.average_response_time_s()
+            << ", \"peak_c\": " << s.peak_temperature_c
+            << ", \"dtm_throttled_s\": " << s.dtm_throttled_s
+            << ", \"migrations\": " << s.migrations
+            << ", \"energy_j\": " << s.total_energy_j
+            << ", \"all_finished\": " << (s.all_finished ? "true" : "false")
+            << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+std::string summary_markdown(const CampaignSummary& summary) {
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(2);
+    out << "campaign: " << summary.total_runs << " runs ("
+        << summary.failed_runs << " failed), " << summary.jobs << " worker"
+        << (summary.jobs == 1 ? "" : "s") << ", " << summary.wall_time_s
+        << " s wall, " << summary.runs_per_second << " runs/s (parallel "
+        << "speedup " << summary.speedup() << "x)\n";
+    return out.str();
+}
+
+}  // namespace hp::campaign

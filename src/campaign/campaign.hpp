@@ -1,0 +1,224 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/study_setup.hpp"
+#include "perf/interval_model.hpp"
+#include "power/power_model.hpp"
+#include "sim/config.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace hp::campaign {
+
+/// Everything a single run may vary: the simulator knobs plus the power and
+/// performance model parameters (the substrate-fidelity axes).
+struct RunSetup {
+    sim::SimConfig sim;
+    power::PowerParams power;
+    perf::PerfParams perf;
+};
+
+/// A scheduler factory: fresh instance per run (schedulers are stateful).
+using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>()>;
+
+/// A workload factory: the per-run seed is passed in so seed sweeps can
+/// re-draw randomized workloads; fixed task lists ignore it.
+using WorkloadFactory =
+    std::function<std::vector<workload::TaskSpec>(std::uint64_t seed)>;
+
+/// Mutates the base RunSetup for one named configuration variant.
+using ConfigOverride = std::function<void(RunSetup&)>;
+
+/// Stable address of one run in a campaign grid. Keys are independent of
+/// execution order and thread count; @ref index is the position in the
+/// deterministic enumeration (workload-major, then scheduler, then config,
+/// then seed — the same order CampaignSpec::keys() and the records of
+/// run_campaign() use).
+struct RunKey {
+    std::size_t index = 0;
+    std::string workload;
+    std::string scheduler;
+    std::string config;      ///< "base" unless add_config() variants exist
+    std::uint64_t seed = 0;
+
+    bool operator==(const RunKey& other) const {
+        return index == other.index && workload == other.workload &&
+               scheduler == other.scheduler && config == other.config &&
+               seed == other.seed;
+    }
+};
+
+/// "workload/scheduler/config/seed" — log- and filename-friendly.
+std::string to_string(const RunKey& key);
+
+/// Outcome of one run. A throwing run (scheduler factory, workload factory
+/// or the simulation itself) is captured here instead of killing the
+/// campaign: @ref failed is set, @ref error carries the exception message
+/// and @ref result is default-constructed.
+struct RunRecord {
+    RunKey key;
+    sim::SimResult result;
+    bool failed = false;
+    std::string error;
+    /// Host wall time of this run (observability only — never part of the
+    /// CSV/markdown result tables, which must be bit-identical across
+    /// thread counts).
+    double wall_time_s = 0.0;
+};
+
+/// Observability roll-up of one campaign execution.
+struct CampaignSummary {
+    std::size_t total_runs = 0;
+    std::size_t failed_runs = 0;
+    std::size_t jobs = 1;            ///< worker threads actually used
+    double wall_time_s = 0.0;        ///< campaign wall clock
+    double total_run_time_s = 0.0;   ///< sum of per-run wall times
+    double runs_per_second = 0.0;    ///< total_runs / wall_time_s
+    /// Aggregate parallel efficiency: sum of per-run time over wall time
+    /// (~jobs when the pool is saturated, 1 when serial).
+    double speedup() const {
+        return wall_time_s > 0.0 ? total_run_time_s / wall_time_s : 0.0;
+    }
+};
+
+/// Declarative description of a campaign: the full cross product
+/// schedulers x workloads x configs x seeds over one shared StudySetup.
+///
+/// Value semantics: a CampaignSpec owns its labels and factories and shares
+/// the (immutable) StudySetup, so it can be copied, stored, and handed to
+/// the engine without any reference-lifetime contract — the replacement for
+/// report::ComparisonRunner's raw-pointer API. Factories must be safe to
+/// invoke from worker threads (they are called once per run, never
+/// concurrently *for the same run*; capture shared state by value or treat
+/// it as read-only).
+class CampaignSpec {
+public:
+    /// @p base is the configuration every run starts from; add_config()
+    /// variants mutate a copy of it.
+    explicit CampaignSpec(StudySetup setup, RunSetup base = {});
+    CampaignSpec(StudySetup setup, sim::SimConfig base);
+
+    /// Registers a scheduler under @p label. Throws on a null factory.
+    CampaignSpec& add_scheduler(std::string label, SchedulerFactory factory);
+
+    /// Registers a fixed task list under @p label.
+    CampaignSpec& add_workload(std::string label,
+                               std::vector<workload::TaskSpec> tasks);
+    /// Registers a seed-parameterised workload under @p label. Throws on a
+    /// null factory.
+    CampaignSpec& add_workload(std::string label, WorkloadFactory factory);
+
+    /// Registers a named configuration variant. With no variants every run
+    /// uses the base setup under the config label "base"; with variants,
+    /// each run applies exactly one override to a copy of the base. Pass a
+    /// null override for a variant meaning "the base itself".
+    CampaignSpec& add_config(std::string label, ConfigOverride patch);
+
+    /// Adds a seed to the sweep. Each run's seed is handed to its workload
+    /// factory and installed as SimConfig::fault_seed. Without add_seed()
+    /// every combination runs once with the base config's fault_seed.
+    CampaignSpec& add_seed(std::uint64_t seed);
+
+    const StudySetup& setup() const { return setup_; }
+    const RunSetup& base() const { return base_; }
+
+    std::size_t scheduler_count() const { return schedulers_.size(); }
+    std::size_t workload_count() const { return workloads_.size(); }
+
+    /// Number of runs in the grid.
+    std::size_t run_count() const;
+
+    /// The deterministic enumeration of the grid: workload-major, then
+    /// scheduler, then config, then seed. records[i].key == keys()[i] for
+    /// the result of run_campaign(), at any thread count.
+    std::vector<RunKey> keys() const;
+
+    /// Materialises the RunSetup for @p key (base + its config override,
+    /// fault_seed = key.seed) and the workload tasks for @p key. Used by
+    /// the engine and available to tests.
+    RunSetup setup_for(const RunKey& key) const;
+    std::vector<workload::TaskSpec> tasks_for(const RunKey& key) const;
+    std::unique_ptr<sim::Scheduler> make_scheduler(const RunKey& key) const;
+
+private:
+    template <typename T>
+    struct Named {
+        std::string label;
+        T value;
+    };
+
+    const Named<ConfigOverride>* find_config(const std::string& label) const;
+
+    StudySetup setup_;
+    RunSetup base_;
+    std::vector<Named<SchedulerFactory>> schedulers_;
+    std::vector<Named<WorkloadFactory>> workloads_;
+    std::vector<Named<ConfigOverride>> configs_;
+    std::vector<std::uint64_t> seeds_;
+};
+
+/// Called after each run completes (in completion order, which depends on
+/// scheduling); @p done counts completed runs. Invocations are serialized by
+/// the engine, so the callback itself needs no locking.
+using ProgressCallback = std::function<void(
+    const RunRecord& record, std::size_t done, std::size_t total)>;
+
+struct CampaignOptions {
+    /// Worker threads; 0 = one per hardware thread. The pool is fixed-size:
+    /// min(jobs, run_count) std::threads shard the run list via an atomic
+    /// cursor.
+    std::size_t jobs = 1;
+    ProgressCallback progress;
+};
+
+/// The executed campaign: records in CampaignSpec::keys() order — identical
+/// at every thread count — plus the observability summary.
+struct CampaignResult {
+    std::vector<RunRecord> records;
+    CampaignSummary summary;
+};
+
+/// Executes the full grid. Each run gets a fresh Simulator/Scheduler (and,
+/// when faults are scheduled, FaultInjector) while all runs share the
+/// spec's read-only StudySetup; a throwing run becomes a failed RunRecord
+/// and the campaign continues. Throws std::invalid_argument if the spec has
+/// no schedulers or no workloads.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options = {});
+
+/// Looks up the record for (workload, scheduler[, config[, seed]]) — the
+/// first match in key order. Returns nullptr if absent.
+const RunRecord* find(const std::vector<RunRecord>& records,
+                      const std::string& workload,
+                      const std::string& scheduler,
+                      const std::string& config = {},
+                      const std::uint64_t* seed = nullptr);
+
+/// Records as a GitHub-flavoured markdown table; failed runs render as
+/// FAILED rows carrying the error. Deterministic across thread counts.
+std::string to_markdown(const std::vector<RunRecord>& records);
+
+/// One CSV row per run:
+/// workload,scheduler,config,seed,makespan_s,avg_response_s,peak_c,
+/// dtm_throttled_s,migrations,energy_j,all_finished,failed,error.
+/// Byte-identical across thread counts (no wall-clock fields).
+void write_csv(std::ostream& out, const std::vector<RunRecord>& records);
+
+/// Records + summary as a JSON document (per-run wall times included —
+/// this is the observability surface, not a determinism surface).
+void write_json(std::ostream& out, const std::vector<RunRecord>& records,
+                const CampaignSummary& summary);
+
+/// Summary as a short markdown block (runs, failures, jobs, wall time,
+/// throughput).
+std::string summary_markdown(const CampaignSummary& summary);
+
+}  // namespace hp::campaign

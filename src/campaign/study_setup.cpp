@@ -1,0 +1,51 @@
+#include "campaign/study_setup.hpp"
+
+#include <utility>
+
+namespace hp::campaign {
+
+/// Members reference each other (model reads chip.plan() during build, the
+/// solver keeps a pointer to model), so the bundle is constructed in place
+/// on the heap and never moved afterwards.
+struct StudySetup::Bundle {
+    arch::ManyCore chip;
+    thermal::ThermalModel model;
+    thermal::MatExSolver solver;
+
+    Bundle(arch::ManyCore c, const thermal::RcNetworkConfig& cooling)
+        : chip(std::move(c)), model(chip.plan(), cooling), solver(model) {}
+};
+
+StudySetup StudySetup::custom(arch::ManyCore chip,
+                              thermal::RcNetworkConfig cooling) {
+    auto bundle = std::make_shared<const Bundle>(std::move(chip), cooling);
+    const Bundle* b = bundle.get();
+    return StudySetup(std::move(bundle), &b->chip, &b->model, &b->solver);
+}
+
+StudySetup StudySetup::paper_64core() {
+    return custom(arch::ManyCore::paper_64core());
+}
+
+StudySetup StudySetup::paper_16core() {
+    return custom(arch::ManyCore::paper_16core());
+}
+
+StudySetup StudySetup::stacked_32core() {
+    return custom(arch::ManyCore::stacked_32core());
+}
+
+StudySetup StudySetup::borrow(const arch::ManyCore& chip,
+                              const thermal::ThermalModel& model,
+                              const thermal::MatExSolver& solver) {
+    return StudySetup(nullptr, &chip, &model, &solver);
+}
+
+sim::Simulator StudySetup::make_simulator(sim::SimConfig config,
+                                          power::PowerParams power,
+                                          perf::PerfParams perf) const {
+    return sim::Simulator(*chip_, *model_, *solver_, std::move(config), power,
+                          perf);
+}
+
+}  // namespace hp::campaign

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+
+#include "arch/manycore.hpp"
+#include "perf/interval_model.hpp"
+#include "power/power_model.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace hp::campaign {
+
+/// The expensive, shareable half of every study in this repo: a chip plus
+/// its thermal model and the one-time O(N^3) MatEx eigendecomposition.
+///
+/// StudySetup is a value type — copies are cheap and share the same
+/// immutable bundle through a shared_ptr, so a CampaignSpec holding one can
+/// be copied, stored and passed across threads without any lifetime
+/// contract. This replaces the Testbed boilerplate that every bench and
+/// example used to duplicate.
+///
+/// Thread safety: ManyCore (AMD + ring tables), ThermalModel (A/B/G and the
+/// cached LU of B) and MatExSolver (λ, V, V^{-1}) are all immutable after
+/// construction — no mutable members, no lazy caches — so any number of
+/// threads may call their const member functions concurrently. This is the
+/// contract the parallel campaign engine relies on: one StudySetup is shared
+/// read-only by all workers while every worker builds its own Simulator,
+/// Scheduler and (when faults are scheduled) FaultInjector per run.
+class StudySetup {
+public:
+    /// Builds chip + thermal model + eigendecomposition for @p chip.
+    static StudySetup custom(arch::ManyCore chip,
+                             thermal::RcNetworkConfig cooling = {});
+
+    /// Paper Table I 64-core (8x8) part.
+    static StudySetup paper_64core();
+    /// The motivational example's 16-core (4x4) part.
+    static StudySetup paper_16core();
+    /// 3D-stacked 2x(4x4) part (paper SSVII future work).
+    static StudySetup stacked_32core();
+
+    /// Non-owning view over externally owned objects, for callers that
+    /// already hold a chip/model/solver triple (the deprecated
+    /// report::ComparisonRunner shim). The referenced objects must outlive
+    /// every copy of the returned setup — prefer the owning factories.
+    static StudySetup borrow(const arch::ManyCore& chip,
+                             const thermal::ThermalModel& model,
+                             const thermal::MatExSolver& solver);
+
+    const arch::ManyCore& chip() const { return *chip_; }
+    const thermal::ThermalModel& model() const { return *model_; }
+    const thermal::MatExSolver& solver() const { return *solver_; }
+
+    /// A fresh simulator over the shared machine; one per run.
+    sim::Simulator make_simulator(sim::SimConfig config = {},
+                                  power::PowerParams power = {},
+                                  perf::PerfParams perf = {}) const;
+
+private:
+    struct Bundle;  // owning storage (chip, then model, then solver)
+
+    StudySetup(std::shared_ptr<const Bundle> owned, const arch::ManyCore* chip,
+               const thermal::ThermalModel* model,
+               const thermal::MatExSolver* solver)
+        : owned_(std::move(owned)), chip_(chip), model_(model),
+          solver_(solver) {}
+
+    std::shared_ptr<const Bundle> owned_;  ///< null for borrow()ed setups
+    const arch::ManyCore* chip_;
+    const thermal::ThermalModel* model_;
+    const thermal::MatExSolver* solver_;
+};
+
+}  // namespace hp::campaign

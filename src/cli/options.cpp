@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "arch/manycore.hpp"
+#include "campaign/campaign.hpp"
 #include "core/hotpotato.hpp"
 #include "core/hotpotato_dvfs.hpp"
 #include "fault/fault_io.hpp"
@@ -58,6 +59,14 @@ resilience:
   --fault-seed S           seed for fault perturbations (default 1)
   --watchdog               thermal-runaway watchdog (emergency f_min
                            throttle; implied by --faults)
+
+campaign:
+  --compare A,B,...        race the named schedulers over the workload on
+                           the parallel campaign engine; prints a markdown
+                           table (record order is deterministic at any
+                           --jobs value)
+  --jobs N                 campaign worker threads (default 1; 0 = one per
+                           hardware thread)
   --help                   this text
 )";
 }
@@ -84,6 +93,23 @@ std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
     } catch (const std::exception&) {
         throw std::invalid_argument("bad value for " + flag + ": " + value);
     }
+}
+
+/// Splits a comma-separated list, keeping empty entries so validation can
+/// flag them.
+std::vector<std::string> split_names(const std::string& list) {
+    std::vector<std::string> names;
+    std::string current;
+    for (char c : list) {
+        if (c == ',') {
+            names.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    names.push_back(current);
+    return names;
 }
 
 }  // namespace
@@ -137,6 +163,8 @@ CliOptions parse(const std::vector<std::string>& args) {
             o.trace_interval_s = parse_double(flag, value());
         else if (flag == "--faults") o.faults_file = value();
         else if (flag == "--fault-seed") o.fault_seed = parse_uint(flag, value());
+        else if (flag == "--compare") o.compare = value();
+        else if (flag == "--jobs") o.jobs = parse_uint(flag, value());
         else
             throw std::invalid_argument("unknown flag: " + flag);
     }
@@ -161,6 +189,24 @@ CliOptions parse(const std::vector<std::string>& args) {
         violations.push_back("--rate must be positive");
     if (o.trace_interval_s <= 0.0)
         violations.push_back("--trace-interval must be positive");
+    if (!o.compare.empty()) {
+        if (!o.trace_file.empty())
+            violations.push_back(
+                "--trace is not supported with --compare (per-run traces "
+                "would overwrite each other)");
+        for (const std::string& name : split_names(o.compare)) {
+            if (name.empty()) {
+                violations.push_back(
+                    "--compare has an empty scheduler name");
+                continue;
+            }
+            try {
+                make_scheduler(name);
+            } catch (const std::invalid_argument&) {
+                violations.push_back("--compare: unknown scheduler: " + name);
+            }
+        }
+    }
     if (!violations.empty()) {
         std::string message = "invalid options:";
         for (const std::string& v : violations) message += "\n  - " + v;
@@ -184,12 +230,72 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
     throw std::invalid_argument("unknown scheduler: " + name);
 }
 
+namespace {
+
+/// The task list described by the workload options. @p extra_profiles must
+/// outlive the returned specs (they may point into it).
+std::vector<workload::TaskSpec> build_workload(
+    const CliOptions& options, const arch::ManyCore& chip,
+    const std::vector<workload::BenchmarkProfile>& extra_profiles) {
+    if (!options.tasks_file.empty())
+        return workload::read_tasks_file(options.tasks_file, extra_profiles);
+    if (!options.benchmark.empty()) {
+        const workload::BenchmarkProfile* profile = nullptr;
+        for (const auto& p : extra_profiles)
+            if (p.name == options.benchmark) profile = &p;
+        if (profile == nullptr)
+            profile = &workload::profile_by_name(options.benchmark);
+        return workload::homogeneous_fill(*profile, chip.core_count(),
+                                          options.seed);
+    }
+    return workload::poisson_mix(options.tasks, options.arrivals_per_s,
+                                 options.min_threads, options.max_threads,
+                                 options.seed);
+}
+
+/// A one-line label for the workload the options describe.
+std::string workload_label(const CliOptions& options) {
+    if (!options.tasks_file.empty()) return options.tasks_file;
+    if (!options.benchmark.empty()) return "full-" + options.benchmark;
+    return "poisson-" + std::to_string(options.tasks) + "x" +
+           std::to_string(static_cast<long long>(options.arrivals_per_s));
+}
+
+/// Campaign mode: every --compare scheduler over the one configured
+/// workload, sharded over --jobs workers.
+int run_comparison(const CliOptions& options,
+                   campaign::StudySetup setup, sim::SimConfig config,
+                   power::PowerParams power_params,
+                   std::vector<workload::TaskSpec> tasks, std::ostream& out) {
+    campaign::RunSetup base;
+    base.sim = std::move(config);
+    base.power = power_params;
+    campaign::CampaignSpec spec(std::move(setup), std::move(base));
+    for (const std::string& name : split_names(options.compare))
+        spec.add_scheduler(name, [name] { return make_scheduler(name); });
+    spec.add_workload(workload_label(options), std::move(tasks));
+
+    campaign::CampaignOptions campaign_options;
+    campaign_options.jobs = options.jobs;
+    const campaign::CampaignResult result =
+        campaign::run_campaign(spec, campaign_options);
+
+    out << campaign::to_markdown(result.records);
+    out << "\n" << campaign::summary_markdown(result.summary);
+    bool ok = true;
+    for (const campaign::RunRecord& r : result.records)
+        ok = ok && !r.failed && r.result.all_finished;
+    return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int run(const CliOptions& options, std::ostream& out) {
     arch::SnucaParams params;
     params.layers = options.layers;
-    const arch::ManyCore chip(options.rows, options.cols, params);
-    const thermal::ThermalModel model(chip.plan(), thermal::RcNetworkConfig{});
-    const thermal::MatExSolver solver(model);
+    const campaign::StudySetup setup = campaign::StudySetup::custom(
+        arch::ManyCore(options.rows, options.cols, params));
+    const arch::ManyCore& chip = setup.chip();
 
     sim::SimConfig config;
     config.t_dtm_c = options.t_dtm_c;
@@ -207,28 +313,20 @@ int run(const CliOptions& options, std::ostream& out) {
     }
     power::PowerParams power_params;
     power_params.power_gating = options.power_gating;
-    sim::Simulator simulator(chip, model, solver, config, power_params);
 
     std::vector<workload::BenchmarkProfile> extra_profiles;
     if (!options.profiles_file.empty())
         extra_profiles = workload::read_profiles_file(options.profiles_file);
+    std::vector<workload::TaskSpec> tasks =
+        build_workload(options, chip, extra_profiles);
 
-    if (!options.tasks_file.empty()) {
-        simulator.add_tasks(
-            workload::read_tasks_file(options.tasks_file, extra_profiles));
-    } else if (!options.benchmark.empty()) {
-        const workload::BenchmarkProfile* profile = nullptr;
-        for (const auto& p : extra_profiles)
-            if (p.name == options.benchmark) profile = &p;
-        if (profile == nullptr)
-            profile = &workload::profile_by_name(options.benchmark);
-        simulator.add_tasks(workload::homogeneous_fill(
-            *profile, chip.core_count(), options.seed));
-    } else {
-        simulator.add_tasks(workload::poisson_mix(
-            options.tasks, options.arrivals_per_s, options.min_threads,
-            options.max_threads, options.seed));
-    }
+    if (!options.compare.empty())
+        return run_comparison(options, setup, std::move(config), power_params,
+                              std::move(tasks), out);
+
+    sim::Simulator simulator =
+        setup.make_simulator(config, power_params);
+    simulator.add_tasks(tasks);
 
     std::unique_ptr<sim::Scheduler> scheduler =
         make_scheduler(options.scheduler);

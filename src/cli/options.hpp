@@ -50,6 +50,11 @@ struct CliOptions {
     bool watchdog = false;        ///< thermal-runaway watchdog (forced on
                                   ///< whenever --faults is given)
 
+    // Campaign mode: race several schedulers over the same workload on the
+    // parallel campaign engine instead of a single run.
+    std::string compare;          ///< comma-separated scheduler names
+    std::size_t jobs = 1;         ///< campaign worker threads (0 = all cores)
+
     bool help = false;
 };
 

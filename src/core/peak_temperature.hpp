@@ -34,6 +34,11 @@ struct RotationRingSpec {
 /// Eq. (11). All eigenvalues are negative (B SPD), so the series converges
 /// and the result is a true steady-periodic bound independent of the initial
 /// temperature.
+///
+/// Thread safety: immutable after construction. The α/β eigen-tables are
+/// built in the constructor and the analysis entry points are const and
+/// allocate only locals, so one analyzer may serve concurrent campaign
+/// workers sharing a campaign::StudySetup.
 class PeakTemperatureAnalyzer {
 public:
     /// @p matex (and its thermal model) must outlive the analyzer.

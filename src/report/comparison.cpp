@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace hp::report {
 
@@ -10,33 +11,33 @@ ComparisonRunner::ComparisonRunner(const arch::ManyCore& chip,
                                    const thermal::ThermalModel& model,
                                    const thermal::MatExSolver& solver,
                                    sim::SimConfig config)
-    : chip_(&chip), model_(&model), solver_(&solver), config_(config) {}
+    : spec_(campaign::StudySetup::borrow(chip, model, solver),
+            std::move(config)) {}
 
 void ComparisonRunner::add_scheduler(std::string label,
                                      SchedulerFactory factory) {
     if (!factory)
         throw std::invalid_argument("ComparisonRunner: null factory");
-    schedulers_.emplace_back(std::move(label), std::move(factory));
+    spec_.add_scheduler(std::move(label), std::move(factory));
 }
 
 void ComparisonRunner::add_workload(std::string label,
                                     std::vector<workload::TaskSpec> tasks) {
-    workloads_.emplace_back(std::move(label), std::move(tasks));
+    spec_.add_workload(std::move(label), std::move(tasks));
 }
 
 std::vector<RunRecord> ComparisonRunner::run_all() const {
+    campaign::CampaignOptions options;
+    options.jobs = 1;  // the historical class ran strictly serially
+    const campaign::CampaignResult out = campaign::run_campaign(spec_, options);
     std::vector<RunRecord> records;
-    for (const auto& [workload_label, tasks] : workloads_) {
-        for (const auto& [scheduler_label, factory] : schedulers_) {
-            sim::Simulator sim(*chip_, *model_, *solver_, config_);
-            sim.add_tasks(tasks);
-            std::unique_ptr<sim::Scheduler> scheduler = factory();
-            RunRecord record;
-            record.scheduler = scheduler_label;
-            record.workload = workload_label;
-            record.result = sim.run(*scheduler);
-            records.push_back(std::move(record));
-        }
+    records.reserve(out.records.size());
+    for (const campaign::RunRecord& r : out.records) {
+        if (r.failed)
+            throw std::runtime_error("ComparisonRunner: run " +
+                                     campaign::to_string(r.key) +
+                                     " failed: " + r.error);
+        records.push_back({r.key.scheduler, r.key.workload, r.result});
     }
     return records;
 }

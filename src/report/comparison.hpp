@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
 
@@ -19,15 +20,23 @@ struct RunRecord {
 };
 
 /// A scheduler factory: fresh instance per run (schedulers are stateful).
-using SchedulerFactory =
-    std::function<std::unique_ptr<sim::Scheduler>()>;
+using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>()>;
 
-/// Runs the same workloads under several schedulers on one machine and
-/// collects the results — the boilerplate behind every comparison bench in
-/// this repo, packaged for downstream studies.
+/// \deprecated Thin forwarding shim over campaign::CampaignSpec +
+/// campaign::run_campaign, kept for one release so existing callers keep
+/// compiling. New code should use the campaign API directly: it is
+/// value-semantic (no reference-lifetime contract), supports config/seed
+/// axes, runs the grid on a worker pool (`jobs`), and captures per-run
+/// errors instead of throwing.
+///
+/// Behaviour preserved from the original class: runs execute serially in
+/// workload-major order, and the first failing run rethrows its error as
+/// std::runtime_error (the campaign engine's per-run capture is unwound
+/// here to match the historical contract).
 class ComparisonRunner {
 public:
-    /// All references must outlive the runner.
+    /// All references must outlive the runner (the historical contract;
+    /// internally held through campaign::StudySetup::borrow).
     ComparisonRunner(const arch::ManyCore& chip,
                      const thermal::ThermalModel& model,
                      const thermal::MatExSolver& solver,
@@ -45,13 +54,7 @@ public:
     std::vector<RunRecord> run_all() const;
 
 private:
-    const arch::ManyCore* chip_;
-    const thermal::ThermalModel* model_;
-    const thermal::MatExSolver* solver_;
-    sim::SimConfig config_;
-    std::vector<std::pair<std::string, SchedulerFactory>> schedulers_;
-    std::vector<std::pair<std::string, std::vector<workload::TaskSpec>>>
-        workloads_;
+    campaign::CampaignSpec spec_;
 };
 
 /// Renders records as a GitHub-flavoured markdown table (one row per run).

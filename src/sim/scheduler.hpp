@@ -29,17 +29,40 @@ public:
 
     /// A core went offline (fault injection); its occupant thread — if any —
     /// was already evicted and appears in @p evicted with core_of() == kNone.
-    /// Re-place the evicted threads and drop the core from any rotation
-    /// structures. The default re-places each thread on the best free core
-    /// (ties to low ids), which keeps every scheduler functional — if
-    /// degraded — under core loss.
+    ///
+    /// Hook contract:
+    ///  * The dead core is already excluded from free_cores() and rejects
+    ///    place()/migrate(); overrides must drop it from any rotation
+    ///    structures they maintain.
+    ///  * Evicted threads may be re-placed immediately (counted as
+    ///    threads_replaced) or left unplaced (counted as threads_stranded —
+    ///    never fatal; the simulator re-offers capacity as it frees up and
+    ///    schedulers may re-seat stranded threads in later hooks).
+    ///  * The hook runs inside the simulation step, before power is
+    ///    computed; any number of failures can fire in one step.
+    ///
+    /// The default re-places each evicted thread on the performance-best
+    /// free core — lowest AMD first, ties to the lowest core id — the same
+    /// policy as sched::free_cores_by_amd() in placement.hpp, so an
+    /// unmanaged scheduler degrades the way the placement library would.
     virtual void on_core_failure(SimContext& ctx, std::size_t core,
                                  const std::vector<ThreadId>& evicted) {
         (void)core;
         for (ThreadId id : evicted) {
             const std::vector<std::size_t> free = ctx.free_cores();
             if (free.empty()) return;  // stranded until capacity frees up
-            ctx.place(id, free.front());
+            // free_cores() lists ascending ids, so keeping the first
+            // strictly-better core breaks AMD ties toward low ids.
+            std::size_t best = free.front();
+            double best_amd = ctx.chip().amd(best);
+            for (std::size_t c : free) {
+                const double amd = ctx.chip().amd(c);
+                if (amd < best_amd) {
+                    best = c;
+                    best_amd = amd;
+                }
+            }
+            ctx.place(id, best);
         }
     }
 

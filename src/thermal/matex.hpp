@@ -18,6 +18,12 @@ namespace hp::thermal {
 ///
 /// for any t costs a pair of O(N^2) matrix-vector products, with no
 /// time-stepping error.
+///
+/// Thread safety: immutable after construction — the eigendecomposition and
+/// every derived table are computed in the constructor and all member
+/// functions are const with no mutable state or lazy caches. One solver may
+/// therefore be shared read-only by any number of concurrent simulations
+/// (the campaign engine relies on this; see campaign::StudySetup).
 class MatExSolver {
 public:
     /// One-time eigendecomposition of the model's C matrix. The solver keeps

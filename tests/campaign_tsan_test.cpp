@@ -1,0 +1,101 @@
+// ThreadSanitizer build of the campaign engine's concurrent path (see
+// tests/CMakeLists.txt: the whole src tree is recompiled into this binary
+// with -fsanitize=thread). Exercises the full per-run hot path — shared
+// StudySetup eigendecomposition, per-run Simulator/FaultInjector
+// construction, the atomic work-stealing cursor, the serialized progress
+// callback and result rendering — under more workers than runs and more
+// runs than workers. Any data race in the engine or in the "immutable after
+// construction" objects it shares across workers fails this test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+#include "campaign/study_setup.hpp"
+#include "core/hotpotato.hpp"
+#include "fault/fault.hpp"
+#include "sched/static_schedulers.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using hp::campaign::CampaignOptions;
+using hp::campaign::CampaignResult;
+using hp::campaign::CampaignSpec;
+using hp::campaign::RunSetup;
+
+CampaignSpec concurrent_spec() {
+    hp::sim::SimConfig cfg;
+    cfg.max_sim_time_s = 0.01;
+    CampaignSpec spec(hp::campaign::StudySetup::paper_16core(), cfg);
+    spec.add_scheduler("HotPotato", [] {
+        return std::make_unique<hp::core::HotPotatoScheduler>();
+    });
+    spec.add_scheduler("Static", [] {
+        return std::make_unique<hp::sched::StaticScheduler>();
+    });
+    spec.add_workload("blackscholes-2",
+                      {hp::workload::TaskSpec{
+                          &hp::workload::profile_by_name("blackscholes"), 2,
+                          0.0}});
+    // A fault config makes workers build concurrent FaultInjector +
+    // SensorBank instances against the shared thermal model.
+    spec.add_config("clean", nullptr);
+    spec.add_config("faulty", [](RunSetup& setup) {
+        hp::fault::FaultSchedule schedule;
+        schedule.events.push_back(
+            {0.002, hp::fault::FaultKind::kSensorStuck, 2, 0.0, 30.0});
+        schedule.events.push_back(
+            {0.004, hp::fault::FaultKind::kCorePermanent, 5, 0.0, 0.0});
+        setup.sim.fault_schedule = schedule;
+    });
+    spec.add_seed(1).add_seed(2);
+    return spec;
+}
+
+TEST(CampaignTsanTest, ParallelCampaignIsRaceFree) {
+    const CampaignSpec spec = concurrent_spec();
+
+    std::atomic<std::size_t> progress_calls{0};
+    std::string last_key;  // unsynchronized on purpose: callback is serialized
+    CampaignOptions options;
+    options.jobs = 4;
+    options.progress = [&](const hp::campaign::RunRecord& record,
+                           std::size_t, std::size_t) {
+        ++progress_calls;
+        last_key = hp::campaign::to_string(record.key);
+    };
+
+    const CampaignResult out = hp::campaign::run_campaign(spec, options);
+    ASSERT_EQ(out.records.size(), 8u);
+    EXPECT_EQ(out.summary.failed_runs, 0u);
+    EXPECT_EQ(progress_calls.load(), 8u);
+    EXPECT_FALSE(last_key.empty());
+    for (const auto& record : out.records)
+        EXPECT_GT(record.result.simulated_time_s, 0.0);
+
+    // Rendering after the join reads every record without synchronization.
+    std::ostringstream csv;
+    hp::campaign::write_csv(csv, out.records);
+    EXPECT_FALSE(csv.str().empty());
+}
+
+TEST(CampaignTsanTest, SerialAndParallelAgreeUnderTsan) {
+    const CampaignSpec spec = concurrent_spec();
+    CampaignOptions serial;
+    serial.jobs = 1;
+    CampaignOptions parallel;
+    parallel.jobs = 8;  // more workers than the 8 runs exercises idle exit
+    const CampaignResult one = hp::campaign::run_campaign(spec, serial);
+    const CampaignResult many = hp::campaign::run_campaign(spec, parallel);
+    ASSERT_EQ(one.records.size(), many.records.size());
+    std::ostringstream a, b;
+    hp::campaign::write_csv(a, one.records);
+    hp::campaign::write_csv(b, many.records);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
