@@ -8,6 +8,7 @@
 // per sub-figure for plotting.
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 
 #include "bench_util.hpp"
@@ -40,6 +41,7 @@ SimResult run_case(hp::sim::Scheduler& sched, double t_dtm,
     sim.add_task(hp::workload::TaskSpec{
         &hp::workload::profile_by_name("blackscholes"), 2, 0.0});
     SimResult r = sim.run(sched);
+    std::filesystem::create_directories("out");
     hp::sim::write_trace_csv(trace_file, r.trace);
     return r;
 }
@@ -56,22 +58,22 @@ int main() {
     {  // (a) unmanaged at peak frequency; DTM disabled to expose the excursion
         hp::sched::StaticScheduler sched({5, 10});
         rows.push_back({"(a) peak frequency, no management", 68.0, 80.0,
-                        run_case(sched, 1e6, "fig2a_trace.csv")});
+                        run_case(sched, 1e6, "out/fig2a_trace.csv")});
     }
     {  // (b) TSP DVFS budgeting
         hp::sched::TspDvfsScheduler sched({5, 10});
         rows.push_back({"(b) TSP power budgeting (DVFS)", 84.0, 70.0,
-                        run_case(sched, 70.0, "fig2b_trace.csv")});
+                        run_case(sched, 70.0, "out/fig2b_trace.csv")});
     }
     {  // (c) synchronous rotation over the centre ring at 0.5 ms
         hp::sched::FixedRotationScheduler sched({5, 6, 10, 9}, 0.5e-3);
         rows.push_back({"(c) synchronous rotation, tau=0.5ms", 74.0, 70.0,
-                        run_case(sched, 70.0, "fig2c_trace.csv")});
+                        run_case(sched, 70.0, "out/fig2c_trace.csv")});
     }
     {  // bonus: the full HotPotato scheduler on the same workload
         hp::core::HotPotatoScheduler sched;
         rows.push_back({"(+) HotPotato (Algorithm 2)", -1.0, 70.0,
-                        run_case(sched, 70.0, "fig2_hotpotato_trace.csv")});
+                        run_case(sched, 70.0, "out/fig2_hotpotato_trace.csv")});
     }
 
     std::printf("  %-36s | %14s | %14s | %9s | %s\n", "policy",
@@ -104,6 +106,6 @@ int main() {
                  rows[2].result.peak_temperature_c <= 70.5)
                     ? "PASS"
                     : "FAIL");
-    std::printf("\n  traces written: fig2a_trace.csv fig2b_trace.csv fig2c_trace.csv fig2_hotpotato_trace.csv\n");
+    std::printf("\n  traces written: out/fig2a_trace.csv out/fig2b_trace.csv out/fig2c_trace.csv out/fig2_hotpotato_trace.csv\n");
     return 0;
 }

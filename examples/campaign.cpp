@@ -1,14 +1,15 @@
 // Comparison campaign: runs every scheduler in the library against a small
 // workload matrix on the 64-core part using the parallel campaign engine,
-// prints a markdown table and writes campaign.csv — the template for
+// prints a markdown table and writes out/campaign.csv — the template for
 // downstream scheduling studies built on this library.
 //
 // Pass --jobs N to parallelise (0 = one worker per hardware thread). The
-// records and campaign.csv are byte-identical at every N; only the wall
+// records and out/campaign.csv are byte-identical at every N; only the wall
 // clock printed at the end changes.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -74,9 +75,10 @@ int main(int argc, char** argv) {
     const campaign::CampaignResult out = campaign::run_campaign(spec, options);
 
     std::cout << campaign::to_markdown(out.records);
-    std::ofstream csv("campaign.csv");
+    std::filesystem::create_directories("out");
+    std::ofstream csv("out/campaign.csv");
     campaign::write_csv(csv, out.records);
-    std::printf("\nwrote campaign.csv (%zu runs)\n", out.records.size());
+    std::printf("\nwrote out/campaign.csv (%zu runs)\n", out.records.size());
     std::cout << "\n" << campaign::summary_markdown(out.summary);
     return out.summary.failed_runs == 0 ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 // bit-for-bit transparent when unused.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,7 +39,8 @@ int main() {
     schedule.events.push_back({0.02, fault::FaultKind::kCorePermanent, 5,
                                0.0, 0.0});    // core 5 dies at t = 20 ms
 
-    const std::string csv_path = "fault_campaign.csv";
+    std::filesystem::create_directories("out");
+    const std::string csv_path = "out/fault_campaign.csv";
     {
         std::ofstream csv(csv_path);
         fault::write_fault_schedule(csv, schedule);

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "arch/manycore.hpp"
 #include "core/hotpotato.hpp"
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
 
     core::HotPotatoScheduler scheduler;
     const sim::SimResult result = simulator.run(scheduler);
-    sim::write_trace_csv("open_system_trace.csv", result.trace);
+    std::filesystem::create_directories("out");
+    sim::write_trace_csv("out/open_system_trace.csv", result.trace);
 
     std::printf("open system: %zu tasks at %.0f arrivals/s (seed %llu)\n\n",
                 tasks, rate, static_cast<unsigned long long>(seed));
@@ -57,6 +59,6 @@ int main(int argc, char** argv) {
     std::printf("  DTM triggers        : %zu (%.1f ms throttled)\n",
                 result.dtm_triggers, result.dtm_throttled_s * 1e3);
     std::printf("  migrations          : %zu\n", result.migrations);
-    std::printf("  trace written       : open_system_trace.csv\n");
+    std::printf("  trace written       : out/open_system_trace.csv\n");
     return 0;
 }

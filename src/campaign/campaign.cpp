@@ -130,15 +130,17 @@ std::unique_ptr<sim::Scheduler> CampaignSpec::make_scheduler(
 
 namespace {
 
-/// One run, all exceptions captured into the record.
-RunRecord execute(const CampaignSpec& spec, RunKey key) {
+/// One run, all exceptions captured into the record. @p workspace is the
+/// calling worker's thermal scratch, reused across its runs.
+RunRecord execute(const CampaignSpec& spec, RunKey key,
+                  thermal::ThermalWorkspace& workspace) {
     RunRecord record;
     record.key = std::move(key);
     const auto start = std::chrono::steady_clock::now();
     try {
         const RunSetup setup = spec.setup_for(record.key);
         sim::Simulator simulator = spec.setup().make_simulator(
-            setup.sim, setup.power, setup.perf);
+            setup.sim, setup.power, setup.perf, &workspace);
         simulator.add_tasks(spec.tasks_for(record.key));
         const std::unique_ptr<sim::Scheduler> scheduler =
             spec.make_scheduler(record.key);
@@ -191,11 +193,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
     const auto worker = [&] {
+        // One thermal workspace per worker thread: runs are sequential
+        // within a worker, so sharing its scratch across them is safe and
+        // keeps every run's hot loop allocation-free after the first.
+        thermal::ThermalWorkspace workspace;
         for (;;) {
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= total) return;
-            out.records[i] = execute(spec, keys[i]);
+            out.records[i] = execute(spec, keys[i], workspace);
             const std::size_t completed =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (options.progress) {

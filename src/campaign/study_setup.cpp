@@ -41,11 +41,11 @@ StudySetup StudySetup::borrow(const arch::ManyCore& chip,
     return StudySetup(nullptr, &chip, &model, &solver);
 }
 
-sim::Simulator StudySetup::make_simulator(sim::SimConfig config,
-                                          power::PowerParams power,
-                                          perf::PerfParams perf) const {
+sim::Simulator StudySetup::make_simulator(
+    sim::SimConfig config, power::PowerParams power, perf::PerfParams perf,
+    thermal::ThermalWorkspace* workspace) const {
     return sim::Simulator(*chip_, *model_, *solver_, std::move(config), power,
-                          perf);
+                          perf, workspace);
 }
 
 }  // namespace hp::campaign

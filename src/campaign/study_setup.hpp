@@ -53,10 +53,13 @@ public:
     const thermal::ThermalModel& model() const { return *model_; }
     const thermal::MatExSolver& solver() const { return *solver_; }
 
-    /// A fresh simulator over the shared machine; one per run.
-    sim::Simulator make_simulator(sim::SimConfig config = {},
-                                  power::PowerParams power = {},
-                                  perf::PerfParams perf = {}) const;
+    /// A fresh simulator over the shared machine; one per run. An optional
+    /// @p workspace lets a worker thread reuse its thermal scratch across
+    /// consecutive runs (never share one workspace between threads).
+    sim::Simulator make_simulator(
+        sim::SimConfig config = {}, power::PowerParams power = {},
+        perf::PerfParams perf = {},
+        thermal::ThermalWorkspace* workspace = nullptr) const;
 
 private:
     struct Bundle;  // owning storage (chip, then model, then solver)

@@ -98,21 +98,21 @@ double HotPotatoScheduler::slot_power(sim::SimContext& ctx,
     return ctx.estimate_thread_power(id, core, ctx.chip().dvfs().f_max_hz);
 }
 
-std::vector<RotationRingSpec> HotPotatoScheduler::build_ring_specs(
+const std::vector<RotationRingSpec>& HotPotatoScheduler::build_ring_specs(
     sim::SimContext& ctx) const {
     const double idle = analyzer_->idle_power_w();
-    std::vector<RotationRingSpec> specs;
-    for (const Ring& ring : rings_) {
-        if (ring.occupied() == 0) continue;
-        RotationRingSpec spec;
+    if (spec_scratch_.size() != rings_.size())
+        spec_scratch_.resize(rings_.size());
+    for (std::size_t r = 0; r < rings_.size(); ++r) {
+        const Ring& ring = rings_[r];
+        RotationRingSpec& spec = spec_scratch_[r];
         spec.cores = ring.cores;
-        spec.slot_power_w.resize(ring.cores.size(), idle);
+        spec.slot_power_w.assign(ring.cores.size(), idle);
         for (std::size_t j = 0; j < ring.slots.size(); ++j)
             if (ring.slots[j] != sim::kNone)
                 spec.slot_power_w[j] = slot_power(ctx, ring.slots[j]);
-        specs.push_back(std::move(spec));
     }
-    return specs;
+    return spec_scratch_;
 }
 
 double HotPotatoScheduler::predict_peak_with(sim::SimContext& ctx,
@@ -120,17 +120,20 @@ double HotPotatoScheduler::predict_peak_with(sim::SimContext& ctx,
                                              std::size_t tau_index) const {
     if (!rotation_on) {
         const double idle = analyzer_->idle_power_w();
-        linalg::Vector core_power(ctx.chip().core_count(), idle);
+        const std::size_t n = ctx.chip().core_count();
+        if (static_power_scratch_.size() != n)
+            static_power_scratch_ = linalg::Vector(n);
+        for (std::size_t i = 0; i < n; ++i) static_power_scratch_[i] = idle;
         for (const Ring& ring : rings_)
             for (std::size_t j = 0; j < ring.slots.size(); ++j)
                 if (ring.slots[j] != sim::kNone)
-                    core_power[ring.cores[j]] =
+                    static_power_scratch_[ring.cores[j]] =
                         slot_power(ctx, ring.slots[j]);
-        return analyzer_->static_peak(core_power);
+        return analyzer_->static_peak(static_power_scratch_, peak_ws_);
     }
     return analyzer_->rotation_peak(build_ring_specs(ctx),
                                     params_.tau_ladder_s[tau_index],
-                                    params_.samples_per_epoch);
+                                    params_.samples_per_epoch, peak_ws_);
 }
 
 double HotPotatoScheduler::predict_peak(sim::SimContext& ctx) const {
@@ -442,11 +445,12 @@ void HotPotatoScheduler::on_step(sim::SimContext& ctx) {
     for (Ring& ring : rings_) {
         if (ring.cores.size() < 2 || ring.occupied() == 0) continue;
         ctx.rotate(ring.cores);
-        // Mirror the cyclic shift in the slot bookkeeping.
-        std::vector<sim::ThreadId> shifted(ring.slots.size());
+        // Mirror the cyclic shift in the slot bookkeeping; the scratch
+        // vector's capacity is reused across rings and steps.
+        shift_scratch_.resize(ring.slots.size());
         for (std::size_t j = 0; j < ring.slots.size(); ++j)
-            shifted[(j + 1) % ring.slots.size()] = ring.slots[j];
-        ring.slots = std::move(shifted);
+            shift_scratch_[(j + 1) % ring.slots.size()] = ring.slots[j];
+        std::swap(ring.slots, shift_scratch_);
     }
     next_rotation_s_ = ctx.now() + rotation_interval_s();
 }

@@ -109,7 +109,12 @@ private:
     /// Engages/releases the conservative DVFS throttle on sensor trust.
     void update_sensor_fallback(sim::SimContext& ctx);
     double slot_power(sim::SimContext& ctx, sim::ThreadId id) const;
-    std::vector<RotationRingSpec> build_ring_specs(sim::SimContext& ctx) const;
+    /// Fills spec_scratch_ from the current rings (all rings, including
+    /// unoccupied ones — the analyzer skips all-idle rings itself) and
+    /// returns it. Reuses the per-ring vectors, so a warmed-up call is
+    /// allocation-free.
+    const std::vector<RotationRingSpec>& build_ring_specs(
+        sim::SimContext& ctx) const;
     /// Predicted peak with an explicit rotation setting.
     double predict_peak_with(sim::SimContext& ctx, bool rotation_on,
                              std::size_t tau_index) const;
@@ -134,6 +139,13 @@ private:
     std::unique_ptr<PeakTemperatureAnalyzer> analyzer_;
     std::vector<Ring> rings_;
     std::vector<sim::ThreadId> displaced_;
+    // Prediction scratch, reused across the hundreds of candidate
+    // evaluations per epoch (mutable: predict_peak stays const for the
+    // overhead benchmark; the scheduler itself is per-run, not shared).
+    mutable PeakWorkspace peak_ws_;
+    mutable std::vector<RotationRingSpec> spec_scratch_;
+    mutable linalg::Vector static_power_scratch_;
+    std::vector<sim::ThreadId> shift_scratch_;  ///< on_step slot rotation
     bool sensor_fallback_ = false;
     bool rotation_on_ = true;
     std::size_t tau_index_ = 0;

@@ -6,6 +6,33 @@
 
 namespace hp::core {
 
+namespace {
+
+/// Ensures @p v has exactly @p n entries (reallocates only on size change).
+void ensure_size(linalg::Vector& v, std::size_t n) {
+    if (v.size() != n) v = linalg::Vector(n);
+}
+
+/// Ensures the first @p count entries of @p list are vectors of @p size.
+/// The list only grows (shrinking would free the spare buffers and defeat
+/// reuse across rings of different sizes). With @p zero set, the used
+/// entries are cleared to 0 — required for buffers that are accumulated
+/// into rather than overwritten.
+void ensure_list(std::vector<linalg::Vector>& list, std::size_t count,
+                 std::size_t size, bool zero) {
+    if (list.size() < count) list.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (list[i].size() != size) {
+            list[i] = linalg::Vector(size);
+        } else if (zero) {
+            double* data = list[i].data();
+            for (std::size_t j = 0; j < size; ++j) data[j] = 0.0;
+        }
+    }
+}
+
+}  // namespace
+
 PeakTemperatureAnalyzer::PeakTemperatureAnalyzer(
     const thermal::MatExSolver& matex, double ambient_c, double idle_power_w)
     : matex_(&matex), ambient_c_(ambient_c), idle_power_w_(idle_power_w) {
@@ -66,7 +93,18 @@ std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
 linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
     const std::vector<linalg::Vector>& node_power_per_epoch, double tau,
     std::size_t samples_per_epoch) const {
-    const std::size_t delta = node_power_per_epoch.size();
+    PeakWorkspace workspace;
+    linalg::Vector core_max;
+    periodic_response_max_into(node_power_per_epoch.data(),
+                               node_power_per_epoch.size(), tau,
+                               samples_per_epoch, workspace, core_max);
+    return core_max;
+}
+
+void PeakTemperatureAnalyzer::periodic_response_max_into(
+    const linalg::Vector* node_power_per_epoch, std::size_t delta, double tau,
+    std::size_t samples_per_epoch, PeakWorkspace& ws,
+    linalg::Vector& core_max) const {
     if (delta == 0 || tau <= 0.0 || samples_per_epoch == 0)
         throw std::invalid_argument("periodic_response_max: bad arguments");
 
@@ -77,7 +115,8 @@ linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
     // Modal images y_f = β·P_f, exploiting that rotation power vectors are
     // sparse (non-zero only on the rotating ring's cores): accumulate the
     // corresponding β columns instead of a dense mat-vec.
-    std::vector<linalg::Vector> y(delta, linalg::Vector(big_n));
+    ensure_list(ws.y_, delta, big_n, /*zero=*/true);
+    std::vector<linalg::Vector>& y = ws.y_;
     for (std::size_t f = 0; f < delta; ++f) {
         const linalg::Vector& p = node_power_per_epoch[f];
         for (std::size_t j = 0; j < big_n; ++j) {
@@ -89,7 +128,11 @@ linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
     }
 
     // Geometric tables e^{λ_k τ g}, g = 0..δ (pow-free).
-    std::vector<double> ek(big_n), ek_pow((delta + 1) * big_n);
+    if (ws.ek_.size() < big_n) ws.ek_.resize(big_n);
+    if (ws.ek_pow_.size() < (delta + 1) * big_n)
+        ws.ek_pow_.resize((delta + 1) * big_n);
+    std::vector<double>& ek = ws.ek_;
+    std::vector<double>& ek_pow = ws.ek_pow_;
     for (std::size_t k = 0; k < big_n; ++k) {
         ek[k] = std::exp(lambda[k] * tau);
         double acc = 1.0;
@@ -100,7 +143,8 @@ linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
     }
 
     // Periodic boundary solution in modal space (paper Eq. (10)).
-    std::vector<linalg::Vector> z(delta, linalg::Vector(big_n));
+    ensure_list(ws.z_, delta, big_n, /*zero=*/false);
+    std::vector<linalg::Vector>& z = ws.z_;
     for (std::size_t k = 0; k < big_n; ++k) {
         const double denom = 1.0 - ek_pow[delta * big_n + k];
         const double coeff = (1.0 - ek[k]) / denom;
@@ -113,30 +157,32 @@ linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
     }
 
     // Interior-sample decay factors e^{λ_k τ s/S}; epoch-independent.
-    std::vector<linalg::Vector> eks_frac;
+    ensure_list(ws.eks_frac_, samples_per_epoch - 1, big_n, /*zero=*/false);
     for (std::size_t s = 1; s < samples_per_epoch; ++s) {
         const double frac =
             static_cast<double>(s) / static_cast<double>(samples_per_epoch);
-        linalg::Vector eks(big_n);
+        linalg::Vector& eks = ws.eks_frac_[s - 1];
         for (std::size_t k = 0; k < big_n; ++k)
             eks[k] = std::exp(lambda[k] * tau * frac);
-        eks_frac.push_back(std::move(eks));
     }
 
     // Per-core maxima over epoch boundaries plus interior samples. Only core
     // rows of V are evaluated: Eq. (11) constrains core temperatures.
-    linalg::Vector core_max(cores, -1e300);
-    linalg::Vector zs(big_n);
-    linalg::Vector response(cores);
+    ensure_size(core_max, cores);
+    for (std::size_t i = 0; i < cores; ++i) core_max[i] = -1e300;
+    ensure_size(ws.zs_, big_n);
+    ensure_size(ws.response_, cores);
+    linalg::Vector& zs = ws.zs_;
+    linalg::Vector& response = ws.response_;
     for (std::size_t e = 0; e < delta; ++e) {
         const linalg::Vector& z_prev = z[(e + delta - 1) % delta];
         for (std::size_t s = 1; s <= samples_per_epoch; ++s) {
             if (s == samples_per_epoch) {
-                zs = z[e];
+                for (std::size_t k = 0; k < big_n; ++k) zs[k] = z[e][k];
             } else {
                 // Inside epoch e: decay from the previous boundary towards
                 // this epoch's steady-state target y[e].
-                const linalg::Vector& eks = eks_frac[s - 1];
+                const linalg::Vector& eks = ws.eks_frac_[s - 1];
                 for (std::size_t k = 0; k < big_n; ++k)
                     zs[k] = eks[k] * z_prev[k] + (1.0 - eks[k]) * y[e][k];
             }
@@ -152,7 +198,6 @@ linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
                 core_max[i] = std::max(core_max[i], response[i]);
         }
     }
-    return core_max;
 }
 
 double PeakTemperatureAnalyzer::schedule_peak(
@@ -171,6 +216,23 @@ double PeakTemperatureAnalyzer::schedule_peak(
     return peak;
 }
 
+double PeakTemperatureAnalyzer::schedule_peak(
+    const std::vector<linalg::Vector>& core_power_per_epoch, double tau,
+    std::size_t samples_per_epoch, PeakWorkspace& workspace) const {
+    const thermal::ThermalModel& model = matex_->model();
+    const std::size_t delta = core_power_per_epoch.size();
+    ensure_list(workspace.deltas_, delta, model.node_count(), /*zero=*/false);
+    for (std::size_t f = 0; f < delta; ++f)
+        model.pad_power_into(core_power_per_epoch[f], workspace.deltas_[f]);
+    periodic_response_max_into(workspace.deltas_.data(), delta, tau,
+                               samples_per_epoch, workspace,
+                               workspace.core_max_);
+    double peak = -1e300;
+    for (std::size_t i = 0; i < model.core_count(); ++i)
+        peak = std::max(peak, ambient_offset_[i] + workspace.core_max_[i]);
+    return peak;
+}
+
 double PeakTemperatureAnalyzer::static_peak(
     const linalg::Vector& core_power) const {
     const thermal::ThermalModel& model = matex_->model();
@@ -182,11 +244,30 @@ double PeakTemperatureAnalyzer::static_peak(
     return peak;
 }
 
+double PeakTemperatureAnalyzer::static_peak(const linalg::Vector& core_power,
+                                            PeakWorkspace& workspace) const {
+    const thermal::ThermalModel& model = matex_->model();
+    model.pad_power_into(core_power, workspace.node_power_);
+    model.steady_state_into(workspace.node_power_, ambient_c_,
+                            workspace.thermal_, workspace.t_idle_);
+    double peak = -1e300;
+    for (std::size_t i = 0; i < model.core_count(); ++i)
+        peak = std::max(peak, workspace.t_idle_[i]);
+    return peak;
+}
+
 double PeakTemperatureAnalyzer::rotation_peak(
     const std::vector<RotationRingSpec>& rings, double tau,
     std::size_t samples_per_epoch) const {
     return rotation_peak(rings, std::vector<double>(rings.size(), tau),
                          samples_per_epoch);
+}
+
+double PeakTemperatureAnalyzer::rotation_peak(
+    const std::vector<RotationRingSpec>& rings, double tau,
+    std::size_t samples_per_epoch, PeakWorkspace& workspace) const {
+    workspace.tau_.assign(rings.size(), tau);
+    return rotation_peak(rings, workspace.tau_, samples_per_epoch, workspace);
 }
 
 double PeakTemperatureAnalyzer::rotation_peak(
@@ -233,6 +314,62 @@ double PeakTemperatureAnalyzer::rotation_peak(
     double peak = -1e300;
     for (std::size_t i = 0; i < n; ++i)
         peak = std::max(peak, t_idle[i] + extra[i]);
+    return peak;
+}
+
+double PeakTemperatureAnalyzer::rotation_peak(
+    const std::vector<RotationRingSpec>& rings,
+    const std::vector<double>& tau_per_ring, std::size_t samples_per_epoch,
+    PeakWorkspace& workspace) const {
+    if (tau_per_ring.size() != rings.size())
+        throw std::invalid_argument(
+            "rotation_peak: one tau per ring required");
+    const thermal::ThermalModel& model = matex_->model();
+    const std::size_t n = model.core_count();
+    const std::size_t big_n = model.node_count();
+
+    // All-idle baseline.
+    ensure_size(workspace.core_power_, n);
+    for (std::size_t i = 0; i < n; ++i)
+        workspace.core_power_[i] = idle_power_w_;
+    model.pad_power_into(workspace.core_power_, workspace.node_power_);
+    model.steady_state_into(workspace.node_power_, ambient_c_,
+                            workspace.thermal_, workspace.t_idle_);
+
+    ensure_size(workspace.extra_, n);
+    for (std::size_t i = 0; i < n; ++i) workspace.extra_[i] = 0.0;
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+        const RotationRingSpec& ring = rings[r];
+        const std::size_t k = ring.cores.size();
+        if (ring.slot_power_w.size() != k)
+            throw std::invalid_argument(
+                "rotation_peak: ring slot/core size mismatch");
+        if (k == 0) continue;
+        bool any_delta = false;
+        for (double p : ring.slot_power_w)
+            if (std::abs(p - idle_power_w_) > 1e-12) any_delta = true;
+        if (!any_delta) continue;
+
+        // Per-epoch power deltas: at epoch f the occupant of initial slot j
+        // sits on cores[(j + f) mod k]. The delta buffers are zeroed because
+        // only the ring's cores are written.
+        ensure_list(workspace.deltas_, k, big_n, /*zero=*/true);
+        for (std::size_t f = 0; f < k; ++f)
+            for (std::size_t pos = 0; pos < k; ++pos) {
+                const std::size_t slot = (pos + k - (f % k)) % k;
+                workspace.deltas_[f][ring.cores[pos]] =
+                    ring.slot_power_w[slot] - idle_power_w_;
+            }
+        periodic_response_max_into(workspace.deltas_.data(), k,
+                                   tau_per_ring[r], samples_per_epoch,
+                                   workspace, workspace.core_max_);
+        for (std::size_t i = 0; i < n; ++i)
+            workspace.extra_[i] += workspace.core_max_[i];
+    }
+
+    double peak = -1e300;
+    for (std::size_t i = 0; i < n; ++i)
+        peak = std::max(peak, workspace.t_idle_[i] + workspace.extra_[i]);
     return peak;
 }
 

@@ -6,6 +6,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "thermal/matex.hpp"
+#include "thermal/workspace.hpp"
 
 namespace hp::core {
 
@@ -16,6 +17,38 @@ namespace hp::core {
 struct RotationRingSpec {
     std::vector<std::size_t> cores;
     std::vector<double> slot_power_w;
+};
+
+/// Caller-owned scratch for PeakTemperatureAnalyzer queries.
+///
+/// Every run-time entry point has an overload taking one of these; after the
+/// first (sizing) call the query runs without heap allocations — the
+/// modal y/z arrays, geometric e^{λτ} tables and per-ring delta vectors are
+/// all reused. Buffer lists only ever grow, so alternating between rings of
+/// different sizes does not re-allocate. A workspace may be reused across
+/// analyzers/models (buffers re-size on demand) but must not be shared
+/// between threads; the analyzer itself stays immutable and shareable.
+class PeakWorkspace {
+public:
+    PeakWorkspace() = default;
+
+private:
+    friend class PeakTemperatureAnalyzer;
+    std::vector<linalg::Vector> y_;         ///< modal epoch targets β·P_f
+    std::vector<linalg::Vector> z_;         ///< periodic boundary solution
+    std::vector<linalg::Vector> eks_frac_;  ///< intra-epoch decay factors
+    std::vector<linalg::Vector> deltas_;    ///< per-epoch node power deltas
+    std::vector<double> ek_;                ///< e^{λ_k τ}
+    std::vector<double> ek_pow_;            ///< e^{λ_k τ g}, g = 0..δ
+    std::vector<double> tau_;               ///< broadcast per-ring τ
+    linalg::Vector zs_;
+    linalg::Vector response_;
+    linalg::Vector core_max_;
+    linalg::Vector extra_;
+    linalg::Vector t_idle_;
+    linalg::Vector core_power_;
+    linalg::Vector node_power_;
+    thermal::ThermalWorkspace thermal_;
 };
 
 /// Analytical peak temperature of synchronous thread rotations
@@ -38,7 +71,10 @@ struct RotationRingSpec {
 /// Thread safety: immutable after construction. The α/β eigen-tables are
 /// built in the constructor and the analysis entry points are const and
 /// allocate only locals, so one analyzer may serve concurrent campaign
-/// workers sharing a campaign::StudySetup.
+/// workers sharing a campaign::StudySetup. The overloads taking a
+/// PeakWorkspace preserve this: all mutable state lives in the caller's
+/// workspace, so concurrent queries remain safe with one workspace per
+/// thread.
 class PeakTemperatureAnalyzer {
 public:
     /// @p matex (and its thermal model) must outlive the analyzer.
@@ -66,9 +102,20 @@ public:
         const std::vector<linalg::Vector>& core_power_per_epoch, double tau,
         std::size_t samples_per_epoch = 2) const;
 
+    /// schedule_peak reusing caller-owned scratch (zero heap allocations
+    /// once @p workspace is warm). Results are bit-identical to the
+    /// allocating overload.
+    double schedule_peak(const std::vector<linalg::Vector>& core_power_per_epoch,
+                         double tau, std::size_t samples_per_epoch,
+                         PeakWorkspace& workspace) const;
+
     /// Steady-state peak core temperature of a static (non-rotating) power
     /// assignment.
     double static_peak(const linalg::Vector& core_power) const;
+
+    /// static_peak reusing caller-owned scratch.
+    double static_peak(const linalg::Vector& core_power,
+                       PeakWorkspace& workspace) const;
 
     /// Peak core temperature with every listed ring rotating synchronously
     /// at interval @p tau and all remaining cores idle.
@@ -84,6 +131,12 @@ public:
     double rotation_peak(const std::vector<RotationRingSpec>& rings,
                          double tau, std::size_t samples_per_epoch = 2) const;
 
+    /// rotation_peak (uniform τ) reusing caller-owned scratch — the form the
+    /// HotPotato candidate loop evaluates hundreds of times per epoch.
+    double rotation_peak(const std::vector<RotationRingSpec>& rings,
+                         double tau, std::size_t samples_per_epoch,
+                         PeakWorkspace& workspace) const;
+
     /// Per-ring rotation intervals: rings[i] rotates every tau_per_ring[i]
     /// seconds. The superposition decomposition makes heterogeneous
     /// cadences free — each ring's periodic response is solved at its own
@@ -94,13 +147,29 @@ public:
                          const std::vector<double>& tau_per_ring,
                          std::size_t samples_per_epoch = 2) const;
 
+    /// Per-ring-τ rotation_peak reusing caller-owned scratch.
+    double rotation_peak(const std::vector<RotationRingSpec>& rings,
+                         const std::vector<double>& tau_per_ring,
+                         std::size_t samples_per_epoch,
+                         PeakWorkspace& workspace) const;
+
 private:
     /// Modal periodic solution: returns per-node maxima over all epochs and
     /// intra-epoch samples of the *zero-ambient* response to the given
-    /// per-epoch node power deltas.
+    /// per-epoch node power deltas. Thin wrapper over the _into core.
     linalg::Vector periodic_response_max(
         const std::vector<linalg::Vector>& node_power_per_epoch, double tau,
         std::size_t samples_per_epoch) const;
+
+    /// The allocation-free core of Algorithm 1's run-time phase: consumes
+    /// @p delta node-power vectors starting at @p node_power_per_epoch and
+    /// writes the per-core response maxima into @p core_max (resized on
+    /// first use). All intermediates live in @p workspace.
+    void periodic_response_max_into(const linalg::Vector* node_power_per_epoch,
+                                    std::size_t delta, double tau,
+                                    std::size_t samples_per_epoch,
+                                    PeakWorkspace& workspace,
+                                    linalg::Vector& core_max) const;
 
     const thermal::MatExSolver* matex_;
     double ambient_c_;

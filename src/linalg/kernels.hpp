@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "linalg/vector.hpp"
+
+namespace hp::linalg {
+
+// Non-allocating kernels over raw spans / preallocated buffers. These are the
+// single numeric implementation of the thermal hot path: the value-returning
+// Vector/Matrix operators are thin wrappers around them, so the loop and
+// accumulation order is defined exactly once and results stay bit-identical
+// whichever entry point a caller uses. None of these touch the heap; all
+// aliasing restrictions are documented per kernel and asserted in debug
+// builds where cheap.
+
+/// y = A·x for a row-major rows×cols matrix. Accumulates each row into a
+/// local scalar (acc += a(i,j)·x[j] in column order) and stores it once, the
+/// same order as the historical Matrix·Vector operator. @p y must not alias
+/// @p x or @p a.
+inline void kernel_matvec(const double* a, std::size_t rows, std::size_t cols,
+                          const double* x, double* y) {
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double* row = a + i * cols;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) acc += row[j] * x[j];
+        y[i] = acc;
+    }
+}
+
+/// y += alpha·x (BLAS axpy). @p x and @p y may be the same buffer.
+inline void kernel_axpy(std::size_t n, double alpha, const double* x,
+                        double* y) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// x *= s in place.
+inline void kernel_scale(std::size_t n, double s, double* x) {
+    for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+/// x[i] *= e^{rate[i]·t} — the modal decay step of the MatEx exponential.
+inline void kernel_hadamard_exp(std::size_t n, const double* rate, double t,
+                                double* x) {
+    for (std::size_t i = 0; i < n; ++i) x[i] *= std::exp(rate[i] * t);
+}
+
+// --- Vector-level conveniences ---------------------------------------------
+
+/// y += alpha·x with size checking.
+inline void axpy(double alpha, const Vector& x, Vector& y) {
+    if (x.size() != y.size())
+        throw std::invalid_argument("axpy: size mismatch");
+    kernel_axpy(y.size(), alpha, x.data(), y.data());
+}
+
+/// x *= s.
+inline void scale(Vector& x, double s) { kernel_scale(x.size(), s, x.data()); }
+
+/// x[i] *= e^{rate[i]·t} with size checking.
+inline void hadamard_exp(Vector& x, const Vector& rate, double t) {
+    if (x.size() != rate.size())
+        throw std::invalid_argument("hadamard_exp: size mismatch");
+    kernel_hadamard_exp(x.size(), rate.data(), t, x.data());
+}
+
+}  // namespace hp::linalg

@@ -44,11 +44,17 @@ LuDecomposition::LuDecomposition(const Matrix& m) : lu_(m) {
 }
 
 Vector LuDecomposition::solve(const Vector& b) const {
+    Vector y(size());
+    solve_into(b, y);
+    return y;
+}
+
+void LuDecomposition::solve_into(const Vector& b, Vector& out) const {
     const std::size_t n = size();
-    if (b.size() != n)
+    if (b.size() != n || out.size() != n)
         throw std::invalid_argument("LuDecomposition::solve: size mismatch");
-    // Apply permutation, then forward- and back-substitute.
-    Vector y(n);
+    // Apply permutation, then forward- and back-substitute in place.
+    Vector& y = out;
     for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
     for (std::size_t i = 1; i < n; ++i) {
         double acc = y[i];
@@ -60,7 +66,6 @@ Vector LuDecomposition::solve(const Vector& b) const {
         for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
         y[ii] = acc / lu_(ii, ii);
     }
-    return y;
 }
 
 Matrix LuDecomposition::solve(const Matrix& b) const {

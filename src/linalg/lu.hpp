@@ -23,7 +23,14 @@ public:
     std::size_t size() const { return lu_.rows(); }
 
     /// Solves M x = b. Throws std::invalid_argument on size mismatch.
+    /// Thin wrapper over solve_into (one allocation for the result).
     Vector solve(const Vector& b) const;
+
+    /// Solves M x = b into the preallocated @p out (size() entries) without
+    /// allocating: the permuted right-hand side is written into @p out and
+    /// both substitutions run in place. @p out must not alias @p b. Throws
+    /// std::invalid_argument on any size mismatch.
+    void solve_into(const Vector& b, Vector& out) const;
 
     /// Solves M X = B column-by-column.
     Matrix solve(const Matrix& b) const;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/kernels.hpp"
 #include "linalg/vector.hpp"
 
 namespace hp::linalg {
@@ -121,16 +122,12 @@ public:
         return c;
     }
 
-    /// Matrix-vector product.
+    /// Matrix-vector product (thin wrapper over the non-allocating kernel).
     friend Vector operator*(const Matrix& a, const Vector& x) {
         if (a.cols_ != x.size())
             throw std::invalid_argument("Matrix-vector multiply: shape mismatch");
         Vector y(a.rows_);
-        for (std::size_t i = 0; i < a.rows_; ++i) {
-            double acc = 0.0;
-            for (std::size_t j = 0; j < a.cols_; ++j) acc += a(i, j) * x[j];
-            y[i] = acc;
-        }
+        kernel_matvec(a.data(), a.rows_, a.cols_, x.data(), y.data());
         return y;
     }
 
@@ -169,5 +166,14 @@ private:
     std::size_t cols_ = 0;
     std::vector<double> data_;
 };
+
+/// out = a·x into a preallocated vector of a.rows() entries; bit-identical
+/// to operator*(Matrix, Vector) without the allocation. @p out must not
+/// alias @p x. Throws std::invalid_argument on any shape mismatch.
+inline void matvec_into(const Matrix& a, const Vector& x, Vector& out) {
+    if (a.cols() != x.size() || a.rows() != out.size())
+        throw std::invalid_argument("matvec_into: shape mismatch");
+    kernel_matvec(a.data(), a.rows(), a.cols(), x.data(), out.data());
+}
 
 }  // namespace hp::linalg

@@ -71,6 +71,46 @@ std::vector<double> TrafficModel::queueing_delay_s(
     return per_core;
 }
 
+void TrafficModel::queueing_delay_into(const std::vector<double>& rates,
+                                       std::vector<double>& out,
+                                       double max_utilization) {
+    if (rates.size() != cores_)
+        throw std::invalid_argument("TrafficModel: rate vector size mismatch");
+    const std::size_t links = mesh_->link_count();
+
+    // Per-link offered load -> utilisation (same accumulation order as
+    // link_utilization).
+    util_scratch_.assign(links, 0.0);
+    for (std::size_t core = 0; core < cores_; ++core) {
+        const double rate = rates[core];
+        if (rate <= 0.0) continue;
+        const double* load = &load_share_[core * links];
+        for (std::size_t l = 0; l < links; ++l)
+            util_scratch_[l] += rate * load[l];
+    }
+    const double capacity = mesh_->params().link_bandwidth_bytes_s();
+    for (double& u : util_scratch_) u /= capacity;
+
+    // Per-link M/D/1 waiting time with the mean transaction's service time.
+    const double mean_bytes = (bytes_.request + bytes_.reply) / 2.0;
+    const double service_s =
+        mean_bytes / mesh_->params().link_bandwidth_bytes_s();
+    if (delay_scratch_.size() != links) delay_scratch_.resize(links);
+    for (std::size_t l = 0; l < links; ++l) {
+        const double u = std::min(util_scratch_[l], max_utilization);
+        delay_scratch_[l] = service_s * u / (2.0 * (1.0 - u));
+    }
+
+    if (out.size() != cores_) out.resize(cores_);
+    for (std::size_t core = 0; core < cores_; ++core) {
+        const double* traversal = &traversal_[core * links];
+        double acc = 0.0;
+        for (std::size_t l = 0; l < links; ++l)
+            acc += traversal[l] * delay_scratch_[l];
+        out[core] = acc;
+    }
+}
+
 double TrafficModel::saturation_rate_per_core() const {
     // Uniform unit rate on every core -> utilisation per link; the most
     // loaded link determines the ceiling.

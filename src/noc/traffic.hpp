@@ -46,6 +46,15 @@ public:
         const std::vector<double>& core_transaction_rates,
         double max_utilization = 0.95) const;
 
+    /// queueing_delay_s without allocations: link-level intermediates live in
+    /// instance scratch and the per-core result is written into @p out
+    /// (resized on first use). Bit-identical to queueing_delay_s. Non-const
+    /// because of the scratch — the simulator owns its TrafficModel, so this
+    /// costs nothing in sharing.
+    void queueing_delay_into(const std::vector<double>& core_transaction_rates,
+                             std::vector<double>& out,
+                             double max_utilization = 0.95);
+
     /// Largest sustainable uniform per-core transaction rate (the rate at
     /// which the most-loaded link saturates) — the NoC's bisection-limited
     /// throughput ceiling.
@@ -61,6 +70,9 @@ private:
     // load_share_[core * links + link]: bytes offered to `link` per
     // transaction issued by `core`.
     std::vector<double> load_share_;
+    // queueing_delay_into scratch (per-link utilisation and delay).
+    std::vector<double> util_scratch_;
+    std::vector<double> delay_scratch_;
 };
 
 }  // namespace hp::noc

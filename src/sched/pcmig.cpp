@@ -6,14 +6,16 @@
 
 namespace hp::sched {
 
-linalg::Vector PcMigScheduler::predict(sim::SimContext& ctx) const {
+const linalg::Vector& PcMigScheduler::predict(sim::SimContext& ctx) {
     const std::size_t n = ctx.chip().core_count();
-    linalg::Vector core_power(n);
-    for (std::size_t c = 0; c < n; ++c) core_power[c] = ctx.core_power(c);
-    return ctx.matex().transient(ctx.temperatures(),
-                                 ctx.thermal_model().pad_power(core_power),
-                                 ctx.config().ambient_c,
-                                 params_.prediction_horizon_s);
+    if (predict_power_.size() != n) predict_power_ = linalg::Vector(n);
+    for (std::size_t c = 0; c < n; ++c) predict_power_[c] = ctx.core_power(c);
+    ctx.thermal_model().pad_power_into(predict_power_, predict_node_power_);
+    ctx.matex().transient_into(ctx.temperatures(), predict_node_power_,
+                               ctx.config().ambient_c,
+                               params_.prediction_horizon_s, predict_ws_,
+                               predicted_);
+    return predicted_;
 }
 
 void PcMigScheduler::on_epoch(sim::SimContext& ctx) {
@@ -22,7 +24,7 @@ void PcMigScheduler::on_epoch(sim::SimContext& ctx) {
 
     const double limit = ctx.config().t_dtm_c - params_.migration_margin_c;
     for (std::size_t m = 0; m < params_.max_migrations_per_epoch; ++m) {
-        const linalg::Vector predicted = predict(ctx);
+        const linalg::Vector& predicted = predict(ctx);
         // Hottest predicted core that actually hosts a thread.
         std::size_t hottest = sim::kNone;
         double hottest_t = limit;

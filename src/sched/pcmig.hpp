@@ -3,6 +3,7 @@
 #include <string>
 
 #include "sched/pcgov.hpp"
+#include "thermal/workspace.hpp"
 
 namespace hp::sched {
 
@@ -38,10 +39,16 @@ public:
 
 private:
     /// Predicted per-node temperatures after the horizon, holding current
-    /// power constant.
-    linalg::Vector predict(sim::SimContext& ctx) const;
+    /// power constant. Returns a reference to per-instance scratch, valid
+    /// until the next call.
+    const linalg::Vector& predict(sim::SimContext& ctx);
 
     PcMigParams params_;
+    // Prediction scratch (schedulers are per-run, so plain members suffice).
+    thermal::ThermalWorkspace predict_ws_;
+    linalg::Vector predict_power_;
+    linalg::Vector predict_node_power_;
+    linalg::Vector predicted_;
 };
 
 }  // namespace hp::sched

@@ -32,13 +32,15 @@ Simulator::Simulator(const arch::ManyCore& chip,
                      const thermal::ThermalModel& model,
                      const thermal::MatExSolver& matex, SimConfig config,
                      power::PowerParams power_params,
-                     perf::PerfParams perf_params)
+                     perf::PerfParams perf_params,
+                     thermal::ThermalWorkspace* workspace)
     : chip_(&chip),
       thermal_(&model),
       matex_(&matex),
       config_(config),
       power_model_(power_params, chip.dvfs()),
-      perf_model_(chip, perf_params) {
+      perf_model_(chip, perf_params),
+      ws_(workspace != nullptr ? workspace : &own_ws_) {
     if (model.core_count() != chip.core_count())
         throw std::invalid_argument(
             "Simulator: thermal model and chip disagree on core count");
@@ -60,6 +62,9 @@ Simulator::Simulator(const arch::ManyCore& chip,
     core_gated_.assign(n, false);
     noc_delay_s_.assign(n, 0.0);
     temps_ = model.ambient_equilibrium(config_.ambient_c);
+    step_power_ = linalg::Vector(n);
+    node_power_ = linalg::Vector(model.node_count());
+    ws_->resize(model.node_count());
 
     // A fault schedule implies sensor-driven DTM (sensor faults need sensors
     // to corrupt) with the voting filter armed, plus the runaway watchdog.
@@ -99,7 +104,7 @@ Simulator::Simulator(const arch::ManyCore& chip,
 void Simulator::refresh_noc_contention() {
     if (!traffic_) return;
     const std::size_t n = chip_->core_count();
-    std::vector<double> rates(n, 0.0);
+    noc_rates_.assign(n, 0.0);
     for (std::size_t c = 0; c < n; ++c) {
         const ThreadId id = core_occupant_[c];
         if (id == kNone) continue;
@@ -108,9 +113,9 @@ void Simulator::refresh_noc_contention() {
         const perf::PhasePoint& point = thread_phase_point(id);
         const double ips = perf_model_.instructions_per_second(
             point, c, effective_frequency(c), noc_delay_s_[c]);
-        rates[c] = ips * point.llc_apki / 1000.0;
+        noc_rates_[c] = ips * point.llc_apki / 1000.0;
     }
-    noc_delay_s_ = traffic_->queueing_delay_s(rates);
+    traffic_->queueing_delay_into(noc_rates_, noc_delay_s_);
 }
 
 void Simulator::add_task(const workload::TaskSpec& spec) {
@@ -284,9 +289,12 @@ void Simulator::rotate(const std::vector<std::size_t>& cores_in_cycle) {
         for (std::size_t c : cores_in_cycle)
             if (injector_->core_failed(c)) return;
     }
-    // Shift occupants (threads and holes alike) by one position.
+    // Shift occupants (threads and holes alike) by one position. The scratch
+    // vector is reused across rotations (they happen nearly every step under
+    // fast rotation).
     const std::size_t k = cores_in_cycle.size();
-    std::vector<ThreadId> occupants(k);
+    rotate_scratch_.resize(k);
+    std::vector<ThreadId>& occupants = rotate_scratch_;
     for (std::size_t i = 0; i < k; ++i)
         occupants[i] = core_occupant_[cores_in_cycle[i]];
     for (std::size_t i = 0; i < k; ++i) {
@@ -329,9 +337,11 @@ double Simulator::effective_frequency(std::size_t core) const {
                                            : set_frequency_hz_[core];
 }
 
-linalg::Vector Simulator::compute_step_power() {
+const linalg::Vector& Simulator::compute_step_power() {
     const std::size_t n = chip_->core_count();
-    linalg::Vector core_power(n);
+    // Every element is written below (failed cores included), so the reused
+    // buffer needs no zero-fill.
+    linalg::Vector& core_power = step_power_;
     const power::PowerParams& pwr = power_model_.params();
     for (std::size_t c = 0; c < n; ++c) {
         if (injector_ && injector_->core_failed(c)) {
@@ -483,10 +493,11 @@ void Simulator::update_dtm() {
         // Hardware DTM sees the sensors, not ground truth — but it trusts
         // the vote-masked estimate, so one lying diode can neither blind nor
         // panic it. Without the vote filter masked == filtered readings.
-        linalg::Vector core_temps(chip_->core_count());
+        if (sensor_temps_.size() != chip_->core_count())
+            sensor_temps_ = linalg::Vector(chip_->core_count());
         for (std::size_t c = 0; c < chip_->core_count(); ++c)
-            core_temps[c] = temps_[c];
-        sensors_->observe(core_temps, now_);
+            sensor_temps_[c] = temps_[c];
+        sensors_->observe(sensor_temps_, now_);
         max_core = sensors_->max_masked_reading();
         if (injector_)
             result_.resilience.untrusted_sensor_samples +=
@@ -503,7 +514,10 @@ void Simulator::update_dtm() {
 
 void Simulator::apply_faults(Scheduler& scheduler) {
     if (!injector_) return;
-    std::vector<fault::FaultEvent> started, ended;
+    fault_started_.clear();
+    fault_ended_.clear();
+    std::vector<fault::FaultEvent>& started = fault_started_;
+    std::vector<fault::FaultEvent>& ended = fault_ended_;
     injector_->advance(now_, &started, &ended);
 
     for (const fault::FaultEvent& e : started) {
@@ -673,7 +687,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
             next_trace_s_ += config_.trace_interval_s;
         }
 
-        const linalg::Vector core_power = compute_step_power();
+        const linalg::Vector& core_power = compute_step_power();
         for (std::size_t c = 0; c < core_power.size(); ++c) {
             const double joules = core_power[c] * dt;
             result_.total_energy_j += joules;
@@ -684,8 +698,9 @@ SimResult Simulator::run(Scheduler& scheduler) {
                 task_energy_j_[threads_[occupant].task] += joules;
         }
         advance_progress(dt);
-        temps_ = matex_->transient(temps_, thermal_->pad_power(core_power),
-                                   config_.ambient_c, dt);
+        thermal_->pad_power_into(core_power, node_power_);
+        matex_->transient_into(temps_, node_power_, config_.ambient_c, dt,
+                               *ws_, temps_);
         check_temperatures_sane();
         if (dtm_active_) result_.dtm_throttled_s += dt;
         if (watchdog_active_) result_.resilience.watchdog_throttled_s += dt;

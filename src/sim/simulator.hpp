@@ -33,11 +33,16 @@ namespace hp::sim {
 class Simulator final : public SimContext {
 public:
     /// @p chip, @p model and @p matex must outlive the simulator; the matex
-    /// solver must have been built for @p model.
+    /// solver must have been built for @p model. An optional @p workspace
+    /// lets a caller running many simulations back-to-back (one campaign
+    /// worker, say) share the thermal scratch across runs; it must outlive
+    /// the simulator and not be used concurrently. Without one the simulator
+    /// owns its scratch.
     Simulator(const arch::ManyCore& chip, const thermal::ThermalModel& model,
               const thermal::MatExSolver& matex, SimConfig config = {},
               power::PowerParams power_params = {},
-              perf::PerfParams perf_params = {});
+              perf::PerfParams perf_params = {},
+              thermal::ThermalWorkspace* workspace = nullptr);
 
     /// Registers a task for injection at its arrival time. Must be called
     /// before run(). Throws if the task needs more threads than cores.
@@ -95,8 +100,9 @@ private:
     bool thread_active_this_phase(const Thread& t) const;
     double effective_frequency(std::size_t core) const;
     /// Per-core power for the coming step; also refreshes thread CPI/power
-    /// bookkeeping.
-    linalg::Vector compute_step_power();
+    /// bookkeeping. Returns a reference to step_power_, valid until the next
+    /// call.
+    const linalg::Vector& compute_step_power();
     void advance_progress(double dt);
     void resolve_phases_and_completions(Scheduler& scheduler);
     void assign_phase_budgets(Task& task);
@@ -145,6 +151,17 @@ private:
     bool watchdog_enabled_ = false;
     bool watchdog_active_ = false;
     double watchdog_engaged_s_ = 0.0;
+
+    // Hot-path scratch: every per-micro-step buffer is preallocated (or
+    // sized on first use) so the warmed-up step makes no heap allocations.
+    thermal::ThermalWorkspace own_ws_;
+    thermal::ThermalWorkspace* ws_ = nullptr;  // external or &own_ws_
+    linalg::Vector step_power_;                // compute_step_power result
+    linalg::Vector node_power_;                // padded power for MatEx
+    linalg::Vector sensor_temps_;              // update_dtm sensor input
+    std::vector<ThreadId> rotate_scratch_;     // rotate() occupant shift
+    std::vector<double> noc_rates_;            // refresh_noc_contention
+    std::vector<fault::FaultEvent> fault_started_, fault_ended_;
 
     // Bookkeeping.
     std::vector<double> task_energy_j_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/eigen_sym.hpp"
 
@@ -49,6 +50,18 @@ linalg::Vector MatExSolver::apply_exponential(const linalg::Vector& x,
     return v_ * modal;
 }
 
+void MatExSolver::apply_exponential_into(const linalg::Vector& x, double dt,
+                                         ThermalWorkspace& workspace,
+                                         linalg::Vector& out) const {
+    const std::size_t n = lambda_.size();
+    workspace.resize(n);
+    if (out.size() != n) out = linalg::Vector(n);
+    linalg::matvec_into(v_inv_, x, workspace.modal);
+    const linalg::Vector& decay = workspace.exp_table(lambda_, dt);
+    for (std::size_t k = 0; k < n; ++k) workspace.modal[k] *= decay[k];
+    linalg::matvec_into(v_, workspace.modal, out);
+}
+
 linalg::Matrix MatExSolver::exponential(double dt) const {
     const std::size_t n = lambda_.size();
     linalg::Matrix scaled = v_;
@@ -67,6 +80,25 @@ linalg::Vector MatExSolver::transient(const linalg::Vector& t_init,
     return steady + apply_exponential(t_init - steady, dt);
 }
 
+void MatExSolver::transient_into(const linalg::Vector& t_init,
+                                 const linalg::Vector& node_power,
+                                 double ambient_celsius, double dt,
+                                 ThermalWorkspace& workspace,
+                                 linalg::Vector& out) const {
+    const std::size_t n = lambda_.size();
+    if (t_init.size() != n)
+        throw std::invalid_argument("transient: t_init size mismatch");
+    workspace.resize(n);
+    model_->steady_state_into(node_power, ambient_celsius, workspace,
+                              workspace.steady);
+    // The offset is captured before out is written, so out may alias t_init.
+    for (std::size_t i = 0; i < n; ++i)
+        workspace.offset[i] = t_init[i] - workspace.steady[i];
+    apply_exponential_into(workspace.offset, dt, workspace, out);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = workspace.steady[i] + out[i];
+}
+
 MatExSolver::Peak MatExSolver::peak_core_temperature_exact(
     const linalg::Vector& t_init, const linalg::Vector& node_power,
     double ambient_celsius, double dt) const {
@@ -77,6 +109,20 @@ MatExSolver::Peak MatExSolver::peak_core_temperature_exact(
         model_->steady_state(node_power, ambient_celsius);
     const linalg::Vector modal = v_inv_ * (t_init - steady);
     const std::size_t n = lambda_.size();
+
+    // The endpoint/scan sample times are shared by every core, so their
+    // e^{λ_k t} factors are computed once here instead of once per core
+    // (the dominant cost of this routine). Bisection refinement happens at
+    // core-specific times and keeps evaluating std::exp directly.
+    constexpr int kScan = 16;
+    std::vector<double> scan_t(kScan + 1);
+    std::vector<double> scan_exp(static_cast<std::size_t>(kScan + 1) * n);
+    for (int s = 0; s <= kScan; ++s) {
+        const double t = dt * static_cast<double>(s) / kScan;
+        scan_t[s] = t;
+        double* row = &scan_exp[static_cast<std::size_t>(s) * n];
+        for (std::size_t k = 0; k < n; ++k) row[k] = std::exp(lambda_[k] * t);
+    }
 
     Peak best;
     best.temperature_c = -1e300;
@@ -95,19 +141,36 @@ MatExSolver::Peak MatExSolver::peak_core_temperature_exact(
                        std::exp(lambda_[k] * t);
             return acc;
         };
+        // Table-driven f/f' at scan sample s — bit-identical to f/df at
+        // scan_t[s] (same factors, same accumulation order).
+        const auto f_at = [&](int s) {
+            const double* e = &scan_exp[static_cast<std::size_t>(s) * n];
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += v_(i, k) * modal[k] * e[k];
+            return acc;
+        };
+        const auto df_at = [&](int s) {
+            const double* e = &scan_exp[static_cast<std::size_t>(s) * n];
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += v_(i, k) * modal[k] * lambda_[k] * e[k];
+            return acc;
+        };
 
         // Candidates: both endpoints plus the first stationary point, found
         // by bisection on a sign change of f' (bracketed by a coarse scan)
         // refined with Newton steps.
+        const double f_start = f_at(0);
+        const double f_end = f_at(kScan);
         double cand_t = dt;
-        double cand_v = std::max(f(0.0), f(dt));
-        double cand_at = f(0.0) >= f(dt) ? 0.0 : dt;
+        double cand_v = std::max(f_start, f_end);
+        double cand_at = f_start >= f_end ? 0.0 : dt;
 
-        constexpr int kScan = 16;
-        double prev_t = 0.0, prev_g = df(0.0);
+        double prev_t = 0.0, prev_g = df_at(0);
         for (int s = 1; s <= kScan; ++s) {
-            const double t = dt * static_cast<double>(s) / kScan;
-            const double g = df(t);
+            const double t = scan_t[s];
+            const double g = df_at(s);
             if (prev_g == 0.0 || (prev_g > 0.0) != (g > 0.0)) {
                 // Bracketed stationary point in [prev_t, t].
                 double lo = prev_t, hi = t;

@@ -3,6 +3,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "thermal/rc_network.hpp"
+#include "thermal/workspace.hpp"
 
 namespace hp::thermal {
 
@@ -43,6 +44,15 @@ public:
     /// Applies e^{C·dt} to @p x in O(N^2).
     linalg::Vector apply_exponential(const linalg::Vector& x, double dt) const;
 
+    /// apply_exponential without allocations: modal projection into the
+    /// workspace, decay through its memoised e^{λ·dt} table, projection back
+    /// into @p out (resized on first use). Bit-identical to
+    /// apply_exponential. @p out may alias @p x; neither may be a workspace
+    /// buffer other than workspace.offset for @p x (the transient path).
+    void apply_exponential_into(const linalg::Vector& x, double dt,
+                                ThermalWorkspace& workspace,
+                                linalg::Vector& out) const;
+
     /// Materialises the full matrix e^{C·dt} (O(N^3); used by caches and
     /// tests, not in per-epoch simulation).
     linalg::Matrix exponential(double dt) const;
@@ -52,6 +62,16 @@ public:
     linalg::Vector transient(const linalg::Vector& t_init,
                              const linalg::Vector& node_power,
                              double ambient_celsius, double dt) const;
+
+    /// transient without allocations — the simulator's per-micro-step kernel.
+    /// Bit-identical to transient. @p out may alias @p t_init (the usual
+    /// temps → temps update); it must not alias @p node_power or a workspace
+    /// buffer.
+    void transient_into(const linalg::Vector& t_init,
+                        const linalg::Vector& node_power,
+                        double ambient_celsius, double dt,
+                        ThermalWorkspace& workspace,
+                        linalg::Vector& out) const;
 
     /// Largest core temperature reached anywhere in (0, dt] while holding
     /// @p node_power, conservatively estimated by sampling @p samples points

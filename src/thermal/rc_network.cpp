@@ -120,6 +120,31 @@ linalg::Vector ThermalModel::pad_power(const linalg::Vector& core_power) const {
     return full;
 }
 
+void ThermalModel::pad_power_into(const linalg::Vector& core_power,
+                                  linalg::Vector& out) const {
+    if (core_power.size() != core_count_)
+        throw std::invalid_argument("ThermalModel::pad_power: size mismatch");
+    if (out.size() != node_count()) out = linalg::Vector(node_count());
+    for (std::size_t i = 0; i < core_count_; ++i) out[i] = core_power[i];
+    for (std::size_t i = core_count_; i < node_count(); ++i) out[i] = 0.0;
+}
+
+void ThermalModel::steady_state_into(const linalg::Vector& node_power,
+                                     double ambient_celsius,
+                                     ThermalWorkspace& workspace,
+                                     linalg::Vector& out) const {
+    if (node_power.size() != node_count())
+        throw std::invalid_argument(
+            "ThermalModel::steady_state: power vector must cover all nodes");
+    workspace.resize(node_count());
+    if (out.size() != node_count()) out = linalg::Vector(node_count());
+    const linalg::Vector& ambient =
+        workspace.ambient_rhs(ambient_conductance_, ambient_celsius);
+    for (std::size_t i = 0; i < node_count(); ++i)
+        workspace.rhs[i] = node_power[i] + ambient[i];
+    b_lu_->solve_into(workspace.rhs, out);
+}
+
 linalg::Vector ThermalModel::steady_state(const linalg::Vector& node_power,
                                           double ambient_celsius) const {
     if (node_power.size() != node_count())

@@ -7,6 +7,7 @@
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "thermal/workspace.hpp"
 
 namespace hp::thermal {
 
@@ -83,10 +84,24 @@ public:
     /// power vector (non-core nodes dissipate nothing).
     linalg::Vector pad_power(const linalg::Vector& core_power) const;
 
+    /// pad_power without the allocation: writes the padded vector into the
+    /// preallocated @p out (node_count() entries, non-core tail zeroed).
+    void pad_power_into(const linalg::Vector& core_power,
+                        linalg::Vector& out) const;
+
     /// Steady-state temperatures T = B^{-1}(P + T_amb·G)  (paper Eq. (3)).
     /// @p node_power must have node_count() entries (use pad_power).
     linalg::Vector steady_state(const linalg::Vector& node_power,
                                 double ambient_celsius) const;
+
+    /// steady_state without allocations: the right-hand side is a fused add
+    /// of @p node_power and the workspace's memoised T_amb·G, solved in place
+    /// into @p out (resized on first use, untouched thereafter). Bit-identical
+    /// to steady_state — same products, sums and substitution order. @p out
+    /// may alias @p node_power but not a workspace buffer.
+    void steady_state_into(const linalg::Vector& node_power,
+                           double ambient_celsius, ThermalWorkspace& workspace,
+                           linalg::Vector& out) const;
 
     /// The ambient-only equilibrium B^{-1}·T_amb·G — every node at T_amb.
     linalg::Vector ambient_equilibrium(double ambient_celsius) const;

@@ -43,14 +43,14 @@ void SensorBank::set_neighbors(
 SensorBank::VoteStats SensorBank::vote_stats(
     std::size_t sensor, const linalg::Vector& values,
     const std::vector<char>* plausible) const {
-    std::vector<double> votes;
+    std::vector<double>& votes = votes_scratch_;
     const auto add_vote = [&](std::size_t id, bool require_plausible) {
         if (id == sensor || !std::isfinite(values[id])) return;
         if (require_plausible && plausible && !(*plausible)[id]) return;
         votes.push_back(values[id]);
     };
     const auto collect = [&](bool require_plausible) {
-        votes.clear();
+        votes.clear();  // capacity persists across samples
         if (!neighbors_.empty()) {
             for (std::size_t id : neighbors_[sensor])
                 add_vote(id, require_plausible);
@@ -107,7 +107,9 @@ void SensorBank::observe(const linalg::Vector& true_core_temps, double now_s) {
     last_sample_s_ = now_s;
 
     // Pass 1: raw acquisition (noise, quantisation, fault corruption).
-    linalg::Vector sample(raw_.size());
+    if (sample_scratch_.size() != raw_.size())
+        sample_scratch_ = linalg::Vector(raw_.size());
+    linalg::Vector& sample = sample_scratch_;
     for (std::size_t i = 0; i < raw_.size(); ++i) {
         double reading = true_core_temps[i];
         if (params_.noise_sigma_c > 0.0) reading += noise_(rng_);
@@ -121,7 +123,8 @@ void SensorBank::observe(const linalg::Vector& true_core_temps, double now_s) {
     // Pass 2a: provisional verdicts against the raw sample. A sensor is
     // provisionally implausible when it fails the vote over the full
     // neighbourhood; these verdicts only decide who may vote in pass 2b.
-    std::vector<char> plausible(raw_.size(), 1);
+    plausible_scratch_.assign(raw_.size(), 1);
+    std::vector<char>& plausible = plausible_scratch_;
     for (std::size_t i = 0; i < raw_.size(); ++i) {
         if (!std::isfinite(sample[i])) {
             plausible[i] = 0;

@@ -130,6 +130,11 @@ private:
     linalg::Vector filtered_;
     linalg::Vector masked_;
     std::vector<bool> trusted_;
+    // observe()/vote_stats() scratch, reused across samples so the per-step
+    // hot path stays allocation-free (mutable: vote_stats is const).
+    linalg::Vector sample_scratch_;
+    std::vector<char> plausible_scratch_;
+    mutable std::vector<double> votes_scratch_;
     double last_sample_s_ = -1e300;
     bool primed_ = false;
 };

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/vector.hpp"
+
+namespace hp::thermal {
+
+/// Caller-owned scratch memory for the in-place thermal kernels
+/// (ThermalModel::steady_state_into, MatExSolver::apply_exponential_into /
+/// transient_into).
+///
+/// A workspace is sized once (to the thermal model's node count) and then
+/// reused for any number of queries with zero further heap traffic — the
+/// simulator owns one per run, each campaign worker owns one across its runs,
+/// and the peak-temperature workspaces embed one. Two memoised vectors ride
+/// along:
+///
+///  - ambient_rhs():  T_amb·G, so the per-step steady-state right-hand side
+///    is a fused add instead of two allocated temporaries;
+///  - exp_table():    e^{λ_k·dt}, so a simulator stepping at a fixed dt pays
+///    the N exponentials once instead of every micro-step.
+///
+/// Both caches key on the source vector's identity (address) plus the scalar
+/// argument, so reusing one workspace across models or dt values is correct —
+/// it just recomputes. The memoised entries are the exact values the legacy
+/// code computed per call (std::exp of the same product, the same multiply),
+/// so cached and uncached paths are bit-identical.
+///
+/// Thread affinity: a workspace is mutable state — use one per thread. The
+/// model/solver it serves stays immutable and shareable.
+class ThermalWorkspace {
+public:
+    ThermalWorkspace() = default;
+    explicit ThermalWorkspace(std::size_t node_count) { resize(node_count); }
+
+    /// Sizes every buffer for an N-node model; idempotent (and cheap) when
+    /// the size is unchanged, so kernels call it defensively.
+    void resize(std::size_t node_count) {
+        if (nodes_ == node_count) return;
+        nodes_ = node_count;
+        rhs = linalg::Vector(node_count);
+        steady = linalg::Vector(node_count);
+        offset = linalg::Vector(node_count);
+        modal = linalg::Vector(node_count);
+        ambient_key_ = nullptr;
+        exp_key_ = nullptr;
+    }
+
+    std::size_t node_count() const { return nodes_; }
+
+    // Scratch buffers, fully overwritten by every kernel that uses them (no
+    // state is carried between queries through these).
+    linalg::Vector rhs;     ///< steady-state right-hand side P + T_amb·G
+    linalg::Vector steady;  ///< steady-state temperatures
+    linalg::Vector offset;  ///< T_init - T_steady
+    linalg::Vector modal;   ///< modal image V^{-1}·x
+
+    /// Memoised T_amb·G for the ambient-coupling vector @p g. Recomputed only
+    /// when @p g (by address) or @p ambient_celsius changes.
+    const linalg::Vector& ambient_rhs(const linalg::Vector& g,
+                                      double ambient_celsius) {
+        if (ambient_key_ != &g || ambient_c_ != ambient_celsius ||
+            ambient_.size() != g.size()) {
+            if (ambient_.size() != g.size())
+                ambient_ = linalg::Vector(g.size());
+            for (std::size_t i = 0; i < g.size(); ++i)
+                ambient_[i] = g[i] * ambient_celsius;
+            ambient_key_ = &g;
+            ambient_c_ = ambient_celsius;
+        }
+        return ambient_;
+    }
+
+    /// Memoised e^{λ_k·dt} for the eigenvalue vector @p lambda. Recomputed
+    /// only when @p lambda (by address) or @p dt changes.
+    const linalg::Vector& exp_table(const linalg::Vector& lambda, double dt) {
+        if (exp_key_ != &lambda || exp_dt_ != dt ||
+            exp_.size() != lambda.size()) {
+            if (exp_.size() != lambda.size())
+                exp_ = linalg::Vector(lambda.size());
+            for (std::size_t k = 0; k < lambda.size(); ++k)
+                exp_[k] = std::exp(lambda[k] * dt);
+            exp_key_ = &lambda;
+            exp_dt_ = dt;
+        }
+        return exp_;
+    }
+
+private:
+    std::size_t nodes_ = 0;
+    linalg::Vector ambient_;
+    const void* ambient_key_ = nullptr;
+    double ambient_c_ = 0.0;
+    linalg::Vector exp_;
+    const void* exp_key_ = nullptr;
+    double exp_dt_ = 0.0;
+};
+
+}  // namespace hp::thermal

@@ -1,0 +1,252 @@
+// Heap-allocation guard for the thermal hot path.
+//
+// Replaces the global operator new with a counting forwarder and asserts the
+// zero-allocation contract the refactor promises: once workspaces are warm,
+//
+//  * a Simulator micro-step (power → pad → MatEx transient → DTM, including
+//    HotPotato's synchronous slot rotation in on_step) performs no heap
+//    allocations on steps without scheduler events;
+//  * a HotPotato candidate evaluation (predict_peak: ring specs + Algorithm 1
+//    rotation_peak / static steady-state) performs no heap allocations;
+//  * the thermal _into kernels and the analyzer workspace overloads perform
+//    no heap allocations.
+//
+// Event steps (epochs, task arrival/finish, the first sizing pass) are
+// exempt: schedulers may allocate while making decisions; the per-step
+// thermal path may not. This test is skipped under sanitized builds
+// (tests/CMakeLists.txt) — sanitizer runtimes own the allocator there.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "campaign/study_setup.hpp"
+#include "core/hotpotato.hpp"
+#include "core/peak_temperature.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/workspace.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::uint64_t alloc_count() {
+    return g_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+    return ::operator new(size, t);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+namespace {
+
+using namespace hp;
+
+/// HotPotato with per-step allocation recording. The counter is sampled at
+/// the top of every on_step into preallocated arrays, so the delta between
+/// consecutive samples is exactly the heap traffic of one full micro-step
+/// (thermal update, DTM, the previous step's rotation). Samples preceded by
+/// a scheduler event since the last sample are flagged and exempt.
+class RecordingHotPotato : public core::HotPotatoScheduler {
+public:
+    explicit RecordingHotPotato(std::size_t max_samples) {
+        counts_.reserve(max_samples);
+        flagged_.reserve(max_samples);
+    }
+
+    void initialize(sim::SimContext& ctx) override {
+        event_ = true;
+        core::HotPotatoScheduler::initialize(ctx);
+    }
+    bool on_task_arrival(sim::SimContext& ctx, sim::TaskId task) override {
+        event_ = true;
+        return core::HotPotatoScheduler::on_task_arrival(ctx, task);
+    }
+    void on_task_finish(sim::SimContext& ctx, sim::TaskId task) override {
+        event_ = true;
+        core::HotPotatoScheduler::on_task_finish(ctx, task);
+    }
+    void on_epoch(sim::SimContext& ctx) override {
+        event_ = true;
+        core::HotPotatoScheduler::on_epoch(ctx);
+    }
+    void on_step(sim::SimContext& ctx) override {
+        if (counts_.size() < counts_.capacity()) {  // never reallocates
+            counts_.push_back(alloc_count());
+            flagged_.push_back(event_ ? 1 : 0);
+        }
+        event_ = false;
+        core::HotPotatoScheduler::on_step(ctx);  // rotation: must stay clean
+    }
+
+    const std::vector<std::uint64_t>& counts() const { return counts_; }
+    const std::vector<char>& flagged() const { return flagged_; }
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::vector<char> flagged_;
+    bool event_ = false;
+};
+
+TEST(AllocGuard, WarmedSimulatorMicroStepIsAllocationFree) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_16core();
+    sim::SimConfig cfg;
+    cfg.micro_step_s = 1e-4;
+    cfg.scheduler_epoch_s = 1e-3;
+    cfg.max_sim_time_s = 0.05;  // 500 micro-steps, task alive throughout
+
+    RecordingHotPotato sched(600);
+    sim::Simulator sim = setup.make_simulator(cfg);
+    sim.add_tasks(
+        {workload::TaskSpec{&workload::profile_by_name("blackscholes"), 2,
+                            0.0}});
+    sim.run(sched);
+
+    const std::vector<std::uint64_t>& counts = sched.counts();
+    const std::vector<char>& flagged = sched.flagged();
+    ASSERT_GT(counts.size(), 200u) << "simulation ended prematurely";
+
+    // Skip the sizing warm-up, then demand bitwise zero on event-free steps.
+    const std::size_t warmup = 50;
+    std::size_t asserted = 0;
+    for (std::size_t i = warmup + 1; i < counts.size(); ++i) {
+        if (flagged[i]) continue;  // epoch/arrival/finish inside the interval
+        EXPECT_EQ(counts[i] - counts[i - 1], 0u)
+            << "heap allocation in micro-step " << i;
+        ++asserted;
+    }
+    EXPECT_GT(asserted, 100u) << "too few event-free steps measured";
+}
+
+/// HotPotato probe: after each epoch's normal work, times an extra candidate
+/// evaluation (predict_peak = ring specs + Algorithm 1) with a warm
+/// workspace and records its allocation count.
+class PredictProbeHotPotato : public core::HotPotatoScheduler {
+public:
+    explicit PredictProbeHotPotato(std::size_t max_samples) {
+        deltas_.reserve(max_samples);
+    }
+
+    void on_epoch(sim::SimContext& ctx) override {
+        core::HotPotatoScheduler::on_epoch(ctx);
+        (void)predict_peak(ctx);  // warm the per-instance scratch
+        const std::uint64_t before = alloc_count();
+        (void)predict_peak(ctx);
+        if (deltas_.size() < deltas_.capacity())
+            deltas_.push_back(alloc_count() - before);
+    }
+
+    const std::vector<std::uint64_t>& deltas() const { return deltas_; }
+
+private:
+    std::vector<std::uint64_t> deltas_;
+};
+
+TEST(AllocGuard, WarmedHotPotatoCandidateEvaluationIsAllocationFree) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_16core();
+    sim::SimConfig cfg;
+    cfg.micro_step_s = 1e-4;
+    cfg.scheduler_epoch_s = 1e-3;
+    cfg.max_sim_time_s = 0.03;
+
+    PredictProbeHotPotato sched(64);
+    sim::Simulator sim = setup.make_simulator(cfg);
+    sim.add_tasks(
+        {workload::TaskSpec{&workload::profile_by_name("blackscholes"), 2,
+                            0.0}});
+    sim.run(sched);
+
+    ASSERT_GT(sched.deltas().size(), 5u);
+    for (std::size_t i = 1; i < sched.deltas().size(); ++i)
+        EXPECT_EQ(sched.deltas()[i], 0u) << "allocation in epoch probe " << i;
+}
+
+TEST(AllocGuard, WarmedThermalKernelsAreAllocationFree) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_64core();
+    const thermal::ThermalModel& model = setup.model();
+    const thermal::MatExSolver& matex = setup.solver();
+
+    linalg::Vector core_power(model.core_count(), 2.0);
+    core_power[3] = 6.0;
+    linalg::Vector node_power(model.node_count());
+    linalg::Vector temps = model.ambient_equilibrium(45.0);
+    linalg::Vector out(model.node_count());
+    thermal::ThermalWorkspace ws;
+
+    // Warm every buffer and memo once.
+    model.pad_power_into(core_power, node_power);
+    model.steady_state_into(node_power, 45.0, ws, out);
+    matex.apply_exponential_into(temps, 1e-4, ws, out);
+    matex.transient_into(temps, node_power, 45.0, 1e-4, ws, temps);
+
+    const std::uint64_t before = alloc_count();
+    for (int step = 0; step < 100; ++step) {
+        model.pad_power_into(core_power, node_power);
+        matex.transient_into(temps, node_power, 45.0, 1e-4, ws, temps);
+    }
+    model.steady_state_into(node_power, 45.0, ws, out);
+    matex.apply_exponential_into(temps, 1e-4, ws, out);
+    EXPECT_EQ(alloc_count() - before, 0u);
+}
+
+TEST(AllocGuard, WarmedRotationPeakIsAllocationFree) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_64core();
+    const core::PeakTemperatureAnalyzer analyzer(setup.solver(), 45.0, 0.3);
+    core::PeakWorkspace ws;
+
+    core::RotationRingSpec ring;
+    ring.cores = {27, 28, 36, 35, 34, 26, 18, 19};
+    ring.slot_power_w = {6.0, 5.5, 5.0, 0.3, 0.3, 4.0, 0.3, 0.3};
+    const std::vector<core::RotationRingSpec> rings = {ring};
+    linalg::Vector static_power(setup.model().core_count(), 0.3);
+    static_power[27] = 6.0;
+
+    (void)analyzer.rotation_peak(rings, 0.5e-3, 2, ws);  // warm
+    (void)analyzer.static_peak(static_power, ws);
+
+    const std::uint64_t before = alloc_count();
+    for (int i = 0; i < 20; ++i) {
+        (void)analyzer.rotation_peak(rings, 0.5e-3, 2, ws);
+        (void)analyzer.static_peak(static_power, ws);
+    }
+    EXPECT_EQ(alloc_count() - before, 0u);
+}
+
+}  // namespace
