@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh bench_hotpath JSON to the baseline.
+
+Usage:
+    check_bench.py CANDIDATE [--baseline BENCH_hotpath_smoke.json]
+                   [--tolerance 0.25] [--floor-ns 2000] [--alloc-slack 0.5]
+
+The committed baseline is the reference; CANDIDATE must have been measured
+in the same bench mode (the "mode" field), because smoke runs amortize
+warmup over far fewer steps than full runs — the whole-simulator cases
+systematically measure several times slower per step in smoke mode, so a
+cross-mode comparison gates nothing but the mode difference. The repo
+commits both baselines: BENCH_hotpath.json (full mode, the perf-trajectory
+artefact) and BENCH_hotpath_smoke.json (smoke mode, what CI's bench job and
+ctest's bench_hotpath_smoke actually run). Regenerate both whenever the hot
+path intentionally changes.
+
+A candidate case regresses when BOTH hold:
+
+  * ns_per_op exceeds baseline * (1 + tolerance), and
+  * the absolute increase exceeds --floor-ns (shields sub-microsecond cases
+    from timer noise on loaded CI runners).
+
+allocs_per_op is gated much tighter: the zero-allocation contract is exact,
+so any increase beyond --alloc-slack (default 0.5, absorbing warmup-fraction
+jitter in smoke mode's short runs) fails. Cases present only in one file are
+reported but never fail the gate (smoke and full mode measure the same case
+names today; this keeps the gate usable if a mode ever drops one).
+
+Exit code 0 = no regression, 1 = regression, 2 = bad invocation/input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        print(f"check_bench: {path} has no cases", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for c in cases:
+        try:
+            out[c["name"]] = (float(c["ns_per_op"]), float(c["allocs_per_op"]))
+        except (KeyError, TypeError, ValueError) as e:
+            print(f"check_bench: malformed case in {path}: {c!r} ({e})",
+                  file=sys.stderr)
+            sys.exit(2)
+    return doc.get("mode", "unknown"), out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("candidate", help="fresh bench_hotpath JSON to check")
+    ap.add_argument("--baseline", default="BENCH_hotpath_smoke.json")
+    ap.add_argument("--allow-mode-mismatch", action="store_true",
+                    help="compare across bench modes anyway (see docstring)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative ns_per_op headroom (default 0.25 = +25%%)")
+    ap.add_argument("--floor-ns", type=float, default=2000.0,
+                    help="absolute ns_per_op slack floor (default 2000)")
+    ap.add_argument("--alloc-slack", type=float, default=0.5,
+                    help="allowed allocs_per_op increase (default 0.5)")
+    args = ap.parse_args()
+
+    base_mode, baseline = load_cases(args.baseline)
+    cand_mode, candidate = load_cases(args.candidate)
+    if base_mode != cand_mode and not args.allow_mode_mismatch:
+        print(f"check_bench: mode mismatch — baseline {args.baseline} is "
+              f"'{base_mode}' but candidate is '{cand_mode}'; smoke and full "
+              "runs are not comparable (pass --allow-mode-mismatch to "
+              "override)", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"{'case':<34} {'base ns':>12} {'now ns':>12} "
+          f"{'ratio':>7} {'base a/op':>10} {'now a/op':>9}")
+    for name in sorted(set(baseline) | set(candidate)):
+        if name not in candidate:
+            print(f"{name:<34} (missing from candidate — skipped)")
+            continue
+        if name not in baseline:
+            print(f"{name:<34} (new case, no baseline — skipped)")
+            continue
+        base_ns, base_allocs = baseline[name]
+        now_ns, now_allocs = candidate[name]
+        ratio = now_ns / base_ns if base_ns > 0 else float("inf")
+        verdicts = []
+        if (now_ns > base_ns * (1.0 + args.tolerance)
+                and now_ns - base_ns > args.floor_ns):
+            verdicts.append(f"time regressed {ratio:.2f}x")
+        if now_allocs > base_allocs + args.alloc_slack:
+            verdicts.append(
+                f"allocs regressed {base_allocs:.3f} -> {now_allocs:.3f}")
+        flag = "  FAIL: " + "; ".join(verdicts) if verdicts else ""
+        print(f"{name:<34} {base_ns:>12.1f} {now_ns:>12.1f} "
+              f"{ratio:>6.2f}x {base_allocs:>10.3f} {now_allocs:>9.3f}{flag}")
+        if verdicts:
+            failures.append((name, verdicts))
+
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} regressed case(s):",
+              file=sys.stderr)
+        for name, verdicts in failures:
+            print(f"  {name}: {'; '.join(verdicts)}", file=sys.stderr)
+        return 1
+    print("\ncheck_bench: OK — no regressions "
+          f"(tolerance +{args.tolerance:.0%}, floor {args.floor_ns:.0f} ns, "
+          f"alloc slack {args.alloc_slack})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

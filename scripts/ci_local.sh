@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: build-test matrix (gcc + clang ×
+# Debug + Release with -Werror), ASan/UBSan and TSan legs, the clang-format
+# check and the bench-regression gate — each leg skipped (not failed) when
+# this machine lacks the tool it needs, so the script is useful on minimal
+# containers and full workstations alike.
+#
+# Usage: scripts/ci_local.sh [--quick]
+#   --quick   first available compiler only, Release only (pre-push check)
+#
+# Exit code 0 = every leg that ran passed; any failure aborts immediately.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+BUILD_ROOT="$ROOT/build-ci"
+JOBS=$(nproc 2>/dev/null || echo 2)
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+note() { printf '\n==== %s ====\n' "$*"; }
+skip() { printf -- '---- skipped: %s\n' "$*"; }
+
+GENERATOR_ARGS=()
+command -v ninja >/dev/null 2>&1 && GENERATOR_ARGS=(-G Ninja)
+
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                 -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+# configure_build_test <dir> <extra cmake args...>
+configure_build_test() {
+  local dir="$1"; shift
+  mkdir -p "$dir"
+  cmake -S "$ROOT" -B "$dir" "${GENERATOR_ARGS[@]}" "${LAUNCHER_ARGS[@]}" \
+        "$@" >"$dir.configure.log" 2>&1 ||
+    { cat "$dir.configure.log"; return 1; }
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+# ---- build-test matrix -----------------------------------------------------
+COMPILERS=()
+command -v g++ >/dev/null 2>&1 && COMPILERS+=("gcc:g++")
+command -v clang++ >/dev/null 2>&1 && COMPILERS+=("clang:clang++")
+[[ ${#COMPILERS[@]} -eq 0 ]] && { echo "no C++ compiler found" >&2; exit 1; }
+
+BUILD_TYPES=(Debug Release)
+if [[ $QUICK -eq 1 ]]; then
+  COMPILERS=("${COMPILERS[0]}")
+  BUILD_TYPES=(Release)
+fi
+
+for entry in "${COMPILERS[@]}"; do
+  name="${entry%%:*}" cxx="${entry##*:}"
+  for build_type in "${BUILD_TYPES[@]}"; do
+    note "build-test: $name $build_type (-Werror)"
+    configure_build_test "$BUILD_ROOT/$name-$build_type" \
+      -DCMAKE_CXX_COMPILER="$cxx" \
+      -DCMAKE_BUILD_TYPE="$build_type" \
+      -DHOTPOTATO_WERROR=ON
+  done
+done
+
+# ---- sanitizer legs --------------------------------------------------------
+has_sanitizer() {  # has_sanitizer <comma-list>
+  echo 'int main() { return 0; }' >"$BUILD_ROOT/san_probe.cpp"
+  c++ "-fsanitize=$1" -o "$BUILD_ROOT/san_probe" "$BUILD_ROOT/san_probe.cpp" \
+    >/dev/null 2>&1
+}
+mkdir -p "$BUILD_ROOT"
+
+if [[ $QUICK -eq 0 ]] && has_sanitizer address,undefined; then
+  note "asan-ubsan"
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ASAN_OPTIONS=halt_on_error=1 \
+  configure_build_test "$BUILD_ROOT/asan" \
+    -DCMAKE_BUILD_TYPE=Debug -DHOTPOTATO_SANITIZE=address,undefined
+elif [[ $QUICK -eq 0 ]]; then
+  skip "asan-ubsan (toolchain lacks -fsanitize=address,undefined)"
+fi
+
+if [[ $QUICK -eq 0 ]] && has_sanitizer thread; then
+  note "tsan"
+  TSAN_OPTIONS=halt_on_error=1 \
+  configure_build_test "$BUILD_ROOT/tsan" \
+    -DCMAKE_BUILD_TYPE=Debug -DHOTPOTATO_SANITIZE=thread
+elif [[ $QUICK -eq 0 ]]; then
+  skip "tsan (toolchain lacks -fsanitize=thread)"
+fi
+
+# ---- format ----------------------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  note "clang-format check"
+  find src tests bench examples \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+    xargs -0 clang-format --dry-run -Werror
+else
+  skip "clang-format (not installed)"
+fi
+
+# ---- bench regression gate -------------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  note "bench regression gate (smoke)"
+  BENCH_DIR="$BUILD_ROOT/${COMPILERS[0]%%:*}-Release"
+  [[ -d "$BENCH_DIR" ]] || BENCH_DIR="$BUILD_ROOT/$(ls "$BUILD_ROOT" | grep -m1 Release || true)"
+  cmake --build "$BENCH_DIR" -j "$JOBS" --target bench_hotpath
+  "$BENCH_DIR/bench/bench_hotpath" --smoke --out "$BUILD_ROOT/bench_smoke.json"
+  python3 scripts/check_bench.py "$BUILD_ROOT/bench_smoke.json"
+else
+  skip "bench gate (python3 not installed)"
+fi
+
+note "ci_local: all legs that ran passed"

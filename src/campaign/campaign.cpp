@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -131,20 +132,26 @@ std::unique_ptr<sim::Scheduler> CampaignSpec::make_scheduler(
 namespace {
 
 /// One run, all exceptions captured into the record. @p workspace is the
-/// calling worker's thermal scratch, reused across its runs.
+/// calling worker's thermal scratch, reused across its runs; @p recorder
+/// (may be null) is this run's private observability sink.
 RunRecord execute(const CampaignSpec& spec, RunKey key,
-                  thermal::ThermalWorkspace& workspace) {
+                  thermal::ThermalWorkspace& workspace,
+                  obs::Recorder* recorder) {
     RunRecord record;
     record.key = std::move(key);
     const auto start = std::chrono::steady_clock::now();
     try {
         const RunSetup setup = spec.setup_for(record.key);
         sim::Simulator simulator = spec.setup().make_simulator(
-            setup.sim, setup.power, setup.perf, &workspace);
+            setup.sim, setup.power, setup.perf, &workspace, recorder);
         simulator.add_tasks(spec.tasks_for(record.key));
         const std::unique_ptr<sim::Scheduler> scheduler =
             spec.make_scheduler(record.key);
         record.result = simulator.run(*scheduler);
+        if (recorder) {
+            record.metrics = recorder->snapshot();
+            record.events = recorder->events();
+        }
     } catch (const std::exception& e) {
         record.failed = true;
         record.error = e.what();
@@ -201,7 +208,13 @@ CampaignResult run_campaign(const CampaignSpec& spec,
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= total) return;
-            out.records[i] = execute(spec, keys[i], workspace);
+            // Fresh recorder per run (see CampaignOptions::observe): reusing
+            // one across a worker's runs would leak instrument registrations
+            // between runs and make the output depend on work stealing.
+            std::optional<obs::Recorder> recorder;
+            if (options.observe) recorder.emplace(options.recorder);
+            out.records[i] = execute(spec, keys[i], workspace,
+                                     recorder ? &*recorder : nullptr);
             const std::size_t completed =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (options.progress) {
@@ -337,7 +350,8 @@ void write_json(std::ostream& out, const std::vector<RunRecord>& records,
         << "    \"jobs\": " << summary.jobs << ",\n"
         << "    \"wall_time_s\": " << summary.wall_time_s << ",\n"
         << "    \"total_run_time_s\": " << summary.total_run_time_s << ",\n"
-        << "    \"runs_per_second\": " << summary.runs_per_second << "\n"
+        << "    \"runs_per_second\": " << summary.runs_per_second << ",\n"
+        << "    \"pool_utilization\": " << summary.pool_utilization() << "\n"
         << "  },\n  \"runs\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const RunRecord& r = records[i];
@@ -355,8 +369,12 @@ void write_json(std::ostream& out, const std::vector<RunRecord>& records,
             << ", \"dtm_throttled_s\": " << s.dtm_throttled_s
             << ", \"migrations\": " << s.migrations
             << ", \"energy_j\": " << s.total_energy_j
-            << ", \"all_finished\": " << (s.all_finished ? "true" : "false")
-            << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+            << ", \"all_finished\": " << (s.all_finished ? "true" : "false");
+        if (!r.metrics.empty()) {
+            out << ", \"metrics\": ";
+            obs::write_metrics_json(out, r.metrics);
+        }
+        out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
 }
@@ -369,8 +387,46 @@ std::string summary_markdown(const CampaignSummary& summary) {
         << summary.failed_runs << " failed), " << summary.jobs << " worker"
         << (summary.jobs == 1 ? "" : "s") << ", " << summary.wall_time_s
         << " s wall, " << summary.runs_per_second << " runs/s (parallel "
-        << "speedup " << summary.speedup() << "x)\n";
+        << "speedup " << summary.speedup() << "x, pool utilization "
+        << summary.pool_utilization() * 100.0 << "%)\n";
     return out.str();
+}
+
+std::string metrics_markdown(const std::vector<RunRecord>& records) {
+    std::vector<obs::MetricsSnapshot> observed;
+    for (const RunRecord& r : records)
+        if (!r.metrics.empty()) observed.push_back(r.metrics);
+    if (observed.empty()) return {};
+    return obs::metrics_markdown(obs::merge(observed));
+}
+
+std::vector<obs::MetricsSnapshot> metrics_from_json(const std::string& json) {
+    // write_json() emits every run on its own line with the metrics object
+    // last before the closing brace, so a balanced-brace scan from each
+    // `"metrics": ` marker recovers exactly the objects
+    // obs::parse_metrics_json understands.
+    std::vector<obs::MetricsSnapshot> out;
+    const std::string marker = "\"metrics\": ";
+    std::size_t pos = 0;
+    while ((pos = json.find(marker, pos)) != std::string::npos) {
+        std::size_t start = pos + marker.size();
+        if (start >= json.size() || json[start] != '{')
+            throw std::runtime_error(
+                "metrics_from_json: marker not followed by an object");
+        int depth = 0;
+        std::size_t end = start;
+        for (; end < json.size(); ++end) {
+            if (json[end] == '{') ++depth;
+            if (json[end] == '}' && --depth == 0) break;
+        }
+        if (depth != 0)
+            throw std::runtime_error(
+                "metrics_from_json: unbalanced metrics object");
+        out.push_back(
+            obs::parse_metrics_json(json.substr(start, end - start + 1)));
+        pos = end;
+    }
+    return out;
 }
 
 }  // namespace hp::campaign

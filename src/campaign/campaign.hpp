@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "campaign/study_setup.hpp"
+#include "obs/recorder.hpp"
 #include "perf/interval_model.hpp"
 #include "power/power_model.hpp"
 #include "sim/config.hpp"
@@ -72,6 +73,12 @@ struct RunRecord {
     /// CSV/markdown result tables, which must be bit-identical across
     /// thread counts).
     double wall_time_s = 0.0;
+    /// Per-run observability (empty unless CampaignOptions::observe). The
+    /// counters/gauges/histograms, the phase `calls` and the event list are
+    /// pure functions of the simulated run — identical at any worker count;
+    /// only the phases' total_s is host wall time.
+    obs::MetricsSnapshot metrics;
+    std::vector<obs::Event> events;
 };
 
 /// Observability roll-up of one campaign execution.
@@ -86,6 +93,11 @@ struct CampaignSummary {
     /// (~jobs when the pool is saturated, 1 when serial).
     double speedup() const {
         return wall_time_s > 0.0 ? total_run_time_s / wall_time_s : 0.0;
+    }
+    /// Thread-pool utilization in [0, 1]: achieved speedup over the worker
+    /// count (1 = every worker busy for the whole campaign).
+    double pool_utilization() const {
+        return jobs > 0 ? speedup() / static_cast<double>(jobs) : 0.0;
     }
 };
 
@@ -177,6 +189,14 @@ struct CampaignOptions {
     /// cursor.
     std::size_t jobs = 1;
     ProgressCallback progress;
+    /// Attach the observability layer to every run: each run gets a fresh
+    /// obs::Recorder (configured by @ref recorder) on its worker thread, and
+    /// its RunRecord carries the metrics snapshot and event trace. A fresh
+    /// recorder per run — not per worker — keeps the registered instrument
+    /// set independent of which worker happened to execute which runs, so
+    /// observed campaigns stay deterministic at any job count.
+    bool observe = false;
+    obs::RecorderConfig recorder;
 };
 
 /// The executed campaign: records in CampaignSpec::keys() order — identical
@@ -218,7 +238,17 @@ void write_json(std::ostream& out, const std::vector<RunRecord>& records,
                 const CampaignSummary& summary);
 
 /// Summary as a short markdown block (runs, failures, jobs, wall time,
-/// throughput).
+/// throughput, pool utilization).
 std::string summary_markdown(const CampaignSummary& summary);
+
+/// Campaign-level metrics roll-up (obs::merge over every non-empty per-run
+/// snapshot) rendered as markdown. Empty string when nothing was observed.
+std::string metrics_markdown(const std::vector<RunRecord>& records);
+
+/// Extracts the per-run `"metrics"` objects from a document produced by
+/// write_json(), in record order (runs without metrics are skipped). The
+/// round-trip write_json() -> metrics_from_json() reproduces each snapshot
+/// exactly. Throws std::runtime_error on malformed metrics objects.
+std::vector<obs::MetricsSnapshot> metrics_from_json(const std::string& json);
 
 }  // namespace hp::campaign

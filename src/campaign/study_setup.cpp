@@ -43,9 +43,9 @@ StudySetup StudySetup::borrow(const arch::ManyCore& chip,
 
 sim::Simulator StudySetup::make_simulator(
     sim::SimConfig config, power::PowerParams power, perf::PerfParams perf,
-    thermal::ThermalWorkspace* workspace) const {
+    thermal::ThermalWorkspace* workspace, obs::Recorder* recorder) const {
     return sim::Simulator(*chip_, *model_, *solver_, std::move(config), power,
-                          perf, workspace);
+                          perf, workspace, recorder);
 }
 
 }  // namespace hp::campaign

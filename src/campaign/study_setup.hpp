@@ -55,11 +55,15 @@ public:
 
     /// A fresh simulator over the shared machine; one per run. An optional
     /// @p workspace lets a worker thread reuse its thermal scratch across
-    /// consecutive runs (never share one workspace between threads).
+    /// consecutive runs (never share one workspace between threads). An
+    /// optional @p recorder attaches the observability layer to the run; a
+    /// recorder belongs to one run only (never reuse it across runs — its
+    /// instruments would accumulate).
     sim::Simulator make_simulator(
         sim::SimConfig config = {}, power::PowerParams power = {},
         perf::PerfParams perf = {},
-        thermal::ThermalWorkspace* workspace = nullptr) const;
+        thermal::ThermalWorkspace* workspace = nullptr,
+        obs::Recorder* recorder = nullptr) const;
 
 private:
     struct Bundle;  // owning storage (chip, then model, then solver)

@@ -1,5 +1,7 @@
 #include "cli/options.hpp"
 
+#include <fstream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -8,6 +10,8 @@
 #include "core/hotpotato.hpp"
 #include "core/hotpotato_dvfs.hpp"
 #include "fault/fault_io.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "report/resilience.hpp"
 #include "sched/pcgov.hpp"
 #include "sched/pcmig.hpp"
@@ -52,6 +56,15 @@ simulation:
   --max-time S             simulated-time budget     (default 30)
   --trace PATH             write a thermal trace CSV
   --trace-interval S       trace sampling period     (default 1e-3)
+
+observability:
+  --events PATH            write the discrete-event trace (rotations,
+                           migrations, DVFS, DTM, faults, ...) as CSV
+  --chrome-trace PATH      write the event trace as Chrome trace_event JSON
+                           (load in chrome://tracing or Perfetto)
+  --metrics                print the metrics block (counters, gauges,
+                           histograms, phase timers); with --compare, the
+                           campaign-level roll-up
 
 resilience:
   --faults PATH            fault schedule CSV
@@ -138,6 +151,10 @@ CliOptions parse(const std::vector<std::string>& args) {
             o.watchdog = true;
             continue;
         }
+        if (flag == "--metrics") {
+            o.metrics = true;
+            continue;
+        }
         const auto value = [&]() -> const std::string& {
             if (i + 1 >= args.size())
                 throw std::invalid_argument(flag + " needs a value");
@@ -161,6 +178,8 @@ CliOptions parse(const std::vector<std::string>& args) {
         else if (flag == "--trace") o.trace_file = value();
         else if (flag == "--trace-interval")
             o.trace_interval_s = parse_double(flag, value());
+        else if (flag == "--events") o.events_file = value();
+        else if (flag == "--chrome-trace") o.chrome_trace_file = value();
         else if (flag == "--faults") o.faults_file = value();
         else if (flag == "--fault-seed") o.fault_seed = parse_uint(flag, value());
         else if (flag == "--compare") o.compare = value();
@@ -194,6 +213,11 @@ CliOptions parse(const std::vector<std::string>& args) {
             violations.push_back(
                 "--trace is not supported with --compare (per-run traces "
                 "would overwrite each other)");
+        if (!o.events_file.empty() || !o.chrome_trace_file.empty())
+            violations.push_back(
+                "--events/--chrome-trace are not supported with --compare "
+                "(per-run traces would overwrite each other; use --metrics "
+                "for the campaign roll-up)");
         for (const std::string& name : split_names(o.compare)) {
             if (name.empty()) {
                 violations.push_back(
@@ -277,11 +301,16 @@ int run_comparison(const CliOptions& options,
 
     campaign::CampaignOptions campaign_options;
     campaign_options.jobs = options.jobs;
+    campaign_options.observe = options.metrics;
     const campaign::CampaignResult result =
         campaign::run_campaign(spec, campaign_options);
 
     out << campaign::to_markdown(result.records);
     out << "\n" << campaign::summary_markdown(result.summary);
+    if (options.metrics) {
+        const std::string metrics = campaign::metrics_markdown(result.records);
+        if (!metrics.empty()) out << "\n" << metrics;
+    }
     bool ok = true;
     for (const campaign::RunRecord& r : result.records)
         ok = ok && !r.failed && r.result.all_finished;
@@ -324,8 +353,13 @@ int run(const CliOptions& options, std::ostream& out) {
         return run_comparison(options, setup, std::move(config), power_params,
                               std::move(tasks), out);
 
-    sim::Simulator simulator =
-        setup.make_simulator(config, power_params);
+    const bool observe = options.metrics || !options.events_file.empty() ||
+                         !options.chrome_trace_file.empty();
+    std::optional<obs::Recorder> recorder;
+    if (observe) recorder.emplace();
+
+    sim::Simulator simulator = setup.make_simulator(
+        config, power_params, {}, nullptr, recorder ? &*recorder : nullptr);
     simulator.add_tasks(tasks);
 
     std::unique_ptr<sim::Scheduler> scheduler =
@@ -333,6 +367,25 @@ int run(const CliOptions& options, std::ostream& out) {
     const sim::SimResult result = simulator.run(*scheduler);
     if (!options.trace_file.empty())
         sim::write_trace_csv(options.trace_file, result.trace);
+
+    if (recorder) {
+        const std::vector<obs::Event> events = recorder->events();
+        const auto open = [](const std::string& path) {
+            std::ofstream file(path);
+            if (!file)
+                throw std::runtime_error("cannot open for writing: " + path);
+            return file;
+        };
+        if (!options.events_file.empty()) {
+            std::ofstream file = open(options.events_file);
+            obs::write_events_csv(file, events);
+        }
+        if (!options.chrome_trace_file.empty()) {
+            std::ofstream file = open(options.chrome_trace_file);
+            obs::write_chrome_trace(file, events,
+                                    "hotpotato_sim " + options.scheduler);
+        }
+    }
 
     out << "machine            : " << options.rows << "x" << options.cols
         << (options.layers > 1 ? " x" + std::to_string(options.layers) + " layers"
@@ -358,6 +411,13 @@ int run(const CliOptions& options, std::ostream& out) {
     report::write_fault_log(out, result.resilience);
     if (!options.trace_file.empty())
         out << "trace              : " << options.trace_file << "\n";
+    if (!options.events_file.empty())
+        out << "events             : " << options.events_file << "\n";
+    if (!options.chrome_trace_file.empty())
+        out << "chrome trace       : " << options.chrome_trace_file << "\n";
+    if (options.metrics && recorder) {
+        out << "\nmetrics:\n" << obs::metrics_markdown(recorder->snapshot());
+    }
     return result.all_finished ? 0 : 1;
 }
 

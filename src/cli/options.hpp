@@ -50,6 +50,11 @@ struct CliOptions {
     bool watchdog = false;        ///< thermal-runaway watchdog (forced on
                                   ///< whenever --faults is given)
 
+    // Observability (src/obs): discrete-event trace + per-run metrics.
+    std::string events_file;        ///< event-trace CSV (empty: no tracing)
+    std::string chrome_trace_file;  ///< Chrome trace_event JSON (empty: off)
+    bool metrics = false;           ///< print the metrics block after the run
+
     // Campaign mode: race several schedulers over the same workload on the
     // parallel campaign engine instead of a single run.
     std::string compare;          ///< comma-separated scheduler names

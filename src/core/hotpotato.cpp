@@ -67,7 +67,20 @@ void HotPotatoScheduler::initialize(sim::SimContext& ctx) {
     }
     rotation_on_ = true;
     next_rotation_s_ = params_.tau_ladder_s[tau_index_];
+    obs_ = ctx.observer();
+    if (obs_) {
+        obs_alg1_ = &obs_->counter("hotpotato.alg1_evals");
+        obs_tau_changes_ = &obs_->counter("hotpotato.tau_changes");
+    }
     ensure_analyzer(ctx);
+}
+
+void HotPotatoScheduler::note_tau_change(sim::SimContext& ctx) {
+    if (!obs_) return;
+    obs_tau_changes_->add();
+    obs_->record({ctx.now(), obs::EventKind::kTauAdapt,
+                  rotation_on_ ? 1u : 0u, 0,
+                  rotation_on_ ? rotation_interval_s() : 0.0});
 }
 
 double HotPotatoScheduler::rotation_interval_s() const {
@@ -118,6 +131,8 @@ const std::vector<RotationRingSpec>& HotPotatoScheduler::build_ring_specs(
 double HotPotatoScheduler::predict_peak_with(sim::SimContext& ctx,
                                              bool rotation_on,
                                              std::size_t tau_index) const {
+    if (obs_alg1_) obs_alg1_->add();
+    obs::ScopedPhase timer(obs_, obs::Phase::kPeakAnalysis);
     if (!rotation_on) {
         const double idle = analyzer_->idle_power_w();
         const std::size_t n = ctx.chip().core_count();
@@ -287,6 +302,9 @@ void HotPotatoScheduler::update_sensor_fallback(sim::SimContext& ctx) {
     for (std::size_t c = 0; c < ctx.chip().core_count(); ++c)
         ctx.set_frequency(c, f);
     sensor_fallback_ = untrusted;
+    if (obs_)
+        obs_->record({ctx.now(), obs::EventKind::kSensorFallback,
+                      untrusted ? 1u : 0u, 0, f});
 }
 
 void HotPotatoScheduler::restore_safety(sim::SimContext& ctx) {
@@ -340,6 +358,7 @@ void HotPotatoScheduler::restore_safety(sim::SimContext& ctx) {
         } else {
             break;  // fastest rotation already; DTM is the backstop
         }
+        note_tau_change(ctx);
         peak = predict_peak(ctx);
     }
     last_predicted_peak_c_ = peak;
@@ -414,6 +433,7 @@ void HotPotatoScheduler::exploit_headroom(sim::SimContext& ctx) {
             } else {
                 ++tau_index_;
             }
+            note_tau_change(ctx);
             peak = new_peak;
         } else {
             break;

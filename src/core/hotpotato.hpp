@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/peak_temperature.hpp"
+#include "obs/recorder.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hp::core {
@@ -127,6 +128,9 @@ private:
     /// Lines 16-27: spend surplus headroom on inward promotions and slower
     /// rotation.
     void exploit_headroom(sim::SimContext& ctx);
+    /// Emits a τ-adaptation event + counter tick after a rotation-speed or
+    /// rotation-on/off change (no-op without an observer).
+    void note_tau_change(sim::SimContext& ctx);
     void assign(sim::SimContext& ctx, sim::ThreadId id, std::size_t ring,
                 std::size_t slot);
     /// Moves a thread between rings (free destination slot required).
@@ -137,6 +141,12 @@ private:
 
     HotPotatoParams params_;
     std::unique_ptr<PeakTemperatureAnalyzer> analyzer_;
+    // Observability (cached in initialize(); null when observability is off).
+    // obs_alg1_ is mutable for the same reason as the prediction scratch:
+    // predict_peak() stays const for the overhead benchmark.
+    obs::Recorder* obs_ = nullptr;
+    mutable obs::Counter* obs_alg1_ = nullptr;
+    obs::Counter* obs_tau_changes_ = nullptr;
     std::vector<Ring> rings_;
     std::vector<sim::ThreadId> displaced_;
     // Prediction scratch, reused across the hundreds of candidate

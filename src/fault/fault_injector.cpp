@@ -160,27 +160,33 @@ bool FaultInjector::sensor_faulty(std::size_t sensor) const {
 
 double FaultInjector::corrupt_reading(std::size_t sensor, double reading,
                                       double now) {
+    bool altered = false;
     for (const Active& a : active_) {
         const FaultEvent& e = a.event;
         if (e.target != sensor) continue;
         switch (e.kind) {
             case FaultKind::kSensorStuck:
                 reading = e.magnitude;
+                altered = true;
                 break;
             case FaultKind::kSensorDrift:
                 reading += e.magnitude * (now - e.time_s);
+                altered = true;
                 break;
             case FaultKind::kSensorSpike:
                 // Seeded +/-10% jitter: spikes are noisy in real silicon, but
                 // two runs with the same seed spike identically.
                 reading += e.magnitude * (1.0 + jitter_(rng_));
+                altered = true;
                 break;
             case FaultKind::kSensorDropout:
+                if (corruptions_) corruptions_->add();
                 return std::numeric_limits<double>::quiet_NaN();
             default:
                 break;
         }
     }
+    if (altered && corruptions_) corruptions_->add();
     return reading;
 }
 

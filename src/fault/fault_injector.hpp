@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace hp::fault {
 
@@ -48,6 +49,13 @@ public:
     /// aborts drop every rotation inside the window).
     bool consume_rotation_abort(double now);
 
+    /// Attaches an observability counter bumped every time corrupt_reading()
+    /// actually alters (or drops) a reading. Null detaches; the counter must
+    /// outlive the injector.
+    void set_corruption_counter(obs::Counter* counter) {
+        corruptions_ = counter;
+    }
+
     /// Every applied transition (onset and recovery), in time order.
     const std::vector<FaultLogEntry>& log() const { return log_; }
     std::size_t injected_count() const { return injected_; }
@@ -69,6 +77,7 @@ private:
     std::vector<Active> active_;
     std::vector<bool> core_failed_;
     std::vector<FaultLogEntry> log_;
+    obs::Counter* corruptions_ = nullptr;
     std::size_t injected_ = 0;
     std::mt19937_64 rng_;
     std::uniform_real_distribution<double> jitter_{-0.1, 0.1};

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hp::obs {
+
+/// Event taxonomy of the observability layer (DESIGN.md §8). Every kind is a
+/// discrete, per-run occurrence the simulator or a scheduler emits into the
+/// trace ring; continuous signals (temperatures, power) stay in the decimated
+/// thermal trace (sim::TraceSample), not here.
+enum class EventKind : std::uint8_t {
+    kTaskStart,        ///< arg0 = task id, arg1 = thread count
+    kTaskFinish,       ///< arg0 = task id, value = response time [s]
+    kRotation,         ///< arg0 = cycle length, arg1 = first core of cycle
+    kRotationAbort,    ///< a rotation dropped by an injected abort
+    kMigration,        ///< arg0 = thread id, arg1 = destination core
+    kDvfsChange,       ///< arg0 = core, value = new frequency [Hz]
+    kDtmEngage,        ///< value = triggering (masked) temperature [C]
+    kDtmRelease,       ///< value = releasing temperature [C]
+    kWatchdogTrip,     ///< value = true hottest-core temperature [C]
+    kWatchdogRelease,  ///< value = time-to-recover of this engagement [s]
+    kFaultStart,       ///< arg0 = fault::FaultKind, arg1 = target
+    kFaultEnd,         ///< arg0 = fault::FaultKind, arg1 = target
+    kTauAdapt,         ///< arg0 = rotation on (0/1), value = new tau [s]
+    kSensorFallback,   ///< arg0 = engaged (0/1)
+};
+
+/// Returns the stable lower_snake_case name of @p kind (trace export).
+const char* to_string(EventKind kind);
+
+/// One fixed-size trace record. Plain data, no owned memory: recording an
+/// Event into a warmed ring buffer never touches the heap. The meaning of
+/// arg0/arg1/value is per-kind (see EventKind).
+struct Event {
+    double time_s = 0.0;  ///< simulated time — never host wall time
+    EventKind kind = EventKind::kTaskStart;
+    std::uint32_t arg0 = 0;
+    std::uint32_t arg1 = 0;
+    double value = 0.0;
+
+    bool operator==(const Event& other) const {
+        return time_s == other.time_s && kind == other.kind &&
+               arg0 == other.arg0 && arg1 == other.arg1 &&
+               value == other.value;
+    }
+};
+
+}  // namespace hp::obs

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hp::obs {
+
+/// Monotone event count. add() is a single increment — safe and
+/// allocation-free inside the simulator micro-step.
+struct Counter {
+    std::uint64_t value = 0;
+    void add(std::uint64_t delta = 1) noexcept { value += delta; }
+};
+
+/// Last-written scalar (peak temperature, migrations/sec, ...).
+struct Gauge {
+    double value = 0.0;
+    void set(double v) noexcept { value = v; }
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// overflow bucket counts the rest. Bounds are fixed at registration, so
+/// observe() is a small scan over a preallocated array — allocation-free.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double x) noexcept;
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// bounds().size() + 1 entries; the last is the overflow bucket.
+    const std::vector<std::uint64_t>& counts() const { return counts_; }
+    std::uint64_t total() const;
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+};
+
+/// Value copy of a registry (plus the recorder's phase timers and trace
+/// accounting) at one instant. This is what lands in campaign RunRecords and
+/// what the JSON/markdown renderers consume. Counters, gauges and histograms
+/// are pure functions of the simulated run — deterministic at any worker
+/// count; phase timings and any wall-derived values are host observability
+/// only.
+struct MetricsSnapshot {
+    struct CounterValue {
+        std::string name;
+        std::uint64_t value = 0;
+        bool operator==(const CounterValue&) const = default;
+    };
+    struct GaugeValue {
+        std::string name;
+        double value = 0.0;
+        bool operator==(const GaugeValue&) const = default;
+    };
+    struct HistogramValue {
+        std::string name;
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> counts;
+        bool operator==(const HistogramValue&) const = default;
+    };
+    /// Scoped phase timer aggregate. `calls` is deterministic (how many
+    /// times the phase ran); `total_s` is host wall time.
+    struct PhaseValue {
+        std::string name;
+        std::uint64_t calls = 0;
+        double total_s = 0.0;
+        bool operator==(const PhaseValue&) const = default;
+    };
+
+    std::vector<CounterValue> counters;      ///< sorted by name
+    std::vector<GaugeValue> gauges;          ///< sorted by name
+    std::vector<HistogramValue> histograms;  ///< sorted by name
+    std::vector<PhaseValue> phases;          ///< fixed Phase order
+    std::uint64_t events_recorded = 0;
+    std::uint64_t events_dropped = 0;
+
+    bool empty() const {
+        return counters.empty() && gauges.empty() && histograms.empty() &&
+               phases.empty() && events_recorded == 0;
+    }
+    bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Name-addressed registry of counters, gauges and histograms.
+///
+/// Registration (find-or-create) may allocate and is meant for setup paths —
+/// simulator construction, scheduler initialize(), epoch hooks. The returned
+/// references are stable for the registry's lifetime (deque storage), so hot
+/// paths hold them as pointers and never look names up per step.
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /// Find-or-create. An existing histogram keeps its original bounds
+    /// (@p upper_bounds is ignored then); bounds must be ascending.
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> upper_bounds);
+
+    /// Deterministically ordered (name-sorted) copy of all instruments.
+    MetricsSnapshot snapshot() const;
+
+private:
+    template <typename T>
+    struct Named {
+        std::string name;
+        T value;
+    };
+
+    // Deques: stable addresses across registrations.
+    std::deque<Named<Counter>> counters_;
+    std::deque<Named<Gauge>> gauges_;
+    std::deque<Named<Histogram>> histograms_;
+};
+
+/// Snapshot as a compact JSON object (one line). Gauge/phase doubles use
+/// %.17g so parse_metrics_json() round-trips them bit-exactly.
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Parses exactly the object write_metrics_json() emits (key order free).
+/// Throws std::runtime_error on malformed input.
+MetricsSnapshot parse_metrics_json(const std::string& text);
+
+/// Snapshot as a human-readable markdown block.
+std::string metrics_markdown(const MetricsSnapshot& snapshot);
+
+/// Campaign-level roll-up: counters, histogram buckets (matching bounds),
+/// phase calls/times and event totals sum; gauges keep the maximum (they
+/// describe per-run peaks). Union of names, name-sorted. Histograms with
+/// mismatched bounds keep the first occurrence's buckets.
+MetricsSnapshot merge(const std::vector<MetricsSnapshot>& snapshots);
+
+}  // namespace hp::obs

@@ -1,0 +1,30 @@
+#include "obs/recorder.hpp"
+
+namespace hp::obs {
+
+const char* to_string(Phase phase) {
+    switch (phase) {
+        case Phase::kMatexSolve: return "matex_solve";
+        case Phase::kPeakAnalysis: return "peak_analysis";
+        case Phase::kSchedulerEpoch: return "scheduler_epoch";
+        case Phase::kCount: break;
+    }
+    return "unknown";
+}
+
+Recorder::Recorder(const RecorderConfig& config)
+    : trace_(config.trace_capacity) {}
+
+MetricsSnapshot Recorder::snapshot() const {
+    MetricsSnapshot out = registry_.snapshot();
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+        if (phases_[i].calls == 0) continue;
+        out.phases.push_back({to_string(static_cast<Phase>(i)),
+                              phases_[i].calls, phases_[i].total_s});
+    }
+    out.events_recorded = trace_.recorded();
+    out.events_dropped = trace_.dropped();
+    return out;
+}
+
+}  // namespace hp::obs

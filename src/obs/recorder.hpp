@@ -1,0 +1,106 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hp::obs {
+
+/// Instrumented phases timed by ScopedPhase. A fixed enum (not a string
+/// registry) so the hot path indexes an array instead of hashing names.
+enum class Phase : std::uint8_t {
+    kMatexSolve,      ///< MatEx transient solve inside a micro-step
+    kPeakAnalysis,    ///< Algorithm-1 / peak-temperature prediction
+    kSchedulerEpoch,  ///< scheduler on_epoch decision logic
+    kCount,
+};
+
+/// Stable lower_snake_case name of @p phase (metrics export).
+const char* to_string(Phase phase);
+
+struct RecorderConfig {
+    /// Events retained by the trace ring; 0 disables event tracing while
+    /// keeping metrics live.
+    std::size_t trace_capacity = 16384;
+};
+
+/// Per-run observability sink: one trace ring + one metrics registry + the
+/// phase-timer aggregates. The simulator and schedulers hold a Recorder* and
+/// treat nullptr as "observability off" — every instrumentation site is a
+/// single pointer test away from zero work, and nothing in this class is
+/// reachable from the hot path once registration has happened.
+///
+/// Threading contract: a Recorder belongs to exactly one run (one simulator)
+/// at a time. Campaign workers create a fresh Recorder per run on their own
+/// thread; there is no cross-thread sharing and no locking.
+class Recorder {
+public:
+    explicit Recorder(const RecorderConfig& config = {});
+
+    /// Event tracing (allocation-free once constructed).
+    void record(const Event& e) noexcept { trace_.record(e); }
+    const TraceBuffer& trace() const { return trace_; }
+    std::vector<Event> events() const { return trace_.snapshot(); }
+
+    /// Instrument registration — setup paths only (may allocate). Returned
+    /// references stay valid for the Recorder's lifetime.
+    Counter& counter(const std::string& name) { return registry_.counter(name); }
+    Gauge& gauge(const std::string& name) { return registry_.gauge(name); }
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> upper_bounds) {
+        return registry_.histogram(name, std::move(upper_bounds));
+    }
+
+    /// Phase-timer hot path: add one timed invocation of @p phase.
+    void add_phase_time(Phase phase, double seconds) noexcept {
+        auto& agg = phases_[static_cast<std::size_t>(phase)];
+        ++agg.calls;
+        agg.total_s += seconds;
+    }
+
+    /// Registry + phase timers + trace accounting, deterministically ordered.
+    MetricsSnapshot snapshot() const;
+
+private:
+    struct PhaseAggregate {
+        std::uint64_t calls = 0;
+        double total_s = 0.0;
+    };
+
+    TraceBuffer trace_;
+    MetricsRegistry registry_;
+    std::array<PhaseAggregate, static_cast<std::size_t>(Phase::kCount)>
+        phases_{};
+};
+
+/// RAII wall-clock timer feeding Recorder::add_phase_time. Null-safe: with a
+/// null recorder both ends collapse to a pointer test, so instrumented code
+/// needs no branching of its own.
+class ScopedPhase {
+public:
+    ScopedPhase(Recorder* recorder, Phase phase) noexcept
+        : recorder_(recorder), phase_(phase) {
+        if (recorder_) start_ = std::chrono::steady_clock::now();
+    }
+    ~ScopedPhase() {
+        if (recorder_)
+            recorder_->add_phase_time(
+                phase_, std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+    }
+
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+private:
+    Recorder* recorder_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace hp::obs

@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hp::obs {
+
+const char* to_string(EventKind kind) {
+    switch (kind) {
+        case EventKind::kTaskStart: return "task_start";
+        case EventKind::kTaskFinish: return "task_finish";
+        case EventKind::kRotation: return "rotation";
+        case EventKind::kRotationAbort: return "rotation_abort";
+        case EventKind::kMigration: return "migration";
+        case EventKind::kDvfsChange: return "dvfs_change";
+        case EventKind::kDtmEngage: return "dtm_engage";
+        case EventKind::kDtmRelease: return "dtm_release";
+        case EventKind::kWatchdogTrip: return "watchdog_trip";
+        case EventKind::kWatchdogRelease: return "watchdog_release";
+        case EventKind::kFaultStart: return "fault_start";
+        case EventKind::kFaultEnd: return "fault_end";
+        case EventKind::kTauAdapt: return "tau_adapt";
+        case EventKind::kSensorFallback: return "sensor_fallback";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// Inverse of to_string; throws on an unknown name.
+EventKind kind_from_string(const std::string& name,
+                           const std::string& where) {
+    for (int k = 0; k <= static_cast<int>(EventKind::kSensorFallback); ++k) {
+        const EventKind kind = static_cast<EventKind>(k);
+        if (name == to_string(kind)) return kind;
+    }
+    throw std::runtime_error(where + ": unknown event kind: " + name);
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity) {}
+
+void TraceBuffer::record(const Event& e) noexcept {
+    if (ring_.empty()) return;  // tracing disabled
+    ring_[(head_ + size_) % ring_.size()] = e;
+    if (size_ < ring_.size())
+        ++size_;
+    else
+        head_ = (head_ + 1) % ring_.size();  // overwrite the oldest
+    ++recorded_;
+}
+
+std::vector<Event> TraceBuffer::snapshot() const {
+    std::vector<Event> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void TraceBuffer::clear() {
+    head_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+}
+
+void write_events_csv(std::ostream& out, const std::vector<Event>& events) {
+    out << "time_s,kind,arg0,arg1,value\n";
+    char buf[160];
+    for (const Event& e : events) {
+        std::snprintf(buf, sizeof buf, "%.12g,%s,%u,%u,%.12g\n", e.time_s,
+                      to_string(e.kind), e.arg0, e.arg1, e.value);
+        out << buf;
+    }
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
+                        const std::string& process_name) {
+    out << "{\"traceEvents\":[\n"
+        << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+           "\"args\":{\"name\":\"" << process_name << "\"}}";
+    char buf[256];
+    for (const Event& e : events) {
+        // Instant events on the simulated-time axis; tid partitions by the
+        // event's primary subject (core/thread/task) so Perfetto lanes stay
+        // readable. "s":"t" scopes the marker to its lane.
+        std::snprintf(buf, sizeof buf,
+                      ",\n{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                      "\"pid\":0,\"tid\":%u,\"s\":\"t\",\"args\":{"
+                      "\"arg0\":%u,\"arg1\":%u,\"value\":%.12g}}",
+                      to_string(e.kind), e.time_s * 1e6, e.arg1, e.arg0,
+                      e.arg1, e.value);
+        out << buf;
+    }
+    out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<Event> read_events_csv(std::istream& in,
+                                   const std::string& source_name) {
+    std::vector<Event> events;
+    std::string line;
+    std::size_t line_no = 0;
+    const auto fail = [&](const std::string& why) {
+        throw std::runtime_error(source_name + ":" +
+                                 std::to_string(line_no) + ": " + why);
+    };
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line_no == 1) {
+            if (line != "time_s,kind,arg0,arg1,value")
+                fail("bad header: " + line);
+            continue;
+        }
+        if (line.empty()) continue;
+        // Split into exactly five fields.
+        std::vector<std::string> fields;
+        std::string current;
+        for (char c : line) {
+            if (c == ',') {
+                fields.push_back(current);
+                current.clear();
+            } else {
+                current += c;
+            }
+        }
+        fields.push_back(current);
+        if (fields.size() != 5)
+            fail("expected 5 fields, got " + std::to_string(fields.size()));
+        const auto number = [&](const std::string& text) {
+            char* end = nullptr;
+            const double v = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0')
+                fail("bad numeric field: " + text);
+            return v;
+        };
+        Event e;
+        e.time_s = number(fields[0]);
+        e.kind = kind_from_string(fields[1],
+                                  source_name + ":" + std::to_string(line_no));
+        e.arg0 = static_cast<std::uint32_t>(number(fields[2]));
+        e.arg1 = static_cast<std::uint32_t>(number(fields[3]));
+        e.value = number(fields[4]);
+        events.push_back(e);
+    }
+    return events;
+}
+
+}  // namespace hp::obs

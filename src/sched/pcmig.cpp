@@ -6,7 +6,14 @@
 
 namespace hp::sched {
 
+void PcMigScheduler::initialize(sim::SimContext& ctx) {
+    PcGovScheduler::initialize(ctx);
+    if (obs::Recorder* obs = ctx.observer())
+        obs_predictions_ = &obs->counter("pcmig.predictions");
+}
+
 const linalg::Vector& PcMigScheduler::predict(sim::SimContext& ctx) {
+    if (obs_predictions_) obs_predictions_->add();
     const std::size_t n = ctx.chip().core_count();
     if (predict_power_.size() != n) predict_power_ = linalg::Vector(n);
     for (std::size_t c = 0; c < n; ++c) predict_power_[c] = ctx.core_power(c);

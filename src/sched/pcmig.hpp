@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/recorder.hpp"
 #include "sched/pcgov.hpp"
 #include "thermal/workspace.hpp"
 
@@ -35,6 +36,7 @@ public:
 
     std::string name() const override { return "PCMig"; }
 
+    void initialize(sim::SimContext& ctx) override;
     void on_epoch(sim::SimContext& ctx) override;
 
 private:
@@ -44,6 +46,7 @@ private:
     const linalg::Vector& predict(sim::SimContext& ctx);
 
     PcMigParams params_;
+    obs::Counter* obs_predictions_ = nullptr;  // null when observability off
     // Prediction scratch (schedulers are per-run, so plain members suffice).
     thermal::ThermalWorkspace predict_ws_;
     linalg::Vector predict_power_;

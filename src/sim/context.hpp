@@ -12,6 +12,10 @@
 #include "thermal/matex.hpp"
 #include "thermal/rc_network.hpp"
 
+namespace hp::obs {
+class Recorder;
+}
+
 namespace hp::sim {
 
 /// The simulator-side interface a Scheduler works against.
@@ -26,6 +30,10 @@ public:
 
     // --- static environment -------------------------------------------------
     virtual double now() const = 0;
+    /// Observability sink of this run, or nullptr when observability is off.
+    /// Schedulers register instruments in initialize() and cache the returned
+    /// pointers; they must treat a null recorder as "record nothing".
+    virtual obs::Recorder* observer() const { return nullptr; }
     virtual const SimConfig& config() const = 0;
     virtual const arch::ManyCore& chip() const = 0;
     virtual const thermal::ThermalModel& thermal_model() const = 0;

@@ -33,13 +33,15 @@ Simulator::Simulator(const arch::ManyCore& chip,
                      const thermal::MatExSolver& matex, SimConfig config,
                      power::PowerParams power_params,
                      perf::PerfParams perf_params,
-                     thermal::ThermalWorkspace* workspace)
+                     thermal::ThermalWorkspace* workspace,
+                     obs::Recorder* recorder)
     : chip_(&chip),
       thermal_(&model),
       matex_(&matex),
       config_(config),
       power_model_(power_params, chip.dvfs()),
       perf_model_(chip, perf_params),
+      obs_(recorder),
       ws_(workspace != nullptr ? workspace : &own_ws_) {
     if (model.core_count() != chip.core_count())
         throw std::invalid_argument(
@@ -91,6 +93,18 @@ Simulator::Simulator(const arch::ManyCore& chip,
             [this](std::size_t sensor, double reading, double now_s) {
                 return injector_->corrupt_reading(sensor, reading, now_s);
             });
+    }
+    if (obs_) {
+        // Instrument registration happens here, once; the micro-step only
+        // touches the cached pointers and the preallocated trace ring.
+        obs_steps_ = &obs_->counter("sim.steps");
+        const double t = config_.t_dtm_c;
+        obs_step_peak_ = &obs_->histogram(
+            "sim.step_peak_c",
+            {t - 20.0, t - 10.0, t - 5.0, t - 2.0, t, t + 5.0});
+        if (injector_)
+            injector_->set_corruption_counter(
+                &obs_->counter("fault.sensor_corruptions"));
     }
     if (config_.model_noc_contention) {
         noc::NocParams noc_params;
@@ -234,7 +248,11 @@ double Simulator::estimate_thread_power(ThreadId id, std::size_t core,
 
 void Simulator::set_frequency(std::size_t core, double f_hz) {
     check_core(core);
-    set_frequency_hz_[core] = chip_->dvfs().quantize_down(f_hz);
+    const double quantized = chip_->dvfs().quantize_down(f_hz);
+    if (obs_ && quantized != set_frequency_hz_[core])
+        obs_->record({now_, obs::EventKind::kDvfsChange,
+                      static_cast<std::uint32_t>(core), 0, quantized});
+    set_frequency_hz_[core] = quantized;
 }
 
 void Simulator::place(ThreadId id, std::size_t core) {
@@ -273,6 +291,10 @@ void Simulator::migrate(ThreadId id, std::size_t core) {
                  now_ + perf_model_.migration_stall_s(core));
     occupant_arrived(core, id);
     ++result_.migrations;
+    if (obs_)
+        obs_->record({now_, obs::EventKind::kMigration,
+                      static_cast<std::uint32_t>(id),
+                      static_cast<std::uint32_t>(core), 0.0});
 }
 
 void Simulator::rotate(const std::vector<std::size_t>& cores_in_cycle) {
@@ -281,6 +303,11 @@ void Simulator::rotate(const std::vector<std::size_t>& cores_in_cycle) {
     if (injector_) {
         if (injector_->consume_rotation_abort(now_)) {
             ++result_.resilience.rotation_aborts;
+            if (obs_)
+                obs_->record({now_, obs::EventKind::kRotationAbort,
+                              static_cast<std::uint32_t>(cores_in_cycle.size()),
+                              static_cast<std::uint32_t>(cores_in_cycle[0]),
+                              0.0});
             return;  // the rotation aborts mid-flight: mapping unchanged
         }
         // Defensive: never rotate a thread onto a dead core. The scheduler is
@@ -293,6 +320,10 @@ void Simulator::rotate(const std::vector<std::size_t>& cores_in_cycle) {
     // vector is reused across rotations (they happen nearly every step under
     // fast rotation).
     const std::size_t k = cores_in_cycle.size();
+    if (obs_)
+        obs_->record({now_, obs::EventKind::kRotation,
+                      static_cast<std::uint32_t>(k),
+                      static_cast<std::uint32_t>(cores_in_cycle[0]), 0.0});
     rotate_scratch_.resize(k);
     std::vector<ThreadId>& occupants = rotate_scratch_;
     for (std::size_t i = 0; i < k; ++i)
@@ -463,6 +494,10 @@ void Simulator::resolve_phases_and_completions(Scheduler& scheduler) {
                                            task.thread_count, task.arrival_s,
                                            task.start_s, task.finish_s,
                                            task_energy_j_[task.id]});
+        if (obs_)
+            obs_->record({now_, obs::EventKind::kTaskFinish,
+                          static_cast<std::uint32_t>(task.id), 0,
+                          task.finish_s - task.arrival_s});
         scheduler.on_task_finish(*this, task.id);
         offer_pending(scheduler);
     }
@@ -477,6 +512,10 @@ void Simulator::offer_pending(Scheduler& scheduler) {
             t.placed = true;
             t.start_s = now_;
             assign_phase_budgets(t);
+            if (obs_)
+                obs_->record({now_, obs::EventKind::kTaskStart,
+                              static_cast<std::uint32_t>(id),
+                              static_cast<std::uint32_t>(t.thread_count), 0.0});
         } else {
             pending_.push_back(id);
             break;  // keep FIFO order: don't let later tasks jump the queue
@@ -489,6 +528,7 @@ void Simulator::update_dtm() {
     for (std::size_t c = 0; c < chip_->core_count(); ++c)
         max_core = std::max(max_core, temps_[c]);
     result_.peak_temperature_c = std::max(result_.peak_temperature_c, max_core);
+    if (obs_step_peak_) obs_step_peak_->observe(max_core);
     if (sensors_) {
         // Hardware DTM sees the sensors, not ground truth — but it trusts
         // the vote-masked estimate, so one lying diode can neither blind nor
@@ -506,9 +546,13 @@ void Simulator::update_dtm() {
     if (!dtm_active_ && max_core > config_.t_dtm_c) {
         dtm_active_ = true;
         ++result_.dtm_triggers;
+        if (obs_)
+            obs_->record({now_, obs::EventKind::kDtmEngage, 0, 0, max_core});
     } else if (dtm_active_ &&
                max_core < config_.t_dtm_c - config_.dtm_hysteresis_c) {
         dtm_active_ = false;
+        if (obs_)
+            obs_->record({now_, obs::EventKind::kDtmRelease, 0, 0, max_core});
     }
 }
 
@@ -519,6 +563,17 @@ void Simulator::apply_faults(Scheduler& scheduler) {
     std::vector<fault::FaultEvent>& started = fault_started_;
     std::vector<fault::FaultEvent>& ended = fault_ended_;
     injector_->advance(now_, &started, &ended);
+
+    if (obs_) {
+        for (const fault::FaultEvent& e : started)
+            obs_->record({now_, obs::EventKind::kFaultStart,
+                          static_cast<std::uint32_t>(e.kind),
+                          static_cast<std::uint32_t>(e.target), 0.0});
+        for (const fault::FaultEvent& e : ended)
+            obs_->record({now_, obs::EventKind::kFaultEnd,
+                          static_cast<std::uint32_t>(e.kind),
+                          static_cast<std::uint32_t>(e.target), 0.0});
+    }
 
     for (const fault::FaultEvent& e : started) {
         switch (e.kind) {
@@ -577,12 +632,18 @@ void Simulator::update_watchdog() {
         watchdog_active_ = true;
         watchdog_engaged_s_ = now_;
         ++result_.resilience.watchdog_triggers;
+        if (obs_)
+            obs_->record(
+                {now_, obs::EventKind::kWatchdogTrip, 0, 0, truth_max});
     } else if (watchdog_active_ &&
                truth_max < config_.t_dtm_c - config_.dtm_hysteresis_c) {
         watchdog_active_ = false;
         result_.resilience.worst_recovery_s =
             std::max(result_.resilience.worst_recovery_s,
                      now_ - watchdog_engaged_s_);
+        if (obs_)
+            obs_->record({now_, obs::EventKind::kWatchdogRelease, 0, 0,
+                          now_ - watchdog_engaged_s_});
     }
     if (truth_max > config_.t_dtm_c)
         result_.resilience.thermal_violation_s += config_.micro_step_s;
@@ -678,6 +739,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
         if (step % epoch_steps == 0) {
             refresh_noc_contention();
             offer_pending(scheduler);
+            obs::ScopedPhase timer(obs_, obs::Phase::kSchedulerEpoch);
             scheduler.on_epoch(*this);
         }
         scheduler.on_step(*this);
@@ -699,8 +761,11 @@ SimResult Simulator::run(Scheduler& scheduler) {
         }
         advance_progress(dt);
         thermal_->pad_power_into(core_power, node_power_);
-        matex_->transient_into(temps_, node_power_, config_.ambient_c, dt,
-                               *ws_, temps_);
+        {
+            obs::ScopedPhase timer(obs_, obs::Phase::kMatexSolve);
+            matex_->transient_into(temps_, node_power_, config_.ambient_c, dt,
+                                   *ws_, temps_);
+        }
         check_temperatures_sane();
         if (dtm_active_) result_.dtm_throttled_s += dt;
         if (watchdog_active_) result_.resilience.watchdog_throttled_s += dt;
@@ -708,6 +773,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
         update_watchdog();
         resolve_phases_and_completions(scheduler);
 
+        if (obs_steps_) obs_steps_->add();
         now_ = static_cast<double>(++step) * dt;
 
         const bool all_done =
@@ -734,6 +800,20 @@ SimResult Simulator::run(Scheduler& scheduler) {
         result_.resilience.fault_log = injector_->log();
     }
     if (config_.trace_interval_s > 0.0) record_trace_sample();
+    if (obs_) {
+        // End-of-run gauges. Registration may allocate here; the run is over,
+        // so the zero-allocation step contract is not in play.
+        obs_->gauge("sim.peak_temperature_c").set(result_.peak_temperature_c);
+        obs_->gauge("sim.peak_headroom_c")
+            .set(config_.t_dtm_c - result_.peak_temperature_c);
+        obs_->gauge("sim.energy_j").set(result_.total_energy_j);
+        obs_->gauge("sim.makespan_s").set(result_.makespan_s);
+        obs_->gauge("sim.migrations_per_s")
+            .set(result_.simulated_time_s > 0.0
+                     ? static_cast<double>(result_.migrations) /
+                           result_.simulated_time_s
+                     : 0.0);
+    }
     return result_;
 }
 

@@ -9,6 +9,7 @@
 #include "fault/fault_injector.hpp"
 #include "noc/mesh.hpp"
 #include "noc/traffic.hpp"
+#include "obs/recorder.hpp"
 #include "perf/interval_model.hpp"
 #include "power/power_model.hpp"
 #include "sim/config.hpp"
@@ -37,12 +38,16 @@ public:
     /// lets a caller running many simulations back-to-back (one campaign
     /// worker, say) share the thermal scratch across runs; it must outlive
     /// the simulator and not be used concurrently. Without one the simulator
-    /// owns its scratch.
+    /// owns its scratch. An optional @p recorder attaches the observability
+    /// layer (event trace + metrics) to this run; it must outlive the
+    /// simulator, belong to this run alone, and nullptr keeps every
+    /// instrumentation site down to a dead pointer test.
     Simulator(const arch::ManyCore& chip, const thermal::ThermalModel& model,
               const thermal::MatExSolver& matex, SimConfig config = {},
               power::PowerParams power_params = {},
               perf::PerfParams perf_params = {},
-              thermal::ThermalWorkspace* workspace = nullptr);
+              thermal::ThermalWorkspace* workspace = nullptr,
+              obs::Recorder* recorder = nullptr);
 
     /// Registers a task for injection at its arrival time. Must be called
     /// before run(). Throws if the task needs more threads than cores.
@@ -55,6 +60,7 @@ public:
 
     // --- SimContext ----------------------------------------------------------
     double now() const override { return now_; }
+    obs::Recorder* observer() const override { return obs_; }
     const SimConfig& config() const override { return config_; }
     const arch::ManyCore& chip() const override { return *chip_; }
     const thermal::ThermalModel& thermal_model() const override {
@@ -133,6 +139,12 @@ private:
     std::vector<double> noc_delay_s_;              // per-core extra LLC latency
     std::unique_ptr<thermal::SensorBank> sensors_;  // when dtm_uses_sensors
     std::unique_ptr<fault::FaultInjector> injector_;  // when faults scheduled
+
+    // Observability: instruments are registered once in the constructor and
+    // held as raw pointers so the micro-step never does a name lookup.
+    obs::Recorder* obs_ = nullptr;
+    obs::Counter* obs_steps_ = nullptr;
+    obs::Histogram* obs_step_peak_ = nullptr;
 
     std::vector<Task> tasks_;
     std::vector<Thread> threads_;

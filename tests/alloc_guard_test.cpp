@@ -28,6 +28,7 @@
 #include "campaign/study_setup.hpp"
 #include "core/hotpotato.hpp"
 #include "core/peak_temperature.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "thermal/workspace.hpp"
 #include "workload/benchmark.hpp"
@@ -153,6 +154,48 @@ TEST(AllocGuard, WarmedSimulatorMicroStepIsAllocationFree) {
         ++asserted;
     }
     EXPECT_GT(asserted, 100u) << "too few event-free steps measured";
+}
+
+TEST(AllocGuard, WarmedMicroStepWithRecorderAttachedIsAllocationFree) {
+    // Same contract as above, with the observability layer live: the trace
+    // ring is preallocated and the instruments are registered up front, so
+    // recording events/counters/histograms inside the micro-step (rotations
+    // fire in on_step, which is not an exempt event) must stay heap-free.
+    const campaign::StudySetup setup = campaign::StudySetup::paper_16core();
+    sim::SimConfig cfg;
+    cfg.micro_step_s = 1e-4;
+    cfg.scheduler_epoch_s = 1e-3;
+    cfg.max_sim_time_s = 0.05;
+
+    obs::Recorder recorder;
+    RecordingHotPotato sched(600);
+    sim::Simulator sim =
+        setup.make_simulator(cfg, {}, {}, nullptr, &recorder);
+    sim.add_tasks(
+        {workload::TaskSpec{&workload::profile_by_name("blackscholes"), 2,
+                            0.0}});
+    sim.run(sched);
+
+    const std::vector<std::uint64_t>& counts = sched.counts();
+    const std::vector<char>& flagged = sched.flagged();
+    ASSERT_GT(counts.size(), 200u) << "simulation ended prematurely";
+
+    const std::size_t warmup = 50;
+    std::size_t asserted = 0;
+    for (std::size_t i = warmup + 1; i < counts.size(); ++i) {
+        if (flagged[i]) continue;
+        EXPECT_EQ(counts[i] - counts[i - 1], 0u)
+            << "heap allocation in observed micro-step " << i;
+        ++asserted;
+    }
+    EXPECT_GT(asserted, 100u) << "too few event-free steps measured";
+
+    // The recorder actually observed the run (it wasn't compiled away).
+    EXPECT_GT(recorder.trace().recorded(), 0u);
+    bool saw_rotation = false;
+    for (const obs::Event& e : recorder.events())
+        if (e.kind == obs::EventKind::kRotation) saw_rotation = true;
+    EXPECT_TRUE(saw_rotation);
 }
 
 /// HotPotato probe: after each epoch's normal work, times an extra candidate
