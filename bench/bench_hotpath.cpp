@@ -26,10 +26,20 @@
 #include "bench_util.hpp"
 #include "core/hotpotato.hpp"
 #include "core/peak_temperature.hpp"
+#include "linalg/simd.hpp"
 #include "sched/static_schedulers.hpp"
 #include "sim/simulator.hpp"
 #include "workload/benchmark.hpp"
 #include "workload/generator.hpp"
+
+// Provenance baked in by bench/CMakeLists.txt; harmless fallbacks keep the
+// file compilable outside that build (e.g. compile_commands tooling).
+#ifndef HP_BENCH_GIT_SHA
+#define HP_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef HP_BENCH_BUILD_TYPE
+#define HP_BENCH_BUILD_TYPE "unknown"
+#endif
 
 // --- instrumented allocator --------------------------------------------------
 // Counts every path into the global heap. Counting is the only intervention:
@@ -145,10 +155,54 @@ void measure_sim(const std::string& name,
     g_cases.push_back(std::move(c));
 }
 
+/// First "model name" line of /proc/cpuinfo, or "unknown" off-Linux.
+std::string cpu_model() {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        if (line.rfind("model name", 0) != 0) continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        std::size_t begin = colon + 1;
+        while (begin < line.size() && line[begin] == ' ') ++begin;
+        return line.substr(begin);
+    }
+    return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
 void write_json(const std::string& path, bool smoke) {
+    using hp::linalg::simd::active_tier;
+    using hp::linalg::simd::tier_name;
     std::ofstream out(path);
     out << "{\n  \"benchmark\": \"bench_hotpath\",\n  \"mode\": \""
-        << (smoke ? "smoke" : "full") << "\",\n  \"cases\": [\n";
+        << (smoke ? "smoke" : "full") << "\",\n  \"provenance\": {\n"
+        << "    \"git_sha\": \"" << json_escape(HP_BENCH_GIT_SHA) << "\",\n"
+        << "    \"compiler\": \"" << json_escape(compiler_id()) << "\",\n"
+        << "    \"build_type\": \"" << json_escape(HP_BENCH_BUILD_TYPE)
+        << "\",\n"
+        << "    \"cpu\": \"" << json_escape(cpu_model()) << "\",\n"
+        << "    \"dispatch\": \"" << tier_name(active_tier()) << "\"\n"
+        << "  },\n  \"cases\": [\n";
     for (std::size_t i = 0; i < g_cases.size(); ++i) {
         const Case& c = g_cases[i];
         char buf[256];

@@ -54,7 +54,32 @@ def load_cases(path):
             print(f"check_bench: malformed case in {path}: {c!r} ({e})",
                   file=sys.stderr)
             sys.exit(2)
-    return doc.get("mode", "unknown"), out
+    provenance = doc.get("provenance")
+    if not isinstance(provenance, dict):
+        provenance = {}
+    return doc.get("mode", "unknown"), provenance, out
+
+
+def warn_provenance(base_prov, cand_prov):
+    """Warns (never fails) when the timing comparison crosses machines,
+    SIMD dispatch tiers or build types — ns_per_op is only meaningful
+    against a baseline measured in the same environment."""
+    if not base_prov or not cand_prov:
+        which = [name for name, p in (("baseline", base_prov),
+                                      ("candidate", cand_prov)) if not p]
+        print(f"check_bench: WARNING — no provenance in {' and '.join(which)} "
+              "(old bench_hotpath build?); cannot verify the runs are "
+              "comparable", file=sys.stderr)
+        return
+    for field in ("cpu", "dispatch", "build_type", "compiler"):
+        base = base_prov.get(field, "unknown")
+        cand = cand_prov.get(field, "unknown")
+        if base != cand:
+            print(f"check_bench: WARNING — {field} differs: baseline "
+                  f"'{base}' vs candidate '{cand}'; timings are not "
+                  "comparable across "
+                  f"{'machines' if field == 'cpu' else field + 's'} and the "
+                  "time gate may misfire either way", file=sys.stderr)
 
 
 def main():
@@ -71,8 +96,9 @@ def main():
                     help="allowed allocs_per_op increase (default 0.5)")
     args = ap.parse_args()
 
-    base_mode, baseline = load_cases(args.baseline)
-    cand_mode, candidate = load_cases(args.candidate)
+    base_mode, base_prov, baseline = load_cases(args.baseline)
+    cand_mode, cand_prov, candidate = load_cases(args.candidate)
+    warn_provenance(base_prov, cand_prov)
     if base_mode != cand_mode and not args.allow_mode_mismatch:
         print(f"check_bench: mode mismatch — baseline {args.baseline} is "
               f"'{base_mode}' but candidate is '{cand_mode}'; smoke and full "

@@ -92,6 +92,21 @@ elif [[ $QUICK -eq 0 ]]; then
   skip "tsan (toolchain lacks -fsanitize=thread)"
 fi
 
+# ---- SIMD dispatch tiers ---------------------------------------------------
+# Mirrors the `dispatch` CI job: the full suite must pass with the dispatch
+# forced to each tier. Reuses the first Release build; no reconfigure needed
+# because the tier is chosen at runtime from HOTPOTATO_DISPATCH.
+DISPATCH_DIR="$BUILD_ROOT/${COMPILERS[0]%%:*}-Release"
+if [[ -d "$DISPATCH_DIR" ]]; then
+  for tier in avx2 scalar; do
+    note "dispatch: full suite under HOTPOTATO_DISPATCH=$tier"
+    HOTPOTATO_DISPATCH="$tier" \
+      ctest --test-dir "$DISPATCH_DIR" --output-on-failure -j "$JOBS"
+  done
+else
+  skip "dispatch (no Release build dir)"
+fi
+
 # ---- format ----------------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
   note "clang-format check"

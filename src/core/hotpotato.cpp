@@ -1,6 +1,7 @@
 #include "core/hotpotato.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -30,9 +31,17 @@ HotPotatoScheduler::HotPotatoScheduler(HotPotatoParams params)
     if (!std::is_sorted(params_.tau_ladder_s.begin(),
                         params_.tau_ladder_s.end()))
         throw std::invalid_argument("HotPotato: tau ladder must be ascending");
+    // Ladder-sized scratch is fixed at construction; sizing it here keeps
+    // the first prefetch_tau_ladder call allocation-free.
+    tau_batch_scratch_.resize(params_.tau_ladder_s.size());
+    peaks_batch_scratch_.resize(params_.tau_ladder_s.size());
 }
 
 void HotPotatoScheduler::rebuild_rings(sim::SimContext& ctx) {
+    // Ring membership is baked into cached prediction keys only implicitly
+    // (key = powers per slot), so any re-formation — core failure, recovery —
+    // changes what a key means and must flush the memo.
+    invalidate_peak_cache();
     rings_.clear();
     for (const arch::AmdRing& r : ctx.chip().rings()) {
         Ring ring;
@@ -71,6 +80,18 @@ void HotPotatoScheduler::initialize(sim::SimContext& ctx) {
     if (obs_) {
         obs_alg1_ = &obs_->counter("hotpotato.alg1_evals");
         obs_tau_changes_ = &obs_->counter("hotpotato.tau_changes");
+        obs_cache_hits_ = &obs_->counter("hotpotato.peak_cache_hits");
+        obs_cache_misses_ = &obs_->counter("hotpotato.peak_cache_misses");
+        obs_batch_size_ = &obs_->histogram(
+            "hotpotato.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    }
+    if (params_.use_peak_cache) {
+        // Keys: 1 tag word + 1 size word per ring + 1 power word per slot
+        // (rotation), or 1 tag + 1 power word per core (static).
+        peak_cache_.configure(
+            256, 2 + ctx.chip().core_count() + ctx.chip().rings().size());
+    } else {
+        peak_cache_.configure(0, 0);
     }
     ensure_analyzer(ctx);
 }
@@ -103,12 +124,16 @@ void HotPotatoScheduler::sync_finished_threads(sim::SimContext& ctx) {
 double HotPotatoScheduler::slot_power(sim::SimContext& ctx,
                                       sim::ThreadId id) const {
     // Measured 10 ms power history once the thread runs (Algorithm 1 input);
-    // a model estimate before first placement.
-    if (ctx.core_of(id) != sim::kNone) return ctx.thread_recent_power(id);
+    // a model estimate before first placement. Quantised to the prediction
+    // grid unconditionally (cache on or off), so a cached peak is exactly
+    // the peak a fresh evaluation of the same quantised inputs would give.
+    if (ctx.core_of(id) != sim::kNone)
+        return quantise_power_w(ctx.thread_recent_power(id));
     const auto loc = locate(id);
     const std::size_t core =
         loc ? rings_[loc->first].cores[loc->second] : 0;
-    return ctx.estimate_thread_power(id, core, ctx.chip().dvfs().f_max_hz);
+    return quantise_power_w(
+        ctx.estimate_thread_power(id, core, ctx.chip().dvfs().f_max_hz));
 }
 
 const std::vector<RotationRingSpec>& HotPotatoScheduler::build_ring_specs(
@@ -128,27 +153,102 @@ const std::vector<RotationRingSpec>& HotPotatoScheduler::build_ring_specs(
     return spec_scratch_;
 }
 
+void HotPotatoScheduler::build_static_powers(sim::SimContext& ctx) const {
+    const double idle = analyzer_->idle_power_w();
+    const std::size_t n = ctx.chip().core_count();
+    if (static_power_scratch_.size() != n)
+        static_power_scratch_ = linalg::Vector(n);
+    for (std::size_t i = 0; i < n; ++i) static_power_scratch_[i] = idle;
+    for (const Ring& ring : rings_)
+        for (std::size_t j = 0; j < ring.slots.size(); ++j)
+            if (ring.slots[j] != sim::kNone)
+                static_power_scratch_[ring.cores[j]] =
+                    slot_power(ctx, ring.slots[j]);
+}
+
+void HotPotatoScheduler::stage_static_key(const double* powers,
+                                          std::size_t count) const {
+    peak_cache_.key_begin();
+    peak_cache_.key_push(std::uint64_t{0});  // tag: static prediction
+    for (std::size_t i = 0; i < count; ++i) peak_cache_.key_push(powers[i]);
+}
+
+void HotPotatoScheduler::stage_rotation_key(std::size_t tau_index) const {
+    // Assumes spec_scratch_ is current (build_ring_specs ran this query).
+    peak_cache_.key_begin();
+    peak_cache_.key_push((std::uint64_t{1} << 63) |
+                         (static_cast<std::uint64_t>(params_.samples_per_epoch)
+                          << 32) |
+                         static_cast<std::uint64_t>(tau_index));
+    for (const RotationRingSpec& spec : spec_scratch_) {
+        peak_cache_.key_push(
+            static_cast<std::uint64_t>(spec.slot_power_w.size()));
+        for (double p : spec.slot_power_w) peak_cache_.key_push(p);
+    }
+}
+
+const double* HotPotatoScheduler::cache_lookup() const {
+    const double* hit = peak_cache_.lookup();
+    if (hit) {
+        if (obs_cache_hits_) obs_cache_hits_->add();
+    } else if (obs_cache_misses_) {
+        obs_cache_misses_->add();
+    }
+    return hit;
+}
+
+void HotPotatoScheduler::cache_insert(double peak) const {
+    peak_cache_.insert(peak);
+}
+
 double HotPotatoScheduler::predict_peak_with(sim::SimContext& ctx,
                                              bool rotation_on,
                                              std::size_t tau_index) const {
     if (obs_alg1_) obs_alg1_->add();
     obs::ScopedPhase timer(obs_, obs::Phase::kPeakAnalysis);
+    if (obs_batch_size_) obs_batch_size_->observe(1.0);
     if (!rotation_on) {
-        const double idle = analyzer_->idle_power_w();
-        const std::size_t n = ctx.chip().core_count();
-        if (static_power_scratch_.size() != n)
-            static_power_scratch_ = linalg::Vector(n);
-        for (std::size_t i = 0; i < n; ++i) static_power_scratch_[i] = idle;
-        for (const Ring& ring : rings_)
-            for (std::size_t j = 0; j < ring.slots.size(); ++j)
-                if (ring.slots[j] != sim::kNone)
-                    static_power_scratch_[ring.cores[j]] =
-                        slot_power(ctx, ring.slots[j]);
-        return analyzer_->static_peak(static_power_scratch_, peak_ws_);
+        build_static_powers(ctx);
+        if (peak_cache_.enabled()) {
+            stage_static_key(static_power_scratch_.data(),
+                             static_power_scratch_.size());
+            if (const double* hit = cache_lookup()) return *hit;
+        }
+        const double peak =
+            analyzer_->static_peak(static_power_scratch_, peak_ws_);
+        cache_insert(peak);
+        return peak;
     }
-    return analyzer_->rotation_peak(build_ring_specs(ctx),
-                                    params_.tau_ladder_s[tau_index],
-                                    params_.samples_per_epoch, peak_ws_);
+    build_ring_specs(ctx);
+    if (peak_cache_.enabled()) {
+        stage_rotation_key(tau_index);
+        if (const double* hit = cache_lookup()) return *hit;
+    }
+    const double peak =
+        analyzer_->rotation_peak(spec_scratch_, params_.tau_ladder_s[tau_index],
+                                 params_.samples_per_epoch, peak_ws_);
+    cache_insert(peak);
+    return peak;
+}
+
+void HotPotatoScheduler::prefetch_tau_ladder(sim::SimContext& ctx,
+                                             std::size_t count) const {
+    if (!peak_cache_.enabled() || count == 0) return;
+    if (obs_alg1_) obs_alg1_->add();
+    obs::ScopedPhase timer(obs_, obs::Phase::kPeakAnalysis);
+    if (obs_batch_size_) obs_batch_size_->observe(static_cast<double>(count));
+    build_ring_specs(ctx);
+    if (tau_batch_scratch_.size() < count) tau_batch_scratch_.resize(count);
+    if (peaks_batch_scratch_.size() < count) peaks_batch_scratch_.resize(count);
+    for (std::size_t t = 0; t < count; ++t)
+        tau_batch_scratch_[t] = params_.tau_ladder_s[t];
+    analyzer_->rotation_peak_tau_batch(spec_scratch_, tau_batch_scratch_.data(),
+                                       count, params_.samples_per_epoch,
+                                       peak_ws_, peaks_batch_scratch_.data());
+    for (std::size_t t = 0; t < count; ++t) {
+        stage_rotation_key(t);
+        peak_cache_.insert(peaks_batch_scratch_[t]);
+    }
 }
 
 double HotPotatoScheduler::predict_peak(sim::SimContext& ctx) const {
@@ -179,6 +279,84 @@ void HotPotatoScheduler::move_thread(sim::SimContext& ctx, sim::ThreadId id,
     ctx.migrate(id, rings_[dest_ring].cores[dest_slot]);
 }
 
+std::optional<std::size_t> HotPotatoScheduler::best_static_slot(
+    sim::SimContext& ctx, std::size_t ring_index, sim::ThreadId id) {
+    Ring& ring = rings_[ring_index];
+    slate_slots_.clear();
+    for (std::size_t j = 0; j < ring.slots.size(); ++j)
+        if (ring.slots[j] == sim::kNone) slate_slots_.push_back(j);
+    if (slate_slots_.empty()) return std::nullopt;
+    const std::size_t count = slate_slots_.size();
+    const std::size_t n = ctx.chip().core_count();
+
+    // The whole slate is one Algorithm-1 query site: one counter tick, one
+    // phase, the histogram records how many candidates were requested.
+    if (obs_alg1_) obs_alg1_->add();
+    obs::ScopedPhase timer(obs_, obs::Phase::kPeakAnalysis);
+    if (obs_batch_size_) obs_batch_size_->observe(static_cast<double>(count));
+
+    // Candidate power vectors: the thread tentatively in each free slot —
+    // exactly the vectors the historical per-slot loop evaluated one by one.
+    if (slate_powers_.size() < count * n) slate_powers_.resize(count * n);
+    if (slate_peaks_.size() < count) slate_peaks_.resize(count);
+    for (std::size_t c = 0; c < count; ++c) {
+        const std::size_t j = slate_slots_[c];
+        ring.slots[j] = id;
+        build_static_powers(ctx);
+        ring.slots[j] = sim::kNone;
+        double* row = slate_powers_.data() + c * n;
+        for (std::size_t i = 0; i < n; ++i) row[i] = static_power_scratch_[i];
+    }
+
+    // Cache hits are filled directly; the misses run as one batched
+    // steady-state slate (bit-identical per candidate to a fresh
+    // static_peak, so cache on/off cannot change the argmin).
+    slate_miss_.clear();
+    for (std::size_t c = 0; c < count; ++c) {
+        if (peak_cache_.enabled()) {
+            stage_static_key(slate_powers_.data() + c * n, n);
+            if (const double* hit = cache_lookup()) {
+                slate_peaks_[c] = *hit;
+                continue;
+            }
+        }
+        slate_miss_.push_back(c);
+    }
+    if (!slate_miss_.empty()) {
+        if (slate_miss_powers_.size() < slate_miss_.size() * n)
+            slate_miss_powers_.resize(slate_miss_.size() * n);
+        for (std::size_t m = 0; m < slate_miss_.size(); ++m) {
+            const double* src = slate_powers_.data() + slate_miss_[m] * n;
+            double* dst = slate_miss_powers_.data() + m * n;
+            for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+        }
+        if (peaks_batch_scratch_.size() < slate_miss_.size())
+            peaks_batch_scratch_.resize(slate_miss_.size());
+        analyzer_->static_peak_batch(slate_miss_powers_.data(),
+                                     slate_miss_.size(), peak_ws_,
+                                     peaks_batch_scratch_.data());
+        for (std::size_t m = 0; m < slate_miss_.size(); ++m) {
+            const std::size_t c = slate_miss_[m];
+            slate_peaks_[c] = peaks_batch_scratch_[m];
+            if (peak_cache_.enabled()) {
+                stage_static_key(slate_powers_.data() + c * n, n);
+                peak_cache_.insert(slate_peaks_[c]);
+            }
+        }
+    }
+
+    // First-lowest wins, matching the historical ascending-slot scan.
+    std::optional<std::size_t> best;
+    double best_peak = kInfPeak;
+    for (std::size_t c = 0; c < count; ++c) {
+        if (slate_peaks_[c] < best_peak) {
+            best_peak = slate_peaks_[c];
+            best = slate_slots_[c];
+        }
+    }
+    return best;
+}
+
 bool HotPotatoScheduler::place_thread(sim::SimContext& ctx,
                                       sim::ThreadId id) {
     const double limit = ctx.config().t_dtm_c - params_.headroom_delta_c;
@@ -194,18 +372,8 @@ bool HotPotatoScheduler::place_thread(sim::SimContext& ctx,
             slot = ring.first_free_slot();
         } else {
             // Without rotation the slot matters: pick the free slot with the
-            // lowest static steady-state peak.
-            double best_peak = kInfPeak;
-            for (std::size_t j = 0; j < ring.slots.size(); ++j) {
-                if (ring.slots[j] != sim::kNone) continue;
-                ring.slots[j] = id;
-                const double peak = predict_peak_with(ctx, false, tau_index_);
-                ring.slots[j] = sim::kNone;
-                if (peak < best_peak) {
-                    best_peak = peak;
-                    slot = j;
-                }
-            }
+            // lowest static steady-state peak, scored as one batched slate.
+            slot = best_static_slot(ctx, r, id);
         }
         if (!slot) continue;
 
@@ -301,6 +469,8 @@ void HotPotatoScheduler::update_sensor_fallback(sim::SimContext& ctx) {
                   : dvfs.f_max_hz;
     for (std::size_t c = 0; c < ctx.chip().core_count(); ++c)
         ctx.set_frequency(c, f);
+    // Frequency changes alter the power histories behind every cached key.
+    invalidate_peak_cache();
     sensor_fallback_ = untrusted;
     if (obs_)
         obs_->record({ctx.now(), obs::EventKind::kSensorFallback,
@@ -347,7 +517,14 @@ void HotPotatoScheduler::restore_safety(sim::SimContext& ctx) {
         peak = predict_peak(ctx);
     }
 
-    // Lines 12-14: speed the rotation until headroom appears.
+    // Lines 12-14: speed the rotation until headroom appears. The rungs the
+    // walk can visit are evaluated as one shared-target batch first, so the
+    // per-rung queries below become cache hits (bit-identical values; with
+    // the cache off the walk simply evaluates each rung itself).
+    if (peak >= limit && peak_cache_.enabled()) {
+        prefetch_tau_ladder(
+            ctx, rotation_on_ ? tau_index_ : params_.tau_ladder_s.size());
+    }
     while (peak >= limit) {
         if (!rotation_on_) {
             rotation_on_ = true;

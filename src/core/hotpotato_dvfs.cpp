@@ -38,6 +38,9 @@ void HotPotatoDvfsScheduler::engage(sim::SimContext& ctx) {
             ctx.config().t_dtm_c);
         ctx.set_frequency(c, f);
     }
+    // The re-clock shifts every thread's power history, so cached peak
+    // predictions keyed on the old powers are stale.
+    invalidate_peak_cache();
     engaged_ = true;
 }
 
@@ -51,6 +54,7 @@ void HotPotatoDvfsScheduler::relax(sim::SimContext& ctx) {
             all_at_max = false;
         }
     }
+    if (!all_at_max) invalidate_peak_cache();
     if (all_at_max) engaged_ = false;
 }
 

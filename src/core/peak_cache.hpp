@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hp::core {
+
+/// Quantises a slot/core power to the prediction-cache grid (steps of
+/// 2^-10 W ≈ 1 mW). The grid step is an exact binary fraction, so quantised
+/// powers round-trip through the cache key bit-exactly, and the quantisation
+/// itself is far below the watt-level signal the thermal model reacts to.
+/// Schedulers quantise *before* prediction whether or not their cache is
+/// enabled — that is what makes a cache hit bit-identical to a fresh
+/// evaluation (both see the same quantised inputs) and hence campaign output
+/// independent of the cache switch.
+inline double quantise_power_w(double power_w) {
+    return static_cast<double>(std::llround(power_w * 1024.0)) / 1024.0;
+}
+
+/// Fixed-capacity memo of thermal predictions keyed by an opaque sequence of
+/// 64-bit words (packed ring assignments, quantised power bits, τ index —
+/// whatever the scheduler deems to determine the prediction).
+///
+/// Design constraints, in order:
+///  - allocation-free after configure(): the hot path (HotPotato's
+///    per-epoch Algorithm-1 queries) is covered by the alloc-guard tests, so
+///    keys are staged and entries stored in flat preallocated arrays;
+///  - exact: keys match word-for-word or not at all. Together with input
+///    quantisation this makes a hit return exactly what re-evaluating would
+///    produce — the cache can change *when* work happens, never *what* the
+///    scheduler decides;
+///  - evictable: direct-mapped-with-probe-window placement (an entry lands
+///    on hash(key) mod capacity, probing up to kProbeWindow slots); new
+///    entries overwrite the oldest slot in the window, so stale pressure
+///    cannot grow the structure;
+///  - invalidatable: invalidate() is O(capacity) flag-clearing, called on
+///    every event that changes the thermal meaning of a key (core failure /
+///    ring re-formation, DVFS level change, sensor-fallback re-clock).
+///
+/// Not thread-safe; each scheduler instance owns one (schedulers are
+/// per-simulation objects, and campaign workers never share them).
+template <typename Value>
+class PredictionCache {
+public:
+    PredictionCache() = default;
+
+    /// Sizes the cache for @p entries slots of keys up to @p max_key_words
+    /// 64-bit words. Clears any previous contents and statistics. A later
+    /// key longer than @p max_key_words is simply not cacheable (lookups
+    /// miss, inserts are dropped) rather than an error.
+    void configure(std::size_t entries, std::size_t max_key_words) {
+        capacity_ = entries;
+        max_words_ = max_key_words;
+        keys_.assign(entries * max_key_words, 0);
+        key_len_.assign(entries, 0);  // 0 = empty slot
+        age_.assign(entries, 0);
+        values_.assign(entries, Value{});
+        staged_.clear();
+        staged_.reserve(max_key_words);
+        hits_ = misses_ = 0;
+        tick_ = 0;
+    }
+
+    bool enabled() const { return capacity_ != 0; }
+
+    /// Begins staging a key for the next lookup()/insert() pair.
+    void key_begin() { staged_.clear(); }
+
+    /// Appends one word to the staged key.
+    void key_push(std::uint64_t word) { staged_.push_back(word); }
+
+    /// Convenience: appends the bit pattern of a double (use on quantised
+    /// values only; -0.0 and 0.0 differ bitwise but quantisation never
+    /// produces -0.0 from llround of anything that rounds to 0).
+    void key_push(double value) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &value, sizeof bits);
+        staged_.push_back(bits);
+    }
+
+    /// Looks the staged key up. Returns the cached value or nullptr on miss;
+    /// counts the hit/miss either way.
+    const Value* lookup() {
+        if (capacity_ == 0 || staged_.size() > max_words_ ||
+            staged_.empty()) {
+            ++misses_;
+            return nullptr;
+        }
+        const std::size_t base = slot_of(hash());
+        for (std::size_t p = 0; p < kProbeWindow; ++p) {
+            const std::size_t s = (base + p) % capacity_;
+            if (key_len_[s] != staged_.size()) continue;
+            if (std::memcmp(keys_.data() + s * max_words_, staged_.data(),
+                            staged_.size() * sizeof(std::uint64_t)) != 0)
+                continue;
+            ++hits_;
+            age_[s] = ++tick_;
+            return &values_[s];
+        }
+        ++misses_;
+        return nullptr;
+    }
+
+    /// Stores @p value under the staged key, overwriting the oldest entry in
+    /// the probe window. No-op when the key is oversize or the cache is
+    /// unconfigured.
+    void insert(const Value& value) {
+        if (capacity_ == 0 || staged_.size() > max_words_ || staged_.empty())
+            return;
+        const std::size_t base = slot_of(hash());
+        std::size_t victim = base;
+        std::uint64_t victim_age = age_[base];
+        for (std::size_t p = 0; p < kProbeWindow; ++p) {
+            const std::size_t s = (base + p) % capacity_;
+            if (key_len_[s] == 0) {  // empty slot wins immediately
+                victim = s;
+                break;
+            }
+            if (age_[s] < victim_age) {
+                victim = s;
+                victim_age = age_[s];
+            }
+        }
+        std::memcpy(keys_.data() + victim * max_words_, staged_.data(),
+                    staged_.size() * sizeof(std::uint64_t));
+        key_len_[victim] = staged_.size();
+        values_[victim] = value;
+        age_[victim] = ++tick_;
+    }
+
+    /// Drops every entry (statistics are kept — invalidations are part of a
+    /// run's hit/miss story, not a new run).
+    void invalidate() {
+        for (std::size_t s = 0; s < key_len_.size(); ++s) key_len_[s] = 0;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+private:
+    static constexpr std::size_t kProbeWindow = 8;
+
+    std::uint64_t hash() const {
+        // FNV-1a over the staged words; any decent mixer works, the match is
+        // exact regardless.
+        std::uint64_t h = 1469598103934665603ull;
+        for (std::uint64_t w : staged_) {
+            h ^= w;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+
+    std::size_t slot_of(std::uint64_t h) const {
+        return static_cast<std::size_t>(h % capacity_);
+    }
+
+    std::size_t capacity_ = 0;
+    std::size_t max_words_ = 0;
+    std::vector<std::uint64_t> keys_;     ///< capacity × max_words flat
+    std::vector<std::size_t> key_len_;    ///< words used; 0 = empty
+    std::vector<std::uint64_t> age_;      ///< LRU-within-window tick
+    std::vector<Value> values_;
+    std::vector<std::uint64_t> staged_;   ///< key under construction
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t tick_ = 0;
+};
+
+}  // namespace hp::core

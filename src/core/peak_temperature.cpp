@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels.hpp"
+
 namespace hp::core {
 
 namespace {
@@ -44,10 +46,10 @@ PeakTemperatureAnalyzer::PeakTemperatureAnalyzer(
     beta_t_ = beta_.transpose();
     const std::size_t cores = model.core_count();
     const std::size_t big_n = model.node_count();
-    v_cores_t_ = linalg::Matrix(big_n, cores);
-    for (std::size_t k = 0; k < big_n; ++k)
-        for (std::size_t i = 0; i < cores; ++i)
-            v_cores_t_(k, i) = matex.eigenvectors()(i, k);
+    v_cores_ = linalg::Matrix(cores, big_n);
+    for (std::size_t i = 0; i < cores; ++i)
+        for (std::size_t k = 0; k < big_n; ++k)
+            v_cores_(i, k) = matex.eigenvectors()(i, k);
     ambient_offset_ = model.conductance_lu().solve(
         ambient_c * model.ambient_conductance());
 }
@@ -90,42 +92,62 @@ std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
     return out;
 }
 
-linalg::Vector PeakTemperatureAnalyzer::periodic_response_max(
-    const std::vector<linalg::Vector>& node_power_per_epoch, double tau,
-    std::size_t samples_per_epoch) const {
-    PeakWorkspace workspace;
-    linalg::Vector core_max;
-    periodic_response_max_into(node_power_per_epoch.data(),
-                               node_power_per_epoch.size(), tau,
-                               samples_per_epoch, workspace, core_max);
-    return core_max;
-}
-
 void PeakTemperatureAnalyzer::periodic_response_max_into(
     const linalg::Vector* node_power_per_epoch, std::size_t delta, double tau,
     std::size_t samples_per_epoch, PeakWorkspace& ws,
     linalg::Vector& core_max) const {
     if (delta == 0 || tau <= 0.0 || samples_per_epoch == 0)
         throw std::invalid_argument("periodic_response_max: bad arguments");
+    build_modal_targets(node_power_per_epoch, delta, ws);
+    evaluate_periodic_max(delta, tau, samples_per_epoch, ws, core_max);
+}
 
+void PeakTemperatureAnalyzer::reserve_sample_batch(
+    const std::vector<RotationRingSpec>& rings, std::size_t samples_per_epoch,
+    PeakWorkspace& ws) const {
+    // Grow the staging/projection buffers once for the largest ring of the
+    // query instead of once per distinct ring size inside
+    // evaluate_periodic_max — rings are visited smallest-first, so growing
+    // lazily would reallocate on every size step of the first query.
+    std::size_t max_delta = 0;
+    for (const RotationRingSpec& ring : rings)
+        max_delta = std::max(max_delta, ring.cores.size());
+    const std::size_t nsamp = max_delta * samples_per_epoch;
     const std::size_t big_n = matex_->model().node_count();
     const std::size_t cores = matex_->model().core_count();
-    const linalg::Vector& lambda = matex_->eigenvalues();
+    if (ws.zs_batch_.size() < nsamp * big_n)
+        ws.zs_batch_.resize(nsamp * big_n);
+    if (ws.resp_batch_.size() < nsamp * cores)
+        ws.resp_batch_.resize(nsamp * cores);
+}
+
+void PeakTemperatureAnalyzer::build_modal_targets(
+    const linalg::Vector* node_power_per_epoch, std::size_t delta,
+    PeakWorkspace& ws) const {
+    const std::size_t big_n = matex_->model().node_count();
 
     // Modal images y_f = β·P_f, exploiting that rotation power vectors are
     // sparse (non-zero only on the rotating ring's cores): accumulate the
     // corresponding β columns instead of a dense mat-vec.
     ensure_list(ws.y_, delta, big_n, /*zero=*/true);
-    std::vector<linalg::Vector>& y = ws.y_;
     for (std::size_t f = 0; f < delta; ++f) {
         const linalg::Vector& p = node_power_per_epoch[f];
+        double* yf = ws.y_[f].data();
         for (std::size_t j = 0; j < big_n; ++j) {
             const double pj = p[j];
             if (pj == 0.0) continue;
-            for (std::size_t k = 0; k < big_n; ++k)
-                y[f][k] += beta_t_(j, k) * pj;
+            linalg::kernel_axpy(big_n, pj, beta_t_.data() + j * big_n, yf);
         }
     }
+}
+
+void PeakTemperatureAnalyzer::evaluate_periodic_max(
+    std::size_t delta, double tau, std::size_t samples_per_epoch,
+    PeakWorkspace& ws, linalg::Vector& core_max) const {
+    const std::size_t big_n = matex_->model().node_count();
+    const std::size_t cores = matex_->model().core_count();
+    const linalg::Vector& lambda = matex_->eigenvalues();
+    const std::vector<linalg::Vector>& y = ws.y_;
 
     // Geometric tables e^{λ_k τ g}, g = 0..δ (pow-free).
     if (ws.ek_.size() < big_n) ws.ek_.resize(big_n);
@@ -142,18 +164,22 @@ void PeakTemperatureAnalyzer::periodic_response_max_into(
         }
     }
 
-    // Periodic boundary solution in modal space (paper Eq. (10)).
-    ensure_list(ws.z_, delta, big_n, /*zero=*/false);
+    // Periodic boundary solution in modal space (paper Eq. (10)): z_e is the
+    // f-ordered geometric accumulation scaled by (1-e^{λτ})/(1-e^{λδτ}) —
+    // the accumulation and the single closing multiply match the historical
+    // k-at-a-time recurrence bit for bit.
+    ensure_size(ws.coeff_, big_n);
+    for (std::size_t k = 0; k < big_n; ++k)
+        ws.coeff_[k] = (1.0 - ek[k]) / (1.0 - ek_pow[delta * big_n + k]);
+    ensure_list(ws.z_, delta, big_n, /*zero=*/true);
     std::vector<linalg::Vector>& z = ws.z_;
-    for (std::size_t k = 0; k < big_n; ++k) {
-        const double denom = 1.0 - ek_pow[delta * big_n + k];
-        const double coeff = (1.0 - ek[k]) / denom;
-        for (std::size_t e = 0; e < delta; ++e) {
-            double acc = 0.0;
-            for (std::size_t f = 0; f < delta; ++f)
-                acc += ek_pow[((e + delta - f) % delta) * big_n + k] * y[f][k];
-            z[e][k] = coeff * acc;
-        }
+    for (std::size_t e = 0; e < delta; ++e) {
+        double* ze = z[e].data();
+        for (std::size_t f = 0; f < delta; ++f)
+            linalg::kernel_fma_acc(
+                big_n, ek_pow.data() + ((e + delta - f) % delta) * big_n,
+                y[f].data(), ze);
+        linalg::kernel_hadamard(big_n, ws.coeff_.data(), ze);
     }
 
     // Interior-sample decay factors e^{λ_k τ s/S}; epoch-independent.
@@ -167,53 +193,50 @@ void PeakTemperatureAnalyzer::periodic_response_max_into(
     }
 
     // Per-core maxima over epoch boundaries plus interior samples. Only core
-    // rows of V are evaluated: Eq. (11) constrains core temperatures.
+    // rows of V are projected (Eq. (11) constrains core temperatures). All
+    // δ·S modal samples are staged RHS-major and projected through one
+    // matmat, which streams each V core row once per RHS block instead of
+    // once per sample — this projection dominates the whole query on
+    // many-ring chips.
     ensure_size(core_max, cores);
     for (std::size_t i = 0; i < cores; ++i) core_max[i] = -1e300;
-    ensure_size(ws.zs_, big_n);
-    ensure_size(ws.response_, cores);
-    linalg::Vector& zs = ws.zs_;
-    linalg::Vector& response = ws.response_;
+    const std::size_t nsamp = delta * samples_per_epoch;
+    if (ws.zs_batch_.size() < nsamp * big_n)
+        ws.zs_batch_.resize(nsamp * big_n);
+    if (ws.resp_batch_.size() < nsamp * cores)
+        ws.resp_batch_.resize(nsamp * cores);
+    double* zs_batch = ws.zs_batch_.data();
     for (std::size_t e = 0; e < delta; ++e) {
         const linalg::Vector& z_prev = z[(e + delta - 1) % delta];
         for (std::size_t s = 1; s <= samples_per_epoch; ++s) {
+            double* zs = zs_batch + (e * samples_per_epoch + s - 1) * big_n;
             if (s == samples_per_epoch) {
-                for (std::size_t k = 0; k < big_n; ++k) zs[k] = z[e][k];
+                const double* ze = z[e].data();
+                for (std::size_t k = 0; k < big_n; ++k) zs[k] = ze[k];
             } else {
                 // Inside epoch e: decay from the previous boundary towards
                 // this epoch's steady-state target y[e].
-                const linalg::Vector& eks = ws.eks_frac_[s - 1];
-                for (std::size_t k = 0; k < big_n; ++k)
-                    zs[k] = eks[k] * z_prev[k] + (1.0 - eks[k]) * y[e][k];
+                linalg::kernel_decay_mix(big_n, ws.eks_frac_[s - 1].data(),
+                                         z_prev.data(), y[e].data(), zs);
             }
-            for (std::size_t i = 0; i < cores; ++i) response[i] = 0.0;
-            for (std::size_t k = 0; k < big_n; ++k) {
-                const double zk = zs[k];
-                if (zk == 0.0) continue;
-                const double* row = v_cores_t_.data() + k * cores;
-                for (std::size_t i = 0; i < cores; ++i)
-                    response[i] += row[i] * zk;
-            }
-            for (std::size_t i = 0; i < cores; ++i)
-                core_max[i] = std::max(core_max[i], response[i]);
         }
     }
+    linalg::kernel_matmat(v_cores_.data(), cores, big_n, zs_batch, nsamp,
+                          ws.resp_batch_.data());
+    for (std::size_t m = 0; m < nsamp; ++m)
+        linalg::kernel_max_acc(cores, ws.resp_batch_.data() + m * cores,
+                               core_max.data());
 }
 
 double PeakTemperatureAnalyzer::schedule_peak(
     const std::vector<linalg::Vector>& core_power_per_epoch, double tau,
     std::size_t samples_per_epoch) const {
-    const thermal::ThermalModel& model = matex_->model();
-    std::vector<linalg::Vector> node_powers;
-    node_powers.reserve(core_power_per_epoch.size());
-    for (const linalg::Vector& p : core_power_per_epoch)
-        node_powers.push_back(model.pad_power(p));
-    const linalg::Vector response_max =
-        periodic_response_max(node_powers, tau, samples_per_epoch);
-    double peak = -1e300;
-    for (std::size_t i = 0; i < model.core_count(); ++i)
-        peak = std::max(peak, ambient_offset_[i] + response_max[i]);
-    return peak;
+    // Delegate to the workspace overload with throwaway scratch; the
+    // workspace path is the single numeric implementation, so the overloads
+    // agree bit for bit by construction.
+    PeakWorkspace workspace;
+    return schedule_peak(core_power_per_epoch, tau, samples_per_epoch,
+                         workspace);
 }
 
 double PeakTemperatureAnalyzer::schedule_peak(
@@ -235,13 +258,8 @@ double PeakTemperatureAnalyzer::schedule_peak(
 
 double PeakTemperatureAnalyzer::static_peak(
     const linalg::Vector& core_power) const {
-    const thermal::ThermalModel& model = matex_->model();
-    const linalg::Vector t =
-        model.steady_state(model.pad_power(core_power), ambient_c_);
-    double peak = -1e300;
-    for (std::size_t i = 0; i < model.core_count(); ++i)
-        peak = std::max(peak, t[i]);
-    return peak;
+    PeakWorkspace workspace;
+    return static_peak(core_power, workspace);
 }
 
 double PeakTemperatureAnalyzer::static_peak(const linalg::Vector& core_power,
@@ -259,8 +277,8 @@ double PeakTemperatureAnalyzer::static_peak(const linalg::Vector& core_power,
 double PeakTemperatureAnalyzer::rotation_peak(
     const std::vector<RotationRingSpec>& rings, double tau,
     std::size_t samples_per_epoch) const {
-    return rotation_peak(rings, std::vector<double>(rings.size(), tau),
-                         samples_per_epoch);
+    PeakWorkspace workspace;
+    return rotation_peak(rings, tau, samples_per_epoch, workspace);
 }
 
 double PeakTemperatureAnalyzer::rotation_peak(
@@ -274,47 +292,8 @@ double PeakTemperatureAnalyzer::rotation_peak(
     const std::vector<RotationRingSpec>& rings,
     const std::vector<double>& tau_per_ring,
     std::size_t samples_per_epoch) const {
-    if (tau_per_ring.size() != rings.size())
-        throw std::invalid_argument(
-            "rotation_peak: one tau per ring required");
-    const thermal::ThermalModel& model = matex_->model();
-    const std::size_t n = model.core_count();
-    const std::size_t big_n = model.node_count();
-
-    // All-idle baseline.
-    const linalg::Vector t_idle = model.steady_state(
-        model.pad_power(linalg::Vector(n, idle_power_w_)), ambient_c_);
-
-    linalg::Vector extra(n);
-    for (std::size_t r = 0; r < rings.size(); ++r) {
-        const RotationRingSpec& ring = rings[r];
-        const std::size_t k = ring.cores.size();
-        if (ring.slot_power_w.size() != k)
-            throw std::invalid_argument(
-                "rotation_peak: ring slot/core size mismatch");
-        if (k == 0) continue;
-        bool any_delta = false;
-        for (double p : ring.slot_power_w)
-            if (std::abs(p - idle_power_w_) > 1e-12) any_delta = true;
-        if (!any_delta) continue;
-
-        // Per-epoch power deltas: at epoch f the occupant of initial slot j
-        // sits on cores[(j + f) mod k].
-        std::vector<linalg::Vector> deltas(k, linalg::Vector(big_n));
-        for (std::size_t f = 0; f < k; ++f)
-            for (std::size_t pos = 0; pos < k; ++pos) {
-                const std::size_t slot = (pos + k - (f % k)) % k;
-                deltas[f][ring.cores[pos]] =
-                    ring.slot_power_w[slot] - idle_power_w_;
-            }
-        extra += periodic_response_max(deltas, tau_per_ring[r],
-                                       samples_per_epoch);
-    }
-
-    double peak = -1e300;
-    for (std::size_t i = 0; i < n; ++i)
-        peak = std::max(peak, t_idle[i] + extra[i]);
-    return peak;
+    PeakWorkspace workspace;
+    return rotation_peak(rings, tau_per_ring, samples_per_epoch, workspace);
 }
 
 double PeakTemperatureAnalyzer::rotation_peak(
@@ -338,6 +317,7 @@ double PeakTemperatureAnalyzer::rotation_peak(
 
     ensure_size(workspace.extra_, n);
     for (std::size_t i = 0; i < n; ++i) workspace.extra_[i] = 0.0;
+    reserve_sample_batch(rings, samples_per_epoch, workspace);
     for (std::size_t r = 0; r < rings.size(); ++r) {
         const RotationRingSpec& ring = rings[r];
         const std::size_t k = ring.cores.size();
@@ -371,6 +351,99 @@ double PeakTemperatureAnalyzer::rotation_peak(
     for (std::size_t i = 0; i < n; ++i)
         peak = std::max(peak, workspace.t_idle_[i] + workspace.extra_[i]);
     return peak;
+}
+
+void PeakTemperatureAnalyzer::rotation_peak_tau_batch(
+    const std::vector<RotationRingSpec>& rings, const double* taus,
+    std::size_t tau_count, std::size_t samples_per_epoch,
+    PeakWorkspace& workspace, double* peaks) const {
+    if (tau_count == 0) return;
+    const thermal::ThermalModel& model = matex_->model();
+    const std::size_t n = model.core_count();
+    const std::size_t big_n = model.node_count();
+
+    // All-idle baseline — shared by every τ rung.
+    ensure_size(workspace.core_power_, n);
+    for (std::size_t i = 0; i < n; ++i)
+        workspace.core_power_[i] = idle_power_w_;
+    model.pad_power_into(workspace.core_power_, workspace.node_power_);
+    model.steady_state_into(workspace.node_power_, ambient_c_,
+                            workspace.thermal_, workspace.t_idle_);
+
+    std::vector<double>& extra = workspace.extra_batch_;
+    if (extra.size() < tau_count * n) extra.resize(tau_count * n);
+    for (std::size_t i = 0; i < tau_count * n; ++i) extra[i] = 0.0;
+    reserve_sample_batch(rings, samples_per_epoch, workspace);
+
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+        const RotationRingSpec& ring = rings[r];
+        const std::size_t k = ring.cores.size();
+        if (ring.slot_power_w.size() != k)
+            throw std::invalid_argument(
+                "rotation_peak: ring slot/core size mismatch");
+        if (k == 0) continue;
+        bool any_delta = false;
+        for (double p : ring.slot_power_w)
+            if (std::abs(p - idle_power_w_) > 1e-12) any_delta = true;
+        if (!any_delta) continue;
+
+        // The per-epoch power deltas and their modal targets y_f = β·P_f are
+        // τ-independent: build them once per ring, then re-run only the
+        // geometric-series evaluation at each rung.
+        ensure_list(workspace.deltas_, k, big_n, /*zero=*/true);
+        for (std::size_t f = 0; f < k; ++f)
+            for (std::size_t pos = 0; pos < k; ++pos) {
+                const std::size_t slot = (pos + k - (f % k)) % k;
+                workspace.deltas_[f][ring.cores[pos]] =
+                    ring.slot_power_w[slot] - idle_power_w_;
+            }
+        build_modal_targets(workspace.deltas_.data(), k, workspace);
+        for (std::size_t t = 0; t < tau_count; ++t) {
+            evaluate_periodic_max(k, taus[t], samples_per_epoch, workspace,
+                                  workspace.core_max_);
+            double* extra_t = extra.data() + t * n;
+            for (std::size_t i = 0; i < n; ++i)
+                extra_t[i] += workspace.core_max_[i];
+        }
+    }
+
+    for (std::size_t t = 0; t < tau_count; ++t) {
+        const double* extra_t = extra.data() + t * n;
+        double peak = -1e300;
+        for (std::size_t i = 0; i < n; ++i)
+            peak = std::max(peak, workspace.t_idle_[i] + extra_t[i]);
+        peaks[t] = peak;
+    }
+}
+
+void PeakTemperatureAnalyzer::static_peak_batch(const double* core_powers,
+                                                std::size_t nrhs,
+                                                PeakWorkspace& workspace,
+                                                double* peaks) const {
+    if (nrhs == 0) return;
+    const thermal::ThermalModel& model = matex_->model();
+    const std::size_t n = model.core_count();
+    const std::size_t big_n = model.node_count();
+
+    std::vector<double>& padded = workspace.batch_node_power_;
+    if (padded.size() < big_n * nrhs) padded.resize(big_n * nrhs);
+    std::vector<double>& steady = workspace.batch_steady_;
+    if (steady.size() < big_n * nrhs) steady.resize(big_n * nrhs);
+
+    for (std::size_t r = 0; r < nrhs; ++r) {
+        double* dst = padded.data() + r * big_n;
+        const double* src = core_powers + r * n;
+        for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+        for (std::size_t i = n; i < big_n; ++i) dst[i] = 0.0;
+    }
+    model.steady_state_batch_into(padded.data(), nrhs, ambient_c_,
+                                  workspace.thermal_, steady.data());
+    for (std::size_t r = 0; r < nrhs; ++r) {
+        const double* t = steady.data() + r * big_n;
+        double peak = -1e300;
+        for (std::size_t i = 0; i < n; ++i) peak = std::max(peak, t[i]);
+        peaks[r] = peak;
+    }
 }
 
 }  // namespace hp::core

@@ -41,13 +41,17 @@ private:
     std::vector<double> ek_;                ///< e^{λ_k τ}
     std::vector<double> ek_pow_;            ///< e^{λ_k τ g}, g = 0..δ
     std::vector<double> tau_;               ///< broadcast per-ring τ
-    linalg::Vector zs_;
-    linalg::Vector response_;
+    linalg::Vector coeff_;                  ///< (1-e^{λτ})/(1-e^{λδτ})
+    std::vector<double> zs_batch_;          ///< RHS-major modal samples
+    std::vector<double> resp_batch_;        ///< RHS-major projected responses
     linalg::Vector core_max_;
     linalg::Vector extra_;
     linalg::Vector t_idle_;
     linalg::Vector core_power_;
     linalg::Vector node_power_;
+    std::vector<double> extra_batch_;       ///< per-τ-rung response maxima
+    std::vector<double> batch_node_power_;  ///< RHS-major padded candidates
+    std::vector<double> batch_steady_;      ///< RHS-major batched solves
     thermal::ThermalWorkspace thermal_;
 };
 
@@ -153,14 +157,29 @@ public:
                          std::size_t samples_per_epoch,
                          PeakWorkspace& workspace) const;
 
-private:
-    /// Modal periodic solution: returns per-node maxima over all epochs and
-    /// intra-epoch samples of the *zero-ambient* response to the given
-    /// per-epoch node power deltas. Thin wrapper over the _into core.
-    linalg::Vector periodic_response_max(
-        const std::vector<linalg::Vector>& node_power_per_epoch, double tau,
-        std::size_t samples_per_epoch) const;
+    /// Evaluates rotation_peak for the same ring set at @p tau_count
+    /// different rotation intervals in one pass: the all-idle baseline and
+    /// every ring's modal epoch targets y_f = β·P_f are τ-independent, so
+    /// they are computed once and only the geometric-series evaluation runs
+    /// per rung. peaks[t] is bit-identical to
+    /// rotation_peak(rings, taus[t], samples_per_epoch, workspace) — the
+    /// per-rung operation sequence is unchanged, only shared work is hoisted.
+    /// This is the batched slate HotPotato scores when probing its τ ladder.
+    void rotation_peak_tau_batch(const std::vector<RotationRingSpec>& rings,
+                                 const double* taus, std::size_t tau_count,
+                                 std::size_t samples_per_epoch,
+                                 PeakWorkspace& workspace,
+                                 double* peaks) const;
 
+    /// static_peak over @p nrhs candidate core-power vectors in one batched
+    /// steady-state solve (the multi-candidate slate of HotPotato's
+    /// rotation-off placement scan). @p core_powers is RHS-major — candidate
+    /// r occupies [r·core_count(), (r+1)·core_count()). peaks[r] is
+    /// bit-identical to static_peak(candidate r, workspace).
+    void static_peak_batch(const double* core_powers, std::size_t nrhs,
+                           PeakWorkspace& workspace, double* peaks) const;
+
+private:
     /// The allocation-free core of Algorithm 1's run-time phase: consumes
     /// @p delta node-power vectors starting at @p node_power_per_epoch and
     /// writes the per-core response maxima into @p core_max (resized on
@@ -171,14 +190,36 @@ private:
                                     PeakWorkspace& workspace,
                                     linalg::Vector& core_max) const;
 
+    /// Pre-grows the RHS-major sample staging/projection buffers to the
+    /// largest ring of a query, so evaluate_periodic_max never reallocates
+    /// mid-query (one growth per workspace instead of one per ring size).
+    void reserve_sample_batch(const std::vector<RotationRingSpec>& rings,
+                              std::size_t samples_per_epoch,
+                              PeakWorkspace& workspace) const;
+
+    /// τ-independent half of periodic_response_max_into: fills workspace.y_
+    /// with the modal epoch targets y_f = β·P_f. Splitting this out lets
+    /// rotation_peak_tau_batch evaluate one ring at many rotation intervals
+    /// without redoing the (dominant) β projections.
+    void build_modal_targets(const linalg::Vector* node_power_per_epoch,
+                             std::size_t delta, PeakWorkspace& workspace) const;
+
+    /// τ-dependent half: consumes workspace.y_ (left untouched, so it may be
+    /// re-evaluated at another τ) and writes per-core response maxima.
+    void evaluate_periodic_max(std::size_t delta, double tau,
+                               std::size_t samples_per_epoch,
+                               PeakWorkspace& workspace,
+                               linalg::Vector& core_max) const;
+
     const thermal::MatExSolver* matex_;
     double ambient_c_;
     double idle_power_w_;
     linalg::Matrix beta_;            ///< V^{-1} B^{-1} (design-time)
     linalg::Matrix beta_t_;          ///< β^T: row j = β column j (cache-friendly
                                      ///< accumulation over sparse power vectors)
-    linalg::Matrix v_cores_t_;       ///< V core rows, transposed: (k, i) = V(i, k);
-                                     ///< lets the modal→core projection vectorise
+    linalg::Matrix v_cores_;         ///< V core rows, row-major (i, k) = V(i, k);
+                                     ///< the modal→core projection is one matmat
+                                     ///< over all boundary/interior samples
     linalg::Vector ambient_offset_;  ///< B^{-1} T_amb G
 };
 

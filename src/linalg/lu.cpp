@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "linalg/kernels.hpp"
+
 namespace hp::linalg {
 
 LuDecomposition::LuDecomposition(const Matrix& m) : lu_(m) {
@@ -65,6 +67,33 @@ void LuDecomposition::solve_into(const Vector& b, Vector& out) const {
         double acc = y[ii];
         for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
         y[ii] = acc / lu_(ii, ii);
+    }
+}
+
+void LuDecomposition::solve_batch_into(const double* b, std::size_t nrhs,
+                                       double* out) const {
+    const std::size_t n = size();
+    if (nrhs == 0) return;
+    // Permutation, then both substitutions in place — solve_into with the
+    // scalar recurrences replaced by width-nrhs axpy/div kernels. The axpy
+    // form y_i += (-l)·y_j is bit-identical to solve_into's acc -= l·y_j
+    // (IEEE negation is exact), and the kernels never fuse, so each RHS
+    // reproduces the single-RHS bits exactly.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* src = b + perm_[i] * nrhs;
+        double* dst = out + i * nrhs;
+        for (std::size_t r = 0; r < nrhs; ++r) dst[r] = src[r];
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+        double* yi = out + i * nrhs;
+        for (std::size_t j = 0; j < i; ++j)
+            kernel_axpy(nrhs, -lu_(i, j), out + j * nrhs, yi);
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        double* yi = out + ii * nrhs;
+        for (std::size_t j = ii + 1; j < n; ++j)
+            kernel_axpy(nrhs, -lu_(ii, j), out + j * nrhs, yi);
+        kernel_div_scalar(nrhs, lu_(ii, ii), yi);
     }
 }
 

@@ -32,6 +32,17 @@ public:
     /// std::invalid_argument on any size mismatch.
     void solve_into(const Vector& b, Vector& out) const;
 
+    /// Solves M X = B for @p nrhs right-hand sides in one pass, without
+    /// allocating. @p b and @p out are node-major: the entry for node i of
+    /// RHS r lives at index i·nrhs + r (both size()·nrhs doubles), so the
+    /// substitution recurrences vectorise across the independent RHS
+    /// dimension. Every RHS runs through exactly solve_into's operation
+    /// sequence (same permutation, same subtraction order, same final
+    /// division), so the batch is bit-identical to nrhs looped solve_into
+    /// calls in every dispatch tier. @p out must not alias @p b.
+    void solve_batch_into(const double* b, std::size_t nrhs,
+                          double* out) const;
+
     /// Solves M X = B column-by-column.
     Matrix solve(const Matrix& b) const;
 

@@ -8,20 +8,68 @@ namespace hp::sched {
 
 void PcMigScheduler::initialize(sim::SimContext& ctx) {
     PcGovScheduler::initialize(ctx);
-    if (obs::Recorder* obs = ctx.observer())
+    if (obs::Recorder* obs = ctx.observer()) {
         obs_predictions_ = &obs->counter("pcmig.predictions");
+        obs_steady_hits_ = &obs->counter("pcmig.steady_cache_hits");
+        obs_steady_misses_ = &obs->counter("pcmig.steady_cache_misses");
+    }
+    if (params_.use_peak_cache)
+        steady_cache_.configure(128, ctx.chip().core_count());
+    else
+        steady_cache_.configure(0, 0);
+}
+
+void PcMigScheduler::on_core_failure(
+    sim::SimContext& ctx, std::size_t core,
+    const std::vector<sim::ThreadId>& evicted) {
+    steady_cache_.invalidate();
+    PcGovScheduler::on_core_failure(ctx, core, evicted);
 }
 
 const linalg::Vector& PcMigScheduler::predict(sim::SimContext& ctx) {
     if (obs_predictions_) obs_predictions_->add();
     const std::size_t n = ctx.chip().core_count();
+    const thermal::ThermalModel& model = ctx.thermal_model();
+    const std::size_t big_n = model.node_count();
     if (predict_power_.size() != n) predict_power_ = linalg::Vector(n);
-    for (std::size_t c = 0; c < n; ++c) predict_power_[c] = ctx.core_power(c);
+    // Quantised unconditionally so a cached steady state is bit-identical to
+    // the solve it replaces (see core::quantise_power_w).
+    for (std::size_t c = 0; c < n; ++c)
+        predict_power_[c] = core::quantise_power_w(ctx.core_power(c));
     ctx.thermal_model().pad_power_into(predict_power_, predict_node_power_);
-    ctx.matex().transient_into(ctx.temperatures(), predict_node_power_,
-                               ctx.config().ambient_c,
-                               params_.prediction_horizon_s, predict_ws_,
-                               predicted_);
+
+    // Steady-state half: memoised on the quantised power vector. The rest of
+    // the pipeline replicates MatExSolver::transient_into step for step, so
+    // the prediction matches a direct transient_into call bit for bit.
+    if (predict_steady_.size() != big_n)
+        predict_steady_ = linalg::Vector(big_n);
+    predict_ws_.resize(big_n);
+    bool have_steady = false;
+    if (steady_cache_.enabled()) {
+        steady_cache_.key_begin();
+        for (std::size_t c = 0; c < n; ++c)
+            steady_cache_.key_push(predict_power_[c]);
+        if (const linalg::Vector* hit = steady_cache_.lookup()) {
+            predict_steady_ = *hit;
+            have_steady = true;
+            if (obs_steady_hits_) obs_steady_hits_->add();
+        } else if (obs_steady_misses_) {
+            obs_steady_misses_->add();
+        }
+    }
+    if (!have_steady) {
+        model.steady_state_into(predict_node_power_, ctx.config().ambient_c,
+                                predict_ws_, predict_steady_);
+        steady_cache_.insert(predict_steady_);
+    }
+    const linalg::Vector& t_init = ctx.temperatures();
+    for (std::size_t i = 0; i < big_n; ++i)
+        predict_ws_.offset[i] = t_init[i] - predict_steady_[i];
+    ctx.matex().apply_exponential_into(predict_ws_.offset,
+                                       params_.prediction_horizon_s,
+                                       predict_ws_, predicted_);
+    for (std::size_t i = 0; i < big_n; ++i)
+        predicted_[i] = predict_steady_[i] + predicted_[i];
     return predicted_;
 }
 

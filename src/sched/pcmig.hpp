@@ -1,7 +1,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "core/peak_cache.hpp"
 #include "obs/recorder.hpp"
 #include "sched/pcgov.hpp"
 #include "thermal/workspace.hpp"
@@ -17,6 +19,11 @@ struct PcMigParams {
     /// At most this many migrations per scheduler epoch (migration is a
     /// measure of last resort in PCMig, not a periodic activity).
     std::size_t max_migrations_per_epoch = 1;
+    /// Memoise the steady-state half of the MatEx prediction, keyed by the
+    /// quantised per-core powers. Powers are quantised whether or not the
+    /// cache is on, so the switch never changes a migration decision
+    /// (--no-peak-cache exposes it on the CLI).
+    bool use_peak_cache = true;
 };
 
 /// PCMig (Rapp et al., TC'20/DATE'19): the state-of-the-art thermal-aware
@@ -38,6 +45,11 @@ public:
 
     void initialize(sim::SimContext& ctx) override;
     void on_epoch(sim::SimContext& ctx) override;
+    /// Flushes the steady-state memo (the surviving-core power layout — and
+    /// with it the meaning of a cached key — just changed), then applies the
+    /// default re-placement.
+    void on_core_failure(sim::SimContext& ctx, std::size_t core,
+                         const std::vector<sim::ThreadId>& evicted) override;
 
 private:
     /// Predicted per-node temperatures after the horizon, holding current
@@ -47,11 +59,18 @@ private:
 
     PcMigParams params_;
     obs::Counter* obs_predictions_ = nullptr;  // null when observability off
+    obs::Counter* obs_steady_hits_ = nullptr;
+    obs::Counter* obs_steady_misses_ = nullptr;
     // Prediction scratch (schedulers are per-run, so plain members suffice).
     thermal::ThermalWorkspace predict_ws_;
     linalg::Vector predict_power_;
     linalg::Vector predict_node_power_;
+    linalg::Vector predict_steady_;
     linalg::Vector predicted_;
+    /// Steady-state solutions keyed by the quantised core-power vector. A
+    /// hit replaces only the B^{-1} solve; the transient tail always runs
+    /// (it depends on the live temperatures, which change every epoch).
+    core::PredictionCache<linalg::Vector> steady_cache_;
 };
 
 }  // namespace hp::sched

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/eigen_sym.hpp"
+#include "linalg/kernels.hpp"
 
 namespace hp::thermal {
 
@@ -58,8 +59,26 @@ void MatExSolver::apply_exponential_into(const linalg::Vector& x, double dt,
     if (out.size() != n) out = linalg::Vector(n);
     linalg::matvec_into(v_inv_, x, workspace.modal);
     const linalg::Vector& decay = workspace.exp_table(lambda_, dt);
-    for (std::size_t k = 0; k < n; ++k) workspace.modal[k] *= decay[k];
+    linalg::kernel_hadamard(n, decay.data(), workspace.modal.data());
     linalg::matvec_into(v_, workspace.modal, out);
+}
+
+void MatExSolver::apply_exponential_batch_into(const double* xs,
+                                               std::size_t nrhs, double dt,
+                                               ThermalWorkspace& workspace,
+                                               double* outs) const {
+    const std::size_t n = lambda_.size();
+    if (nrhs == 0) return;
+    workspace.resize(n);
+    // Project, decay, project back — one multi-RHS pass each; per RHS the
+    // operation sequence matches apply_exponential_into exactly. xs is fully
+    // consumed before outs is written, so outs may alias xs.
+    std::vector<double>& modal = workspace.batch_modal(n * nrhs);
+    linalg::kernel_matmat(v_inv_.data(), n, n, xs, nrhs, modal.data());
+    const linalg::Vector& decay = workspace.exp_table(lambda_, dt);
+    for (std::size_t r = 0; r < nrhs; ++r)
+        linalg::kernel_hadamard(n, decay.data(), modal.data() + r * n);
+    linalg::kernel_matmat(v_.data(), n, n, modal.data(), nrhs, outs);
 }
 
 linalg::Matrix MatExSolver::exponential(double dt) const {
@@ -97,6 +116,35 @@ void MatExSolver::transient_into(const linalg::Vector& t_init,
     apply_exponential_into(workspace.offset, dt, workspace, out);
     for (std::size_t i = 0; i < n; ++i)
         out[i] = workspace.steady[i] + out[i];
+}
+
+void MatExSolver::transient_batch_into(const linalg::Vector& t_init,
+                                       const double* node_powers,
+                                       std::size_t nrhs,
+                                       double ambient_celsius, double dt,
+                                       ThermalWorkspace& workspace,
+                                       double* outs) const {
+    const std::size_t n = lambda_.size();
+    if (t_init.size() != n)
+        throw std::invalid_argument("transient: t_init size mismatch");
+    if (nrhs == 0) return;
+    workspace.resize(n);
+    std::vector<double>& steady = workspace.batch_steady(n * nrhs);
+    model_->steady_state_batch_into(node_powers, nrhs, ambient_celsius,
+                                    workspace, steady.data());
+    // Offsets are built directly in outs (the batched exponential may run
+    // in place), with transient_into's subtraction and final-add order.
+    for (std::size_t r = 0; r < nrhs; ++r) {
+        const double* st = steady.data() + r * n;
+        double* o = outs + r * n;
+        for (std::size_t i = 0; i < n; ++i) o[i] = t_init[i] - st[i];
+    }
+    apply_exponential_batch_into(outs, nrhs, dt, workspace, outs);
+    for (std::size_t r = 0; r < nrhs; ++r) {
+        const double* st = steady.data() + r * n;
+        double* o = outs + r * n;
+        for (std::size_t i = 0; i < n; ++i) o[i] = st[i] + o[i];
+    }
 }
 
 MatExSolver::Peak MatExSolver::peak_core_temperature_exact(

@@ -1,6 +1,7 @@
 #include "thermal/rc_network.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace hp::thermal {
 
@@ -143,6 +144,33 @@ void ThermalModel::steady_state_into(const linalg::Vector& node_power,
     for (std::size_t i = 0; i < node_count(); ++i)
         workspace.rhs[i] = node_power[i] + ambient[i];
     b_lu_->solve_into(workspace.rhs, out);
+}
+
+void ThermalModel::steady_state_batch_into(const double* node_powers,
+                                           std::size_t nrhs,
+                                           double ambient_celsius,
+                                           ThermalWorkspace& workspace,
+                                           double* out) const {
+    const std::size_t n = node_count();
+    if (nrhs == 0) return;
+    workspace.resize(n);
+    const linalg::Vector& ambient =
+        workspace.ambient_rhs(ambient_conductance_, ambient_celsius);
+    // Build the right-hand sides directly in the solver's node-major layout
+    // (node i of RHS r at i·nrhs + r) — same adds as steady_state_into.
+    std::vector<double>& rhs = workspace.batch_rhs(n * nrhs);
+    std::vector<double>& sol = workspace.batch_sol(n * nrhs);
+    for (std::size_t i = 0; i < n; ++i) {
+        double* row = rhs.data() + i * nrhs;
+        const double amb = ambient[i];
+        for (std::size_t r = 0; r < nrhs; ++r)
+            row[r] = node_powers[r * n + i] + amb;
+    }
+    b_lu_->solve_batch_into(rhs.data(), nrhs, sol.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* row = sol.data() + i * nrhs;
+        for (std::size_t r = 0; r < nrhs; ++r) out[r * n + i] = row[r];
+    }
 }
 
 linalg::Vector ThermalModel::steady_state(const linalg::Vector& node_power,

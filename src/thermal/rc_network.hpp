@@ -103,6 +103,19 @@ public:
                            double ambient_celsius, ThermalWorkspace& workspace,
                            linalg::Vector& out) const;
 
+    /// Batched steady_state_into: solves B·T_r = P_r + T_amb·G for @p nrhs
+    /// node-power vectors in one multi-RHS substitution pass. @p node_powers
+    /// and @p out are RHS-major (RHS r occupies the contiguous range
+    /// [r·node_count(), (r+1)·node_count())); the transposes to the solver's
+    /// node-major layout are exact copies, and each RHS runs through exactly
+    /// steady_state_into's add and substitution order, so every output vector
+    /// is bit-identical to a looped steady_state_into call. @p out must not
+    /// alias @p node_powers or a workspace buffer.
+    void steady_state_batch_into(const double* node_powers, std::size_t nrhs,
+                                 double ambient_celsius,
+                                 ThermalWorkspace& workspace,
+                                 double* out) const;
+
     /// The ambient-only equilibrium B^{-1}·T_amb·G — every node at T_amb.
     linalg::Vector ambient_equilibrium(double ambient_celsius) const;
 

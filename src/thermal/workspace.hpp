@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <vector>
 
 #include "linalg/vector.hpp"
 
@@ -73,6 +74,19 @@ public:
         return ambient_;
     }
 
+    // Grow-only flat scratch for the batched (multi-RHS) kernels; each
+    // buffer is fully overwritten by the batch query that uses it, and the
+    // capacity high-water-marks, so alternating batch widths stays
+    // allocation-free after warm-up.
+    std::vector<double>& batch_rhs(std::size_t n) { return grown(batch_rhs_, n); }
+    std::vector<double>& batch_sol(std::size_t n) { return grown(batch_sol_, n); }
+    std::vector<double>& batch_steady(std::size_t n) {
+        return grown(batch_steady_, n);
+    }
+    std::vector<double>& batch_modal(std::size_t n) {
+        return grown(batch_modal_, n);
+    }
+
     /// Memoised e^{λ_k·dt} for the eigenvalue vector @p lambda. Recomputed
     /// only when @p lambda (by address) or @p dt changes.
     const linalg::Vector& exp_table(const linalg::Vector& lambda, double dt) {
@@ -89,7 +103,16 @@ public:
     }
 
 private:
+    static std::vector<double>& grown(std::vector<double>& v, std::size_t n) {
+        if (v.size() < n) v.resize(n);
+        return v;
+    }
+
     std::size_t nodes_ = 0;
+    std::vector<double> batch_rhs_;
+    std::vector<double> batch_sol_;
+    std::vector<double> batch_steady_;
+    std::vector<double> batch_modal_;
     linalg::Vector ambient_;
     const void* ambient_key_ = nullptr;
     double ambient_c_ = 0.0;

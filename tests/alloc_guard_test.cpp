@@ -200,10 +200,14 @@ TEST(AllocGuard, WarmedMicroStepWithRecorderAttachedIsAllocationFree) {
 
 /// HotPotato probe: after each epoch's normal work, times an extra candidate
 /// evaluation (predict_peak = ring specs + Algorithm 1) with a warm
-/// workspace and records its allocation count.
+/// workspace and records its allocation count. With the peak cache enabled
+/// (the default) the repeat query exercises key staging + a cache hit; with
+/// it disabled, the full uncached evaluation — both must stay heap-free.
 class PredictProbeHotPotato : public core::HotPotatoScheduler {
 public:
-    explicit PredictProbeHotPotato(std::size_t max_samples) {
+    PredictProbeHotPotato(std::size_t max_samples,
+                          core::HotPotatoParams params = {})
+        : core::HotPotatoScheduler(params) {
         deltas_.reserve(max_samples);
     }
 
@@ -223,22 +227,29 @@ private:
 };
 
 TEST(AllocGuard, WarmedHotPotatoCandidateEvaluationIsAllocationFree) {
-    const campaign::StudySetup setup = campaign::StudySetup::paper_16core();
-    sim::SimConfig cfg;
-    cfg.micro_step_s = 1e-4;
-    cfg.scheduler_epoch_s = 1e-3;
-    cfg.max_sim_time_s = 0.03;
+    for (const bool use_cache : {true, false}) {
+        const campaign::StudySetup setup =
+            campaign::StudySetup::paper_16core();
+        sim::SimConfig cfg;
+        cfg.micro_step_s = 1e-4;
+        cfg.scheduler_epoch_s = 1e-3;
+        cfg.max_sim_time_s = 0.03;
 
-    PredictProbeHotPotato sched(64);
-    sim::Simulator sim = setup.make_simulator(cfg);
-    sim.add_tasks(
-        {workload::TaskSpec{&workload::profile_by_name("blackscholes"), 2,
-                            0.0}});
-    sim.run(sched);
+        core::HotPotatoParams params;
+        params.use_peak_cache = use_cache;
+        PredictProbeHotPotato sched(64, params);
+        sim::Simulator sim = setup.make_simulator(cfg);
+        sim.add_tasks(
+            {workload::TaskSpec{&workload::profile_by_name("blackscholes"), 2,
+                                0.0}});
+        sim.run(sched);
 
-    ASSERT_GT(sched.deltas().size(), 5u);
-    for (std::size_t i = 1; i < sched.deltas().size(); ++i)
-        EXPECT_EQ(sched.deltas()[i], 0u) << "allocation in epoch probe " << i;
+        ASSERT_GT(sched.deltas().size(), 5u);
+        for (std::size_t i = 1; i < sched.deltas().size(); ++i)
+            EXPECT_EQ(sched.deltas()[i], 0u)
+                << "allocation in epoch probe " << i
+                << (use_cache ? " (cache on)" : " (cache off)");
+    }
 }
 
 TEST(AllocGuard, WarmedThermalKernelsAreAllocationFree) {

@@ -1,0 +1,300 @@
+// Bit-identity of the batched (multi-RHS) kernels against their looped
+// single-RHS counterparts.
+//
+// The batching contract (DESIGN.md §9) promises more than closeness: every
+// batched kernel runs each right-hand side through exactly the operation
+// sequence of the single-RHS path — same products, same accumulation order,
+// same substitutions — so batch results must be *bit-identical* (EXPECT_EQ
+// on doubles, no tolerance) to looping the scalar entry point, for every
+// batch width including K=1 and sizes that are not a multiple of any SIMD
+// register width.
+//
+// Coverage: the element-wise dispatch kernels against reference loops,
+// kernel_matmat vs looped kernel_matvec, LU solve_batch_into vs looped
+// solve_into, the thermal batch kernels (steady_state_batch_into,
+// apply_exponential_batch_into including the documented outs==xs aliasing,
+// transient_batch_into), and the analyzer slates (rotation_peak_tau_batch,
+// static_peak_batch).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "campaign/study_setup.hpp"
+#include "core/peak_temperature.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/vector.hpp"
+#include "thermal/matex.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/workspace.hpp"
+
+namespace {
+
+using namespace hp;
+
+/// Deterministic irregular filler: no symmetry that could hide an indexing
+/// bug, values spread over a couple of orders of magnitude.
+double filler(std::size_t i) {
+    return 0.05 + 1.37 * static_cast<double>((i * 7 + 3) % 13) +
+           std::sin(static_cast<double>(i) * 0.61);
+}
+
+// Sizes deliberately include 1 (degenerate), odd primes (never a multiple of
+// the 4-lane AVX2 width), 8 (exact multiple) and 129 (the big_n of the
+// 64-core model: 32 groups of 4 plus a remainder lane).
+const std::size_t kSizes[] = {1, 3, 5, 8, 129};
+const std::size_t kWidths[] = {1, 2, 3, 5, 8};
+
+TEST(BatchKernels, MatmatBitIdenticalToLoopedMatvec) {
+    for (std::size_t n : kSizes) {
+        std::vector<double> a(n * n);
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] = filler(i);
+        for (std::size_t nrhs : kWidths) {
+            std::vector<double> xs(nrhs * n);
+            for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = filler(i + 11);
+
+            std::vector<double> batch(nrhs * n, -1.0);
+            linalg::kernel_matmat(a.data(), n, n, xs.data(), nrhs,
+                                  batch.data());
+            std::vector<double> looped(nrhs * n, -2.0);
+            for (std::size_t r = 0; r < nrhs; ++r)
+                linalg::kernel_matvec(a.data(), n, n, xs.data() + r * n,
+                                      looped.data() + r * n);
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                EXPECT_EQ(batch[i], looped[i])
+                    << "n=" << n << " nrhs=" << nrhs << " i=" << i;
+        }
+    }
+}
+
+TEST(BatchKernels, ElementwiseKernelsMatchReferenceLoops) {
+    for (std::size_t n : kSizes) {
+        std::vector<double> x(n), y(n), e(n), zp(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = filler(i);
+            y[i] = filler(i + 5);
+            e[i] = 1.0 / (1.0 + filler(i + 9));  // in (0, 1) like a decay
+            zp[i] = filler(i + 17);
+        }
+
+        std::vector<double> got = y, want = y;
+        linalg::kernel_axpy(n, 1.25, x.data(), got.data());
+        for (std::size_t i = 0; i < n; ++i) want[i] += 1.25 * x[i];
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+
+        got = x, want = x;
+        linalg::kernel_scale(n, 0.75, got.data());
+        for (std::size_t i = 0; i < n; ++i) want[i] *= 0.75;
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+
+        got = x, want = x;
+        linalg::kernel_hadamard(n, e.data(), got.data());
+        for (std::size_t i = 0; i < n; ++i) want[i] *= e[i];
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+
+        got = y, want = y;
+        linalg::kernel_fma_acc(n, x.data(), e.data(), got.data());
+        for (std::size_t i = 0; i < n; ++i) want[i] += x[i] * e[i];
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+
+        got = y, want = y;
+        linalg::kernel_max_acc(n, x.data(), got.data());
+        for (std::size_t i = 0; i < n; ++i) want[i] = std::max(want[i], x[i]);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+
+        got.assign(n, -3.0), want.assign(n, -4.0);
+        linalg::kernel_decay_mix(n, e.data(), zp.data(), y.data(), got.data());
+        for (std::size_t i = 0; i < n; ++i)
+            want[i] = e[i] * zp[i] + (1.0 - e[i]) * y[i];
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+
+        got = x, want = x;
+        linalg::kernel_div_scalar(n, 3.7, got.data());
+        for (std::size_t i = 0; i < n; ++i) want[i] /= 3.7;
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+    }
+}
+
+TEST(BatchKernels, LuSolveBatchBitIdenticalToLoopedSolve) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_16core();
+    const linalg::LuDecomposition& lu = setup.model().conductance_lu();
+    const std::size_t n = setup.model().node_count();
+
+    for (std::size_t nrhs : kWidths) {
+        // Node-major staging: node i of RHS r lives at i*nrhs + r.
+        std::vector<double> b(n * nrhs);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t r = 0; r < nrhs; ++r)
+                b[i * nrhs + r] = filler(i * 31 + r);
+        std::vector<double> batch(n * nrhs, -1.0);
+        lu.solve_batch_into(b.data(), nrhs, batch.data());
+
+        linalg::Vector rhs(n), sol(n);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            for (std::size_t i = 0; i < n; ++i) rhs[i] = b[i * nrhs + r];
+            lu.solve_into(rhs, sol);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(batch[i * nrhs + r], sol[i])
+                    << "nrhs=" << nrhs << " r=" << r << " i=" << i;
+        }
+    }
+}
+
+// --- thermal batch kernels ---------------------------------------------------
+
+class ThermalBatch : public ::testing::TestWithParam<const char*> {
+protected:
+    static campaign::StudySetup make_setup(const std::string& name) {
+        if (name == "paper_16core") return campaign::StudySetup::paper_16core();
+        if (name == "paper_64core") return campaign::StudySetup::paper_64core();
+        return campaign::StudySetup::stacked_32core();
+    }
+};
+
+TEST_P(ThermalBatch, SteadyStateBatchBitIdenticalToLoop) {
+    const campaign::StudySetup setup = make_setup(GetParam());
+    const thermal::ThermalModel& model = setup.model();
+    const std::size_t n = model.node_count();
+    thermal::ThermalWorkspace ws;
+
+    for (std::size_t nrhs : kWidths) {
+        std::vector<double> powers(nrhs * n);  // RHS-major
+        for (std::size_t i = 0; i < powers.size(); ++i)
+            powers[i] = filler(i + 23);
+        std::vector<double> batch(nrhs * n, -1.0);
+        model.steady_state_batch_into(powers.data(), nrhs, 45.0, ws,
+                                      batch.data());
+
+        linalg::Vector rhs(n), sol(n);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            for (std::size_t i = 0; i < n; ++i) rhs[i] = powers[r * n + i];
+            model.steady_state_into(rhs, 45.0, ws, sol);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(batch[r * n + i], sol[i])
+                    << "nrhs=" << nrhs << " r=" << r << " i=" << i;
+        }
+    }
+}
+
+TEST_P(ThermalBatch, ApplyExponentialBatchBitIdenticalIncludingAliasing) {
+    const campaign::StudySetup setup = make_setup(GetParam());
+    const thermal::MatExSolver& matex = setup.solver();
+    const std::size_t n = setup.model().node_count();
+    thermal::ThermalWorkspace ws;
+
+    for (std::size_t nrhs : kWidths) {
+        std::vector<double> xs(nrhs * n);
+        for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = filler(i + 41);
+
+        std::vector<double> batch(nrhs * n, -1.0);
+        matex.apply_exponential_batch_into(xs.data(), nrhs, 1e-4, ws,
+                                           batch.data());
+        linalg::Vector x(n), out(n);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            for (std::size_t i = 0; i < n; ++i) x[i] = xs[r * n + i];
+            matex.apply_exponential_into(x, 1e-4, ws, out);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(batch[r * n + i], out[i])
+                    << "nrhs=" << nrhs << " r=" << r << " i=" << i;
+        }
+
+        // Documented aliasing: outs may be the xs buffer itself.
+        std::vector<double> inplace = xs;
+        matex.apply_exponential_batch_into(inplace.data(), nrhs, 1e-4, ws,
+                                           inplace.data());
+        for (std::size_t i = 0; i < inplace.size(); ++i)
+            EXPECT_EQ(inplace[i], batch[i]) << "aliased i=" << i;
+    }
+}
+
+TEST_P(ThermalBatch, TransientBatchBitIdenticalToLoop) {
+    const campaign::StudySetup setup = make_setup(GetParam());
+    const thermal::ThermalModel& model = setup.model();
+    const thermal::MatExSolver& matex = setup.solver();
+    const std::size_t n = model.node_count();
+    const linalg::Vector t_init = model.ambient_equilibrium(45.0);
+    thermal::ThermalWorkspace ws;
+
+    for (std::size_t nrhs : kWidths) {
+        std::vector<double> powers(nrhs * n);
+        for (std::size_t i = 0; i < powers.size(); ++i)
+            powers[i] = filler(i + 57);
+        std::vector<double> batch(nrhs * n, -1.0);
+        matex.transient_batch_into(t_init, powers.data(), nrhs, 45.0, 1e-4,
+                                   ws, batch.data());
+
+        linalg::Vector rhs(n), out(n);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            for (std::size_t i = 0; i < n; ++i) rhs[i] = powers[r * n + i];
+            matex.transient_into(t_init, rhs, 45.0, 1e-4, ws, out);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(batch[r * n + i], out[i])
+                    << "nrhs=" << nrhs << " r=" << r << " i=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ThermalBatch,
+                         ::testing::Values("paper_16core", "paper_64core",
+                                           "stacked_32core"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+// --- analyzer slates ---------------------------------------------------------
+
+TEST(BatchKernels, RotationPeakTauBatchBitIdenticalToLoop) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_64core();
+    const core::PeakTemperatureAnalyzer analyzer(setup.solver(), 45.0, 0.3);
+    core::PeakWorkspace ws;
+
+    core::RotationRingSpec busy;
+    busy.cores = {27, 28, 36, 35, 34, 26, 18, 19};
+    busy.slot_power_w = {6.0, 5.5, 5.0, 0.3, 0.3, 4.0, 0.3, 0.3};
+    core::RotationRingSpec small;
+    small.cores = {0, 1, 9};
+    small.slot_power_w = {3.5, 0.3, 2.0};
+    const std::vector<core::RotationRingSpec> rings = {busy, small};
+
+    const std::vector<double> taus = {0.125e-3, 0.25e-3, 0.5e-3,
+                                      1e-3,     2e-3,    4e-3};
+    for (std::size_t count : {std::size_t{1}, taus.size()}) {
+        std::vector<double> peaks(count, -1.0);
+        analyzer.rotation_peak_tau_batch(rings, taus.data(), count, 2, ws,
+                                         peaks.data());
+        for (std::size_t t = 0; t < count; ++t)
+            EXPECT_EQ(peaks[t], analyzer.rotation_peak(rings, taus[t], 2, ws))
+                << "count=" << count << " rung=" << t;
+    }
+}
+
+TEST(BatchKernels, StaticPeakBatchBitIdenticalToLoop) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_16core();
+    const thermal::ThermalModel& model = setup.model();
+    const std::size_t cores = model.core_count();
+    const core::PeakTemperatureAnalyzer analyzer(setup.solver(), 45.0, 0.3);
+    core::PeakWorkspace ws;
+
+    for (std::size_t nrhs : kWidths) {
+        std::vector<double> candidates(nrhs * cores);
+        for (std::size_t r = 0; r < nrhs; ++r)
+            for (std::size_t c = 0; c < cores; ++c)
+                candidates[r * cores + c] =
+                    0.3 + ((c + r) % 4 == 0 ? 5.0 + filler(r) : 0.0);
+        std::vector<double> peaks(nrhs, -1.0);
+        analyzer.static_peak_batch(candidates.data(), nrhs, ws, peaks.data());
+
+        linalg::Vector one(cores);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            for (std::size_t c = 0; c < cores; ++c)
+                one[c] = candidates[r * cores + c];
+            EXPECT_EQ(peaks[r], analyzer.static_peak(one, ws))
+                << "nrhs=" << nrhs << " r=" << r;
+        }
+    }
+}
+
+}  // namespace

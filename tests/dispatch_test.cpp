@@ -1,0 +1,184 @@
+// Runtime SIMD dispatch: tier resolution, per-tier determinism and the
+// cross-tier numeric contract (simd.hpp / DESIGN.md §9).
+//
+//  * resolve_tier parsing: explicit specs, garbage and null fall back to the
+//    best available tier; forcing avx2 on hardware without it degrades to
+//    scalar instead of crashing.
+//  * Element-wise kernels are bit-identical ACROSS tiers (no fusing, no
+//    reassociation — EXPECT_EQ).
+//  * Reduction kernels (matvec/matmat) reassociate in the AVX2 tier: scalar
+//    and AVX2 agree to rounding, each tier is self-deterministic (same bits
+//    on every run), and end-to-end analyzer results agree within the
+//    documented tolerance.
+//
+// On machines without AVX2+FMA the cross-tier cases degenerate to
+// scalar-vs-scalar and pass trivially; CI's `dispatch` job also runs this
+// suite with HOTPOTATO_DISPATCH forced either way.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/study_setup.hpp"
+#include "core/peak_temperature.hpp"
+#include "linalg/simd.hpp"
+#include "linalg/vector.hpp"
+
+namespace {
+
+using namespace hp;
+using linalg::simd::Tier;
+
+/// Forces a dispatch tier for the lifetime of one scope.
+class ForcedTier {
+public:
+    explicit ForcedTier(Tier tier) {
+        linalg::simd::force_tier_for_testing(tier);
+    }
+    ~ForcedTier() { linalg::simd::clear_forced_tier_for_testing(); }
+};
+
+double filler(std::size_t i) {
+    return 0.05 + 1.37 * static_cast<double>((i * 7 + 3) % 13) +
+           std::sin(static_cast<double>(i) * 0.61);
+}
+
+TEST(Dispatch, ResolveTierParsesSpecsAndDegradesGracefully) {
+    const Tier best = linalg::simd::resolve_tier(nullptr);
+    EXPECT_TRUE(linalg::simd::tier_available(best));
+
+    EXPECT_EQ(linalg::simd::resolve_tier("scalar"), Tier::kScalar);
+    const Tier avx2 = linalg::simd::resolve_tier("avx2");
+    if (linalg::simd::tier_available(Tier::kAvx2))
+        EXPECT_EQ(avx2, Tier::kAvx2);
+    else
+        EXPECT_EQ(avx2, Tier::kScalar);  // degrade, don't crash
+
+    // Unknown specs resolve like null: the best available tier.
+    EXPECT_EQ(linalg::simd::resolve_tier("definitely-not-a-tier"), best);
+    EXPECT_EQ(linalg::simd::resolve_tier(""), best);
+
+    EXPECT_EQ(std::string(linalg::simd::tier_name(Tier::kScalar)), "scalar");
+    EXPECT_EQ(std::string(linalg::simd::tier_name(Tier::kAvx2)), "avx2");
+
+    // The scalar table always exists; requesting an unavailable tier's table
+    // falls back to it rather than returning garbage.
+    (void)linalg::simd::kernels_for(Tier::kScalar);
+    (void)linalg::simd::kernels_for(Tier::kAvx2);
+}
+
+TEST(Dispatch, ElementwiseKernelsBitIdenticalAcrossTiers) {
+    const std::size_t n = 129;  // 4-lane blocks plus a remainder
+    std::vector<double> x(n), e(n), zp(n), y0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = filler(i);
+        e[i] = 1.0 / (1.0 + filler(i + 9));
+        zp[i] = filler(i + 17);
+        y0[i] = filler(i + 5);
+    }
+
+    // Run the full element-wise suite under one tier into `got`, the other
+    // into `want`; all must agree bit-for-bit.
+    const auto run_all = [&](Tier tier) {
+        ForcedTier forced(tier);
+        const linalg::simd::KernelTable& k = linalg::simd::kernels();
+        std::vector<std::vector<double>> r;
+        std::vector<double> v = y0;
+        k.axpy(n, 1.25, x.data(), v.data());
+        r.push_back(v);
+        v = x;
+        k.scale(n, 0.75, v.data());
+        r.push_back(v);
+        v = x;
+        k.hadamard(n, e.data(), v.data());
+        r.push_back(v);
+        v = y0;
+        k.fma_acc(n, x.data(), e.data(), v.data());
+        r.push_back(v);
+        v = y0;
+        k.max_acc(n, x.data(), v.data());
+        r.push_back(v);
+        v.assign(n, 0.0);
+        k.decay_mix(n, e.data(), zp.data(), y0.data(), v.data());
+        r.push_back(v);
+        v = x;
+        k.div_scalar(n, 3.7, v.data());
+        r.push_back(v);
+        return r;
+    };
+
+    const auto scalar = run_all(Tier::kScalar);
+    const auto avx2 = run_all(Tier::kAvx2);  // == scalar table if unavailable
+    ASSERT_EQ(scalar.size(), avx2.size());
+    for (std::size_t kernel = 0; kernel < scalar.size(); ++kernel)
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(scalar[kernel][i], avx2[kernel][i])
+                << "kernel=" << kernel << " i=" << i;
+}
+
+TEST(Dispatch, ReductionKernelsSelfDeterministicAndCrossTierClose) {
+    const std::size_t n = 129;
+    std::vector<double> a(n * n), x(n);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = filler(i);
+    for (std::size_t i = 0; i < n; ++i) x[i] = filler(i + 3);
+
+    const auto matvec_with = [&](Tier tier) {
+        ForcedTier forced(tier);
+        std::vector<double> y(n, -1.0);
+        linalg::simd::kernels().matvec(a.data(), n, n, x.data(), y.data());
+        return y;
+    };
+
+    // Self-determinism: same tier, same bits, every time.
+    const std::vector<double> s1 = matvec_with(Tier::kScalar);
+    const std::vector<double> s2 = matvec_with(Tier::kScalar);
+    const std::vector<double> v1 = matvec_with(Tier::kAvx2);
+    const std::vector<double> v2 = matvec_with(Tier::kAvx2);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(s1[i], s2[i]) << i;
+        EXPECT_EQ(v1[i], v2[i]) << i;
+    }
+
+    // Cross-tier: reassociated reduction agrees to rounding (documented
+    // ~1e-14 relative for N≈129 accumulation chains).
+    for (std::size_t i = 0; i < n; ++i) {
+        const double scale = std::max(1.0, std::abs(s1[i]));
+        EXPECT_NEAR(s1[i], v1[i], 1e-12 * scale) << i;
+    }
+}
+
+TEST(Dispatch, AnalyzerResultsAgreeAcrossTiersWithinTolerance) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_64core();
+    const core::PeakTemperatureAnalyzer analyzer(setup.solver(), 45.0, 0.3);
+
+    core::RotationRingSpec ring;
+    ring.cores = {27, 28, 36, 35, 34, 26, 18, 19};
+    ring.slot_power_w = {6.0, 5.5, 5.0, 0.3, 0.3, 4.0, 0.3, 0.3};
+    const std::vector<core::RotationRingSpec> rings = {ring};
+    linalg::Vector static_power(setup.model().core_count(), 0.3);
+    static_power[27] = 6.0;
+
+    const auto eval_with = [&](Tier tier) {
+        ForcedTier forced(tier);
+        core::PeakWorkspace ws;  // fresh per tier: no cross-tier residue
+        return std::pair<double, double>(
+            analyzer.rotation_peak(rings, 0.5e-3, 2, ws),
+            analyzer.static_peak(static_power, ws));
+    };
+
+    const auto scalar = eval_with(Tier::kScalar);
+    const auto avx2 = eval_with(Tier::kAvx2);
+    // End-to-end the reassociation difference stays far below any thermal
+    // signal (temperatures are tens of °C; tolerance is 1 µ°C).
+    EXPECT_NEAR(scalar.first, avx2.first, 1e-6);
+    EXPECT_NEAR(scalar.second, avx2.second, 1e-6);
+
+    // Within a tier the evaluation is reproducible bit-for-bit.
+    EXPECT_EQ(eval_with(Tier::kScalar).first, scalar.first);
+    EXPECT_EQ(eval_with(Tier::kAvx2).first, avx2.first);
+}
+
+}  // namespace
