@@ -5,24 +5,14 @@
 //   hotpotato_sim --rows 8 --cols 8 --scheduler hotpotato
 //                 --tasks 20 --rate 100 --trace run.csv
 
-#include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "cli/options.hpp"
 
 int main(int argc, char** argv) {
-    std::vector<std::string> args(argv + 1, argv + argc);
-    try {
-        const hp::cli::CliOptions options = hp::cli::parse(args);
-        if (options.help) {
-            std::cout << hp::cli::usage();
-            return 0;
-        }
-        return hp::cli::run(options, std::cout);
-    } catch (const std::exception& e) {
-        std::fprintf(stderr, "error: %s\n\n%s", e.what(),
-                     hp::cli::usage().c_str());
-        return 2;
-    }
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    // run_cli implements the documented exit-code contract (see --help):
+    // 0 ok, 1 partial failure, 2 config error, 3 journal corruption.
+    return hp::cli::run_cli(args, std::cout, std::cerr);
 }

@@ -107,6 +107,25 @@ else
   skip "dispatch (no Release build dir)"
 fi
 
+# ---- fault matrix ----------------------------------------------------------
+# Mirrors the `fault-matrix` CI job: the resilience suite (kill-and-resume,
+# journal corruption, deadline watchdog, retry against an intermittently-
+# failing scheduler factory, CLI exit codes) under ASan+UBSan, repeated to
+# shake out scheduling-dependent flakiness. Reuses the asan build when the
+# full leg ran; otherwise falls back to the first build-test tree.
+FAULT_MATRIX_RE='ResumeAfterKill|Journal|Resume\.|RetryPolicy|FailureClassification|DeadlineWatchdog|AtomicExports|JsonExport|CliExitCodes|CliRun\.Campaign'
+FAULT_DIR="$BUILD_ROOT/asan"
+[[ -d "$FAULT_DIR" ]] || FAULT_DIR="$BUILD_ROOT/${COMPILERS[0]%%:*}-${BUILD_TYPES[0]}"
+if [[ -d "$FAULT_DIR" ]]; then
+  note "fault matrix: resilience suite in $FAULT_DIR (x2)"
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ASAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$FAULT_DIR" --output-on-failure -j "$JOBS" \
+      --repeat until-fail:2 -R "$FAULT_MATRIX_RE"
+else
+  skip "fault matrix (no build dir)"
+fi
+
 # ---- format ----------------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
   note "clang-format check"

@@ -1,0 +1,71 @@
+#include "campaign/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace hp::campaign {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw std::runtime_error(what + ": " + path + ": " +
+                             std::strerror(errno));
+}
+
+/// Directory part of @p path ("." when the path has no slash) — the
+/// directory whose entry list must be fsync'd for a rename to be durable.
+std::string dir_of(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) return ".";
+    if (slash == 0) return "/";
+    return path.substr(0, slash);
+}
+
+void fsync_dir(const std::string& dir) {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+    (void)::fsync(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail("write_file_atomic: cannot create", tmp);
+    const char* data = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fail("write_file_atomic: write failed", tmp);
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fail("write_file_atomic: fsync failed", tmp);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        fail("write_file_atomic: close failed", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fail("write_file_atomic: rename failed", path);
+    }
+    fsync_dir(dir_of(path));
+}
+
+}  // namespace hp::campaign

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+namespace hp::campaign {
+
+/// Crash-safe whole-file write: @p content goes to a `.tmp` sibling of
+/// @p path, is flushed and fsync'd, and is then rename(2)'d into place (the
+/// containing directory is fsync'd too, so the rename itself survives a
+/// power loss). Readers therefore see either the previous complete file or
+/// the new complete file — never a truncated hybrid. Throws
+/// std::runtime_error on any I/O failure, with the failing path and errno
+/// text in the message.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace hp::campaign

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -13,11 +15,34 @@
 #include <thread>
 #include <utility>
 
+#if defined(__has_include)
+#if __has_include(<cxxabi.h>)
+#include <cxxabi.h>
+#define HP_CAMPAIGN_HAVE_CXXABI 1
+#endif
+#endif
+
+#include "campaign/atomic_file.hpp"
+#include "campaign/journal.hpp"
+#include "sim/cancellation.hpp"
+
 namespace hp::campaign {
 
 std::string to_string(const RunKey& key) {
     return key.workload + "/" + key.scheduler + "/" + key.config + "/" +
            std::to_string(key.seed);
+}
+
+const char* to_string(FailureClass cls) {
+    switch (cls) {
+        case FailureClass::kNone: return "none";
+        case FailureClass::kTransient: return "transient";
+        case FailureClass::kTimeout: return "timeout";
+        case FailureClass::kNumericalDivergence: return "numerical_divergence";
+        case FailureClass::kInvalidConfig: return "invalid_config";
+        case FailureClass::kUnknown: return "unknown";
+    }
+    return "unknown";
 }
 
 // --- CampaignSpec ----------------------------------------------------------
@@ -131,35 +156,84 @@ std::unique_ptr<sim::Scheduler> CampaignSpec::make_scheduler(
 
 namespace {
 
-/// One run, all exceptions captured into the record. @p workspace is the
-/// calling worker's thermal scratch, reused across its runs; @p recorder
-/// (may be null) is this run's private observability sink.
+/// Demangled dynamic type of the in-flight exception — callable only from
+/// inside a catch block. Gives `catch (...)` a diagnosable message instead
+/// of the former constant "unknown exception".
+std::string current_exception_type_name() {
+#ifdef HP_CAMPAIGN_HAVE_CXXABI
+    if (const std::type_info* type = abi::__cxa_current_exception_type()) {
+        int status = 0;
+        char* demangled =
+            abi::__cxa_demangle(type->name(), nullptr, nullptr, &status);
+        std::string name =
+            (status == 0 && demangled) ? demangled : type->name();
+        std::free(demangled);
+        return name;
+    }
+#endif
+    return "unknown type";
+}
+
+/// Maps the in-flight exception onto the failure taxonomy (DESIGN.md §10).
+/// Must run inside a catch block; re-throws @p ep to dispatch on its dynamic
+/// type. Order matters: the specific classes derive from the generic ones.
+void classify_failure(const std::exception_ptr& ep, RunRecord& record) {
+    record.failed = true;
+    try {
+        std::rethrow_exception(ep);
+    } catch (const TransientError& e) {
+        record.failure_class = FailureClass::kTransient;
+        record.error = e.what();
+    } catch (const sim::CancelledError& e) {
+        record.failure_class = e.reason() == sim::CancelReason::kDeadline
+                                   ? FailureClass::kTimeout
+                                   : FailureClass::kUnknown;
+        record.error = e.what();
+    } catch (const sim::ThermalDivergenceError& e) {
+        record.failure_class = FailureClass::kNumericalDivergence;
+        record.error = e.what();
+    } catch (const std::invalid_argument& e) {
+        record.failure_class = FailureClass::kInvalidConfig;
+        record.error = e.what();
+    } catch (const std::exception& e) {
+        record.failure_class = FailureClass::kUnknown;
+        record.error = e.what();
+    } catch (...) {
+        record.failure_class = FailureClass::kUnknown;
+        record.error = "unhandled exception of type " +
+                       current_exception_type_name();
+    }
+}
+
+/// One attempt of one run, all exceptions captured and classified into the
+/// record. @p workspace is the calling worker's thermal scratch, reused
+/// across its runs; @p recorder (may be null) is this attempt's private
+/// observability sink; @p cancel (may be null) is this attempt's watchdog
+/// token, polled by the simulator's micro-step loop.
 RunRecord execute(const CampaignSpec& spec, RunKey key,
                   thermal::ThermalWorkspace& workspace,
-                  obs::Recorder* recorder) {
+                  obs::Recorder* recorder,
+                  const sim::CancellationToken* cancel) {
     RunRecord record;
     record.key = std::move(key);
     const auto start = std::chrono::steady_clock::now();
     try {
         const RunSetup setup = spec.setup_for(record.key);
         sim::Simulator simulator = spec.setup().make_simulator(
-            setup.sim, setup.power, setup.perf, &workspace, recorder);
+            setup.sim, setup.power, setup.perf, &workspace, recorder, cancel);
         simulator.add_tasks(spec.tasks_for(record.key));
         const std::unique_ptr<sim::Scheduler> scheduler =
             spec.make_scheduler(record.key);
         record.result = simulator.run(*scheduler);
-        if (recorder) {
-            record.metrics = recorder->snapshot();
-            record.events = recorder->events();
-        }
-    } catch (const std::exception& e) {
-        record.failed = true;
-        record.error = e.what();
-        record.result = sim::SimResult{};
     } catch (...) {
-        record.failed = true;
-        record.error = "unknown exception";
         record.result = sim::SimResult{};
+        classify_failure(std::current_exception(), record);
+    }
+    // Failed runs keep their observability too: a timeout's kCancelled event
+    // and a divergence's kDivergence event are the failure forensics.
+    if (recorder) {
+        record.metrics = recorder->snapshot();
+        record.events = recorder->events();
     }
     record.wall_time_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -176,6 +250,113 @@ std::size_t resolve_jobs(std::size_t requested, std::size_t runs) {
     return std::max<std::size_t>(1, std::min(jobs, runs));
 }
 
+std::uint64_t fnv1a64(const std::string& text) {
+    std::uint64_t hash = 14695981039346656037ull;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/// Backoff before retry @p attempt (1-based) of @p key: exponential in the
+/// attempt, capped, scaled by a deterministic per-(key, attempt) jitter in
+/// [1 - jitter_frac/2, 1 + jitter_frac/2]. Same key, same attempt -> same
+/// backoff, at any worker count.
+double backoff_for(const RetryPolicy& policy, const RunKey& key,
+                   std::size_t attempt) {
+    double base = policy.backoff_base_s;
+    for (std::size_t i = 1; i < attempt; ++i) {
+        base *= 2.0;
+        if (base >= policy.backoff_cap_s) break;
+    }
+    base = std::min(base, policy.backoff_cap_s);
+    const std::uint64_t hash =
+        fnv1a64(to_string(key) + "#" + std::to_string(attempt));
+    const double unit = static_cast<double>(hash % 10001) / 10000.0;
+    return base * (1.0 + policy.jitter_frac * (unit - 0.5));
+}
+
+/// Per-run deadline watchdog. One slot per worker: the worker arms its slot
+/// with a fresh stack token before each attempt and disarms afterwards; a
+/// monitor thread polls the slots and requests cooperative cancellation on
+/// any armed token past its deadline. Each slot has its own mutex, so a
+/// disarm can never race the monitor into cancelling the worker's *next*
+/// run with a stale deadline.
+class DeadlineMonitor {
+public:
+    DeadlineMonitor(std::size_t workers, double timeout_s)
+        : slots_(workers), timeout_s_(timeout_s) {
+        if (enabled() && workers > 0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    DeadlineMonitor(const DeadlineMonitor&) = delete;
+    DeadlineMonitor& operator=(const DeadlineMonitor&) = delete;
+
+    ~DeadlineMonitor() {
+        if (!thread_.joinable()) return;
+        {
+            const std::lock_guard<std::mutex> lock(wake_mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+    bool enabled() const { return timeout_s_ > 0.0; }
+
+    void arm(std::size_t worker, sim::CancellationToken* token) {
+        if (!enabled()) return;
+        Slot& slot = slots_[worker];
+        const std::lock_guard<std::mutex> lock(slot.mutex);
+        slot.token = token;
+        slot.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s_));
+    }
+
+    void disarm(std::size_t worker) {
+        if (!enabled()) return;
+        Slot& slot = slots_[worker];
+        const std::lock_guard<std::mutex> lock(slot.mutex);
+        slot.token = nullptr;
+    }
+
+private:
+    struct Slot {
+        std::mutex mutex;
+        sim::CancellationToken* token = nullptr;
+        std::chrono::steady_clock::time_point deadline{};
+    };
+
+    void loop() {
+        // Poll well inside the deadline so reap latency stays a fraction of
+        // the timeout, but never busier than 1 kHz.
+        const auto poll = std::chrono::duration<double>(
+            std::clamp(timeout_s_ / 8.0, 1e-3, 5e-2));
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        while (!stop_) {
+            wake_.wait_for(lock, poll, [this] { return stop_; });
+            if (stop_) return;
+            const auto now = std::chrono::steady_clock::now();
+            for (Slot& slot : slots_) {
+                const std::lock_guard<std::mutex> slot_lock(slot.mutex);
+                if (slot.token && now >= slot.deadline)
+                    slot.token->request(sim::CancelReason::kDeadline);
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    double timeout_s_;
+    std::thread thread_;
+    std::mutex wake_mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
 }  // namespace
 
 CampaignResult run_campaign(const CampaignSpec& spec,
@@ -187,66 +368,159 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
     const std::vector<RunKey> keys = spec.keys();
     const std::size_t total = keys.size();
-    const std::size_t jobs = resolve_jobs(options.jobs, total);
 
     CampaignResult out;
     out.records.resize(total);
     const auto campaign_start = std::chrono::steady_clock::now();
 
-    // Fixed-size pool sharding the run list through an atomic cursor.
+    // Checkpoint/resume: restore journaled records first (they are never
+    // re-run), then open the journal for the runs still missing.
+    std::optional<RunJournal> journal;
+    std::vector<char> restored(total, 0);
+    if (!options.resume_path.empty()) {
+        JournalContents contents = read_journal(options.resume_path);
+        if (contents.grid_hash != grid_signature(spec) ||
+            contents.total_runs != total)
+            throw JournalError(
+                "run_campaign: resume journal was written for a different "
+                "campaign spec: " + options.resume_path);
+        for (RunRecord& r : contents.records) {
+            const std::size_t idx = r.key.index;
+            if (idx >= total || !(r.key == keys[idx]))
+                throw JournalError(
+                    "run_campaign: journaled record does not match the grid "
+                    "at index " + std::to_string(r.key.index));
+            out.records[idx] = std::move(r);  // duplicate index: last wins
+            restored[idx] = 1;
+        }
+        journal.emplace(RunJournal::append_to(options.resume_path, spec));
+    } else if (!options.journal_path.empty()) {
+        journal.emplace(RunJournal::create(options.journal_path, spec));
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(total);
+    for (std::size_t i = 0; i < total; ++i)
+        if (!restored[i]) pending.push_back(i);
+    const std::size_t resumed = total - pending.size();
+    const std::size_t jobs = resolve_jobs(options.jobs, pending.size());
+
+    // Fixed-size pool sharding the pending list through an atomic cursor.
     // Results land at their key's index, so record order is the spec's
-    // deterministic enumeration regardless of completion order.
+    // deterministic enumeration regardless of completion order or how many
+    // runs a resume restored.
+    DeadlineMonitor monitor(pending.empty() ? 0 : jobs,
+                            options.run_timeout_s);
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
-    std::mutex progress_mutex;
-    const auto worker = [&] {
+    std::mutex io_mutex;  ///< serializes journal appends + progress calls
+    const auto worker = [&](std::size_t worker_id) {
         // One thermal workspace per worker thread: runs are sequential
         // within a worker, so sharing its scratch across them is safe and
         // keeps every run's hot loop allocation-free after the first.
         thermal::ThermalWorkspace workspace;
         for (;;) {
-            const std::size_t i =
+            const std::size_t p =
                 cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= total) return;
-            // Fresh recorder per run (see CampaignOptions::observe): reusing
-            // one across a worker's runs would leak instrument registrations
-            // between runs and make the output depend on work stealing.
-            std::optional<obs::Recorder> recorder;
-            if (options.observe) recorder.emplace(options.recorder);
-            out.records[i] = execute(spec, keys[i], workspace,
-                                     recorder ? &*recorder : nullptr);
+            if (p >= pending.size()) return;
+            const std::size_t i = pending[p];
+            RunRecord record;
+            std::vector<double> backoffs;
+            for (std::size_t attempt = 1;; ++attempt) {
+                // Fresh recorder per attempt (see CampaignOptions::observe):
+                // reusing one would leak instrument registrations between
+                // runs and make the output depend on work stealing.
+                std::optional<obs::Recorder> recorder;
+                if (options.observe) recorder.emplace(options.recorder);
+                // Fresh stack token per attempt: a token is owned by exactly
+                // one attempt, so a late cancellation request can never leak
+                // into the worker's next run.
+                sim::CancellationToken token;
+                monitor.arm(worker_id, &token);
+                record = execute(spec, keys[i], workspace,
+                                 recorder ? &*recorder : nullptr, &token);
+                monitor.disarm(worker_id);
+                record.attempts = attempt;
+                record.backoff_s = backoffs;
+                const bool retryable =
+                    record.failed &&
+                    record.failure_class == FailureClass::kTransient &&
+                    attempt <= options.retry.max_retries;
+                if (!retryable) break;
+                const double backoff =
+                    backoff_for(options.retry, keys[i], attempt);
+                backoffs.push_back(backoff);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+            }
+            out.records[i] = std::move(record);
             const std::size_t completed =
-                done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (options.progress) {
-                const std::lock_guard<std::mutex> lock(progress_mutex);
-                options.progress(out.records[i], completed, total);
+                resumed + done.fetch_add(1, std::memory_order_relaxed) + 1;
+            {
+                const std::lock_guard<std::mutex> lock(io_mutex);
+                // Journal before progress: once a callback saw the record,
+                // it survives a crash.
+                if (journal) journal->append(out.records[i]);
+                if (options.progress)
+                    options.progress(out.records[i], completed, total);
             }
         }
     };
 
-    if (jobs == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
-        for (std::thread& t : pool) t.join();
+    if (!pending.empty()) {
+        if (jobs == 1) {
+            worker(0);
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(jobs);
+            for (std::size_t t = 0; t < jobs; ++t)
+                pool.emplace_back(worker, t);
+            for (std::thread& t : pool) t.join();
+        }
     }
 
     out.summary.total_runs = total;
     out.summary.jobs = jobs;
+    out.summary.resumed_runs = resumed;
     out.summary.wall_time_s = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() -
                                   campaign_start)
                                   .count();
     for (const RunRecord& r : out.records) {
         out.summary.total_run_time_s += r.wall_time_s;
-        if (r.failed) ++out.summary.failed_runs;
+        if (r.failed) {
+            ++out.summary.failed_runs;
+            out.summary.quarantine.push_back(
+                {r.key, r.failure_class, r.error, r.attempts});
+        }
+        if (r.attempts > 1) {
+            ++out.summary.retried_runs;
+            out.summary.total_retries += r.attempts - 1;
+        }
+        if (r.failure_class == FailureClass::kTimeout)
+            ++out.summary.timeout_runs;
     }
     out.summary.runs_per_second =
         out.summary.wall_time_s > 0.0
             ? static_cast<double>(total) / out.summary.wall_time_s
             : 0.0;
+
+    // Campaign-level resilience counters through the obs layer, so the
+    // roll-up reaches every export the per-run metrics reach.
+    obs::RecorderConfig campaign_rc;
+    campaign_rc.trace_capacity = 0;
+    obs::Recorder campaign_recorder(campaign_rc);
+    campaign_recorder.counter("campaign.retries")
+        .add(out.summary.total_retries);
+    campaign_recorder.counter("campaign.timeouts")
+        .add(out.summary.timeout_runs);
+    campaign_recorder.counter("campaign.quarantined")
+        .add(out.summary.quarantine.size());
+    campaign_recorder.counter("campaign.resumed_runs")
+        .add(out.summary.resumed_runs);
+    campaign_recorder.counter("campaign.journal_appends")
+        .add(journal ? pending.size() : 0);
+    out.summary.metrics = campaign_recorder.snapshot();
     return out;
 }
 
@@ -313,8 +587,9 @@ std::string to_markdown(const std::vector<RunRecord>& records) {
         out << "| " << r.key.workload << " | " << r.key.scheduler << " | "
             << r.key.config << " | " << r.key.seed << " | ";
         if (r.failed) {
-            out << "FAILED: " << sanitize(r.error)
-                << " | - | - | - | - | - |\n";
+            out << "FAILED: " << sanitize(r.error) << " ["
+                << to_string(r.failure_class) << ", attempts=" << r.attempts
+                << "] | - | - | - | - | - |\n";
             continue;
         }
         const auto& s = r.result;
@@ -329,7 +604,8 @@ std::string to_markdown(const std::vector<RunRecord>& records) {
 
 void write_csv(std::ostream& out, const std::vector<RunRecord>& records) {
     out << "workload,scheduler,config,seed,makespan_s,avg_response_s,peak_c,"
-           "dtm_throttled_s,migrations,energy_j,all_finished,failed,error\n";
+           "dtm_throttled_s,migrations,energy_j,all_finished,failed,error,"
+           "failure_class,attempts\n";
     for (const RunRecord& r : records) {
         const auto& s = r.result;
         out << sanitize(r.key.workload) << ',' << sanitize(r.key.scheduler)
@@ -338,7 +614,8 @@ void write_csv(std::ostream& out, const std::vector<RunRecord>& records) {
             << s.peak_temperature_c << ',' << s.dtm_throttled_s << ','
             << s.migrations << ',' << s.total_energy_j << ','
             << (s.all_finished ? 1 : 0) << ',' << (r.failed ? 1 : 0) << ','
-            << sanitize(r.error) << '\n';
+            << sanitize(r.error) << ',' << to_string(r.failure_class) << ','
+            << r.attempts << '\n';
     }
 }
 
@@ -351,8 +628,29 @@ void write_json(std::ostream& out, const std::vector<RunRecord>& records,
         << "    \"wall_time_s\": " << summary.wall_time_s << ",\n"
         << "    \"total_run_time_s\": " << summary.total_run_time_s << ",\n"
         << "    \"runs_per_second\": " << summary.runs_per_second << ",\n"
-        << "    \"pool_utilization\": " << summary.pool_utilization() << "\n"
-        << "  },\n  \"runs\": [\n";
+        << "    \"pool_utilization\": " << summary.pool_utilization() << ",\n"
+        << "    \"resumed_runs\": " << summary.resumed_runs << ",\n"
+        << "    \"retried_runs\": " << summary.retried_runs << ",\n"
+        << "    \"total_retries\": " << summary.total_retries << ",\n"
+        << "    \"timeout_runs\": " << summary.timeout_runs << ",\n"
+        << "    \"quarantine\": [";
+    for (std::size_t i = 0; i < summary.quarantine.size(); ++i) {
+        const QuarantinedRun& q = summary.quarantine[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "      {\"workload\": \"" << json_escape(q.key.workload)
+            << "\", \"scheduler\": \"" << json_escape(q.key.scheduler)
+            << "\", \"config\": \"" << json_escape(q.key.config)
+            << "\", \"seed\": " << q.key.seed << ", \"failure_class\": \""
+            << to_string(q.failure_class) << "\", \"attempts\": "
+            << q.attempts << ", \"error\": \"" << json_escape(q.error)
+            << "\"}";
+    }
+    out << (summary.quarantine.empty() ? "]" : "\n    ]");
+    if (!summary.metrics.empty()) {
+        out << ",\n    \"campaign_metrics\": ";
+        obs::write_metrics_json(out, summary.metrics);
+    }
+    out << "\n  },\n  \"runs\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const RunRecord& r = records[i];
         const auto& s = r.result;
@@ -362,7 +660,15 @@ void write_json(std::ostream& out, const std::vector<RunRecord>& records,
             << "\", \"seed\": " << r.key.seed
             << ", \"failed\": " << (r.failed ? "true" : "false")
             << ", \"error\": \"" << json_escape(r.error)
-            << "\", \"wall_time_s\": " << r.wall_time_s
+            << "\", \"failure_class\": \"" << to_string(r.failure_class)
+            << "\", \"attempts\": " << r.attempts;
+        if (!r.backoff_s.empty()) {
+            out << ", \"backoff_s\": [";
+            for (std::size_t b = 0; b < r.backoff_s.size(); ++b)
+                out << (b ? ", " : "") << r.backoff_s[b];
+            out << "]";
+        }
+        out << ", \"wall_time_s\": " << r.wall_time_s
             << ", \"makespan_s\": " << s.makespan_s
             << ", \"avg_response_s\": " << s.average_response_time_s()
             << ", \"peak_c\": " << s.peak_temperature_c
@@ -379,6 +685,26 @@ void write_json(std::ostream& out, const std::vector<RunRecord>& records,
     out << "  ]\n}\n";
 }
 
+void write_markdown_file(const std::string& path,
+                         const std::vector<RunRecord>& records) {
+    write_file_atomic(path, to_markdown(records));
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<RunRecord>& records) {
+    std::ostringstream out;
+    write_csv(out, records);
+    write_file_atomic(path, out.str());
+}
+
+void write_json_file(const std::string& path,
+                     const std::vector<RunRecord>& records,
+                     const CampaignSummary& summary) {
+    std::ostringstream out;
+    write_json(out, records, summary);
+    write_file_atomic(path, out.str());
+}
+
 std::string summary_markdown(const CampaignSummary& summary) {
     std::ostringstream out;
     out.setf(std::ios::fixed);
@@ -389,6 +715,16 @@ std::string summary_markdown(const CampaignSummary& summary) {
         << " s wall, " << summary.runs_per_second << " runs/s (parallel "
         << "speedup " << summary.speedup() << "x, pool utilization "
         << summary.pool_utilization() * 100.0 << "%)\n";
+    if (summary.resumed_runs > 0)
+        out << "resume: " << summary.resumed_runs
+            << " runs restored from journal\n";
+    if (summary.total_retries > 0)
+        out << "retries: " << summary.total_retries << " across "
+            << summary.retried_runs << " runs\n";
+    if (!summary.quarantine.empty())
+        out << "quarantine: " << summary.quarantine.size() << " run"
+            << (summary.quarantine.size() == 1 ? "" : "s")
+            << " still failed after the retry policy\n";
     return out.str();
 }
 
@@ -404,7 +740,9 @@ std::vector<obs::MetricsSnapshot> metrics_from_json(const std::string& json) {
     // write_json() emits every run on its own line with the metrics object
     // last before the closing brace, so a balanced-brace scan from each
     // `"metrics": ` marker recovers exactly the objects
-    // obs::parse_metrics_json understands.
+    // obs::parse_metrics_json understands. (The summary's campaign-level
+    // snapshot is keyed "campaign_metrics" precisely so this scan never
+    // picks it up.)
     std::vector<obs::MetricsSnapshot> out;
     const std::string marker = "\"metrics\": ";
     std::size_t pos = 0;

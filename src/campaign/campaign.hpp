@@ -5,6 +5,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,31 @@ struct RunKey {
 /// "workload/scheduler/config/seed" — log- and filename-friendly.
 std::string to_string(const RunKey& key);
 
+/// Failure taxonomy attached to every failed RunRecord (DESIGN.md §10).
+/// Classification drives the retry policy: only kTransient failures are
+/// retried; everything else is quarantined immediately.
+enum class FailureClass : std::uint8_t {
+    kNone = 0,             ///< the run succeeded
+    kTransient,            ///< TransientError — retryable by contract
+    kTimeout,              ///< reaped by the per-run deadline watchdog
+    kNumericalDivergence,  ///< sim::ThermalDivergenceError (NaN/runaway)
+    kInvalidConfig,        ///< std::invalid_argument (bad grid cell)
+    kUnknown,              ///< anything else (type name kept if available)
+};
+
+/// Stable lower_snake_case name of @p cls ("none" for kNone) — used in the
+/// CSV/JSON exports and the journal.
+const char* to_string(FailureClass cls);
+
+/// Throw this from a scheduler/workload factory (or anything a run calls)
+/// to mark a failure as transient: the engine retries the run with
+/// exponential backoff instead of quarantining it. Everything else is
+/// treated as deterministic and fails the run on the first attempt.
+class TransientError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
 /// Outcome of one run. A throwing run (scheduler factory, workload factory
 /// or the simulation itself) is captured here instead of killing the
 /// campaign: @ref failed is set, @ref error carries the exception message
@@ -69,6 +95,15 @@ struct RunRecord {
     sim::SimResult result;
     bool failed = false;
     std::string error;
+    /// Why the run failed (kNone when it succeeded). Deterministic except
+    /// for kTimeout, which depends on host wall time by nature.
+    FailureClass failure_class = FailureClass::kNone;
+    /// Executions of this run, including the successful/final one (1 = no
+    /// retry was needed).
+    std::size_t attempts = 1;
+    /// Backoff actually slept before each retry, in order (attempts - 1
+    /// entries). Exponential with deterministic per-(key, attempt) jitter.
+    std::vector<double> backoff_s;
     /// Host wall time of this run (observability only — never part of the
     /// CSV/markdown result tables, which must be bit-identical across
     /// thread counts).
@@ -81,6 +116,16 @@ struct RunRecord {
     std::vector<obs::Event> events;
 };
 
+/// One grid cell that still failed after the retry policy was exhausted.
+/// Quarantined cells are reported (summary, JSON) but never sink the sweep:
+/// every other record is complete and ordered as usual.
+struct QuarantinedRun {
+    RunKey key;
+    FailureClass failure_class = FailureClass::kUnknown;
+    std::string error;
+    std::size_t attempts = 1;
+};
+
 /// Observability roll-up of one campaign execution.
 struct CampaignSummary {
     std::size_t total_runs = 0;
@@ -89,6 +134,21 @@ struct CampaignSummary {
     double wall_time_s = 0.0;        ///< campaign wall clock
     double total_run_time_s = 0.0;   ///< sum of per-run wall times
     double runs_per_second = 0.0;    ///< total_runs / wall_time_s
+    /// Records restored from a resume journal instead of being re-run.
+    std::size_t resumed_runs = 0;
+    /// Runs that needed more than one attempt, and total extra attempts.
+    std::size_t retried_runs = 0;
+    std::size_t total_retries = 0;
+    /// Runs reaped by the per-run deadline watchdog.
+    std::size_t timeout_runs = 0;
+    /// Every run that still failed once the retry policy was exhausted, in
+    /// key order (deterministic at any worker count).
+    std::vector<QuarantinedRun> quarantine;
+    /// Campaign-level resilience counters (campaign.retries,
+    /// campaign.timeouts, campaign.quarantined, campaign.resumed_runs,
+    /// campaign.journal_appends) flowing through the obs layer; exported as
+    /// "campaign_metrics" in write_json().
+    obs::MetricsSnapshot metrics;
     /// Aggregate parallel efficiency: sum of per-run time over wall time
     /// (~jobs when the pool is saturated, 1 when serial).
     double speedup() const {
@@ -183,6 +243,20 @@ private:
 using ProgressCallback = std::function<void(
     const RunRecord& record, std::size_t done, std::size_t total)>;
 
+/// Bounded retry with exponential backoff for kTransient failures. Attempt
+/// k (k = 1 is the first retry) sleeps
+///   min(backoff_cap_s, backoff_base_s * 2^(k-1)) * jitter
+/// where jitter is a deterministic per-(key, attempt) factor in
+/// [1 - jitter_frac/2, 1 + jitter_frac/2] — decorrelates a thundering herd
+/// of workers without sacrificing reproducible attempt histories.
+struct RetryPolicy {
+    /// Extra attempts after the first (0 = never retry).
+    std::size_t max_retries = 0;
+    double backoff_base_s = 0.05;
+    double backoff_cap_s = 5.0;
+    double jitter_frac = 0.25;
+};
+
 struct CampaignOptions {
     /// Worker threads; 0 = one per hardware thread. The pool is fixed-size:
     /// min(jobs, run_count) std::threads shard the run list via an atomic
@@ -197,6 +271,23 @@ struct CampaignOptions {
     /// observed campaigns stay deterministic at any job count.
     bool observe = false;
     obs::RecorderConfig recorder;
+    /// Crash-safe checkpointing: append every completed record (fsync'd,
+    /// checksummed) to this journal, created/truncated at campaign start.
+    /// Empty = no journal. See journal.hpp for the format.
+    std::string journal_path;
+    /// Resume: load this journal (written by a previous, possibly killed,
+    /// execution of the *same* spec), restore its records without re-running
+    /// them, run only the missing keys, and keep appending to the same file.
+    /// The merged records are bit-identical to an uninterrupted campaign at
+    /// any jobs value. Throws JournalError if the journal is corrupt or was
+    /// written for a different grid. Overrides journal_path.
+    std::string resume_path;
+    /// Per-run wall-clock deadline in seconds; 0 disables the watchdog. A
+    /// run exceeding it is cooperatively cancelled (sim::CancellationToken),
+    /// recorded failed with FailureClass::kTimeout, and the pool keeps
+    /// draining.
+    double run_timeout_s = 0.0;
+    RetryPolicy retry;
 };
 
 /// The executed campaign: records in CampaignSpec::keys() order — identical
@@ -223,19 +314,35 @@ const RunRecord* find(const std::vector<RunRecord>& records,
                       const std::uint64_t* seed = nullptr);
 
 /// Records as a GitHub-flavoured markdown table; failed runs render as
-/// FAILED rows carrying the error. Deterministic across thread counts.
+/// FAILED rows carrying the error, failure class and attempt count.
+/// Deterministic across thread counts.
 std::string to_markdown(const std::vector<RunRecord>& records);
 
 /// One CSV row per run:
 /// workload,scheduler,config,seed,makespan_s,avg_response_s,peak_c,
-/// dtm_throttled_s,migrations,energy_j,all_finished,failed,error.
+/// dtm_throttled_s,migrations,energy_j,all_finished,failed,error,
+/// failure_class,attempts.
 /// Byte-identical across thread counts (no wall-clock fields).
 void write_csv(std::ostream& out, const std::vector<RunRecord>& records);
 
 /// Records + summary as a JSON document (per-run wall times included —
-/// this is the observability surface, not a determinism surface).
+/// this is the observability surface, not a determinism surface). Failed
+/// runs carry "failure_class", "attempts" and "backoff_s" (their retry
+/// history); the summary block carries the quarantine list and the
+/// campaign-level resilience counters under "campaign_metrics".
 void write_json(std::ostream& out, const std::vector<RunRecord>& records,
                 const CampaignSummary& summary);
+
+/// Atomic file variants of the three exports: the document is rendered in
+/// memory and published via write_file_atomic (temp + fsync + rename), so a
+/// crash mid-export can never leave a truncated file behind.
+void write_markdown_file(const std::string& path,
+                         const std::vector<RunRecord>& records);
+void write_csv_file(const std::string& path,
+                    const std::vector<RunRecord>& records);
+void write_json_file(const std::string& path,
+                     const std::vector<RunRecord>& records,
+                     const CampaignSummary& summary);
 
 /// Summary as a short markdown block (runs, failures, jobs, wall time,
 /// throughput, pool utilization).

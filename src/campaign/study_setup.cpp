@@ -43,9 +43,10 @@ StudySetup StudySetup::borrow(const arch::ManyCore& chip,
 
 sim::Simulator StudySetup::make_simulator(
     sim::SimConfig config, power::PowerParams power, perf::PerfParams perf,
-    thermal::ThermalWorkspace* workspace, obs::Recorder* recorder) const {
+    thermal::ThermalWorkspace* workspace, obs::Recorder* recorder,
+    const sim::CancellationToken* cancel) const {
     return sim::Simulator(*chip_, *model_, *solver_, std::move(config), power,
-                          perf, workspace, recorder);
+                          perf, workspace, recorder, cancel);
 }
 
 }  // namespace hp::campaign

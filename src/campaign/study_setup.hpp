@@ -58,12 +58,14 @@ public:
     /// consecutive runs (never share one workspace between threads). An
     /// optional @p recorder attaches the observability layer to the run; a
     /// recorder belongs to one run only (never reuse it across runs — its
-    /// instruments would accumulate).
+    /// instruments would accumulate). An optional @p cancel token makes the
+    /// run cooperatively cancellable (see sim::CancellationToken).
     sim::Simulator make_simulator(
         sim::SimConfig config = {}, power::PowerParams power = {},
         perf::PerfParams perf = {},
         thermal::ThermalWorkspace* workspace = nullptr,
-        obs::Recorder* recorder = nullptr) const;
+        obs::Recorder* recorder = nullptr,
+        const sim::CancellationToken* cancel = nullptr) const;
 
 private:
     struct Bundle;  // owning storage (chip, then model, then solver)

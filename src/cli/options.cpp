@@ -1,17 +1,20 @@
 #include "cli/options.hpp"
 
-#include <fstream>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "arch/manycore.hpp"
+#include "campaign/atomic_file.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
 #include "core/hotpotato.hpp"
 #include "core/hotpotato_dvfs.hpp"
 #include "fault/fault_io.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
+#include "report/failures.hpp"
 #include "report/resilience.hpp"
 #include "sched/pcgov.hpp"
 #include "sched/pcmig.hpp"
@@ -83,6 +86,29 @@ campaign:
                            --jobs value)
   --jobs N                 campaign worker threads (default 1; 0 = one per
                            hardware thread)
+  --csv PATH               write the record table as CSV (atomic: tmp+rename)
+  --json PATH              write records + summary as JSON (atomic)
+
+resilience (campaign mode, DESIGN.md §10):
+  --journal PATH           append-only run journal: one fsync'd, checksummed
+                           record per completed run (crash-safe checkpoint)
+  --resume PATH            resume from an existing journal: journaled runs
+                           are restored, only the missing ones execute, and
+                           the merged records are bit-identical to an
+                           uninterrupted campaign at any --jobs
+  --run-timeout S          per-run wall-clock deadline; a run past it is
+                           cancelled and recorded failed ("timeout") while
+                           the pool keeps draining (default: off)
+  --max-retries N          retries for transient failures (default 0)
+  --retry-backoff S        base backoff before the first retry; doubles per
+                           attempt with deterministic jitter (default 0.05)
+
+exit codes:
+  0  all runs completed and finished
+  1  some runs failed, timed out, or did not finish
+  2  bad flags / invalid configuration / unexpected error
+  3  --resume journal corrupt or written for a different campaign
+
   --help                   this text
 )";
 }
@@ -191,6 +217,16 @@ CliOptions parse(const std::vector<std::string>& args) {
         else if (flag == "--fault-seed") o.fault_seed = parse_uint(flag, value());
         else if (flag == "--compare") o.compare = value();
         else if (flag == "--jobs") o.jobs = parse_uint(flag, value());
+        else if (flag == "--csv") o.csv_file = value();
+        else if (flag == "--json") o.json_file = value();
+        else if (flag == "--journal") o.journal_file = value();
+        else if (flag == "--resume") o.resume_file = value();
+        else if (flag == "--run-timeout")
+            o.run_timeout_s = parse_double(flag, value());
+        else if (flag == "--max-retries")
+            o.max_retries = parse_uint(flag, value());
+        else if (flag == "--retry-backoff")
+            o.retry_backoff_s = parse_double(flag, value());
         else
             throw std::invalid_argument("unknown flag: " + flag);
     }
@@ -215,6 +251,31 @@ CliOptions parse(const std::vector<std::string>& args) {
         violations.push_back("--rate must be positive");
     if (o.trace_interval_s <= 0.0)
         violations.push_back("--trace-interval must be positive");
+    if (o.run_timeout_s < 0.0)
+        violations.push_back("--run-timeout must be >= 0");
+    if (o.retry_backoff_s <= 0.0)
+        violations.push_back("--retry-backoff must be positive");
+    if (!o.journal_file.empty() && !o.resume_file.empty())
+        violations.push_back(
+            "--journal and --resume are mutually exclusive (--resume keeps "
+            "appending to the journal it resumes from)");
+    if (o.compare.empty()) {
+        const struct {
+            bool set;
+            const char* flag;
+        } campaign_only[] = {
+            {!o.journal_file.empty(), "--journal"},
+            {!o.resume_file.empty(), "--resume"},
+            {o.run_timeout_s > 0.0, "--run-timeout"},
+            {o.max_retries > 0, "--max-retries"},
+            {!o.csv_file.empty(), "--csv"},
+            {!o.json_file.empty(), "--json"},
+        };
+        for (const auto& c : campaign_only)
+            if (c.set)
+                violations.push_back(std::string(c.flag) +
+                                     " requires --compare (campaign mode)");
+    }
     if (!o.compare.empty()) {
         if (!o.trace_file.empty())
             violations.push_back(
@@ -324,11 +385,24 @@ int run_comparison(const CliOptions& options,
     campaign::CampaignOptions campaign_options;
     campaign_options.jobs = options.jobs;
     campaign_options.observe = options.metrics;
+    campaign_options.journal_path = options.journal_file;
+    campaign_options.resume_path = options.resume_file;
+    campaign_options.run_timeout_s = options.run_timeout_s;
+    campaign_options.retry.max_retries = options.max_retries;
+    campaign_options.retry.backoff_base_s = options.retry_backoff_s;
     const campaign::CampaignResult result =
         campaign::run_campaign(spec, campaign_options);
 
+    if (!options.csv_file.empty())
+        campaign::write_csv_file(options.csv_file, result.records);
+    if (!options.json_file.empty())
+        campaign::write_json_file(options.json_file, result.records,
+                                  result.summary);
+
     out << campaign::to_markdown(result.records);
     out << "\n" << campaign::summary_markdown(result.summary);
+    const std::string failures = report::render_failures(result.summary);
+    if (!failures.empty()) out << failures;
     if (options.metrics) {
         const std::string metrics = campaign::metrics_markdown(result.records);
         if (!metrics.empty()) out << "\n" << metrics;
@@ -336,7 +410,7 @@ int run_comparison(const CliOptions& options,
     bool ok = true;
     for (const campaign::RunRecord& r : result.records)
         ok = ok && !r.failed && r.result.all_finished;
-    return ok ? 0 : 1;
+    return ok ? kExitOk : kExitRunFailure;
 }
 
 }  // namespace
@@ -391,21 +465,20 @@ int run(const CliOptions& options, std::ostream& out) {
         sim::write_trace_csv(options.trace_file, result.trace);
 
     if (recorder) {
+        // Rendered in memory, published atomically: a crash mid-export
+        // leaves the previous complete file (or none), never a torn one.
         const std::vector<obs::Event> events = recorder->events();
-        const auto open = [](const std::string& path) {
-            std::ofstream file(path);
-            if (!file)
-                throw std::runtime_error("cannot open for writing: " + path);
-            return file;
-        };
         if (!options.events_file.empty()) {
-            std::ofstream file = open(options.events_file);
-            obs::write_events_csv(file, events);
+            std::ostringstream buffer;
+            obs::write_events_csv(buffer, events);
+            campaign::write_file_atomic(options.events_file, buffer.str());
         }
         if (!options.chrome_trace_file.empty()) {
-            std::ofstream file = open(options.chrome_trace_file);
-            obs::write_chrome_trace(file, events,
+            std::ostringstream buffer;
+            obs::write_chrome_trace(buffer, events,
                                     "hotpotato_sim " + options.scheduler);
+            campaign::write_file_atomic(options.chrome_trace_file,
+                                        buffer.str());
         }
     }
 
@@ -440,7 +513,28 @@ int run(const CliOptions& options, std::ostream& out) {
     if (options.metrics && recorder) {
         out << "\nmetrics:\n" << obs::metrics_markdown(recorder->snapshot());
     }
-    return result.all_finished ? 0 : 1;
+    return result.all_finished ? kExitOk : kExitRunFailure;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+    try {
+        const CliOptions options = parse(args);
+        if (options.help) {
+            out << usage();
+            return kExitOk;
+        }
+        return run(options, out);
+    } catch (const campaign::JournalError& e) {
+        err << "error: " << e.what() << "\n";
+        return kExitJournalError;
+    } catch (const std::invalid_argument& e) {
+        err << "error: " << e.what() << "\n\n" << usage();
+        return kExitConfigError;
+    } catch (const std::exception& e) {
+        err << "error: " << e.what() << "\n";
+        return kExitConfigError;
+    }
 }
 
 }  // namespace hp::cli

@@ -66,7 +66,32 @@ struct CliOptions {
     std::string compare;          ///< comma-separated scheduler names
     std::size_t jobs = 1;         ///< campaign worker threads (0 = all cores)
 
+    // Campaign resilience (campaign mode only; DESIGN.md §10).
+    std::string journal_file;     ///< write an append-only run journal here
+    std::string resume_file;      ///< resume from this journal (implies the
+                                  ///< journal keeps growing in place)
+    double run_timeout_s = 0.0;   ///< per-run deadline (0 = no watchdog)
+    std::size_t max_retries = 0;  ///< retries for transient failures
+    double retry_backoff_s = 0.05;  ///< base backoff before the first retry
+
+    // Campaign exports, published atomically (tmp + rename).
+    std::string csv_file;         ///< write the record table as CSV
+    std::string json_file;        ///< write records + summary as JSON
+
     bool help = false;
+};
+
+/// Process exit-code contract of the CLI (asserted in cli_test.cpp):
+/// scripts can distinguish "everything ran" from "some runs failed" from
+/// "the invocation itself was wrong" from "the resume journal is unusable".
+enum ExitCode : int {
+    kExitOk = 0,            ///< all runs completed and finished
+    kExitRunFailure = 1,    ///< simulation ran, but some runs failed or
+                            ///< did not finish (quarantine non-empty)
+    kExitConfigError = 2,   ///< bad flags / invalid configuration / any
+                            ///< unexpected error
+    kExitJournalError = 3,  ///< --resume journal corrupt, unreadable, or
+                            ///< written for a different campaign grid
 };
 
 /// Usage text for --help and error messages.
@@ -86,8 +111,17 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name,
                                                bool use_peak_cache = true);
 
 /// Builds the machine and workload described by @p options, runs the
-/// simulation and writes a human-readable report to @p out. Returns the
-/// process exit code (0 on success, 1 if tasks did not finish).
+/// simulation and writes a human-readable report to @p out. Returns
+/// kExitOk on success and kExitRunFailure if tasks did not finish (or, in
+/// campaign mode, if any run is quarantined). Throws on configuration and
+/// journal errors — run_cli() maps those onto the exit-code contract.
 int run(const CliOptions& options, std::ostream& out);
+
+/// Complete CLI entry point: parse + run with every error mapped onto the
+/// ExitCode contract (kExitJournalError for campaign::JournalError,
+/// kExitConfigError for anything else thrown). @p err receives error text;
+/// this is what main() delegates to and what cli_test.cpp asserts against.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
 
 }  // namespace hp::cli

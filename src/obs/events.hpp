@@ -23,6 +23,8 @@ enum class EventKind : std::uint8_t {
     kFaultEnd,         ///< arg0 = fault::FaultKind, arg1 = target
     kTauAdapt,         ///< arg0 = rotation on (0/1), value = new tau [s]
     kSensorFallback,   ///< arg0 = engaged (0/1)
+    kCancelled,        ///< arg0 = sim::CancelReason, value = sim time [s]
+    kDivergence,       ///< arg0 = offending node, value = temperature [C]
 };
 
 /// Returns the stable lower_snake_case name of @p kind (trace export).

@@ -24,6 +24,8 @@ const char* to_string(EventKind kind) {
         case EventKind::kFaultEnd: return "fault_end";
         case EventKind::kTauAdapt: return "tau_adapt";
         case EventKind::kSensorFallback: return "sensor_fallback";
+        case EventKind::kCancelled: return "cancelled";
+        case EventKind::kDivergence: return "divergence";
     }
     return "unknown";
 }
@@ -33,7 +35,7 @@ namespace {
 /// Inverse of to_string; throws on an unknown name.
 EventKind kind_from_string(const std::string& name,
                            const std::string& where) {
-    for (int k = 0; k <= static_cast<int>(EventKind::kSensorFallback); ++k) {
+    for (int k = 0; k <= static_cast<int>(EventKind::kDivergence); ++k) {
         const EventKind kind = static_cast<EventKind>(k);
         if (name == to_string(kind)) return kind;
     }

@@ -1,0 +1,48 @@
+#include "report/failures.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace hp::report {
+
+std::string render_failures(const campaign::CampaignSummary& summary) {
+    const bool quiet = summary.quarantine.empty() &&
+                       summary.total_retries == 0 &&
+                       summary.resumed_runs == 0;
+    if (quiet) return {};
+
+    // Per-class counts over the quarantine (kNone never appears there).
+    std::array<std::size_t,
+               static_cast<std::size_t>(campaign::FailureClass::kUnknown) + 1>
+        by_class{};
+    for (const campaign::QuarantinedRun& q : summary.quarantine)
+        ++by_class[static_cast<std::size_t>(q.failure_class)];
+
+    std::ostringstream out;
+    out << "failures           : " << summary.quarantine.size() << "/"
+        << summary.total_runs << " quarantined";
+    bool first = true;
+    for (std::size_t c = 1; c < by_class.size(); ++c) {
+        if (by_class[c] == 0) continue;
+        out << (first ? " (" : ", ")
+            << to_string(static_cast<campaign::FailureClass>(c)) << " "
+            << by_class[c];
+        first = false;
+    }
+    if (!first) out << ")";
+    out << "\n";
+    if (summary.total_retries > 0)
+        out << "retries            : " << summary.total_retries << " across "
+            << summary.retried_runs << " run"
+            << (summary.retried_runs == 1 ? "" : "s") << "\n";
+    if (summary.resumed_runs > 0)
+        out << "resumed            : " << summary.resumed_runs
+            << " runs restored from journal\n";
+    for (const campaign::QuarantinedRun& q : summary.quarantine)
+        out << "  quarantined " << to_string(q.key) << " ["
+            << to_string(q.failure_class) << ", attempts=" << q.attempts
+            << "]: " << q.error << "\n";
+    return out.str();
+}
+
+}  // namespace hp::report

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace hp::report {
+
+/// Renders the failure/quarantine section of a campaign report: a per-class
+/// breakdown (how many runs ended transient / timeout / numerical_divergence
+/// / invalid_config / unknown), the retry and resume totals, and one line
+/// per quarantined grid cell with its error and attempt history. Returns an
+/// empty string when every run succeeded on the first attempt and nothing
+/// was resumed (nothing to report).
+std::string render_failures(const campaign::CampaignSummary& summary);
+
+}  // namespace hp::report

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace hp::sim {
+
+/// Why a run was asked to stop. Recorded in the kCancelled trace event
+/// (arg0) and echoed in the CancelledError diagnostic.
+enum class CancelReason : int {
+    kNone = 0,
+    kDeadline,  ///< per-run wall-clock deadline expired (campaign watchdog)
+    kShutdown,  ///< caller-requested teardown
+};
+
+/// Stable lower_snake_case name of @p reason (diagnostics, exports).
+inline const char* to_string(CancelReason reason) {
+    switch (reason) {
+        case CancelReason::kNone: return "none";
+        case CancelReason::kDeadline: return "deadline";
+        case CancelReason::kShutdown: return "shutdown";
+    }
+    return "unknown";
+}
+
+/// Cooperative cancellation flag shared between a run and its supervisor.
+///
+/// The supervisor (e.g. the campaign deadline monitor) calls request() from
+/// its own thread; the simulator polls requested() once per micro-step — a
+/// single relaxed atomic load, cheap enough for the zero-allocation hot
+/// loop — and aborts the run by throwing CancelledError when it fires.
+/// A token belongs to exactly one run at a time; reset() re-arms it.
+class CancellationToken {
+public:
+    void request(CancelReason reason) noexcept {
+        state_.store(static_cast<int>(reason), std::memory_order_release);
+    }
+    bool requested() const noexcept {
+        return state_.load(std::memory_order_relaxed) !=
+               static_cast<int>(CancelReason::kNone);
+    }
+    CancelReason reason() const noexcept {
+        return static_cast<CancelReason>(
+            state_.load(std::memory_order_acquire));
+    }
+    void reset() noexcept {
+        state_.store(static_cast<int>(CancelReason::kNone),
+                     std::memory_order_release);
+    }
+
+private:
+    std::atomic<int> state_{static_cast<int>(CancelReason::kNone)};
+};
+
+/// Thrown by Simulator::run when its CancellationToken fires. Derives from
+/// std::runtime_error so legacy catch sites keep working; the campaign
+/// engine classifies it as a timeout failure.
+class CancelledError : public std::runtime_error {
+public:
+    CancelledError(CancelReason reason, const std::string& what)
+        : std::runtime_error(what), reason_(reason) {}
+    CancelReason reason() const noexcept { return reason_; }
+
+private:
+    CancelReason reason_;
+};
+
+/// Thrown by the simulator's NaN/divergence guard. Derives from
+/// std::runtime_error (the guard's historical type) so existing handlers
+/// and tests keep working; the campaign engine classifies it as numerical
+/// divergence, which is never retried.
+class ThermalDivergenceError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+}  // namespace hp::sim

@@ -34,13 +34,15 @@ Simulator::Simulator(const arch::ManyCore& chip,
                      power::PowerParams power_params,
                      perf::PerfParams perf_params,
                      thermal::ThermalWorkspace* workspace,
-                     obs::Recorder* recorder)
+                     obs::Recorder* recorder,
+                     const CancellationToken* cancel)
     : chip_(&chip),
       thermal_(&model),
       matex_(&matex),
       config_(config),
       power_model_(power_params, chip.dvfs()),
       perf_model_(chip, perf_params),
+      cancel_(cancel),
       obs_(recorder),
       ws_(workspace != nullptr ? workspace : &own_ws_) {
     if (model.core_count() != chip.core_count())
@@ -662,7 +664,10 @@ void Simulator::check_temperatures_sane() const {
         const std::string node =
             i < cores ? "core " + std::to_string(i)
                       : "node " + std::to_string(i) + " (non-core)";
-        throw std::runtime_error(
+        if (obs_)
+            obs_->record({now_, obs::EventKind::kDivergence,
+                          static_cast<std::uint32_t>(i), 0, t});
+        throw ThermalDivergenceError(
             "Simulator: thermal divergence at t=" + std::to_string(now_) +
             " s: " + node + " reached " + std::to_string(t) +
             " C (sanity bound " + std::to_string(bound) +
@@ -728,6 +733,19 @@ SimResult Simulator::run(Scheduler& scheduler) {
 
     std::size_t step = 0;
     while (now_ < config_.max_sim_time_s) {
+        // Cooperative cancellation: one relaxed load per micro-step keeps a
+        // hung or runaway run reapable by a supervisor (campaign deadline
+        // watchdog) without any cost to the zero-allocation hot loop.
+        if (cancel_ && cancel_->requested()) {
+            const CancelReason reason = cancel_->reason();
+            if (obs_)
+                obs_->record({now_, obs::EventKind::kCancelled,
+                              static_cast<std::uint32_t>(reason), 0, now_});
+            throw CancelledError(
+                reason, "Simulator: run cancelled (" +
+                            std::string(to_string(reason)) + ") at t=" +
+                            std::to_string(now_) + " s simulated");
+        }
         // Inject newly arrived tasks.
         while (next_arrival_index_ < tasks_.size() &&
                tasks_[next_arrival_index_].arrival_s <= now_) {

@@ -7,6 +7,7 @@
 
 #include "arch/manycore.hpp"
 #include "fault/fault_injector.hpp"
+#include "sim/cancellation.hpp"
 #include "noc/mesh.hpp"
 #include "noc/traffic.hpp"
 #include "obs/recorder.hpp"
@@ -41,13 +42,18 @@ public:
     /// owns its scratch. An optional @p recorder attaches the observability
     /// layer (event trace + metrics) to this run; it must outlive the
     /// simulator, belong to this run alone, and nullptr keeps every
-    /// instrumentation site down to a dead pointer test.
+    /// instrumentation site down to a dead pointer test. An optional
+    /// @p cancel token makes the run cooperatively cancellable: the step
+    /// loop polls it (one relaxed atomic load per micro-step) and aborts
+    /// with CancelledError when a supervisor requests cancellation — the
+    /// hook the campaign deadline watchdog uses to reap hung runs.
     Simulator(const arch::ManyCore& chip, const thermal::ThermalModel& model,
               const thermal::MatExSolver& matex, SimConfig config = {},
               power::PowerParams power_params = {},
               perf::PerfParams perf_params = {},
               thermal::ThermalWorkspace* workspace = nullptr,
-              obs::Recorder* recorder = nullptr);
+              obs::Recorder* recorder = nullptr,
+              const CancellationToken* cancel = nullptr);
 
     /// Registers a task for injection at its arrival time. Must be called
     /// before run(). Throws if the task needs more threads than cores.
@@ -139,6 +145,9 @@ private:
     std::vector<double> noc_delay_s_;              // per-core extra LLC latency
     std::unique_ptr<thermal::SensorBank> sensors_;  // when dtm_uses_sensors
     std::unique_ptr<fault::FaultInjector> injector_;  // when faults scheduled
+
+    // Cooperative cancellation (nullptr = not cancellable).
+    const CancellationToken* cancel_ = nullptr;
 
     // Observability: instruments are registered once in the constructor and
     // held as raw pointers so the micro-step never does a name lookup.

@@ -95,7 +95,7 @@ TEST(EventKindTest, NamesRoundTripThroughCsv) {
     // Every kind must survive the CSV round-trip (catches a kind added to
     // the enum but not to to_string / kind_from_string).
     std::vector<Event> events;
-    for (int k = 0; k <= static_cast<int>(EventKind::kSensorFallback); ++k)
+    for (int k = 0; k <= static_cast<int>(EventKind::kDivergence); ++k)
         events.push_back(
             make_event(0.5 * k, static_cast<EventKind>(k), k, k + 1, -1.25 * k));
     std::ostringstream out;

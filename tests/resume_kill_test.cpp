@@ -1,0 +1,200 @@
+// Crash/recovery integration test (DESIGN.md §10): a campaign subprocess is
+// SIGKILLed mid-grid, then the same spec is resumed from its journal — at
+// --jobs 1 and --jobs 4 — and the merged records must be bit-identical to an
+// uninterrupted run, including the observability roll-up (modulo phase wall
+// times, which are host time by nature).
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/study_setup.hpp"
+#include "core/hotpotato.hpp"
+#include "sched/static_schedulers.hpp"
+#include "workload/benchmark.hpp"
+
+namespace {
+
+using hp::campaign::CampaignOptions;
+using hp::campaign::CampaignResult;
+using hp::campaign::CampaignSpec;
+
+/// Wall-time padding per run so the SIGKILL reliably lands mid-grid. The
+/// sleep sits in the scheduler factory — host time only, invisible to the
+/// simulated results, so determinism comparisons are unaffected.
+constexpr auto kRunPadding = std::chrono::milliseconds(50);
+
+CampaignSpec killable_spec() {
+    const static hp::campaign::StudySetup setup =
+        hp::campaign::StudySetup::paper_16core();
+    hp::sim::SimConfig cfg;
+    cfg.max_sim_time_s = 0.01;
+    CampaignSpec spec(setup, cfg);
+    spec.add_scheduler("HotPotato", [] {
+        std::this_thread::sleep_for(kRunPadding);
+        return std::make_unique<hp::core::HotPotatoScheduler>();
+    });
+    spec.add_scheduler("Static", [] {
+        std::this_thread::sleep_for(kRunPadding);
+        return std::make_unique<hp::sched::StaticScheduler>();
+    });
+    spec.add_workload(
+        "blackscholes-2",
+        std::vector<hp::workload::TaskSpec>{hp::workload::TaskSpec{
+            &hp::workload::profile_by_name("blackscholes"), 2, 0.0}});
+    spec.add_seed(1).add_seed(2).add_seed(3);
+    return spec;  // 2 schedulers x 1 workload x 3 seeds = 6 runs
+}
+
+std::string temp_path(const std::string& name) {
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+std::size_t count_lines(const std::string& path) {
+    const std::string data = read_file(path);
+    std::size_t lines = 0;
+    for (char c : data) lines += c == '\n';
+    return lines;
+}
+
+std::string csv_of(const CampaignResult& result) {
+    std::ostringstream out;
+    hp::campaign::write_csv(out, result.records);
+    return out.str();
+}
+
+/// Phase total_s is the one non-deterministic field in a metrics snapshot
+/// (host wall time); zero it so snapshots from different executions of the
+/// same run compare equal in everything that is a function of the sim.
+hp::obs::MetricsSnapshot normalized(hp::obs::MetricsSnapshot snapshot) {
+    for (auto& phase : snapshot.phases) phase.total_s = 0.0;
+    return snapshot;
+}
+
+/// Runs the journaled campaign in a forked child and SIGKILLs it once the
+/// journal holds at least @p min_records records. Returns the number of
+/// journaled records at kill time (0 = the child finished first).
+std::size_t run_and_kill(const std::string& journal,
+                         std::size_t min_records) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+        // Child: execute the campaign with journaling on, then _exit
+        // without running atexit handlers (we are a forked gtest process).
+        CampaignOptions options;
+        options.jobs = 1;
+        options.observe = true;
+        options.journal_path = journal;
+        (void)hp::campaign::run_campaign(killable_spec(), options);
+        _exit(0);
+    }
+    EXPECT_GT(pid, 0) << "fork failed";
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    std::size_t journaled = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (std::filesystem::exists(journal)) {
+            const std::size_t lines = count_lines(journal);  // header + runs
+            if (lines >= min_records + 1) {
+                journaled = lines - 1;
+                break;
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "child was not killed mid-run (status " << status << ")";
+    return WIFSIGNALED(status) ? journaled : 0;
+}
+
+TEST(ResumeAfterKill, MergedRecordsMatchUninterruptedRunAtJobs1And4) {
+    // Uninterrupted reference execution, in-process.
+    CampaignOptions reference_options;
+    reference_options.jobs = 1;
+    reference_options.observe = true;
+    const CampaignResult reference =
+        hp::campaign::run_campaign(killable_spec(), reference_options);
+    ASSERT_EQ(reference.records.size(), 6u);
+    const std::string reference_csv = csv_of(reference);
+
+    // Kill a journaled execution once at least 2 of the 6 runs are durable.
+    const std::string journal = temp_path("kill_resume.hpj");
+    std::filesystem::remove(journal);
+    const std::size_t journaled = run_and_kill(journal, 2);
+    ASSERT_GE(journaled, 2u);
+    ASSERT_LT(journaled, 6u) << "child finished before the kill landed";
+
+    // The journal left behind by the SIGKILL is readable: complete records
+    // survive; at most the final line is torn (and dropped).
+    const hp::campaign::JournalContents contents =
+        hp::campaign::read_journal(journal);
+    ASSERT_GE(contents.records.size(), 2u);
+
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        // Resume appends to its journal, so each jobs value gets a copy of
+        // the post-kill artifact.
+        const std::string copy =
+            temp_path("kill_resume_j" + std::to_string(jobs) + ".hpj");
+        std::filesystem::copy_file(
+            journal, copy, std::filesystem::copy_options::overwrite_existing);
+
+        CampaignOptions options;
+        options.jobs = jobs;
+        options.observe = true;
+        options.resume_path = copy;
+        const CampaignResult resumed =
+            hp::campaign::run_campaign(killable_spec(), options);
+
+        // Bit-identical merged result set: the determinism surface (CSV)
+        // matches byte-for-byte...
+        ASSERT_EQ(resumed.records.size(), reference.records.size());
+        EXPECT_EQ(csv_of(resumed), reference_csv);
+        EXPECT_EQ(resumed.summary.resumed_runs, contents.records.size());
+        EXPECT_EQ(resumed.summary.failed_runs, 0u);
+
+        // ...and so does the per-run observability roll-up, once phase wall
+        // times (host time) are normalized away.
+        for (std::size_t i = 0; i < resumed.records.size(); ++i) {
+            EXPECT_EQ(resumed.records[i].events, reference.records[i].events)
+                << "run " << i;
+            EXPECT_EQ(normalized(resumed.records[i].metrics),
+                      normalized(reference.records[i].metrics))
+                << "run " << i;
+        }
+
+        // The resumed journal now covers the whole grid: a second resume
+        // restores everything and re-runs nothing.
+        CampaignOptions replay;
+        replay.observe = true;
+        replay.resume_path = copy;
+        const CampaignResult replayed =
+            hp::campaign::run_campaign(killable_spec(), replay);
+        EXPECT_EQ(replayed.summary.resumed_runs, 6u);
+        EXPECT_EQ(csv_of(replayed), reference_csv);
+    }
+}
+
+}  // namespace
