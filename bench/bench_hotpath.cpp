@@ -29,6 +29,8 @@
 #include "linalg/simd.hpp"
 #include "sched/static_schedulers.hpp"
 #include "sim/simulator.hpp"
+#include "thermal/modal_solver.hpp"
+#include "thermal/solver.hpp"
 #include "workload/benchmark.hpp"
 #include "workload/generator.hpp"
 
@@ -236,7 +238,7 @@ int main(int argc, char** argv) {
     using namespace hp;
     const campaign::StudySetup& t64 = bench::testbed_64core();
     const thermal::ThermalModel& model = t64.model();
-    const thermal::MatExSolver& matex = t64.solver();
+    const thermal::TransientSolver& matex = t64.solver();
     const std::size_t n = model.core_count();
 
     linalg::Vector core_power(n, 2.0);
@@ -314,6 +316,46 @@ int main(int argc, char** argv) {
                     {workload::TaskSpec{
                         &workload::profile_by_name("swaptions"), 2, 0.0}},
                     smoke ? 0.02 : 0.25);
+    }
+
+    std::printf("\n-- 256-core scale-up (truncated-modal backend) --\n");
+    const campaign::StudySetup& t256 = bench::testbed_256core();
+    const thermal::ThermalModel& model256 = t256.model();
+    const thermal::TransientSolver& modal256 = t256.solver();
+    std::printf("  backend=%s modes=%zu/%zu error_bound=%.3f K\n",
+                modal256.backend_name(), modal256.mode_count(),
+                modal256.node_count(), modal256.error_bound_c());
+
+    // One-time backend setup at 513 nodes: eigendecomposition, mode cut,
+    // banded factorisation, error-bound probes.
+    measure("solver_setup_256", smoke ? 1 : 3, [&] {
+        return thermal::TruncatedModalSolver(model256,
+                                             thermal::SolverConfig::modal())
+            .error_bound_c();
+    });
+
+    // Algorithm 1 on a 16x16 ring (same 8-slot shape as the 64-core case,
+    // centred on the die).
+    {
+        core::PeakTemperatureAnalyzer analyzer256(modal256, 45.0, 0.3);
+        core::RotationRingSpec ring256;
+        ring256.cores = {119, 120, 136, 135, 134, 118, 102, 103};
+        ring256.slot_power_w = {6.0, 5.5, 5.0, 0.3, 0.3, 4.0, 0.3, 0.3};
+        const std::vector<core::RotationRingSpec> rings256 = {ring256};
+        core::PeakWorkspace peak_ws256;
+        measure("rotation_peak_256", smoke ? 3 : 50, [&] {
+            return analyzer256.rotation_peak(rings256, 0.5e-3, 2, peak_ws256);
+        });
+    }
+
+    // Whole-simulator micro-steps on the 256-core chip (sparse Taylor path).
+    {
+        core::HotPotatoScheduler sched;
+        measure_sim(
+            "sim_step_256core", t256, sched,
+            workload::homogeneous_fill(workload::profile_by_name("bodytrack"),
+                                       16, 1),
+            smoke ? 0.01 : 0.1);
     }
 
     write_json(out_path, smoke);

@@ -22,6 +22,11 @@ inline const campaign::StudySetup& testbed_64core() {
     return t;
 }
 
+inline const campaign::StudySetup& testbed_256core() {
+    static const campaign::StudySetup t = campaign::StudySetup::paper_256core();
+    return t;
+}
+
 inline void print_header(const char* title, const char* paper_ref) {
     std::printf("\n=============================================================================\n");
     std::printf("%s\n", title);

@@ -34,6 +34,9 @@ import argparse
 import json
 import sys
 
+# Cases a candidate run must contain (see --require).
+REQUIRED_CASES = ("solver_setup_256", "sim_step_256core", "rotation_peak_256")
+
 
 def load_cases(path):
     try:
@@ -94,6 +97,11 @@ def main():
                     help="absolute ns_per_op slack floor (default 2000)")
     ap.add_argument("--alloc-slack", type=float, default=0.5,
                     help="allowed allocs_per_op increase (default 0.5)")
+    ap.add_argument("--require", action="append", default=None,
+                    metavar="CASE",
+                    help="case name that must be present in the candidate "
+                         "(repeatable; default: the 256-core scale-up "
+                         "entries). Pass --require '' to require nothing.")
     args = ap.parse_args()
 
     base_mode, base_prov, baseline = load_cases(args.baseline)
@@ -105,6 +113,17 @@ def main():
               "runs are not comparable (pass --allow-mode-mismatch to "
               "override)", file=sys.stderr)
         sys.exit(2)
+
+    # The 256-core scale-up entries are load-bearing (they gate the modal
+    # backend's scaling claim): their absence from a fresh run is a failure,
+    # not a skip.
+    required = (args.require if args.require is not None
+                else list(REQUIRED_CASES))
+    missing_required = [n for n in required if n and n not in candidate]
+    if missing_required:
+        print("check_bench: required case(s) missing from candidate: "
+              + ", ".join(missing_required), file=sys.stderr)
+        return 1
 
     failures = []
     print(f"{'case':<34} {'base ns':>12} {'now ns':>12} "

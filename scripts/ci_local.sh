@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: build-test matrix (gcc + clang ×
-# Debug + Release with -Werror), ASan/UBSan and TSan legs, the clang-format
-# check and the bench-regression gate — each leg skipped (not failed) when
+# Debug + Release with -Werror), ASan/UBSan and TSan legs, the SIMD-dispatch
+# and forced-modal-solver suite reruns, the clang-format check and the
+# bench-regression gate — each leg skipped (not failed) when
 # this machine lacks the tool it needs, so the script is useful on minimal
 # containers and full workstations alike.
 #
@@ -105,6 +106,20 @@ if [[ -d "$DISPATCH_DIR" ]]; then
   done
 else
   skip "dispatch (no Release build dir)"
+fi
+
+# ---- forced modal solver ---------------------------------------------------
+# Mirrors the `modal-solver` CI job: HOTPOTATO_SOLVER overrides auto backend
+# selection, so every unpinned StudySetup/make_solver call in the suite runs
+# on the truncated-modal thermal solver. Reuses the first Release build; the
+# backend is chosen at runtime from the environment.
+MODAL_DIR="$BUILD_ROOT/${COMPILERS[0]%%:*}-Release"
+if [[ -d "$MODAL_DIR" ]]; then
+  note "modal solver: full suite under HOTPOTATO_SOLVER=modal"
+  HOTPOTATO_SOLVER=modal \
+    ctest --test-dir "$MODAL_DIR" --output-on-failure -j "$JOBS"
+else
+  skip "modal solver (no Release build dir)"
 fi
 
 # ---- fault matrix ----------------------------------------------------------

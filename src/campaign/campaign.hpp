@@ -166,8 +166,8 @@ struct CampaignSummary {
 ///
 /// Value semantics: a CampaignSpec owns its labels and factories and shares
 /// the (immutable) StudySetup, so it can be copied, stored, and handed to
-/// the engine without any reference-lifetime contract — the replacement for
-/// report::ComparisonRunner's raw-pointer API. Factories must be safe to
+/// the engine without any reference-lifetime contract. Factories must be
+/// safe to
 /// invoke from worker threads (they are called once per run, never
 /// concurrently *for the same run*; capture shared state by value or treat
 /// it as read-only).

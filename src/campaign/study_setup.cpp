@@ -10,35 +10,49 @@ namespace hp::campaign {
 struct StudySetup::Bundle {
     arch::ManyCore chip;
     thermal::ThermalModel model;
-    thermal::MatExSolver solver;
+    std::unique_ptr<const thermal::TransientSolver> solver;
 
-    Bundle(arch::ManyCore c, const thermal::RcNetworkConfig& cooling)
-        : chip(std::move(c)), model(chip.plan(), cooling), solver(model) {}
+    Bundle(arch::ManyCore c, const thermal::RcNetworkConfig& cooling,
+           const thermal::SolverConfig& solver_config)
+        : chip(std::move(c)),
+          model(chip.plan(), cooling),
+          solver(thermal::make_solver(model, solver_config)) {}
 };
 
 StudySetup StudySetup::custom(arch::ManyCore chip,
-                              thermal::RcNetworkConfig cooling) {
-    auto bundle = std::make_shared<const Bundle>(std::move(chip), cooling);
+                              thermal::RcNetworkConfig cooling,
+                              thermal::SolverConfig solver) {
+    auto bundle =
+        std::make_shared<const Bundle>(std::move(chip), cooling, solver);
     const Bundle* b = bundle.get();
-    return StudySetup(std::move(bundle), &b->chip, &b->model, &b->solver);
+    return StudySetup(std::move(bundle), &b->chip, &b->model,
+                      b->solver.get());
 }
 
-StudySetup StudySetup::paper_64core() {
-    return custom(arch::ManyCore::paper_64core());
+StudySetup StudySetup::paper_64core(thermal::SolverConfig solver) {
+    return custom(arch::ManyCore::paper_64core(), {}, solver);
 }
 
-StudySetup StudySetup::paper_16core() {
-    return custom(arch::ManyCore::paper_16core());
+StudySetup StudySetup::paper_16core(thermal::SolverConfig solver) {
+    return custom(arch::ManyCore::paper_16core(), {}, solver);
 }
 
-StudySetup StudySetup::stacked_32core() {
-    return custom(arch::ManyCore::stacked_32core());
+StudySetup StudySetup::stacked_32core(thermal::SolverConfig solver) {
+    return custom(arch::ManyCore::stacked_32core(), {}, solver);
 }
 
-StudySetup StudySetup::borrow(const arch::ManyCore& chip,
-                              const thermal::ThermalModel& model,
-                              const thermal::MatExSolver& solver) {
-    return StudySetup(nullptr, &chip, &model, &solver);
+StudySetup StudySetup::paper_256core(thermal::SolverConfig solver) {
+    return custom(arch::ManyCore(16, 16), {}, solver);
+}
+
+StudySetup StudySetup::stacked_256core(thermal::SolverConfig solver) {
+    arch::SnucaParams params;
+    params.layers = 4;
+    return custom(arch::ManyCore(8, 8, params), {}, solver);
+}
+
+StudySetup StudySetup::paper_1024core(thermal::SolverConfig solver) {
+    return custom(arch::ManyCore(32, 32), {}, solver);
 }
 
 sim::Simulator StudySetup::make_simulator(

@@ -7,13 +7,15 @@
 #include "power/power_model.hpp"
 #include "sim/config.hpp"
 #include "sim/simulator.hpp"
-#include "thermal/matex.hpp"
 #include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
 
 namespace hp::campaign {
 
 /// The expensive, shareable half of every study in this repo: a chip plus
-/// its thermal model and the one-time O(N^3) MatEx eigendecomposition.
+/// its thermal model and the one-time thermal-solver setup (dense MatEx
+/// eigendecomposition or truncated-modal reduction, chosen through
+/// thermal::SolverConfig).
 ///
 /// StudySetup is a value type — copies are cheap and share the same
 /// immutable bundle through a shared_ptr, so a CampaignSpec holding one can
@@ -22,7 +24,7 @@ namespace hp::campaign {
 /// example used to duplicate.
 ///
 /// Thread safety: ManyCore (AMD + ring tables), ThermalModel (A/B/G and the
-/// cached LU of B) and MatExSolver (λ, V, V^{-1}) are all immutable after
+/// cached LU of B) and every TransientSolver backend are all immutable after
 /// construction — no mutable members, no lazy caches — so any number of
 /// threads may call their const member functions concurrently. This is the
 /// contract the parallel campaign engine relies on: one StudySetup is shared
@@ -30,28 +32,33 @@ namespace hp::campaign {
 /// Scheduler and (when faults are scheduled) FaultInjector per run.
 class StudySetup {
 public:
-    /// Builds chip + thermal model + eigendecomposition for @p chip.
+    /// Builds chip + thermal model + solver backend for @p chip. The default
+    /// @p solver auto-selects the backend: dense at or below
+    /// SolverConfig::dense_node_threshold thermal nodes, truncated-modal
+    /// above, with an environment override via HOTPOTATO_SOLVER.
     static StudySetup custom(arch::ManyCore chip,
-                             thermal::RcNetworkConfig cooling = {});
+                             thermal::RcNetworkConfig cooling = {},
+                             thermal::SolverConfig solver = {});
 
     /// Paper Table I 64-core (8x8) part.
-    static StudySetup paper_64core();
+    static StudySetup paper_64core(thermal::SolverConfig solver = {});
     /// The motivational example's 16-core (4x4) part.
-    static StudySetup paper_16core();
+    static StudySetup paper_16core(thermal::SolverConfig solver = {});
     /// 3D-stacked 2x(4x4) part (paper SSVII future work).
-    static StudySetup stacked_32core();
-
-    /// Non-owning view over externally owned objects, for callers that
-    /// already hold a chip/model/solver triple (the deprecated
-    /// report::ComparisonRunner shim). The referenced objects must outlive
-    /// every copy of the returned setup — prefer the owning factories.
-    static StudySetup borrow(const arch::ManyCore& chip,
-                             const thermal::ThermalModel& model,
-                             const thermal::MatExSolver& solver);
+    static StudySetup stacked_32core(thermal::SolverConfig solver = {});
+    /// 256-core (16x16) scale-up of the paper Table I part; 513 thermal
+    /// nodes, served by the truncated-modal backend under auto selection.
+    static StudySetup paper_256core(thermal::SolverConfig solver = {});
+    /// 3D-stacked 256-core part: four stacked 8x8 layers over one spreader
+    /// (321 thermal nodes).
+    static StudySetup stacked_256core(thermal::SolverConfig solver = {});
+    /// 1024-core (32x32) part (2049 thermal nodes) — the scaling ceiling
+    /// the truncated-modal backend is specified against.
+    static StudySetup paper_1024core(thermal::SolverConfig solver = {});
 
     const arch::ManyCore& chip() const { return *chip_; }
     const thermal::ThermalModel& model() const { return *model_; }
-    const thermal::MatExSolver& solver() const { return *solver_; }
+    const thermal::TransientSolver& solver() const { return *solver_; }
 
     /// A fresh simulator over the shared machine; one per run. An optional
     /// @p workspace lets a worker thread reuse its thermal scratch across
@@ -72,14 +79,14 @@ private:
 
     StudySetup(std::shared_ptr<const Bundle> owned, const arch::ManyCore* chip,
                const thermal::ThermalModel* model,
-               const thermal::MatExSolver* solver)
+               const thermal::TransientSolver* solver)
         : owned_(std::move(owned)), chip_(chip), model_(model),
           solver_(solver) {}
 
-    std::shared_ptr<const Bundle> owned_;  ///< null for borrow()ed setups
+    std::shared_ptr<const Bundle> owned_;
     const arch::ManyCore* chip_;
     const thermal::ThermalModel* model_;
-    const thermal::MatExSolver* solver_;
+    const thermal::TransientSolver* solver_;
 };
 
 }  // namespace hp::campaign

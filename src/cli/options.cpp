@@ -23,8 +23,8 @@
 #include "sched/static_schedulers.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_io.hpp"
-#include "thermal/matex.hpp"
 #include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
 #include "workload/workload_io.hpp"
 
 namespace hp::cli {
@@ -35,6 +35,13 @@ std::string usage() {
 machine:
   --rows N --cols N        mesh dimensions           (default 8x8)
   --layers N               stacked silicon layers    (default 1)
+  --solver NAME            thermal solver backend: auto | dense | modal
+                           (default auto: dense up to the SolverConfig node
+                           threshold, truncated-modal above; the
+                           HOTPOTATO_SOLVER environment variable overrides
+                           auto selection)
+  --solver-tol K           modal truncation tolerance in kelvin
+                           (default 0.01; ignored by --solver dense)
 
 policy:
   --scheduler NAME         hotpotato | hotpotato-dvfs | pcmig | pcgov |
@@ -196,6 +203,9 @@ CliOptions parse(const std::vector<std::string>& args) {
         if (flag == "--rows") o.rows = parse_uint(flag, value());
         else if (flag == "--cols") o.cols = parse_uint(flag, value());
         else if (flag == "--layers") o.layers = parse_uint(flag, value());
+        else if (flag == "--solver") o.solver = value();
+        else if (flag == "--solver-tol")
+            o.solver_tol_c = parse_double(flag, value());
         else if (flag == "--scheduler") o.scheduler = value();
         else if (flag == "--profiles-file") o.profiles_file = value();
         else if (flag == "--tasks-file") o.tasks_file = value();
@@ -236,6 +246,13 @@ CliOptions parse(const std::vector<std::string>& args) {
     std::vector<std::string> violations;
     if (o.rows == 0 || o.cols == 0 || o.layers == 0)
         violations.push_back("machine dimensions must be positive");
+    try {
+        (void)thermal::parse_solver_backend(o.solver);
+    } catch (const std::invalid_argument& e) {
+        violations.push_back(std::string("--solver: ") + e.what());
+    }
+    if (o.solver_tol_c <= 0.0)
+        violations.push_back("--solver-tol must be positive");
     if (!o.tasks_file.empty() && !o.benchmark.empty())
         violations.push_back(
             "--tasks-file and --benchmark are mutually exclusive");
@@ -418,8 +435,11 @@ int run_comparison(const CliOptions& options,
 int run(const CliOptions& options, std::ostream& out) {
     arch::SnucaParams params;
     params.layers = options.layers;
+    thermal::SolverConfig solver_config;
+    solver_config.backend = thermal::parse_solver_backend(options.solver);
+    solver_config.tolerance_c = options.solver_tol_c;
     const campaign::StudySetup setup = campaign::StudySetup::custom(
-        arch::ManyCore(options.rows, options.cols, params));
+        arch::ManyCore(options.rows, options.cols, params), {}, solver_config);
     const arch::ManyCore& chip = setup.chip();
 
     sim::SimConfig config;
@@ -487,6 +507,12 @@ int run(const CliOptions& options, std::ostream& out) {
                                : "")
         << " (" << chip.core_count() << " cores, " << chip.rings().size()
         << " AMD rings)\n";
+    out << "thermal solver     : " << setup.solver().backend_name() << " ("
+        << setup.solver().mode_count() << "/" << setup.model().node_count()
+        << " modes";
+    if (setup.solver().truncated())
+        out << ", error bound " << setup.solver().error_bound_c() << " K";
+    out << ")\n";
     out << "scheduler          : " << scheduler->name() << "\n";
     out << "tasks finished     : " << result.tasks.size() << "/"
         << (result.all_finished ? result.tasks.size() : std::size_t(-1))

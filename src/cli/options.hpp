@@ -17,6 +17,10 @@ struct CliOptions {
     std::size_t cols = 8;
     std::size_t layers = 1;
 
+    // Thermal-solver backend: auto | dense | modal (thermal::SolverConfig).
+    std::string solver = "auto";
+    double solver_tol_c = 0.01;  ///< modal truncation tolerance [K]
+
     // Policy: hotpotato | hotpotato-dvfs | pcmig | pcgov | tsp-dvfs |
     // static | reactive | global-rotation.
     std::string scheduler = "hotpotato";

@@ -86,10 +86,11 @@ void HotPotatoScheduler::initialize(sim::SimContext& ctx) {
             "hotpotato.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
     }
     if (params_.use_peak_cache) {
-        // Keys: 1 tag word + 1 size word per ring + 1 power word per slot
-        // (rotation), or 1 tag + 1 power word per core (static).
+        // Keys: 1 backend word + 1 tag word + 1 size word per ring + 1
+        // power word per slot (rotation), or backend + tag + 1 power word
+        // per core (static).
         peak_cache_.configure(
-            256, 2 + ctx.chip().core_count() + ctx.chip().rings().size());
+            256, 3 + ctx.chip().core_count() + ctx.chip().rings().size());
     } else {
         peak_cache_.configure(0, 0);
     }
@@ -112,7 +113,8 @@ void HotPotatoScheduler::ensure_analyzer(sim::SimContext& ctx) {
     if (analyzer_) return;
     const double idle = ctx.power_model().idle_power_w(ctx.config().t_dtm_c);
     analyzer_ = std::make_unique<PeakTemperatureAnalyzer>(
-        ctx.matex(), ctx.config().ambient_c, idle);
+        ctx.solver(), ctx.config().ambient_c, idle);
+    backend_sig_ = ctx.solver().backend_signature();
 }
 
 void HotPotatoScheduler::sync_finished_threads(sim::SimContext& ctx) {
@@ -169,6 +171,7 @@ void HotPotatoScheduler::build_static_powers(sim::SimContext& ctx) const {
 void HotPotatoScheduler::stage_static_key(const double* powers,
                                           std::size_t count) const {
     peak_cache_.key_begin();
+    peak_cache_.key_push(backend_sig_);
     peak_cache_.key_push(std::uint64_t{0});  // tag: static prediction
     for (std::size_t i = 0; i < count; ++i) peak_cache_.key_push(powers[i]);
 }
@@ -176,6 +179,7 @@ void HotPotatoScheduler::stage_static_key(const double* powers,
 void HotPotatoScheduler::stage_rotation_key(std::size_t tau_index) const {
     // Assumes spec_scratch_ is current (build_ring_specs ran this query).
     peak_cache_.key_begin();
+    peak_cache_.key_push(backend_sig_);
     peak_cache_.key_push((std::uint64_t{1} << 63) |
                          (static_cast<std::uint64_t>(params_.samples_per_epoch)
                           << 32) |

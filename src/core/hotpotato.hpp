@@ -175,6 +175,9 @@ private:
 
     HotPotatoParams params_;
     std::unique_ptr<PeakTemperatureAnalyzer> analyzer_;
+    /// Backend identity word folded into every prediction-cache key, so a
+    /// cache survives backend/tolerance changes without aliasing entries.
+    std::uint64_t backend_sig_ = 0;
     // Observability (cached in initialize(); null when observability is off).
     // obs_alg1_ is mutable for the same reason as the prediction scratch:
     // predict_peak() stays const for the overhead benchmark.

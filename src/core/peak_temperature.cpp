@@ -36,28 +36,32 @@ void ensure_list(std::vector<linalg::Vector>& list, std::size_t count,
 }  // namespace
 
 PeakTemperatureAnalyzer::PeakTemperatureAnalyzer(
-    const thermal::MatExSolver& matex, double ambient_c, double idle_power_w)
-    : matex_(&matex), ambient_c_(ambient_c), idle_power_w_(idle_power_w) {
-    const thermal::ThermalModel& model = matex.model();
-    // Design-time phase (Algorithm 1 lines 1-7): β = V^{-1}·B^{-1} and the
-    // ambient offset; both are floorplan constants.
-    beta_ = matex.eigenvectors_inverse() *
-            model.conductance_lu().inverse();
+    const thermal::TransientSolver& solver, double ambient_c,
+    double idle_power_w)
+    : solver_(&solver),
+      ambient_c_(ambient_c),
+      idle_power_w_(idle_power_w),
+      modes_(solver.mode_count()),
+      truncated_(solver.truncated()),
+      cluster_pole_(solver.cluster_pole()) {
+    const thermal::ThermalModel& model = solver.model();
+    // Design-time phase (Algorithm 1 lines 1-7): β = V^{-1}·B^{-1} (retained
+    // rows) and the ambient offset; both are floorplan constants.
+    beta_ = solver.modal_steady_map();
     beta_t_ = beta_.transpose();
     const std::size_t cores = model.core_count();
-    const std::size_t big_n = model.node_count();
-    v_cores_ = linalg::Matrix(cores, big_n);
+    v_cores_ = linalg::Matrix(cores, modes_);
     for (std::size_t i = 0; i < cores; ++i)
-        for (std::size_t k = 0; k < big_n; ++k)
-            v_cores_(i, k) = matex.eigenvectors()(i, k);
-    ambient_offset_ = model.conductance_lu().solve(
-        ambient_c * model.ambient_conductance());
+        for (std::size_t k = 0; k < modes_; ++k)
+            v_cores_(i, k) = solver.mode_shapes()(i, k);
+    ambient_offset_ =
+        solver.conductance_solve(ambient_c * model.ambient_conductance());
 }
 
 std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
     const std::vector<linalg::Vector>& core_power_per_epoch,
     double tau) const {
-    const thermal::ThermalModel& model = matex_->model();
+    const thermal::ThermalModel& model = solver_->model();
     const std::size_t delta = core_power_per_epoch.size();
     if (delta == 0)
         throw std::invalid_argument("boundary_temperatures: empty schedule");
@@ -65,7 +69,9 @@ std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
         throw std::invalid_argument("boundary_temperatures: tau must be > 0");
 
     const std::size_t big_n = model.node_count();
-    const linalg::Vector& lambda = matex_->eigenvalues();
+    const std::size_t k_modes = modes_;
+    const linalg::Vector& lambda = solver_->eigenvalues();
+    const linalg::Matrix& v = solver_->mode_shapes();
 
     // Modal images of the per-epoch steady-state targets: y_f = β·P_f.
     std::vector<linalg::Vector> y;
@@ -73,11 +79,46 @@ std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
     for (const linalg::Vector& p : core_power_per_epoch)
         y.push_back(beta_ * model.pad_power(p));
 
+    // On a truncated backend the dropped cluster's periodic boundary state is
+    // reconstructed from the exact quasi-static targets
+    // c_f = B^{-1}P_f - V_K·y_f tracked through the representative pole λ̄
+    // (the full-node analog of evaluate_periodic_max's core correction).
+    std::vector<linalg::Vector> xstar;
+    if (truncated_ && cluster_pole_ < 0.0) {
+        std::vector<linalg::Vector> c;
+        c.reserve(delta);
+        for (std::size_t f = 0; f < delta; ++f) {
+            linalg::Vector cf =
+                solver_->conductance_solve(
+                    model.pad_power(core_power_per_epoch[f]));
+            for (std::size_t i = 0; i < big_n; ++i) {
+                double kept = 0.0;
+                for (std::size_t k = 0; k < k_modes; ++k)
+                    kept += v(i, k) * y[f][k];
+                cf[i] -= kept;
+            }
+            c.push_back(std::move(cf));
+        }
+        const double q = std::exp(cluster_pole_ * tau);
+        const double qd = std::pow(q, static_cast<double>(delta));
+        xstar.assign(delta, linalg::Vector(big_n, 0.0));
+        for (std::size_t f = 0; f < delta; ++f) {
+            const double w =
+                (1.0 - q) / (1.0 - qd) *
+                std::pow(q, static_cast<double>((delta - f) % delta));
+            for (std::size_t i = 0; i < big_n; ++i)
+                xstar[0][i] += w * c[f][i];
+        }
+        for (std::size_t e = 1; e < delta; ++e)
+            for (std::size_t i = 0; i < big_n; ++i)
+                xstar[e][i] = c[e][i] + q * (xstar[e - 1][i] - c[e][i]);
+    }
+
     std::vector<linalg::Vector> out;
     out.reserve(delta);
     for (std::size_t e = 0; e < delta; ++e) {
-        linalg::Vector z(big_n);
-        for (std::size_t k = 0; k < big_n; ++k) {
+        linalg::Vector z(k_modes);
+        for (std::size_t k = 0; k < k_modes; ++k) {
             const double ek = std::exp(lambda[k] * tau);
             const double denom = 1.0 - std::pow(ek, static_cast<double>(delta));
             double acc = 0.0;
@@ -87,7 +128,10 @@ std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
             }
             z[k] = (1.0 - ek) / denom * acc;
         }
-        out.push_back(ambient_offset_ + matex_->eigenvectors() * z);
+        linalg::Vector t = ambient_offset_ + v * z;
+        if (!xstar.empty())
+            for (std::size_t i = 0; i < big_n; ++i) t[i] += xstar[e][i];
+        out.push_back(std::move(t));
     }
     return out;
 }
@@ -113,10 +157,9 @@ void PeakTemperatureAnalyzer::reserve_sample_batch(
     for (const RotationRingSpec& ring : rings)
         max_delta = std::max(max_delta, ring.cores.size());
     const std::size_t nsamp = max_delta * samples_per_epoch;
-    const std::size_t big_n = matex_->model().node_count();
-    const std::size_t cores = matex_->model().core_count();
-    if (ws.zs_batch_.size() < nsamp * big_n)
-        ws.zs_batch_.resize(nsamp * big_n);
+    const std::size_t cores = solver_->model().core_count();
+    if (ws.zs_batch_.size() < nsamp * modes_)
+        ws.zs_batch_.resize(nsamp * modes_);
     if (ws.resp_batch_.size() < nsamp * cores)
         ws.resp_batch_.resize(nsamp * cores);
 }
@@ -124,19 +167,41 @@ void PeakTemperatureAnalyzer::reserve_sample_batch(
 void PeakTemperatureAnalyzer::build_modal_targets(
     const linalg::Vector* node_power_per_epoch, std::size_t delta,
     PeakWorkspace& ws) const {
-    const std::size_t big_n = matex_->model().node_count();
+    const std::size_t big_n = solver_->model().node_count();
 
     // Modal images y_f = β·P_f, exploiting that rotation power vectors are
     // sparse (non-zero only on the rotating ring's cores): accumulate the
     // corresponding β columns instead of a dense mat-vec.
-    ensure_list(ws.y_, delta, big_n, /*zero=*/true);
+    ensure_list(ws.y_, delta, modes_, /*zero=*/true);
     for (std::size_t f = 0; f < delta; ++f) {
         const linalg::Vector& p = node_power_per_epoch[f];
         double* yf = ws.y_[f].data();
         for (std::size_t j = 0; j < big_n; ++j) {
             const double pj = p[j];
             if (pj == 0.0) continue;
-            linalg::kernel_axpy(big_n, pj, beta_t_.data() + j * big_n, yf);
+            linalg::kernel_axpy(modes_, pj, beta_t_.data() + j * modes_, yf);
+        }
+    }
+
+    // Truncated backend: the τ-independent dropped-cluster targets — exact
+    // quasi-static core response of each epoch minus its retained-mode part,
+    // c_f(i) = (B^{-1}P_f)(i) - Σ_k V(i,k)·y_{f,k}. One sparse direct solve
+    // per epoch, reused across every τ the caller evaluates.
+    if (truncated_) {
+        const std::size_t cores = solver_->model().core_count();
+        ensure_list(ws.cfield_, delta, cores, /*zero=*/false);
+        for (std::size_t f = 0; f < delta; ++f) {
+            solver_->conductance_solve_into(node_power_per_epoch[f],
+                                            ws.thermal_, ws.csolve_);
+            const double* yf = ws.y_[f].data();
+            double* cf = ws.cfield_[f].data();
+            for (std::size_t i = 0; i < cores; ++i) {
+                double kept = 0.0;
+                const double* vrow = v_cores_.data() + i * modes_;
+                for (std::size_t k = 0; k < modes_; ++k)
+                    kept += vrow[k] * yf[k];
+                cf[i] = ws.csolve_[i] - kept;
+            }
         }
     }
 }
@@ -144,22 +209,22 @@ void PeakTemperatureAnalyzer::build_modal_targets(
 void PeakTemperatureAnalyzer::evaluate_periodic_max(
     std::size_t delta, double tau, std::size_t samples_per_epoch,
     PeakWorkspace& ws, linalg::Vector& core_max) const {
-    const std::size_t big_n = matex_->model().node_count();
-    const std::size_t cores = matex_->model().core_count();
-    const linalg::Vector& lambda = matex_->eigenvalues();
+    const std::size_t k_modes = modes_;
+    const std::size_t cores = solver_->model().core_count();
+    const linalg::Vector& lambda = solver_->eigenvalues();
     const std::vector<linalg::Vector>& y = ws.y_;
 
     // Geometric tables e^{λ_k τ g}, g = 0..δ (pow-free).
-    if (ws.ek_.size() < big_n) ws.ek_.resize(big_n);
-    if (ws.ek_pow_.size() < (delta + 1) * big_n)
-        ws.ek_pow_.resize((delta + 1) * big_n);
+    if (ws.ek_.size() < k_modes) ws.ek_.resize(k_modes);
+    if (ws.ek_pow_.size() < (delta + 1) * k_modes)
+        ws.ek_pow_.resize((delta + 1) * k_modes);
     std::vector<double>& ek = ws.ek_;
     std::vector<double>& ek_pow = ws.ek_pow_;
-    for (std::size_t k = 0; k < big_n; ++k) {
+    for (std::size_t k = 0; k < k_modes; ++k) {
         ek[k] = std::exp(lambda[k] * tau);
         double acc = 1.0;
         for (std::size_t g = 0; g <= delta; ++g) {
-            ek_pow[g * big_n + k] = acc;
+            ek_pow[g * k_modes + k] = acc;
             acc *= ek[k];
         }
     }
@@ -168,28 +233,64 @@ void PeakTemperatureAnalyzer::evaluate_periodic_max(
     // f-ordered geometric accumulation scaled by (1-e^{λτ})/(1-e^{λδτ}) —
     // the accumulation and the single closing multiply match the historical
     // k-at-a-time recurrence bit for bit.
-    ensure_size(ws.coeff_, big_n);
-    for (std::size_t k = 0; k < big_n; ++k)
-        ws.coeff_[k] = (1.0 - ek[k]) / (1.0 - ek_pow[delta * big_n + k]);
-    ensure_list(ws.z_, delta, big_n, /*zero=*/true);
+    ensure_size(ws.coeff_, k_modes);
+    for (std::size_t k = 0; k < k_modes; ++k)
+        ws.coeff_[k] = (1.0 - ek[k]) / (1.0 - ek_pow[delta * k_modes + k]);
+    ensure_list(ws.z_, delta, k_modes, /*zero=*/true);
     std::vector<linalg::Vector>& z = ws.z_;
     for (std::size_t e = 0; e < delta; ++e) {
         double* ze = z[e].data();
         for (std::size_t f = 0; f < delta; ++f)
             linalg::kernel_fma_acc(
-                big_n, ek_pow.data() + ((e + delta - f) % delta) * big_n,
+                k_modes, ek_pow.data() + ((e + delta - f) % delta) * k_modes,
                 y[f].data(), ze);
-        linalg::kernel_hadamard(big_n, ws.coeff_.data(), ze);
+        linalg::kernel_hadamard(k_modes, ws.coeff_.data(), ze);
     }
 
     // Interior-sample decay factors e^{λ_k τ s/S}; epoch-independent.
-    ensure_list(ws.eks_frac_, samples_per_epoch - 1, big_n, /*zero=*/false);
+    ensure_list(ws.eks_frac_, samples_per_epoch - 1, k_modes, /*zero=*/false);
     for (std::size_t s = 1; s < samples_per_epoch; ++s) {
         const double frac =
             static_cast<double>(s) / static_cast<double>(samples_per_epoch);
         linalg::Vector& eks = ws.eks_frac_[s - 1];
-        for (std::size_t k = 0; k < big_n; ++k)
+        for (std::size_t k = 0; k < k_modes; ++k)
             eks[k] = std::exp(lambda[k] * tau * frac);
+    }
+
+    // Dropped-cluster periodic boundary states: the scalar (per-core) analog
+    // of z_e over the representative pole λ̄ and the quasi-static targets c_f
+    // built by build_modal_targets. Geometric closure for epoch 0, then the
+    // one-pole forward recurrence x*_e = c_e + q·(x*_{e-1} - c_e).
+    const bool correct = truncated_ && cluster_pole_ < 0.0;
+    if (correct) {
+        const double q = std::exp(cluster_pole_ * tau);
+        if (ws.qpow_.size() < delta + 1) ws.qpow_.resize(delta + 1);
+        double qacc = 1.0;
+        for (std::size_t g = 0; g <= delta; ++g) {
+            ws.qpow_[g] = qacc;
+            qacc *= q;
+        }
+        ensure_list(ws.cstar_, delta, cores, /*zero=*/true);
+        double* x0 = ws.cstar_[0].data();
+        const double closing = (1.0 - q) / (1.0 - ws.qpow_[delta]);
+        for (std::size_t f = 0; f < delta; ++f) {
+            const double w = closing * ws.qpow_[(delta - f) % delta];
+            const double* cf = ws.cfield_[f].data();
+            for (std::size_t i = 0; i < cores; ++i) x0[i] += w * cf[i];
+        }
+        for (std::size_t e = 1; e < delta; ++e) {
+            const double* prev = ws.cstar_[e - 1].data();
+            const double* ce = ws.cfield_[e].data();
+            double* xe = ws.cstar_[e].data();
+            for (std::size_t i = 0; i < cores; ++i)
+                xe[i] = ce[i] + q * (prev[i] - ce[i]);
+        }
+        if (ws.qfrac_.size() < samples_per_epoch)
+            ws.qfrac_.resize(samples_per_epoch);
+        for (std::size_t s = 1; s <= samples_per_epoch; ++s)
+            ws.qfrac_[s - 1] =
+                std::exp(cluster_pole_ * tau * static_cast<double>(s) /
+                         static_cast<double>(samples_per_epoch));
     }
 
     // Per-core maxima over epoch boundaries plus interior samples. Only core
@@ -201,28 +302,44 @@ void PeakTemperatureAnalyzer::evaluate_periodic_max(
     ensure_size(core_max, cores);
     for (std::size_t i = 0; i < cores; ++i) core_max[i] = -1e300;
     const std::size_t nsamp = delta * samples_per_epoch;
-    if (ws.zs_batch_.size() < nsamp * big_n)
-        ws.zs_batch_.resize(nsamp * big_n);
+    if (ws.zs_batch_.size() < nsamp * k_modes)
+        ws.zs_batch_.resize(nsamp * k_modes);
     if (ws.resp_batch_.size() < nsamp * cores)
         ws.resp_batch_.resize(nsamp * cores);
     double* zs_batch = ws.zs_batch_.data();
     for (std::size_t e = 0; e < delta; ++e) {
         const linalg::Vector& z_prev = z[(e + delta - 1) % delta];
         for (std::size_t s = 1; s <= samples_per_epoch; ++s) {
-            double* zs = zs_batch + (e * samples_per_epoch + s - 1) * big_n;
+            double* zs = zs_batch + (e * samples_per_epoch + s - 1) * k_modes;
             if (s == samples_per_epoch) {
                 const double* ze = z[e].data();
-                for (std::size_t k = 0; k < big_n; ++k) zs[k] = ze[k];
+                for (std::size_t k = 0; k < k_modes; ++k) zs[k] = ze[k];
             } else {
                 // Inside epoch e: decay from the previous boundary towards
                 // this epoch's steady-state target y[e].
-                linalg::kernel_decay_mix(big_n, ws.eks_frac_[s - 1].data(),
+                linalg::kernel_decay_mix(k_modes, ws.eks_frac_[s - 1].data(),
                                          z_prev.data(), y[e].data(), zs);
             }
         }
     }
-    linalg::kernel_matmat(v_cores_.data(), cores, big_n, zs_batch, nsamp,
+    linalg::kernel_matmat(v_cores_.data(), cores, k_modes, zs_batch, nsamp,
                           ws.resp_batch_.data());
+    if (correct) {
+        // Fold the dropped-cluster response into every projected sample
+        // before the max: c_e + e^{λ̄ τ s/S}·(x*_{e-1} - c_e), which at
+        // s = S equals the boundary state x*_e.
+        for (std::size_t e = 0; e < delta; ++e) {
+            const double* prev = ws.cstar_[(e + delta - 1) % delta].data();
+            const double* ce = ws.cfield_[e].data();
+            for (std::size_t s = 1; s <= samples_per_epoch; ++s) {
+                const double qs = ws.qfrac_[s - 1];
+                double* resp = ws.resp_batch_.data() +
+                               (e * samples_per_epoch + s - 1) * cores;
+                for (std::size_t i = 0; i < cores; ++i)
+                    resp[i] += ce[i] + qs * (prev[i] - ce[i]);
+            }
+        }
+    }
     for (std::size_t m = 0; m < nsamp; ++m)
         linalg::kernel_max_acc(cores, ws.resp_batch_.data() + m * cores,
                                core_max.data());
@@ -242,7 +359,7 @@ double PeakTemperatureAnalyzer::schedule_peak(
 double PeakTemperatureAnalyzer::schedule_peak(
     const std::vector<linalg::Vector>& core_power_per_epoch, double tau,
     std::size_t samples_per_epoch, PeakWorkspace& workspace) const {
-    const thermal::ThermalModel& model = matex_->model();
+    const thermal::ThermalModel& model = solver_->model();
     const std::size_t delta = core_power_per_epoch.size();
     ensure_list(workspace.deltas_, delta, model.node_count(), /*zero=*/false);
     for (std::size_t f = 0; f < delta; ++f)
@@ -264,10 +381,10 @@ double PeakTemperatureAnalyzer::static_peak(
 
 double PeakTemperatureAnalyzer::static_peak(const linalg::Vector& core_power,
                                             PeakWorkspace& workspace) const {
-    const thermal::ThermalModel& model = matex_->model();
+    const thermal::ThermalModel& model = solver_->model();
     model.pad_power_into(core_power, workspace.node_power_);
-    model.steady_state_into(workspace.node_power_, ambient_c_,
-                            workspace.thermal_, workspace.t_idle_);
+    solver_->steady_state_into(workspace.node_power_, ambient_c_,
+                               workspace.thermal_, workspace.t_idle_);
     double peak = -1e300;
     for (std::size_t i = 0; i < model.core_count(); ++i)
         peak = std::max(peak, workspace.t_idle_[i]);
@@ -303,7 +420,7 @@ double PeakTemperatureAnalyzer::rotation_peak(
     if (tau_per_ring.size() != rings.size())
         throw std::invalid_argument(
             "rotation_peak: one tau per ring required");
-    const thermal::ThermalModel& model = matex_->model();
+    const thermal::ThermalModel& model = solver_->model();
     const std::size_t n = model.core_count();
     const std::size_t big_n = model.node_count();
 
@@ -312,8 +429,8 @@ double PeakTemperatureAnalyzer::rotation_peak(
     for (std::size_t i = 0; i < n; ++i)
         workspace.core_power_[i] = idle_power_w_;
     model.pad_power_into(workspace.core_power_, workspace.node_power_);
-    model.steady_state_into(workspace.node_power_, ambient_c_,
-                            workspace.thermal_, workspace.t_idle_);
+    solver_->steady_state_into(workspace.node_power_, ambient_c_,
+                               workspace.thermal_, workspace.t_idle_);
 
     ensure_size(workspace.extra_, n);
     for (std::size_t i = 0; i < n; ++i) workspace.extra_[i] = 0.0;
@@ -358,7 +475,7 @@ void PeakTemperatureAnalyzer::rotation_peak_tau_batch(
     std::size_t tau_count, std::size_t samples_per_epoch,
     PeakWorkspace& workspace, double* peaks) const {
     if (tau_count == 0) return;
-    const thermal::ThermalModel& model = matex_->model();
+    const thermal::ThermalModel& model = solver_->model();
     const std::size_t n = model.core_count();
     const std::size_t big_n = model.node_count();
 
@@ -367,8 +484,8 @@ void PeakTemperatureAnalyzer::rotation_peak_tau_batch(
     for (std::size_t i = 0; i < n; ++i)
         workspace.core_power_[i] = idle_power_w_;
     model.pad_power_into(workspace.core_power_, workspace.node_power_);
-    model.steady_state_into(workspace.node_power_, ambient_c_,
-                            workspace.thermal_, workspace.t_idle_);
+    solver_->steady_state_into(workspace.node_power_, ambient_c_,
+                               workspace.thermal_, workspace.t_idle_);
 
     std::vector<double>& extra = workspace.extra_batch_;
     if (extra.size() < tau_count * n) extra.resize(tau_count * n);
@@ -421,7 +538,7 @@ void PeakTemperatureAnalyzer::static_peak_batch(const double* core_powers,
                                                 PeakWorkspace& workspace,
                                                 double* peaks) const {
     if (nrhs == 0) return;
-    const thermal::ThermalModel& model = matex_->model();
+    const thermal::ThermalModel& model = solver_->model();
     const std::size_t n = model.core_count();
     const std::size_t big_n = model.node_count();
 
@@ -436,8 +553,8 @@ void PeakTemperatureAnalyzer::static_peak_batch(const double* core_powers,
         for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
         for (std::size_t i = n; i < big_n; ++i) dst[i] = 0.0;
     }
-    model.steady_state_batch_into(padded.data(), nrhs, ambient_c_,
-                                  workspace.thermal_, steady.data());
+    solver_->steady_state_batch_into(padded.data(), nrhs, ambient_c_,
+                                     workspace.thermal_, steady.data());
     for (std::size_t r = 0; r < nrhs; ++r) {
         const double* t = steady.data() + r * big_n;
         double peak = -1e300;

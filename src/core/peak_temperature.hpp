@@ -5,7 +5,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
-#include "thermal/matex.hpp"
+#include "thermal/solver.hpp"
 #include "thermal/workspace.hpp"
 
 namespace hp::core {
@@ -52,14 +52,20 @@ private:
     std::vector<double> extra_batch_;       ///< per-τ-rung response maxima
     std::vector<double> batch_node_power_;  ///< RHS-major padded candidates
     std::vector<double> batch_steady_;      ///< RHS-major batched solves
+    // Truncated-backend correction state (untouched on exact backends):
+    std::vector<linalg::Vector> cfield_;  ///< per-epoch dropped core fields
+    std::vector<linalg::Vector> cstar_;   ///< dropped periodic boundary state
+    linalg::Vector csolve_;               ///< B^{-1}·P_f scratch
+    std::vector<double> qfrac_;           ///< e^{λ̄ τ s/S}, s = 1..S
+    std::vector<double> qpow_;            ///< e^{λ̄ τ g}, g = 0..δ
     thermal::ThermalWorkspace thermal_;
 };
 
 /// Analytical peak temperature of synchronous thread rotations
 /// (paper §IV, Algorithm 1).
 ///
-/// Construction performs the design-time phase: it reuses the MatEx
-/// eigendecomposition C = V·diag(λ)·V^{-1} and precomputes the auxiliary
+/// Construction performs the design-time phase: it reuses the backend's
+/// modal decomposition C = V·diag(λ)·V^{-1} and precomputes the auxiliary
 /// matrix β = V^{-1}·B^{-1} together with the ambient offset B^{-1}·T_amb·G
 /// (the α/β matrices of Algorithm 1). Run-time queries then solve the
 /// periodic steady state in modal space:
@@ -72,6 +78,16 @@ private:
 /// and the result is a true steady-periodic bound independent of the initial
 /// temperature.
 ///
+/// On a truncated backend (mode_count() < node_count()) the retained modes
+/// alone would miss tens of Kelvin of quasi-static hotspot content, so every
+/// query adds a dropped-cluster correction: the exact quasi-static core
+/// response of each epoch, c_f(i) = (B^{-1}P_f)(i) - Σ_{k<K} V(i,k)·y_{f,k}
+/// (a sparse direct solve, no eigenmodes), tracked through one representative
+/// fast pole λ̄ = cluster_pole() by the same periodic geometric series in
+/// scalar form. The residual error is what the backend's error_bound_c()
+/// covers. Exact backends skip the correction entirely and reproduce the
+/// historical dense results bit for bit.
+///
 /// Thread safety: immutable after construction. The α/β eigen-tables are
 /// built in the constructor and the analysis entry points are const and
 /// allocate only locals, so one analyzer may serve concurrent campaign
@@ -81,10 +97,10 @@ private:
 /// thread.
 class PeakTemperatureAnalyzer {
 public:
-    /// @p matex (and its thermal model) must outlive the analyzer.
+    /// @p solver (and its thermal model) must outlive the analyzer.
     /// @p idle_power_w is the power of a core without a thread, evaluated
     /// conservatively (leakage at the DTM threshold) by callers.
-    PeakTemperatureAnalyzer(const thermal::MatExSolver& matex,
+    PeakTemperatureAnalyzer(const thermal::TransientSolver& solver,
                             double ambient_c, double idle_power_w);
 
     double ambient_c() const { return ambient_c_; }
@@ -211,10 +227,13 @@ private:
                                PeakWorkspace& workspace,
                                linalg::Vector& core_max) const;
 
-    const thermal::MatExSolver* matex_;
+    const thermal::TransientSolver* solver_;
     double ambient_c_;
     double idle_power_w_;
-    linalg::Matrix beta_;            ///< V^{-1} B^{-1} (design-time)
+    std::size_t modes_;              ///< retained mode count K (design-time)
+    bool truncated_;                 ///< dropped-cluster corrections active
+    double cluster_pole_;            ///< λ̄ of the dropped cluster (< 0)
+    linalg::Matrix beta_;            ///< K x N  V^{-1} B^{-1} (design-time)
     linalg::Matrix beta_t_;          ///< β^T: row j = β column j (cache-friendly
                                      ///< accumulation over sparse power vectors)
     linalg::Matrix v_cores_;         ///< V core rows, row-major (i, k) = V(i, k);

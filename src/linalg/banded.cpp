@@ -1,0 +1,225 @@
+#include "linalg/banded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace hp::linalg {
+
+namespace {
+
+/// Reverse Cuthill-McKee ordering of the subgraph induced by @p keep,
+/// appended to @p order. Starts each component from its minimum-degree
+/// vertex (a cheap peripheral-node heuristic) and visits neighbours in
+/// ascending degree.
+void reverse_cuthill_mckee(const std::vector<std::vector<std::size_t>>& adj,
+                           const std::vector<bool>& keep,
+                           std::vector<std::size_t>& order) {
+    const std::size_t n = adj.size();
+    std::vector<std::size_t> degree(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!keep[i]) continue;
+        for (std::size_t j : adj[i])
+            if (keep[j]) ++degree[i];
+    }
+    std::vector<bool> visited(n, false);
+    std::vector<std::size_t> cm;
+    std::vector<std::size_t> neigh;
+    for (;;) {
+        // Unvisited kept vertex of minimum degree seeds the next component.
+        std::size_t seed = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!keep[i] || visited[i]) continue;
+            if (seed == n || degree[i] < degree[seed]) seed = i;
+        }
+        if (seed == n) break;
+        std::queue<std::size_t> fifo;
+        fifo.push(seed);
+        visited[seed] = true;
+        while (!fifo.empty()) {
+            const std::size_t v = fifo.front();
+            fifo.pop();
+            cm.push_back(v);
+            neigh.clear();
+            for (std::size_t u : adj[v])
+                if (keep[u] && !visited[u]) neigh.push_back(u);
+            std::sort(neigh.begin(), neigh.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return degree[a] != degree[b] ? degree[a] < degree[b]
+                                                        : a < b;
+                      });
+            for (std::size_t u : neigh) {
+                visited[u] = true;
+                fifo.push(u);
+            }
+        }
+    }
+    order.insert(order.end(), cm.rbegin(), cm.rend());
+}
+
+}  // namespace
+
+BandedCholesky::BandedCholesky(const Matrix& spd,
+                               std::size_t border_degree_threshold) {
+    if (!spd.square())
+        throw std::invalid_argument("BandedCholesky: matrix must be square");
+    const double scale = std::max(1.0, spd.max_abs());
+    if (!spd.is_symmetric(1e-8 * scale))
+        throw std::invalid_argument("BandedCholesky: matrix must be symmetric");
+    n_ = spd.rows();
+    if (n_ == 0) return;
+
+    // Structural adjacency and per-row degree.
+    std::vector<std::vector<std::size_t>> adj(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t j = 0; j < n_; ++j)
+            if (i != j && spd(i, j) != 0.0) adj[i].push_back(j);
+
+    std::vector<bool> interior(n_, true);
+    std::vector<std::size_t> border;
+    for (std::size_t i = 0; i < n_; ++i)
+        if (adj[i].size() > border_degree_threshold) {
+            interior[i] = false;
+            border.push_back(i);
+        }
+    // Degenerate case (every row dense-coupled): banded block of width n.
+    if (border.size() == n_) {
+        border.clear();
+        interior.assign(n_, true);
+    }
+
+    perm_.clear();
+    perm_.reserve(n_);
+    reverse_cuthill_mckee(adj, interior, perm_);
+    ni_ = perm_.size();
+    perm_.insert(perm_.end(), border.begin(), border.end());
+    nb_ = n_ - ni_;
+
+    // Half-bandwidth of the permuted interior block.
+    std::vector<std::size_t> where(n_, 0);
+    for (std::size_t k = 0; k < n_; ++k) where[perm_[k]] = k;
+    hb_ = 0;
+    for (std::size_t k = 0; k < ni_; ++k)
+        for (std::size_t j : adj[perm_[k]])
+            if (interior[j] && where[j] < k) hb_ = std::max(hb_, k - where[j]);
+
+    // Banded Cholesky of the interior: L stored by diagonals,
+    // band_[i*(hb_+1)+d] = L(i, i-d).
+    const std::size_t w = hb_ + 1;
+    band_.assign(ni_ * w, 0.0);
+    for (std::size_t i = 0; i < ni_; ++i) {
+        const std::size_t lo = i >= hb_ ? i - hb_ : 0;
+        for (std::size_t j = lo; j <= i; ++j) {
+            double acc = spd(perm_[i], perm_[j]);
+            const std::size_t klo = std::max(lo, j >= hb_ ? j - hb_ : 0);
+            for (std::size_t k = klo; k < j; ++k)
+                acc -= band_[i * w + (i - k)] * band_[j * w + (j - k)];
+            if (j == i) {
+                if (acc <= 0.0)
+                    throw std::invalid_argument(
+                        "BandedCholesky: matrix is not positive definite");
+                band_[i * w] = std::sqrt(acc);
+            } else {
+                band_[i * w + (i - j)] = acc / band_[j * w];
+            }
+        }
+    }
+
+    // Border columns W = L^{-1}·A_IB (column-major) and the dense Schur
+    // complement S = A_BB - W^T·W, Cholesky-factorised in place.
+    w_.assign(ni_ * nb_, 0.0);
+    for (std::size_t c = 0; c < nb_; ++c) {
+        double* col = w_.data() + c * ni_;
+        for (std::size_t i = 0; i < ni_; ++i)
+            col[i] = spd(perm_[i], perm_[ni_ + c]);
+        for (std::size_t i = 0; i < ni_; ++i) {
+            double acc = col[i];
+            const std::size_t lo = i >= hb_ ? i - hb_ : 0;
+            for (std::size_t k = lo; k < i; ++k)
+                acc -= band_[i * w + (i - k)] * col[k];
+            col[i] = acc / band_[i * w];
+        }
+    }
+    schur_.assign(nb_ * nb_, 0.0);
+    for (std::size_t r = 0; r < nb_; ++r)
+        for (std::size_t c = 0; c <= r; ++c) {
+            double acc = spd(perm_[ni_ + r], perm_[ni_ + c]);
+            const double* wr = w_.data() + r * ni_;
+            const double* wc = w_.data() + c * ni_;
+            for (std::size_t i = 0; i < ni_; ++i) acc -= wr[i] * wc[i];
+            schur_[r * nb_ + c] = acc;
+        }
+    for (std::size_t r = 0; r < nb_; ++r) {
+        for (std::size_t c = 0; c <= r; ++c) {
+            double acc = schur_[r * nb_ + c];
+            for (std::size_t k = 0; k < c; ++k)
+                acc -= schur_[r * nb_ + k] * schur_[c * nb_ + k];
+            if (c == r) {
+                if (acc <= 0.0)
+                    throw std::invalid_argument(
+                        "BandedCholesky: matrix is not positive definite");
+                schur_[r * nb_ + r] = std::sqrt(acc);
+            } else {
+                schur_[r * nb_ + c] = acc / schur_[c * nb_ + c];
+            }
+        }
+        for (std::size_t c = r + 1; c < nb_; ++c) schur_[r * nb_ + c] = 0.0;
+    }
+}
+
+void BandedCholesky::solve_into(const double* b, double* x,
+                                double* scratch) const {
+    const std::size_t w = hb_ + 1;
+    double* y = scratch;
+    for (std::size_t k = 0; k < n_; ++k) y[k] = b[perm_[k]];
+
+    // Forward: interior banded L, then the border through W and the Schur
+    // factor.
+    for (std::size_t i = 0; i < ni_; ++i) {
+        double acc = y[i];
+        const std::size_t lo = i >= hb_ ? i - hb_ : 0;
+        for (std::size_t k = lo; k < i; ++k)
+            acc -= band_[i * w + (i - k)] * y[k];
+        y[i] = acc / band_[i * w];
+    }
+    for (std::size_t r = 0; r < nb_; ++r) {
+        double acc = y[ni_ + r];
+        const double* wr = w_.data() + r * ni_;
+        for (std::size_t i = 0; i < ni_; ++i) acc -= wr[i] * y[i];
+        for (std::size_t k = 0; k < r; ++k)
+            acc -= schur_[r * nb_ + k] * y[ni_ + k];
+        y[ni_ + r] = acc / schur_[r * nb_ + r];
+    }
+
+    // Backward: border transpose, then interior L^T with the border
+    // contribution folded in.
+    for (std::size_t r = nb_; r-- > 0;) {
+        double acc = y[ni_ + r];
+        for (std::size_t k = r + 1; k < nb_; ++k)
+            acc -= schur_[k * nb_ + r] * y[ni_ + k];
+        y[ni_ + r] = acc / schur_[r * nb_ + r];
+    }
+    for (std::size_t i = ni_; i-- > 0;) {
+        double acc = y[i];
+        for (std::size_t c = 0; c < nb_; ++c)
+            acc -= w_[c * ni_ + i] * y[ni_ + c];
+        const std::size_t hi = std::min(ni_ - 1, i + hb_);
+        for (std::size_t k = i + 1; k <= hi; ++k)
+            acc -= band_[k * w + (k - i)] * y[k];
+        y[i] = acc / band_[i * w];
+    }
+
+    for (std::size_t k = 0; k < n_; ++k) x[perm_[k]] = y[k];
+}
+
+Vector BandedCholesky::solve(const Vector& b) const {
+    if (b.size() != n_)
+        throw std::invalid_argument("BandedCholesky::solve: size mismatch");
+    Vector out(n_);
+    std::vector<double> scratch(n_);
+    solve_into(b.data(), out.data(), scratch.data());
+    return out;
+}
+
+}  // namespace hp::linalg

@@ -1,0 +1,182 @@
+#include "linalg/tridiag_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hp::linalg {
+
+namespace {
+
+/// Householder reduction of symmetric @p a (overwritten) to tridiagonal
+/// form: on exit @p d holds the diagonal, @p e the subdiagonal (e[0] unused)
+/// and @p a the accumulated orthogonal transform Q with A = Q·T·Q^T.
+void householder_tridiagonalize(Matrix& a, std::vector<double>& d,
+                                std::vector<double>& e) {
+    const std::size_t n = a.rows();
+    for (std::size_t i = n; i-- > 1;) {
+        const std::size_t l = i - 1;
+        double h = 0.0;
+        if (l > 0) {
+            double scale = 0.0;
+            for (std::size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+            if (scale == 0.0) {
+                e[i] = a(i, l);
+            } else {
+                for (std::size_t k = 0; k <= l; ++k) {
+                    a(i, k) /= scale;
+                    h += a(i, k) * a(i, k);
+                }
+                double f = a(i, l);
+                double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+                e[i] = scale * g;
+                h -= f * g;
+                a(i, l) = f - g;
+                f = 0.0;
+                for (std::size_t j = 0; j <= l; ++j) {
+                    // Store u/H in the lower column for the Q accumulation.
+                    a(j, i) = a(i, j) / h;
+                    g = 0.0;
+                    for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+                    for (std::size_t k = j + 1; k <= l; ++k)
+                        g += a(k, j) * a(i, k);
+                    e[j] = g / h;
+                    f += e[j] * a(i, j);
+                }
+                const double hh = f / (h + h);
+                for (std::size_t j = 0; j <= l; ++j) {
+                    f = a(i, j);
+                    e[j] = g = e[j] - hh * f;
+                    for (std::size_t k = 0; k <= j; ++k)
+                        a(j, k) -= f * e[k] + g * a(i, k);
+                }
+            }
+        } else {
+            e[i] = a(i, l);
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    // Accumulate the transformation matrix in place.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (d[i] != 0.0) {
+            for (std::size_t j = 0; j < i; ++j) {
+                double g = 0.0;
+                for (std::size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+                for (std::size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+            }
+        }
+        d[i] = a(i, i);
+        a(i, i) = 1.0;
+        for (std::size_t j = 0; j < i; ++j) {
+            a(j, i) = 0.0;
+            a(i, j) = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on the tridiagonal (d, e), accumulating the
+/// rotations into @p z (entered as the Householder Q). On exit d holds the
+/// (unsorted) eigenvalues and column j of z the eigenvector of d[j].
+void ql_implicit_shift(std::vector<double>& d, std::vector<double>& e,
+                       Matrix& z) {
+    const std::size_t n = d.size();
+    if (n == 0) return;
+    for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+    e[n - 1] = 0.0;
+    for (std::size_t l = 0; l < n; ++l) {
+        std::size_t iter = 0;
+        std::size_t m;
+        do {
+            for (m = l; m + 1 < n; ++m) {
+                const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+                if (std::abs(e[m]) <= 1e-300 ||
+                    std::abs(e[m]) <= 1e-16 * dd)
+                    break;
+            }
+            if (m != l) {
+                if (++iter > 64)
+                    throw std::runtime_error(
+                        "tridiagonal_eigen: QL iteration failed to converge");
+                double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+                double r = std::hypot(g, 1.0);
+                g = d[m] - d[l] +
+                    e[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+                double s = 1.0;
+                double c = 1.0;
+                double p = 0.0;
+                for (std::size_t i = m; i-- > l;) {
+                    double f = s * e[i];
+                    const double b = c * e[i];
+                    r = std::hypot(f, g);
+                    e[i + 1] = r;
+                    if (r == 0.0) {
+                        d[i + 1] -= p;
+                        e[m] = 0.0;
+                        break;
+                    }
+                    s = f / r;
+                    c = g / r;
+                    g = d[i + 1] - p;
+                    r = (d[i] - g) * s + 2.0 * c * b;
+                    p = s * r;
+                    d[i + 1] = g + p;
+                    g = c * r - b;
+                    for (std::size_t k = 0; k < n; ++k) {
+                        f = z(k, i + 1);
+                        z(k, i + 1) = s * z(k, i) + c * f;
+                        z(k, i) = c * z(k, i) - s * f;
+                    }
+                }
+                if (r == 0.0 && m - l > 1) continue;
+                d[l] -= p;
+                e[l] = g;
+                e[m] = 0.0;
+            }
+        } while (m != l);
+    }
+}
+
+}  // namespace
+
+SymmetricEigen tridiagonal_eigen(const Matrix& m, double symmetry_tol) {
+    if (!m.square())
+        throw std::invalid_argument("tridiagonal_eigen: matrix must be square");
+    const double scale = std::max(1.0, m.max_abs());
+    if (!m.is_symmetric(symmetry_tol * scale))
+        throw std::invalid_argument(
+            "tridiagonal_eigen: matrix must be symmetric");
+
+    const std::size_t n = m.rows();
+    Matrix q = m;
+    std::vector<double> d(n, 0.0);
+    std::vector<double> e(n, 0.0);
+    if (n == 1) {
+        d[0] = m(0, 0);
+        q(0, 0) = 1.0;
+    } else {
+        householder_tridiagonalize(q, d, e);
+        ql_implicit_shift(d, e, q);
+    }
+
+    // Sort ascending, permuting eigenvector columns along (jacobi_eigen's
+    // output contract).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+    SymmetricEigen out;
+    out.values = Vector(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        out.values[j] = d[order[j]];
+        for (std::size_t i = 0; i < n; ++i)
+            out.vectors(i, j) = q(i, order[j]);
+    }
+    return out;
+}
+
+}  // namespace hp::linalg

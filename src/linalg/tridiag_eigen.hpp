@@ -1,0 +1,19 @@
+#pragma once
+
+#include "linalg/eigen_sym.hpp"
+
+namespace hp::linalg {
+
+/// Direct symmetric eigendecomposition via Householder tridiagonalization
+/// followed by implicit-shift QL iteration (the classic tred2/tql2 pair).
+///
+/// Same contract as jacobi_eigen — eigenvalues ascending, orthonormal
+/// eigenvectors stored as columns, std::invalid_argument on a matrix that is
+/// not square/symmetric — but a one-shot O(n^3) reduction with a small
+/// constant instead of Jacobi's iterated sweeps (each themselves O(n^3)).
+/// This is the setup path that keeps the 256/1024-node thermal models
+/// tractable; jacobi_eigen remains the eigensolver of the dense MatEx
+/// backend, whose results are pinned bit-for-bit by the equivalence suite.
+SymmetricEigen tridiagonal_eigen(const Matrix& m, double symmetry_tol = 1e-8);
+
+}  // namespace hp::linalg

@@ -3,38 +3,15 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
-#include <utility>
 
 namespace hp::report {
 
-ComparisonRunner::ComparisonRunner(const arch::ManyCore& chip,
-                                   const thermal::ThermalModel& model,
-                                   const thermal::MatExSolver& solver,
-                                   sim::SimConfig config)
-    : spec_(campaign::StudySetup::borrow(chip, model, solver),
-            std::move(config)) {}
-
-void ComparisonRunner::add_scheduler(std::string label,
-                                     SchedulerFactory factory) {
-    if (!factory)
-        throw std::invalid_argument("ComparisonRunner: null factory");
-    spec_.add_scheduler(std::move(label), std::move(factory));
-}
-
-void ComparisonRunner::add_workload(std::string label,
-                                    std::vector<workload::TaskSpec> tasks) {
-    spec_.add_workload(std::move(label), std::move(tasks));
-}
-
-std::vector<RunRecord> ComparisonRunner::run_all() const {
-    campaign::CampaignOptions options;
-    options.jobs = 1;  // the historical class ran strictly serially
-    const campaign::CampaignResult out = campaign::run_campaign(spec_, options);
+std::vector<RunRecord> collect_records(const campaign::CampaignResult& out) {
     std::vector<RunRecord> records;
     records.reserve(out.records.size());
     for (const campaign::RunRecord& r : out.records) {
         if (r.failed)
-            throw std::runtime_error("ComparisonRunner: run " +
+            throw std::runtime_error("collect_records: run " +
                                      campaign::to_string(r.key) +
                                      " failed: " + r.error);
         records.push_back({r.key.scheduler, r.key.workload, r.result});

@@ -22,40 +22,12 @@ struct RunRecord {
 /// A scheduler factory: fresh instance per run (schedulers are stateful).
 using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>()>;
 
-/// \deprecated Thin forwarding shim over campaign::CampaignSpec +
-/// campaign::run_campaign, kept for one release so existing callers keep
-/// compiling. New code should use the campaign API directly: it is
-/// value-semantic (no reference-lifetime contract), supports config/seed
-/// axes, runs the grid on a worker pool (`jobs`), and captures per-run
-/// errors instead of throwing.
-///
-/// Behaviour preserved from the original class: runs execute serially in
-/// workload-major order, and the first failing run rethrows its error as
-/// std::runtime_error (the campaign engine's per-run capture is unwound
-/// here to match the historical contract).
-class ComparisonRunner {
-public:
-    /// All references must outlive the runner (the historical contract;
-    /// internally held through campaign::StudySetup::borrow).
-    ComparisonRunner(const arch::ManyCore& chip,
-                     const thermal::ThermalModel& model,
-                     const thermal::MatExSolver& solver,
-                     sim::SimConfig config = {});
-
-    /// Registers a scheduler under @p label.
-    void add_scheduler(std::string label, SchedulerFactory factory);
-
-    /// Registers a workload (task list) under @p label.
-    void add_workload(std::string label,
-                      std::vector<workload::TaskSpec> tasks);
-
-    /// Runs every (scheduler x workload) combination; records appear in
-    /// workload-major order.
-    std::vector<RunRecord> run_all() const;
-
-private:
-    campaign::CampaignSpec spec_;
-};
+/// Flattens a campaign result into report records (in the campaign's
+/// workload-major record order). Throws std::runtime_error on the first
+/// failed run — report tables are for campaigns that completed; use the
+/// campaign::RunRecord error fields directly when partial results are
+/// expected.
+std::vector<RunRecord> collect_records(const campaign::CampaignResult& out);
 
 /// Renders records as a GitHub-flavoured markdown table (one row per run).
 std::string to_markdown(const std::vector<RunRecord>& records);

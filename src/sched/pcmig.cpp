@@ -13,8 +13,9 @@ void PcMigScheduler::initialize(sim::SimContext& ctx) {
         obs_steady_hits_ = &obs->counter("pcmig.steady_cache_hits");
         obs_steady_misses_ = &obs->counter("pcmig.steady_cache_misses");
     }
+    backend_sig_ = ctx.solver().backend_signature();
     if (params_.use_peak_cache)
-        steady_cache_.configure(128, ctx.chip().core_count());
+        steady_cache_.configure(128, 1 + ctx.chip().core_count());
     else
         steady_cache_.configure(0, 0);
 }
@@ -38,15 +39,18 @@ const linalg::Vector& PcMigScheduler::predict(sim::SimContext& ctx) {
         predict_power_[c] = core::quantise_power_w(ctx.core_power(c));
     ctx.thermal_model().pad_power_into(predict_power_, predict_node_power_);
 
-    // Steady-state half: memoised on the quantised power vector. The rest of
-    // the pipeline replicates MatExSolver::transient_into step for step, so
-    // the prediction matches a direct transient_into call bit for bit.
+    // Steady-state half: memoised on the quantised power vector (plus the
+    // solver-backend identity word, so backend or tolerance changes never
+    // alias cached solves). The rest of the pipeline replicates
+    // TransientSolver::transient_into step for step, so the prediction
+    // matches a direct transient_into call bit for bit.
     if (predict_steady_.size() != big_n)
         predict_steady_ = linalg::Vector(big_n);
     predict_ws_.resize(big_n);
     bool have_steady = false;
     if (steady_cache_.enabled()) {
         steady_cache_.key_begin();
+        steady_cache_.key_push(backend_sig_);
         for (std::size_t c = 0; c < n; ++c)
             steady_cache_.key_push(predict_power_[c]);
         if (const linalg::Vector* hit = steady_cache_.lookup()) {
@@ -58,16 +62,17 @@ const linalg::Vector& PcMigScheduler::predict(sim::SimContext& ctx) {
         }
     }
     if (!have_steady) {
-        model.steady_state_into(predict_node_power_, ctx.config().ambient_c,
-                                predict_ws_, predict_steady_);
+        ctx.solver().steady_state_into(predict_node_power_,
+                                       ctx.config().ambient_c, predict_ws_,
+                                       predict_steady_);
         steady_cache_.insert(predict_steady_);
     }
     const linalg::Vector& t_init = ctx.temperatures();
     for (std::size_t i = 0; i < big_n; ++i)
         predict_ws_.offset[i] = t_init[i] - predict_steady_[i];
-    ctx.matex().apply_exponential_into(predict_ws_.offset,
-                                       params_.prediction_horizon_s,
-                                       predict_ws_, predicted_);
+    ctx.solver().apply_exponential_into(predict_ws_.offset,
+                                        params_.prediction_horizon_s,
+                                        predict_ws_, predicted_);
     for (std::size_t i = 0; i < big_n; ++i)
         predicted_[i] = predict_steady_[i] + predicted_[i];
     return predicted_;

@@ -71,6 +71,8 @@ private:
     /// hit replaces only the B^{-1} solve; the transient tail always runs
     /// (it depends on the live temperatures, which change every epoch).
     core::PredictionCache<linalg::Vector> steady_cache_;
+    /// Solver-backend identity word folded into every steady-cache key.
+    std::uint64_t backend_sig_ = 0;
 };
 
 }  // namespace hp::sched

@@ -9,7 +9,7 @@
 #include "power/power_model.hpp"
 #include "sim/config.hpp"
 #include "sim/types.hpp"
-#include "thermal/matex.hpp"
+#include "thermal/solver.hpp"
 #include "thermal/rc_network.hpp"
 
 namespace hp::obs {
@@ -37,7 +37,7 @@ public:
     virtual const SimConfig& config() const = 0;
     virtual const arch::ManyCore& chip() const = 0;
     virtual const thermal::ThermalModel& thermal_model() const = 0;
-    virtual const thermal::MatExSolver& matex() const = 0;
+    virtual const thermal::TransientSolver& solver() const = 0;
     virtual const power::PowerModel& power_model() const = 0;
     virtual const perf::IntervalPerformanceModel& perf_model() const = 0;
 

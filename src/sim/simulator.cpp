@@ -30,7 +30,8 @@ double SimResult::response_time_percentile_s(double p) const {
 
 Simulator::Simulator(const arch::ManyCore& chip,
                      const thermal::ThermalModel& model,
-                     const thermal::MatExSolver& matex, SimConfig config,
+                     const thermal::TransientSolver& solver,
+                     SimConfig config,
                      power::PowerParams power_params,
                      perf::PerfParams perf_params,
                      thermal::ThermalWorkspace* workspace,
@@ -38,7 +39,7 @@ Simulator::Simulator(const arch::ManyCore& chip,
                      const CancellationToken* cancel)
     : chip_(&chip),
       thermal_(&model),
-      matex_(&matex),
+      solver_(&solver),
       config_(config),
       power_model_(power_params, chip.dvfs()),
       perf_model_(chip, perf_params),
@@ -48,9 +49,9 @@ Simulator::Simulator(const arch::ManyCore& chip,
     if (model.core_count() != chip.core_count())
         throw std::invalid_argument(
             "Simulator: thermal model and chip disagree on core count");
-    if (&matex.model() != &model)
+    if (solver.model_signature() != model.signature())
         throw std::invalid_argument(
-            "Simulator: MatEx solver built for a different thermal model");
+            "Simulator: thermal solver built for a different thermal model");
     if (const std::vector<std::string> violations = config_.validate();
         !violations.empty()) {
         std::string msg = "Simulator: invalid configuration:";
@@ -781,7 +782,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
         thermal_->pad_power_into(core_power, node_power_);
         {
             obs::ScopedPhase timer(obs_, obs::Phase::kMatexSolve);
-            matex_->transient_into(temps_, node_power_, config_.ambient_c, dt,
+            solver_->transient_into(temps_, node_power_, config_.ambient_c, dt,
                                    *ws_, temps_);
         }
         check_temperatures_sane();

@@ -17,7 +17,7 @@
 #include "sim/context.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/types.hpp"
-#include "thermal/matex.hpp"
+#include "thermal/solver.hpp"
 #include "thermal/rc_network.hpp"
 #include "workload/generator.hpp"
 
@@ -34,8 +34,8 @@ namespace hp::sim {
 /// cores to the lowest DVFS level until the hysteresis releases it.
 class Simulator final : public SimContext {
 public:
-    /// @p chip, @p model and @p matex must outlive the simulator; the matex
-    /// solver must have been built for @p model. An optional @p workspace
+    /// @p chip, @p model and @p solver must outlive the simulator; the
+    /// thermal solver must have been built for @p model (same signature). An optional @p workspace
     /// lets a caller running many simulations back-to-back (one campaign
     /// worker, say) share the thermal scratch across runs; it must outlive
     /// the simulator and not be used concurrently. Without one the simulator
@@ -48,7 +48,7 @@ public:
     /// with CancelledError when a supervisor requests cancellation — the
     /// hook the campaign deadline watchdog uses to reap hung runs.
     Simulator(const arch::ManyCore& chip, const thermal::ThermalModel& model,
-              const thermal::MatExSolver& matex, SimConfig config = {},
+              const thermal::TransientSolver& solver, SimConfig config = {},
               power::PowerParams power_params = {},
               perf::PerfParams perf_params = {},
               thermal::ThermalWorkspace* workspace = nullptr,
@@ -72,7 +72,9 @@ public:
     const thermal::ThermalModel& thermal_model() const override {
         return *thermal_;
     }
-    const thermal::MatExSolver& matex() const override { return *matex_; }
+    const thermal::TransientSolver& solver() const override {
+        return *solver_;
+    }
     const power::PowerModel& power_model() const override {
         return power_model_;
     }
@@ -136,7 +138,7 @@ private:
 
     const arch::ManyCore* chip_;
     const thermal::ThermalModel* thermal_;
-    const thermal::MatExSolver* matex_;
+    const thermal::TransientSolver* solver_;
     SimConfig config_;
     power::PowerModel power_model_;
     perf::IntervalPerformanceModel perf_model_;

@@ -43,6 +43,44 @@ MatExSolver::MatExSolver(const ThermalModel& model) : model_(&model) {
     }
 }
 
+linalg::Matrix MatExSolver::modal_steady_map() const {
+    // β = V^{-1}·B^{-1} — the exact expression the analyzer historically
+    // evaluated in its constructor, kept verbatim for bit-identity.
+    return v_inv_ * model_->conductance_lu().inverse();
+}
+
+linalg::Vector MatExSolver::steady_state(const linalg::Vector& node_power,
+                                         double ambient_celsius) const {
+    return model_->steady_state(node_power, ambient_celsius);
+}
+
+void MatExSolver::steady_state_into(const linalg::Vector& node_power,
+                                    double ambient_celsius,
+                                    ThermalWorkspace& workspace,
+                                    linalg::Vector& out) const {
+    model_->steady_state_into(node_power, ambient_celsius, workspace, out);
+}
+
+void MatExSolver::steady_state_batch_into(const double* node_powers,
+                                          std::size_t nrhs,
+                                          double ambient_celsius,
+                                          ThermalWorkspace& workspace,
+                                          double* out) const {
+    model_->steady_state_batch_into(node_powers, nrhs, ambient_celsius,
+                                    workspace, out);
+}
+
+linalg::Vector MatExSolver::conductance_solve(const linalg::Vector& rhs) const {
+    return model_->conductance_lu().solve(rhs);
+}
+
+void MatExSolver::conductance_solve_into(const linalg::Vector& rhs,
+                                         ThermalWorkspace& workspace,
+                                         linalg::Vector& out) const {
+    (void)workspace;  // the LU substitution needs no scratch
+    model_->conductance_lu().solve_into(rhs, out);
+}
+
 linalg::Vector MatExSolver::apply_exponential(const linalg::Vector& x,
                                               double dt) const {
     linalg::Vector modal = v_inv_ * x;

@@ -3,11 +3,13 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "thermal/rc_network.hpp"
+#include "thermal/solver.hpp"
 #include "thermal/workspace.hpp"
 
 namespace hp::thermal {
 
-/// Analytic transient solver after MatEx (Pagani et al., DATE'15).
+/// Analytic transient solver after MatEx (Pagani et al., DATE'15) — the
+/// exact "dense" TransientSolver backend.
 ///
 /// Diagonalises C = -A^{-1}B once via the symmetrised eigenproblem
 /// S = A^{-1/2} B A^{-1/2} (A is diagonal, B symmetric positive definite, so
@@ -25,24 +27,56 @@ namespace hp::thermal {
 /// functions are const with no mutable state or lazy caches. One solver may
 /// therefore be shared read-only by any number of concurrent simulations
 /// (the campaign engine relies on this; see campaign::StudySetup).
-class MatExSolver {
+class MatExSolver : public TransientSolver {
 public:
     /// One-time eigendecomposition of the model's C matrix. The solver keeps
     /// a reference to @p model, which must outlive it.
     explicit MatExSolver(const ThermalModel& model);
 
-    const ThermalModel& model() const { return *model_; }
+    const ThermalModel& model() const override { return *model_; }
+
+    // Fidelity metadata: the dense backend keeps the whole spectrum, so it
+    // is exact and its retained-mode views are simply λ and V.
+    const char* backend_name() const override { return "dense"; }
+    std::uint64_t backend_signature() const override {
+        return detail::backend_signature_hash("dense", lambda_.size(), 0.0,
+                                              model_->signature());
+    }
+    bool truncated() const override { return false; }
+    double error_bound_c() const override { return 0.0; }
+    double tolerance_c() const override { return 0.0; }
+    std::size_t mode_count() const override { return lambda_.size(); }
+    const linalg::Matrix& mode_shapes() const override { return v_; }
+    linalg::Matrix modal_steady_map() const override;
+    double cluster_pole() const override { return 0.0; }
 
     /// Eigenvalues of C, ascending (all strictly negative; 1/|λ| are the
     /// network's thermal time constants in seconds).
-    const linalg::Vector& eigenvalues() const { return lambda_; }
+    const linalg::Vector& eigenvalues() const override { return lambda_; }
 
     /// Eigenvector matrix V with C = V·diag(λ)·V^{-1}.
     const linalg::Matrix& eigenvectors() const { return v_; }
     const linalg::Matrix& eigenvectors_inverse() const { return v_inv_; }
 
+    // Steady state delegates to the model's shared LU (bit-identical to the
+    // historical direct calls on ThermalModel).
+    linalg::Vector steady_state(const linalg::Vector& node_power,
+                                double ambient_celsius) const override;
+    void steady_state_into(const linalg::Vector& node_power,
+                           double ambient_celsius, ThermalWorkspace& workspace,
+                           linalg::Vector& out) const override;
+    void steady_state_batch_into(const double* node_powers, std::size_t nrhs,
+                                 double ambient_celsius,
+                                 ThermalWorkspace& workspace,
+                                 double* out) const override;
+    linalg::Vector conductance_solve(const linalg::Vector& rhs) const override;
+    void conductance_solve_into(const linalg::Vector& rhs,
+                                ThermalWorkspace& workspace,
+                                linalg::Vector& out) const override;
+
     /// Applies e^{C·dt} to @p x in O(N^2).
-    linalg::Vector apply_exponential(const linalg::Vector& x, double dt) const;
+    linalg::Vector apply_exponential(const linalg::Vector& x,
+                                     double dt) const override;
 
     /// apply_exponential without allocations: modal projection into the
     /// workspace, decay through its memoised e^{λ·dt} table, projection back
@@ -51,7 +85,7 @@ public:
     /// buffer other than workspace.offset for @p x (the transient path).
     void apply_exponential_into(const linalg::Vector& x, double dt,
                                 ThermalWorkspace& workspace,
-                                linalg::Vector& out) const;
+                                linalg::Vector& out) const override;
 
     /// Batched apply_exponential_into: applies e^{C·dt} to @p nrhs RHS-major
     /// vectors (RHS r occupies [r·N, (r+1)·N) of @p xs and @p outs) through
@@ -60,17 +94,17 @@ public:
     /// apply_exponential_into on input r. @p outs may alias @p xs.
     void apply_exponential_batch_into(const double* xs, std::size_t nrhs,
                                       double dt, ThermalWorkspace& workspace,
-                                      double* outs) const;
+                                      double* outs) const override;
 
     /// Materialises the full matrix e^{C·dt} (O(N^3); used by caches and
     /// tests, not in per-epoch simulation).
-    linalg::Matrix exponential(double dt) const;
+    linalg::Matrix exponential(double dt) const override;
 
     /// Exact temperature after holding @p node_power constant for @p dt
     /// seconds starting from @p t_init (paper Eq. (4)).
     linalg::Vector transient(const linalg::Vector& t_init,
                              const linalg::Vector& node_power,
-                             double ambient_celsius, double dt) const;
+                             double ambient_celsius, double dt) const override;
 
     /// transient without allocations — the simulator's per-micro-step kernel.
     /// Bit-identical to transient. @p out may alias @p t_init (the usual
@@ -80,7 +114,7 @@ public:
                         const linalg::Vector& node_power,
                         double ambient_celsius, double dt,
                         ThermalWorkspace& workspace,
-                        linalg::Vector& out) const;
+                        linalg::Vector& out) const override;
 
     /// Batched transient_into from one shared @p t_init across @p nrhs
     /// RHS-major node-power vectors: batched steady solve, offsets built in
@@ -91,7 +125,7 @@ public:
                               const double* node_powers, std::size_t nrhs,
                               double ambient_celsius, double dt,
                               ThermalWorkspace& workspace,
-                              double* outs) const;
+                              double* outs) const override;
 
     /// Largest core temperature reached anywhere in (0, dt] while holding
     /// @p node_power, conservatively estimated by sampling @p samples points
@@ -100,14 +134,11 @@ public:
     double peak_core_temperature(const linalg::Vector& t_init,
                                  const linalg::Vector& node_power,
                                  double ambient_celsius, double dt,
-                                 std::size_t samples = 8) const;
+                                 std::size_t samples = 8) const override;
 
-    /// Location and value of a core-temperature peak.
-    struct Peak {
-        double temperature_c = 0.0;
-        double time_s = 0.0;
-        std::size_t core = 0;
-    };
+    /// Location and value of a core-temperature peak (the backend-neutral
+    /// thermal::Peak; aliased here for source compatibility).
+    using Peak = thermal::Peak;
 
     /// Exact peak core temperature over [0, dt] via the MatEx method
     /// (Pagani et al.): per core the transient is a sum of decaying
@@ -117,7 +148,8 @@ public:
     /// error.
     Peak peak_core_temperature_exact(const linalg::Vector& t_init,
                                      const linalg::Vector& node_power,
-                                     double ambient_celsius, double dt) const;
+                                     double ambient_celsius,
+                                     double dt) const override;
 
 private:
     const ThermalModel* model_;

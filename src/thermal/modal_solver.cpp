@@ -1,0 +1,552 @@
+#include "thermal/modal_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/kernels.hpp"
+#include "linalg/tridiag_eigen.hpp"
+
+namespace hp::thermal {
+
+namespace {
+
+/// Ceiling on the Taylor substep count the mode-selection loop will accept
+/// for horizons just under τ_switch: large enough that the cut can land in
+/// the spectral gap of every shipped floorplan, small enough that a single
+/// mid-horizon query stays cheap.
+constexpr double kSubstepCap = 512.0;
+
+}  // namespace
+
+TruncatedModalSolver::TruncatedModalSolver(const ThermalModel& model,
+                                           const SolverConfig& config)
+    : model_(&model) {
+    if (config.tolerance_c <= 0.0)
+        throw std::invalid_argument(
+            "TruncatedModalSolver: tolerance must be positive");
+    tolerance_c_ = config.tolerance_c;
+    offset_scale_c_ = config.offset_scale_c;
+    const std::size_t n = model.node_count();
+    const std::size_t cores = model.core_count();
+    total_ = n;
+    const linalg::Vector& cap = model.capacitance();
+
+    // Same symmetrisation as the dense backend — S = A^{-1/2} B A^{-1/2}
+    // shares eigenvalues with A^{-1}B — but decomposed by the direct
+    // tridiagonal path instead of Jacobi sweeps.
+    linalg::Vector inv_sqrt_cap(n);
+    for (std::size_t i = 0; i < n; ++i)
+        inv_sqrt_cap[i] = 1.0 / std::sqrt(cap[i]);
+    linalg::Matrix s(n, n);
+    const linalg::Matrix& b = model.conductance();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            s(i, j) = inv_sqrt_cap[i] * b(i, j) * inv_sqrt_cap[j];
+    const linalg::SymmetricEigen eig = linalg::tridiagonal_eigen(s);
+
+    // λ_k = -μ_k, μ ascending: index 0 is the slowest mode.
+    std::vector<double> lambda_full(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (eig.values[k] <= 0.0)
+            throw std::domain_error(
+                "TruncatedModalSolver: conductance matrix is not positive "
+                "definite");
+        lambda_full[k] = -eig.values[k];
+    }
+    lambda_max_abs_ = eig.values[n - 1];
+
+    // Per-mode worst-case core amplitude per Kelvin of offset scale:
+    // g_k = max_{core i}|V(i,k)| · ‖row k of V^{-1}‖₁, with
+    // V = A^{-1/2}U and V^{-1} = U^T A^{1/2}. The dropped-tail bound of a
+    // closed-form query at horizon τ is then Σ_{k≥K} g_k·Ω·e^{λ_k τ}.
+    std::vector<double> g(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        double colmax = 0.0;
+        for (std::size_t i = 0; i < cores; ++i)
+            colmax = std::max(colmax,
+                              std::abs(eig.vectors(i, k)) * inv_sqrt_cap[i]);
+        double rowsum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            rowsum += std::abs(eig.vectors(j, k)) / inv_sqrt_cap[j];
+        g[k] = colmax * rowsum;
+    }
+
+    // Mode selection: the smallest K whose dropped tail can be deferred to a
+    // switch horizon the sparse Taylor propagator covers within the substep
+    // cap. tail(K, τ) falls in both K and τ, so τ_need(K) — the smallest
+    // switch horizon meeting the tolerance — shrinks as K grows, and the
+    // first feasible K is found by binary search. With the shipped RC
+    // parameters this lands in the spectral gap between the slow
+    // spreader/sink cluster and the fast silicon cluster.
+    const auto tail = [&](std::size_t k0, double tau) {
+        double acc = 0.0;
+        for (std::size_t k = k0; k < n; ++k)
+            acc += g[k] * offset_scale_c_ * std::exp(lambda_full[k] * tau);
+        return acc;
+    };
+    const auto tau_need = [&](std::size_t k0) {
+        if (tail(k0, 0.0) <= tolerance_c_) return 0.0;
+        double hi = 1e-4;
+        while (tail(k0, hi) > tolerance_c_ && hi < 1e4) hi *= 2.0;
+        double lo = 0.0;
+        for (int it = 0; it < 60; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            (tail(k0, mid) <= tolerance_c_ ? hi : lo) = mid;
+        }
+        return hi;
+    };
+    const auto substeps_for_tau = [&](double tau) {
+        const double z = lambda_max_abs_ * tau;
+        const double m_acc =
+            std::cbrt(offset_scale_c_ * z * z * z * z / (24.0 * tolerance_c_));
+        return std::max(1.0, std::ceil(std::max(z, m_acc)));
+    };
+    kept_ = n;
+    tau_switch_s_ = 0.0;
+    if (n > 1 && substeps_for_tau(tau_need(n - 1)) <= kSubstepCap) {
+        std::size_t lo = 1, hi = n - 1;  // hi is feasible
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (substeps_for_tau(tau_need(mid)) <= kSubstepCap)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        kept_ = lo;
+        tau_switch_s_ = tau_need(lo);
+    }
+
+    // Retained-mode tables (slowest first, like the dense backend).
+    lambda_k_ = linalg::Vector(kept_);
+    for (std::size_t k = 0; k < kept_; ++k) lambda_k_[k] = lambda_full[k];
+    v_k_ = linalg::Matrix(n, kept_);
+    w_k_ = linalg::Matrix(kept_, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < kept_; ++k) {
+            v_k_(i, k) = eig.vectors(i, k) * inv_sqrt_cap[i];
+            w_k_(k, i) = eig.vectors(i, k) / inv_sqrt_cap[i];
+        }
+    beta_scale_ = linalg::Vector(kept_);
+    for (std::size_t k = 0; k < kept_; ++k)
+        beta_scale_[k] = 1.0 / eig.values[k];
+
+    // Representative pole of the dropped cluster (amplitude-weighted mean);
+    // the analyzer filters its quasi-static correction fields through it.
+    double g_sum = 0.0, gl_sum = 0.0, spread = 0.0;
+    for (std::size_t k = kept_; k < n; ++k) {
+        g_sum += g[k];
+        gl_sum += g[k] * lambda_full[k];
+    }
+    cluster_pole_ = g_sum > 0.0 ? gl_sum / g_sum : 0.0;
+    for (std::size_t k = kept_; k < n; ++k)
+        spread = std::max(spread, std::abs(lambda_full[k] - cluster_pole_));
+
+    // Sparse/banded operators: exact steady solves and the O(nnz) Taylor
+    // propagator.
+    conductance_chol_ = linalg::BandedCholesky(b);
+    c_sparse_ = linalg::SparseCsr(b);
+    {
+        std::vector<double> row_scale(n);
+        for (std::size_t i = 0; i < n; ++i) row_scale[i] = -1.0 / cap[i];
+        c_sparse_.scale_rows(row_scale.data());
+    }
+
+    // A-priori error bound: propagation budget + dropped-tail budget (each
+    // ≤ tolerance by construction) plus the cluster-approximation term. The
+    // latter is probed per core: maxd is the largest quasi-static
+    // core-response residual |B^{-1}e_j - V_K β_K e_j| left after projecting
+    // a unit core power onto the retained modes, and the spread factor
+    // bounds how far one representative pole can mis-time that residual's
+    // filtered response.
+    if (truncated()) {
+        double maxd = 0.0;
+        linalg::Vector e(n, 0.0), x(n);
+        std::vector<double> scratch(n), y(kept_);
+        for (std::size_t j = 0; j < cores; ++j) {
+            e[j] = 1.0;
+            conductance_chol_.solve_into(e.data(), x.data(), scratch.data());
+            e[j] = 0.0;
+            for (std::size_t k = 0; k < kept_; ++k)
+                y[k] = beta_scale_[k] * w_k_(k, j) / cap[j];
+            for (std::size_t i = 0; i < cores; ++i) {
+                double kept_field = 0.0;
+                for (std::size_t k = 0; k < kept_; ++k)
+                    kept_field += v_k_(i, k) * y[k];
+                maxd = std::max(maxd, std::abs(x[i] - kept_field));
+            }
+        }
+        const double spread_factor =
+            cluster_pole_ < 0.0
+                ? 1.0 - std::exp(-spread / std::abs(cluster_pole_))
+                : 0.0;
+        error_bound_c_ = 2.0 * tolerance_c_ +
+                         config.reference_power_w * maxd * spread_factor;
+    } else {
+        error_bound_c_ = tolerance_c_;
+    }
+}
+
+std::uint64_t TruncatedModalSolver::backend_signature() const {
+    return detail::backend_signature_hash("modal", kept_, tolerance_c_,
+                                          model_->signature());
+}
+
+linalg::Matrix TruncatedModalSolver::modal_steady_map() const {
+    // β = V^{-1}B^{-1} restricted to retained rows, via the modal identity
+    // β(k,j) = W(k,j) / (μ_k·a_j) — no solves needed.
+    const linalg::Vector& cap = model_->capacitance();
+    linalg::Matrix beta(kept_, total_);
+    for (std::size_t k = 0; k < kept_; ++k)
+        for (std::size_t j = 0; j < total_; ++j)
+            beta(k, j) = beta_scale_[k] * w_k_(k, j) / cap[j];
+    return beta;
+}
+
+std::size_t TruncatedModalSolver::substeps_for(double dt) const {
+    const double z = lambda_max_abs_ * dt;
+    const double m_acc =
+        std::cbrt(offset_scale_c_ * z * z * z * z / (24.0 * tolerance_c_));
+    return static_cast<std::size_t>(
+        std::max(1.0, std::ceil(std::max(z, m_acc))));
+}
+
+void TruncatedModalSolver::steady_state_raw(const double* node_power,
+                                            double ambient_celsius,
+                                            ThermalWorkspace& ws,
+                                            double* out) const {
+    const std::size_t n = total_;
+    const linalg::Vector& amb =
+        ws.ambient_rhs(model_->ambient_conductance(), ambient_celsius);
+    double* rhs = ws.rhs.data();
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = node_power[i] + amb[i];
+    conductance_chol_.solve_into(rhs, out, ws.solver_scratch.data());
+}
+
+linalg::Vector TruncatedModalSolver::steady_state(
+    const linalg::Vector& node_power, double ambient_celsius) const {
+    ThermalWorkspace ws(total_);
+    linalg::Vector out(total_);
+    steady_state_into(node_power, ambient_celsius, ws, out);
+    return out;
+}
+
+void TruncatedModalSolver::steady_state_into(const linalg::Vector& node_power,
+                                             double ambient_celsius,
+                                             ThermalWorkspace& workspace,
+                                             linalg::Vector& out) const {
+    if (node_power.size() != total_)
+        throw std::invalid_argument(
+            "TruncatedModalSolver::steady_state: power vector must cover all "
+            "nodes");
+    workspace.resize(total_);
+    if (out.size() != total_) out = linalg::Vector(total_);
+    steady_state_raw(node_power.data(), ambient_celsius, workspace,
+                     out.data());
+}
+
+void TruncatedModalSolver::steady_state_batch_into(const double* node_powers,
+                                                   std::size_t nrhs,
+                                                   double ambient_celsius,
+                                                   ThermalWorkspace& workspace,
+                                                   double* out) const {
+    workspace.resize(total_);
+    for (std::size_t r = 0; r < nrhs; ++r)
+        steady_state_raw(node_powers + r * total_, ambient_celsius, workspace,
+                         out + r * total_);
+}
+
+linalg::Vector TruncatedModalSolver::conductance_solve(
+    const linalg::Vector& rhs) const {
+    return conductance_chol_.solve(rhs);
+}
+
+void TruncatedModalSolver::conductance_solve_into(const linalg::Vector& rhs,
+                                                  ThermalWorkspace& workspace,
+                                                  linalg::Vector& out) const {
+    if (rhs.size() != total_)
+        throw std::invalid_argument(
+            "TruncatedModalSolver::conductance_solve: size mismatch");
+    workspace.resize(total_);
+    if (out.size() != total_) out = linalg::Vector(total_);
+    conductance_chol_.solve_into(rhs.data(), out.data(),
+                                 workspace.solver_scratch.data());
+}
+
+void TruncatedModalSolver::propagate_taylor(const double* x, double dt,
+                                            ThermalWorkspace& ws,
+                                            double* out) const {
+    const std::size_t n = total_;
+    const std::size_t m = substeps_for(dt);
+    const double h = dt / static_cast<double>(m);
+    double* r = ws.taylor_a.data();
+    double* t1 = ws.taylor_b.data();
+    double* t2 = ws.solver_scratch.data();
+    for (std::size_t i = 0; i < n; ++i) r[i] = x[i];
+    for (std::size_t step = 0; step < m; ++step) {
+        // r ← r + h·Cr + h²/2·C²r + h³/6·C³r; three O(nnz) matvecs.
+        c_sparse_.matvec_into(r, t1);
+        c_sparse_.matvec_into(t1, t2);
+        linalg::kernel_axpy(n, h, t1, r);
+        linalg::kernel_axpy(n, 0.5 * h * h, t2, r);
+        c_sparse_.matvec_into(t2, t1);
+        linalg::kernel_axpy(n, h * h * h / 6.0, t1, r);
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] = r[i];
+}
+
+void TruncatedModalSolver::propagate_modal(const double* x, double dt,
+                                           ThermalWorkspace& ws,
+                                           double* out) const {
+    double* w = ws.modal.data();
+    linalg::kernel_matvec(w_k_.data(), kept_, total_, x, w);
+    const linalg::Vector& e = ws.exp_table(lambda_k_, dt);
+    linalg::kernel_hadamard(kept_, e.data(), w);
+    linalg::kernel_matvec(v_k_.data(), total_, kept_, w, out);
+}
+
+void TruncatedModalSolver::apply_exponential_raw(const double* x, double dt,
+                                                 ThermalWorkspace& ws,
+                                                 double* out) const {
+    // Horizon split: at or past τ_switch the dropped tail has decayed under
+    // the tolerance and the retained closed form is cheapest; below it the
+    // sparse Taylor propagator carries the *entire* spectrum (no truncation
+    // error at all, only the bounded substep remainder).
+    if (!truncated() || dt >= tau_switch_s_)
+        propagate_modal(x, dt, ws, out);
+    else
+        propagate_taylor(x, dt, ws, out);
+}
+
+linalg::Vector TruncatedModalSolver::apply_exponential(const linalg::Vector& x,
+                                                       double dt) const {
+    ThermalWorkspace ws(total_);
+    linalg::Vector out(total_);
+    apply_exponential_into(x, dt, ws, out);
+    return out;
+}
+
+void TruncatedModalSolver::apply_exponential_into(const linalg::Vector& x,
+                                                  double dt,
+                                                  ThermalWorkspace& workspace,
+                                                  linalg::Vector& out) const {
+    if (x.size() != total_)
+        throw std::invalid_argument(
+            "TruncatedModalSolver::apply_exponential: size mismatch");
+    workspace.resize(total_);
+    if (out.size() != total_) out = linalg::Vector(total_);
+    apply_exponential_raw(x.data(), dt, workspace, out.data());
+}
+
+void TruncatedModalSolver::apply_exponential_batch_into(
+    const double* xs, std::size_t nrhs, double dt, ThermalWorkspace& workspace,
+    double* outs) const {
+    workspace.resize(total_);
+    for (std::size_t r = 0; r < nrhs; ++r)
+        apply_exponential_raw(xs + r * total_, dt, workspace,
+                              outs + r * total_);
+}
+
+linalg::Matrix TruncatedModalSolver::exponential(double dt) const {
+    ThermalWorkspace ws(total_);
+    linalg::Matrix out(total_, total_);
+    linalg::Vector e(total_, 0.0), col(total_);
+    for (std::size_t j = 0; j < total_; ++j) {
+        e[j] = 1.0;
+        apply_exponential_raw(e.data(), dt, ws, col.data());
+        e[j] = 0.0;
+        for (std::size_t i = 0; i < total_; ++i) out(i, j) = col[i];
+    }
+    return out;
+}
+
+linalg::Vector TruncatedModalSolver::transient(const linalg::Vector& t_init,
+                                               const linalg::Vector& node_power,
+                                               double ambient_celsius,
+                                               double dt) const {
+    ThermalWorkspace ws(total_);
+    linalg::Vector out(total_);
+    transient_into(t_init, node_power, ambient_celsius, dt, ws, out);
+    return out;
+}
+
+void TruncatedModalSolver::transient_into(const linalg::Vector& t_init,
+                                          const linalg::Vector& node_power,
+                                          double ambient_celsius, double dt,
+                                          ThermalWorkspace& workspace,
+                                          linalg::Vector& out) const {
+    const std::size_t n = total_;
+    if (t_init.size() != n)
+        throw std::invalid_argument("transient: t_init size mismatch");
+    if (node_power.size() != n)
+        throw std::invalid_argument(
+            "TruncatedModalSolver::transient: power vector must cover all "
+            "nodes");
+    workspace.resize(n);
+    if (out.size() != n) out = linalg::Vector(n);
+    steady_state_raw(node_power.data(), ambient_celsius, workspace,
+                     workspace.steady.data());
+    // The offset is captured before out is written, so out may alias t_init.
+    for (std::size_t i = 0; i < n; ++i)
+        workspace.offset[i] = t_init[i] - workspace.steady[i];
+    apply_exponential_raw(workspace.offset.data(), dt, workspace, out.data());
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = workspace.steady[i] + out[i];
+}
+
+void TruncatedModalSolver::transient_batch_into(
+    const linalg::Vector& t_init, const double* node_powers, std::size_t nrhs,
+    double ambient_celsius, double dt, ThermalWorkspace& workspace,
+    double* outs) const {
+    const std::size_t n = total_;
+    if (t_init.size() != n)
+        throw std::invalid_argument("transient: t_init size mismatch");
+    if (nrhs == 0) return;
+    workspace.resize(n);
+    std::vector<double>& steady = workspace.batch_steady(n * nrhs);
+    steady_state_batch_into(node_powers, nrhs, ambient_celsius, workspace,
+                            steady.data());
+    for (std::size_t r = 0; r < nrhs; ++r) {
+        const double* st = steady.data() + r * n;
+        double* o = outs + r * n;
+        for (std::size_t i = 0; i < n; ++i) o[i] = t_init[i] - st[i];
+        apply_exponential_raw(o, dt, workspace, o);
+        for (std::size_t i = 0; i < n; ++i) o[i] = st[i] + o[i];
+    }
+}
+
+double TruncatedModalSolver::peak_core_temperature(
+    const linalg::Vector& t_init, const linalg::Vector& node_power,
+    double ambient_celsius, double dt, std::size_t samples) const {
+    if (samples == 0)
+        throw std::invalid_argument(
+            "peak_core_temperature: need at least one sample");
+    ThermalWorkspace ws(total_);
+    linalg::Vector steady(total_), offset(total_), resp(total_);
+    steady_state_into(node_power, ambient_celsius, ws, steady);
+    for (std::size_t i = 0; i < total_; ++i) offset[i] = t_init[i] - steady[i];
+    double peak = -1e300;
+    for (std::size_t s = 1; s <= samples; ++s) {
+        const double t =
+            dt * static_cast<double>(s) / static_cast<double>(samples);
+        apply_exponential_raw(offset.data(), t, ws, resp.data());
+        for (std::size_t i = 0; i < model_->core_count(); ++i)
+            peak = std::max(peak, steady[i] + resp[i]);
+    }
+    return peak;
+}
+
+Peak TruncatedModalSolver::peak_core_temperature_exact(
+    const linalg::Vector& t_init, const linalg::Vector& node_power,
+    double ambient_celsius, double dt) const {
+    if (dt <= 0.0)
+        throw std::invalid_argument(
+            "peak_core_temperature_exact: dt must be positive");
+    const linalg::Vector steady = steady_state(node_power, ambient_celsius);
+    const std::size_t n = total_;
+    linalg::Vector offset(n);
+    for (std::size_t i = 0; i < n; ++i) offset[i] = t_init[i] - steady[i];
+    // Retained modal coordinates plus, when truncated, a per-core
+    // pseudo-mode: the projection residual decaying at the cluster pole —
+    // the same decomposition the analyzer uses, so the two agree on bounds.
+    linalg::Vector w(kept_);
+    linalg::matvec_into(w_k_, offset, w);
+    const bool use_residual = truncated() && cluster_pole_ < 0.0;
+    const std::size_t terms = kept_ + (use_residual ? 1 : 0);
+
+    std::vector<double> lam(terms), coeff(terms);
+    for (std::size_t k = 0; k < kept_; ++k) lam[k] = lambda_k_[k];
+    if (use_residual) lam[kept_] = cluster_pole_;
+
+    constexpr int kScan = 16;
+    std::vector<double> scan_t(kScan + 1);
+    std::vector<double> scan_exp(static_cast<std::size_t>(kScan + 1) * terms);
+    for (int s = 0; s <= kScan; ++s) {
+        const double t = dt * static_cast<double>(s) / kScan;
+        scan_t[s] = t;
+        double* row = &scan_exp[static_cast<std::size_t>(s) * terms];
+        for (std::size_t k = 0; k < terms; ++k) row[k] = std::exp(lam[k] * t);
+    }
+
+    Peak best;
+    best.temperature_c = -1e300;
+    for (std::size_t i = 0; i < model_->core_count(); ++i) {
+        double kept_field = 0.0;
+        for (std::size_t k = 0; k < kept_; ++k) {
+            coeff[k] = v_k_(i, k) * w[k];
+            kept_field += coeff[k];
+        }
+        if (use_residual) coeff[kept_] = offset[i] - kept_field;
+
+        const auto f = [&](double t) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < terms; ++k)
+                acc += coeff[k] * std::exp(lam[k] * t);
+            return acc;
+        };
+        const auto df = [&](double t) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < terms; ++k)
+                acc += coeff[k] * lam[k] * std::exp(lam[k] * t);
+            return acc;
+        };
+        const auto f_at = [&](int s) {
+            const double* e = &scan_exp[static_cast<std::size_t>(s) * terms];
+            double acc = 0.0;
+            for (std::size_t k = 0; k < terms; ++k) acc += coeff[k] * e[k];
+            return acc;
+        };
+        const auto df_at = [&](int s) {
+            const double* e = &scan_exp[static_cast<std::size_t>(s) * terms];
+            double acc = 0.0;
+            for (std::size_t k = 0; k < terms; ++k)
+                acc += coeff[k] * lam[k] * e[k];
+            return acc;
+        };
+
+        const double f_start = f_at(0);
+        const double f_end = f_at(kScan);
+        double cand_v = std::max(f_start, f_end);
+        double cand_at = f_start >= f_end ? 0.0 : dt;
+
+        double prev_t = 0.0, prev_g = df_at(0);
+        for (int s = 1; s <= kScan; ++s) {
+            const double t = scan_t[s];
+            const double grad = df_at(s);
+            if (prev_g == 0.0 || (prev_g > 0.0) != (grad > 0.0)) {
+                double lo = prev_t, hi = t;
+                double glo = prev_g;
+                for (int it = 0; it < 60; ++it) {
+                    const double mid = 0.5 * (lo + hi);
+                    const double gm = df(mid);
+                    if ((gm > 0.0) == (glo > 0.0)) {
+                        lo = mid;
+                        glo = gm;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                const double t_star = 0.5 * (lo + hi);
+                const double v = f(t_star);
+                if (v > cand_v) {
+                    cand_v = v;
+                    cand_at = t_star;
+                }
+                break;  // first interior extremum is the relevant hump
+            }
+            prev_t = t;
+            prev_g = grad;
+        }
+
+        const double temp = steady[i] + cand_v;
+        if (temp > best.temperature_c) {
+            best.temperature_c = temp;
+            best.time_s = cand_at;
+            best.core = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace hp::thermal

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "floorplan/floorplan.hpp"
@@ -122,14 +123,24 @@ public:
     /// Cached LU decomposition of B, shared with the MatEx solver.
     const linalg::LuDecomposition& conductance_lu() const { return *b_lu_; }
 
+    /// Content hash (FNV-1a over the bit patterns of A, B, G and the core
+    /// count), computed once at construction. Two models with identical
+    /// matrices share a signature even when they are distinct objects — the
+    /// solver/simulator misuse guard compares signatures, so a solver built
+    /// for an equal model is accepted while one built for a different
+    /// floorplan or parameterisation is rejected.
+    std::uint64_t signature() const { return signature_; }
+
 private:
     void validate() const;
+    std::uint64_t compute_signature() const;
 
     std::size_t core_count_;
     linalg::Vector capacitance_;
     linalg::Matrix conductance_;
     linalg::Vector ambient_conductance_;
     std::shared_ptr<const linalg::LuDecomposition> b_lu_;
+    std::uint64_t signature_ = 0;
 };
 
 }  // namespace hp::thermal

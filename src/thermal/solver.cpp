@@ -1,0 +1,55 @@
+#include "thermal/solver.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "thermal/matex.hpp"
+#include "thermal/modal_solver.hpp"
+
+namespace hp::thermal {
+
+std::string to_string(SolverBackend backend) {
+    switch (backend) {
+        case SolverBackend::kAuto:
+            return "auto";
+        case SolverBackend::kDense:
+            return "dense";
+        case SolverBackend::kModal:
+            return "modal";
+    }
+    return "auto";
+}
+
+SolverBackend parse_solver_backend(const std::string& name) {
+    if (name == "auto") return SolverBackend::kAuto;
+    if (name == "dense") return SolverBackend::kDense;
+    if (name == "modal") return SolverBackend::kModal;
+    throw std::invalid_argument("unknown solver backend '" + name +
+                                "' (expected auto, dense or modal)");
+}
+
+std::unique_ptr<const TransientSolver> make_solver(const ThermalModel& model,
+                                                   const SolverConfig& config) {
+    if (config.tolerance_c <= 0.0)
+        throw std::invalid_argument(
+            "make_solver: solver tolerance must be positive");
+    SolverBackend backend = config.backend;
+    if (backend == SolverBackend::kAuto) {
+        // Environment override first (CI forces the modal leg this way),
+        // then the size rule: dense keeps every existing small-config result
+        // bit-identical, modal takes over where O(N^2) steps stop scaling.
+        if (const char* env = std::getenv("HOTPOTATO_SOLVER");
+            env != nullptr && *env != '\0')
+            backend = parse_solver_backend(env);
+        else
+            backend = model.node_count() <= config.dense_node_threshold
+                          ? SolverBackend::kDense
+                          : SolverBackend::kModal;
+    }
+    if (backend == SolverBackend::kModal)
+        return std::make_unique<TruncatedModalSolver>(model, config);
+    return std::make_unique<MatExSolver>(model);
+}
+
+}  // namespace hp::thermal

@@ -45,6 +45,9 @@ public:
         steady = linalg::Vector(node_count);
         offset = linalg::Vector(node_count);
         modal = linalg::Vector(node_count);
+        solver_scratch = linalg::Vector(node_count);
+        taylor_a = linalg::Vector(node_count);
+        taylor_b = linalg::Vector(node_count);
         ambient_key_ = nullptr;
         exp_key_ = nullptr;
     }
@@ -56,7 +59,11 @@ public:
     linalg::Vector rhs;     ///< steady-state right-hand side P + T_amb·G
     linalg::Vector steady;  ///< steady-state temperatures
     linalg::Vector offset;  ///< T_init - T_steady
-    linalg::Vector modal;   ///< modal image V^{-1}·x
+    linalg::Vector modal;   ///< modal image V^{-1}·x (first K entries used
+                            ///< by the truncated backend)
+    linalg::Vector solver_scratch;  ///< banded-solve permutation scratch
+    linalg::Vector taylor_a;        ///< sparse-propagator remainder term
+    linalg::Vector taylor_b;        ///< sparse-propagator matvec ping-pong
 
     /// Memoised T_amb·G for the ambient-coupling vector @p g. Recomputed only
     /// when @p g (by address) or @p ambient_celsius changes.

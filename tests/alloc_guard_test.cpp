@@ -255,7 +255,7 @@ TEST(AllocGuard, WarmedHotPotatoCandidateEvaluationIsAllocationFree) {
 TEST(AllocGuard, WarmedThermalKernelsAreAllocationFree) {
     const campaign::StudySetup setup = campaign::StudySetup::paper_64core();
     const thermal::ThermalModel& model = setup.model();
-    const thermal::MatExSolver& matex = setup.solver();
+    const thermal::TransientSolver& matex = setup.solver();
 
     linalg::Vector core_power(model.core_count(), 2.0);
     core_power[3] = 6.0;
@@ -277,6 +277,39 @@ TEST(AllocGuard, WarmedThermalKernelsAreAllocationFree) {
     }
     model.steady_state_into(node_power, 45.0, ws, out);
     matex.apply_exponential_into(temps, 1e-4, ws, out);
+    EXPECT_EQ(alloc_count() - before, 0u);
+}
+
+TEST(AllocGuard, WarmedModalThermalKernelsAreAllocationFree) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_64core(
+        thermal::SolverConfig::modal());
+    const thermal::ThermalModel& model = setup.model();
+    const thermal::TransientSolver& modal = setup.solver();
+    ASSERT_STREQ(modal.backend_name(), "modal");
+
+    linalg::Vector core_power(model.core_count(), 2.0);
+    core_power[3] = 6.0;
+    linalg::Vector node_power(model.node_count());
+    linalg::Vector temps = model.ambient_equilibrium(45.0);
+    linalg::Vector out(model.node_count());
+    thermal::ThermalWorkspace ws;
+
+    // Warm both propagation regimes: the micro-step Taylor path (1e-4 s)
+    // and the retained-mode closed form (1.0 s, past tau_switch).
+    model.pad_power_into(core_power, node_power);
+    modal.steady_state_into(node_power, 45.0, ws, out);
+    modal.apply_exponential_into(temps, 1.0, ws, out);
+    modal.transient_into(temps, node_power, 45.0, 1e-4, ws, temps);
+    modal.transient_into(temps, node_power, 45.0, 1.0, ws, out);
+
+    const std::uint64_t before = alloc_count();
+    for (int step = 0; step < 100; ++step) {
+        model.pad_power_into(core_power, node_power);
+        modal.transient_into(temps, node_power, 45.0, 1e-4, ws, temps);
+    }
+    modal.transient_into(temps, node_power, 45.0, 1.0, ws, out);
+    modal.steady_state_into(node_power, 45.0, ws, out);
+    modal.apply_exponential_into(temps, 1.0, ws, out);
     EXPECT_EQ(alloc_count() - before, 0u);
 }
 

@@ -181,7 +181,7 @@ TEST_P(ThermalBatch, SteadyStateBatchBitIdenticalToLoop) {
 
 TEST_P(ThermalBatch, ApplyExponentialBatchBitIdenticalIncludingAliasing) {
     const campaign::StudySetup setup = make_setup(GetParam());
-    const thermal::MatExSolver& matex = setup.solver();
+    const thermal::TransientSolver& matex = setup.solver();
     const std::size_t n = setup.model().node_count();
     thermal::ThermalWorkspace ws;
 
@@ -213,7 +213,7 @@ TEST_P(ThermalBatch, ApplyExponentialBatchBitIdenticalIncludingAliasing) {
 TEST_P(ThermalBatch, TransientBatchBitIdenticalToLoop) {
     const campaign::StudySetup setup = make_setup(GetParam());
     const thermal::ThermalModel& model = setup.model();
-    const thermal::MatExSolver& matex = setup.solver();
+    const thermal::TransientSolver& matex = setup.solver();
     const std::size_t n = model.node_count();
     const linalg::Vector t_init = model.ambient_equilibrium(45.0);
     thermal::ThermalWorkspace ws;

@@ -18,6 +18,7 @@
 #include "core/hotpotato.hpp"
 #include "fault/fault.hpp"
 #include "sched/static_schedulers.hpp"
+#include "thermal/solver.hpp"
 #include "workload/benchmark.hpp"
 
 namespace {
@@ -27,10 +28,11 @@ using hp::campaign::CampaignResult;
 using hp::campaign::CampaignSpec;
 using hp::campaign::RunSetup;
 
-CampaignSpec concurrent_spec() {
+CampaignSpec concurrent_spec(
+    hp::thermal::SolverConfig solver = {}) {
     hp::sim::SimConfig cfg;
     cfg.max_sim_time_s = 0.01;
-    CampaignSpec spec(hp::campaign::StudySetup::paper_16core(), cfg);
+    CampaignSpec spec(hp::campaign::StudySetup::paper_16core(solver), cfg);
     spec.add_scheduler("HotPotato", [] {
         return std::make_unique<hp::core::HotPotatoScheduler>();
     });
@@ -81,6 +83,28 @@ TEST(CampaignTsanTest, ParallelCampaignIsRaceFree) {
     std::ostringstream csv;
     hp::campaign::write_csv(csv, out.records);
     EXPECT_FALSE(csv.str().empty());
+}
+
+// Same concurrent path with the truncated-modal backend pinned: workers
+// share the banded factorisation, CSR matrix and retained-mode tables
+// read-only while each owns its workspace. Any race in the modal solver's
+// "immutable after construction" claim fails here under TSan.
+TEST(CampaignTsanTest, ParallelModalBackendIsRaceFree) {
+    const CampaignSpec spec =
+        concurrent_spec(hp::thermal::SolverConfig::modal());
+    CampaignOptions serial;
+    serial.jobs = 1;
+    CampaignOptions parallel;
+    parallel.jobs = 4;
+    const CampaignResult one = hp::campaign::run_campaign(spec, serial);
+    const CampaignResult many = hp::campaign::run_campaign(spec, parallel);
+    ASSERT_EQ(one.records.size(), 8u);
+    EXPECT_EQ(one.summary.failed_runs, 0u);
+    EXPECT_EQ(many.summary.failed_runs, 0u);
+    std::ostringstream a, b;
+    hp::campaign::write_csv(a, one.records);
+    hp::campaign::write_csv(b, many.records);
+    EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(CampaignTsanTest, SerialAndParallelAgreeUnderTsan) {

@@ -145,7 +145,7 @@ TEST_P(HotpathThermalEquivalence, PadAndSteadyState) {
 TEST_P(HotpathThermalEquivalence, ApplyExponentialAndTransient) {
     const campaign::StudySetup setup = make_setup(GetParam());
     const thermal::ThermalModel& model = setup.model();
-    const thermal::MatExSolver& matex = setup.solver();
+    const thermal::TransientSolver& matex = setup.solver();
     const linalg::Vector node_power =
         model.pad_power(test_core_power(model.core_count()));
     const linalg::Vector t_init = model.ambient_equilibrium(45.0);

@@ -1,51 +1,52 @@
+#include <algorithm>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
-#include "arch/manycore.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/study_setup.hpp"
 #include "core/hotpotato.hpp"
 #include "report/comparison.hpp"
 #include "sched/pcgov.hpp"
-#include "thermal/matex.hpp"
-#include "thermal/rc_network.hpp"
 #include "workload/benchmark.hpp"
 
 namespace {
 
-using hp::report::ComparisonRunner;
 using hp::report::RunRecord;
 
-struct Bench {
-    hp::arch::ManyCore chip = hp::arch::ManyCore::paper_16core();
-    hp::thermal::ThermalModel model{chip.plan(), hp::thermal::RcNetworkConfig{}};
-    hp::thermal::MatExSolver solver{model};
-};
-
-const Bench& bench() {
-    static const Bench b;
-    return b;
+const hp::campaign::StudySetup& setup() {
+    static const hp::campaign::StudySetup s =
+        hp::campaign::StudySetup::paper_16core();
+    return s;
 }
 
-ComparisonRunner make_runner() {
+hp::campaign::CampaignSpec make_spec() {
     hp::sim::SimConfig cfg;
     cfg.max_sim_time_s = 10.0;
-    ComparisonRunner runner(bench().chip, bench().model, bench().solver, cfg);
-    runner.add_scheduler("HotPotato", [] {
+    hp::campaign::CampaignSpec spec(setup(), cfg);
+    spec.add_scheduler("HotPotato", [] {
         return std::make_unique<hp::core::HotPotatoScheduler>();
     });
-    runner.add_scheduler("PCGov", [] {
+    spec.add_scheduler("PCGov", [] {
         return std::make_unique<hp::sched::PcGovScheduler>();
     });
-    runner.add_workload(
+    spec.add_workload(
         "bs2", {{&hp::workload::profile_by_name("blackscholes"), 2, 0.0}});
-    runner.add_workload(
+    spec.add_workload(
         "mix", {{&hp::workload::profile_by_name("canneal"), 4, 0.0},
                 {&hp::workload::profile_by_name("x264"), 4, 0.0}});
-    return runner;
+    return spec;
+}
+
+std::vector<RunRecord> run_records() {
+    hp::campaign::CampaignOptions options;
+    options.jobs = 1;
+    return hp::report::collect_records(
+        hp::campaign::run_campaign(make_spec(), options));
 }
 
 TEST(Report, RunsEveryCombination) {
-    const auto records = make_runner().run_all();
+    const auto records = run_records();
     ASSERT_EQ(records.size(), 4u);  // 2 schedulers x 2 workloads
     EXPECT_EQ(records[0].workload, "bs2");
     EXPECT_EQ(records[0].scheduler, "HotPotato");
@@ -58,7 +59,7 @@ TEST(Report, RunsEveryCombination) {
 }
 
 TEST(Report, MarkdownHasHeaderAndAllRows) {
-    const auto records = make_runner().run_all();
+    const auto records = run_records();
     const std::string md = hp::report::to_markdown(records);
     EXPECT_NE(md.find("| workload | scheduler |"), std::string::npos);
     EXPECT_NE(md.find("HotPotato"), std::string::npos);
@@ -68,7 +69,7 @@ TEST(Report, MarkdownHasHeaderAndAllRows) {
 }
 
 TEST(Report, CsvRoundTripStructure) {
-    const auto records = make_runner().run_all();
+    const auto records = run_records();
     std::ostringstream out;
     hp::report::write_csv(out, records);
     const std::string csv = out.str();
@@ -78,9 +79,19 @@ TEST(Report, CsvRoundTripStructure) {
 }
 
 TEST(Report, NullFactoryRejected) {
-    hp::sim::SimConfig cfg;
-    ComparisonRunner runner(bench().chip, bench().model, bench().solver, cfg);
-    EXPECT_THROW(runner.add_scheduler("bad", nullptr), std::invalid_argument);
+    hp::campaign::CampaignSpec spec(setup(), hp::sim::SimConfig{});
+    EXPECT_THROW(spec.add_scheduler("bad", nullptr), std::invalid_argument);
+}
+
+TEST(Report, CollectRecordsSurfacesRunFailures) {
+    hp::campaign::CampaignResult result;
+    hp::campaign::RunRecord bad;
+    bad.key.scheduler = "S";
+    bad.key.workload = "W";
+    bad.failed = true;
+    bad.error = "boom";
+    result.records.push_back(bad);
+    EXPECT_THROW(hp::report::collect_records(result), std::runtime_error);
 }
 
 }  // namespace
