@@ -23,9 +23,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+#include <thread>
+
 #include "bench_util.hpp"
+#include "campaign/campaign.hpp"
 #include "core/hotpotato.hpp"
 #include "core/peak_temperature.hpp"
+#include "exec/arena.hpp"
+#include "exec/exec.hpp"
 #include "linalg/simd.hpp"
 #include "sched/static_schedulers.hpp"
 #include "sim/simulator.hpp"
@@ -157,6 +163,36 @@ void measure_sim(const std::string& name,
     g_cases.push_back(std::move(c));
 }
 
+/// Whole-campaign measurement: wall time and allocations per run with the
+/// pool saturated (one worker per hardware thread). Unlike measure(), the
+/// campaign is executed once — per-run setup (scheduler, simulator, faults)
+/// is part of what the throughput number is supposed to include.
+void measure_campaign(const std::string& name,
+                      const hp::campaign::CampaignSpec& spec,
+                      std::size_t jobs) {
+    hp::campaign::CampaignOptions options;
+    options.jobs = jobs;
+    const std::uint64_t allocs_before =
+        g_allocs.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    const hp::campaign::CampaignResult result =
+        hp::campaign::run_campaign(spec, options);
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    const std::uint64_t allocs =
+        g_allocs.load(std::memory_order_relaxed) - allocs_before;
+    const double runs = static_cast<double>(result.records.size());
+    Case c;
+    c.name = name;
+    c.ns_per_op = ns / runs;
+    c.allocs_per_op = static_cast<double>(allocs) / runs;
+    c.ops = runs;
+    std::printf("  %-40s %12.0f ns/run %9.2f runs/s (%zu jobs, %.0f runs)\n",
+                c.name.c_str(), c.ns_per_op, 1e9 * runs / ns, jobs, runs);
+    g_sink += static_cast<double>(result.summary.total_runs);
+    g_cases.push_back(std::move(c));
+}
+
 /// First "model name" line of /proc/cpuinfo, or "unknown" off-Linux.
 std::string cpu_model() {
     std::ifstream cpuinfo("/proc/cpuinfo");
@@ -195,6 +231,15 @@ std::string compiler_id() {
 void write_json(const std::string& path, bool smoke) {
     using hp::linalg::simd::active_tier;
     using hp::linalg::simd::tier_name;
+    // Host topology + the pin policy the campaign cases ran under: the
+    // campaign-throughput numbers depend on worker placement, so the gate
+    // (scripts/check_bench.py) warns when these differ between baseline and
+    // candidate — mirroring the SIMD dispatch-tier handling above.
+    const hp::exec::Topology topo = hp::exec::discover_topology();
+    const std::size_t cpus_per_node =
+        topo.nodes.empty() ? 0 : topo.nodes.front().cpus.size();
+    hp::exec::ExecPolicy policy;
+    policy.apply_env_overrides();
     std::ofstream out(path);
     out << "{\n  \"benchmark\": \"bench_hotpath\",\n  \"mode\": \""
         << (smoke ? "smoke" : "full") << "\",\n  \"provenance\": {\n"
@@ -203,6 +248,10 @@ void write_json(const std::string& path, bool smoke) {
         << "    \"build_type\": \"" << json_escape(HP_BENCH_BUILD_TYPE)
         << "\",\n"
         << "    \"cpu\": \"" << json_escape(cpu_model()) << "\",\n"
+        << "    \"numa_nodes\": " << topo.node_count() << ",\n"
+        << "    \"cpus_per_node\": " << cpus_per_node << ",\n"
+        << "    \"pin_policy\": \"" << hp::exec::to_string(policy.pin)
+        << "\",\n"
         << "    \"dispatch\": \"" << tier_name(active_tier()) << "\"\n"
         << "  },\n  \"cases\": [\n";
     for (std::size_t i = 0; i < g_cases.size(); ++i) {
@@ -356,6 +405,67 @@ int main(int argc, char** argv) {
             workload::homogeneous_fill(workload::profile_by_name("bodytrack"),
                                        16, 1),
             smoke ? 0.01 : 0.1);
+    }
+
+    std::printf("\n-- execution layer: workspace setup, campaign throughput --\n");
+
+    // Per-run workspace setup cost, heap vs node-local arena (DESIGN.md §12).
+    // Each op builds a fresh ThermalWorkspace and warms it with one transient
+    // query — exactly what a campaign worker used to pay per run before
+    // workspaces moved to per-worker arena-backed scratch. The arena variant
+    // resets (keeping its reservation) instead of freeing, so after the first
+    // op it touches the heap zero times.
+    {
+        const std::size_t setup_reps = smoke ? 20 : 500;
+        measure("workspace_setup_heap", setup_reps, [&] {
+            thermal::ThermalWorkspace fresh;
+            matex.transient_into(t_init, node_power, 45.0, 1e-4, fresh, out);
+            return out[0];
+        });
+        exec::Arena arena;
+        exec::ArenaResource arena_mr(arena);
+        measure("workspace_setup_arena", setup_reps, [&] {
+            arena.reset();
+            thermal::ThermalWorkspace fresh(&arena_mr);
+            matex.transient_into(t_init, node_power, 45.0, 1e-4, fresh, out);
+            return out[0];
+        });
+    }
+
+    // Campaign throughput at saturation: one worker per hardware thread, a
+    // seed sweep deep enough to keep every worker busy. Runs/sec includes
+    // per-run scheduler/simulator construction and the engine's bookkeeping;
+    // ns_per_op (= ns per run) is what the JSON gate tracks.
+    {
+        const std::size_t jobs =
+            std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        const std::size_t sweep = std::max<std::size_t>(4, 2 * jobs);
+
+        sim::SimConfig cfg64;
+        cfg64.micro_step_s = 1e-4;
+        cfg64.max_sim_time_s = smoke ? 0.005 : 0.02;
+        campaign::CampaignSpec spec64(t64, cfg64);
+        spec64.add_scheduler("hotpotato", [] {
+            return std::make_unique<core::HotPotatoScheduler>();
+        });
+        spec64.add_workload(
+            "fill16", workload::homogeneous_fill(
+                          workload::profile_by_name("bodytrack"), 16, 1));
+        for (std::size_t s = 1; s <= sweep; ++s) spec64.add_seed(s);
+        measure_campaign("campaign_run_64core", spec64, jobs);
+
+        sim::SimConfig cfg256;
+        cfg256.micro_step_s = 1e-4;
+        cfg256.max_sim_time_s = smoke ? 0.001 : 0.005;
+        campaign::CampaignSpec spec256(t256, cfg256);
+        spec256.add_scheduler("hotpotato", [] {
+            return std::make_unique<core::HotPotatoScheduler>();
+        });
+        spec256.add_workload(
+            "fill16", workload::homogeneous_fill(
+                          workload::profile_by_name("bodytrack"), 16, 1));
+        for (std::size_t s = 1; s <= sweep; ++s) spec256.add_seed(s);
+        measure_campaign("campaign_run_256core", spec256, jobs);
     }
 
     write_json(out_path, smoke);

@@ -34,8 +34,11 @@ import argparse
 import json
 import sys
 
-# Cases a candidate run must contain (see --require).
-REQUIRED_CASES = ("solver_setup_256", "sim_step_256core", "rotation_peak_256")
+# Cases a candidate run must contain (see --require). The 256-core entries
+# gate the modal backend's scaling claim; the campaign entries gate the
+# execution layer's throughput claim (pinned workers + arena workspaces).
+REQUIRED_CASES = ("solver_setup_256", "sim_step_256core", "rotation_peak_256",
+                  "campaign_run_64core", "campaign_run_256core")
 
 
 def load_cases(path):
@@ -83,6 +86,18 @@ def warn_provenance(base_prov, cand_prov):
                   "comparable across "
                   f"{'machines' if field == 'cpu' else field + 's'} and the "
                   "time gate may misfire either way", file=sys.stderr)
+    # Host topology / pinning provenance (warn-only, like dispatch): the
+    # campaign_run_* throughput cases saturate one worker per hardware
+    # thread, so a different node count, CPUs-per-node or pin policy shifts
+    # those timings without any code regression.
+    for field in ("numa_nodes", "cpus_per_node", "pin_policy"):
+        base = base_prov.get(field, "unknown")
+        cand = cand_prov.get(field, "unknown")
+        if base != cand:
+            print(f"check_bench: WARNING — topology field {field} differs: "
+                  f"baseline '{base}' vs candidate '{cand}'; the "
+                  "campaign-throughput cases scale with worker placement and "
+                  "their time gate may misfire either way", file=sys.stderr)
 
 
 def main():

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: build-test matrix (gcc + clang ×
-# Debug + Release with -Werror), ASan/UBSan and TSan legs, the SIMD-dispatch
-# and forced-modal-solver suite reruns, the clang-format check and the
+# Debug + Release with -Werror), ASan/UBSan and TSan legs, the SIMD-dispatch,
+# forced-modal-solver and execution-placement (pinned + no-NUMA fallback)
+# suite reruns, the clang-format check and the
 # bench-regression gate — each leg skipped (not failed) when
 # this machine lacks the tool it needs, so the script is useful on minimal
 # containers and full workstations alike.
@@ -139,6 +140,32 @@ if [[ -d "$FAULT_DIR" ]]; then
       --repeat until-fail:2 -R "$FAULT_MATRIX_RE"
 else
   skip "fault matrix (no build dir)"
+fi
+
+# ---- execution placement ---------------------------------------------------
+# Mirrors the `numa-exec` CI job. First the campaign + resilience suites with
+# HOTPOTATO_PIN=compact (run_campaign's env override pins every worker, and
+# records must stay bit-identical); then a separate HOTPOTATO_EXEC_NUMA=OFF
+# build whose topology discovery is the single-node fallback unconditionally —
+# what a host without sysfs/NUMA support gets.
+EXEC_MATRIX_RE='Campaign|Exec|Arena|Topology|CpuList|Pin|WorkerScratch|Resume|Journal|Retry|DeadlineWatchdog|AllocGuard|StudySetup'
+EXEC_DIR="$BUILD_ROOT/${COMPILERS[0]%%:*}-Release"
+if [[ -d "$EXEC_DIR" ]]; then
+  note "numa-exec: campaign + resilience suites under HOTPOTATO_PIN=compact"
+  HOTPOTATO_PIN=compact \
+    ctest --test-dir "$EXEC_DIR" --output-on-failure -j "$JOBS" \
+      -R "$EXEC_MATRIX_RE"
+else
+  skip "numa-exec pinned leg (no Release build dir)"
+fi
+if [[ $QUICK -eq 0 ]]; then
+  note "numa-exec: full suite with HOTPOTATO_EXEC_NUMA=OFF (forced fallback)"
+  configure_build_test "$BUILD_ROOT/nonuma" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DHOTPOTATO_WERROR=ON \
+    -DHOTPOTATO_EXEC_NUMA=OFF
+else
+  skip "numa-exec no-NUMA build (--quick)"
 fi
 
 # ---- format ----------------------------------------------------------------

@@ -206,21 +206,26 @@ void classify_failure(const std::exception_ptr& ep, RunRecord& record) {
 }
 
 /// One attempt of one run, all exceptions captured and classified into the
-/// record. @p workspace is the calling worker's thermal scratch, reused
-/// across its runs; @p recorder (may be null) is this attempt's private
-/// observability sink; @p cancel (may be null) is this attempt's watchdog
-/// token, polled by the simulator's micro-step loop.
-RunRecord execute(const CampaignSpec& spec, RunKey key,
-                  thermal::ThermalWorkspace& workspace,
-                  obs::Recorder* recorder,
+/// record. @p study is the solver bundle to run against — the spec's own
+/// setup, or the calling worker's node-local replica (bit-identical by the
+/// clone_rebound contract); @p workspace is the calling worker's thermal
+/// scratch, reused across its runs; @p scratch (may be null) is the worker's
+/// long-lived scratch bag for scheduler workspaces; @p recorder (may be
+/// null) is this attempt's private observability sink; @p cancel (may be
+/// null) is this attempt's watchdog token, polled by the simulator's
+/// micro-step loop.
+RunRecord execute(const CampaignSpec& spec, const StudySetup& study,
+                  RunKey key, thermal::ThermalWorkspace& workspace,
+                  exec::WorkerScratch* scratch, obs::Recorder* recorder,
                   const sim::CancellationToken* cancel) {
     RunRecord record;
     record.key = std::move(key);
     const auto start = std::chrono::steady_clock::now();
     try {
         const RunSetup setup = spec.setup_for(record.key);
-        sim::Simulator simulator = spec.setup().make_simulator(
-            setup.sim, setup.power, setup.perf, &workspace, recorder, cancel);
+        sim::Simulator simulator = study.make_simulator(
+            setup.sim, setup.power, setup.perf, &workspace, recorder, cancel,
+            scratch);
         simulator.add_tasks(spec.tasks_for(record.key));
         const std::unique_ptr<sim::Scheduler> scheduler =
             spec.make_scheduler(record.key);
@@ -405,6 +410,43 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     const std::size_t resumed = total - pending.size();
     const std::size_t jobs = resolve_jobs(options.jobs, pending.size());
 
+    // Execution placement (DESIGN.md §12). The policy resolves against the
+    // host topology (or the injected test topology); plan_pinning is pure,
+    // so the placement is deterministic for a given (topology, jobs, pin).
+    // None of this may change record values — only where workers run and
+    // where their scratch lives.
+    exec::ExecPolicy policy = options.exec;
+    policy.apply_env_overrides();
+    const exec::Topology topology = policy.resolve_topology();
+    const std::vector<exec::WorkerPlacement> placements =
+        exec::plan_pinning(topology, jobs, policy.pin);
+
+    // Read-only StudySetup bundles replicated once per NUMA node
+    // (copy-on-first-use: the first pinned worker on a node pays one deep
+    // copy — tables only, never an eigensolve — and first-touch lands the
+    // pages node-local; later workers on the node share it). Replication is
+    // pointless without pinning: an unpinned worker has no stable node.
+    int max_node = -1;
+    for (const exec::WorkerPlacement& p : placements)
+        max_node = std::max(max_node, p.node);
+    const bool replicate_bundles =
+        policy.numa && topology.multi_node() && max_node >= 0;
+    struct NodeReplica {
+        std::once_flag once;
+        std::optional<StudySetup> setup;
+    };
+    std::vector<NodeReplica> replicas(
+        replicate_bundles ? static_cast<std::size_t>(max_node) + 1 : 0);
+
+    // Per-worker placement outcomes, harvested into gauges after the join.
+    struct WorkerStats {
+        int node = -1;
+        bool pinned = false;
+        std::size_t arena_reserved = 0;
+        std::size_t arena_high_water = 0;
+    };
+    std::vector<WorkerStats> worker_stats(jobs);
+
     // Fixed-size pool sharding the pending list through an atomic cursor.
     // Results land at their key's index, so record order is the spec's
     // deterministic enumeration regardless of completion order or how many
@@ -415,14 +457,40 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     std::atomic<std::size_t> done{0};
     std::mutex io_mutex;  ///< serializes journal appends + progress calls
     const auto worker = [&](std::size_t worker_id) {
-        // One thermal workspace per worker thread: runs are sequential
-        // within a worker, so sharing its scratch across them is safe and
-        // keeps every run's hot loop allocation-free after the first.
-        thermal::ThermalWorkspace workspace;
+        // Shared-nothing worker context: pin to the planned CPU (best
+        // effort), then carve every long-lived scratch object from an arena
+        // bound to the worker's node. Runs are sequential within a worker,
+        // so sharing its scratch across them is safe and keeps every run's
+        // hot loop allocation-free after the first.
+        const exec::WorkerPlacement place = placements[worker_id];
+        WorkerStats& stats = worker_stats[worker_id];
+        stats.node = place.node;
+        if (place.cpu >= 0) stats.pinned = exec::pin_current_thread(place.cpu);
+        exec::Arena arena(policy.arena_block_bytes,
+                          policy.numa ? place.node : -1);
+        exec::ArenaResource arena_mr(arena);
+        exec::WorkerScratch scratch(&arena_mr);
+        thermal::ThermalWorkspace workspace(&arena_mr);
+        const StudySetup* study = &spec.setup();
+        if (replicate_bundles && place.node >= 0) {
+            NodeReplica& replica = replicas[static_cast<std::size_t>(
+                place.node)];
+            std::call_once(replica.once, [&] {
+                replica.setup.emplace(spec.setup().replicate());
+            });
+            study = &*replica.setup;
+        }
+        const auto harvest = [&] {
+            stats.arena_reserved = arena.bytes_reserved();
+            stats.arena_high_water = arena.high_water();
+        };
         for (;;) {
             const std::size_t p =
                 cursor.fetch_add(1, std::memory_order_relaxed);
-            if (p >= pending.size()) return;
+            if (p >= pending.size()) {
+                harvest();
+                return;
+            }
             const std::size_t i = pending[p];
             RunRecord record;
             std::vector<double> backoffs;
@@ -437,7 +505,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                 // into the worker's next run.
                 sim::CancellationToken token;
                 monitor.arm(worker_id, &token);
-                record = execute(spec, keys[i], workspace,
+                record = execute(spec, *study, keys[i], workspace, &scratch,
                                  recorder ? &*recorder : nullptr, &token);
                 monitor.disarm(worker_id);
                 record.attempts = attempt;
@@ -468,7 +536,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     };
 
     if (!pending.empty()) {
-        if (jobs == 1) {
+        // The serial path runs on the calling thread — but never when it
+        // would pin it: sched_setaffinity would outlive the campaign and
+        // leak placement into the caller. A planned pin always gets its own
+        // thread.
+        if (jobs == 1 && placements[0].cpu < 0) {
             worker(0);
         } else {
             std::vector<std::thread> pool;
@@ -520,6 +592,31 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         .add(out.summary.resumed_runs);
     campaign_recorder.counter("campaign.journal_appends")
         .add(journal ? pending.size() : 0);
+    // Placement observability (mis-placement should be visible without a
+    // profiler): workers per node, how many pins stuck, and the arena
+    // footprint. Unpinned workers count under node 0 — the single-node
+    // degenerate case, where placement is moot anyway.
+    if (!pending.empty()) {
+        std::vector<std::size_t> per_node(
+            static_cast<std::size_t>(std::max(max_node, 0)) + 1, 0);
+        std::size_t pinned = 0, reserved = 0, high_water = 0;
+        for (const WorkerStats& w : worker_stats) {
+            ++per_node[static_cast<std::size_t>(std::max(w.node, 0))];
+            if (w.pinned) ++pinned;
+            reserved += w.arena_reserved;
+            high_water += w.arena_high_water;
+        }
+        for (std::size_t n = 0; n < per_node.size(); ++n)
+            campaign_recorder
+                .gauge("campaign.workers_per_node." + std::to_string(n))
+                .set(static_cast<double>(per_node[n]));
+        campaign_recorder.gauge("campaign.pinned_workers")
+            .set(static_cast<double>(pinned));
+        campaign_recorder.gauge("arena.bytes_reserved")
+            .set(static_cast<double>(reserved));
+        campaign_recorder.gauge("arena.high_water")
+            .set(static_cast<double>(high_water));
+    }
     out.summary.metrics = campaign_recorder.snapshot();
     return out;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "campaign/study_setup.hpp"
+#include "exec/exec.hpp"
 #include "obs/recorder.hpp"
 #include "perf/interval_model.hpp"
 #include "power/power_model.hpp"
@@ -288,6 +289,12 @@ struct CampaignOptions {
     /// draining.
     double run_timeout_s = 0.0;
     RetryPolicy retry;
+    /// Execution placement (DESIGN.md §12): worker pinning policy, NUMA
+    /// memory placement, arena sizing, and an injectable topology for tests.
+    /// Placement never changes record values — only where workers run and
+    /// where their memory lives — so any policy yields bit-identical records.
+    /// HOTPOTATO_PIN / HOTPOTATO_NUMA env vars override these at launch.
+    exec::ExecPolicy exec;
 };
 
 /// The executed campaign: records in CampaignSpec::keys() order — identical

@@ -17,7 +17,22 @@ struct StudySetup::Bundle {
         : chip(std::move(c)),
           model(chip.plan(), cooling),
           solver(thermal::make_solver(model, solver_config)) {}
+
+    /// Deep copy sharing nothing with @p other: replica() duplicates the
+    /// model (including the cached LU) and clone_rebound copies the solver's
+    /// tables bit-for-bit against the new model — no setup recomputation.
+    Bundle(const Bundle& other)
+        : chip(other.chip),
+          model(other.model.replica()),
+          solver(other.solver->clone_rebound(model)) {}
 };
+
+StudySetup StudySetup::replicate() const {
+    auto bundle = std::make_shared<const Bundle>(*owned_);
+    const Bundle* b = bundle.get();
+    return StudySetup(std::move(bundle), &b->chip, &b->model,
+                      b->solver.get());
+}
 
 StudySetup StudySetup::custom(arch::ManyCore chip,
                               thermal::RcNetworkConfig cooling,
@@ -58,9 +73,9 @@ StudySetup StudySetup::paper_1024core(thermal::SolverConfig solver) {
 sim::Simulator StudySetup::make_simulator(
     sim::SimConfig config, power::PowerParams power, perf::PerfParams perf,
     thermal::ThermalWorkspace* workspace, obs::Recorder* recorder,
-    const sim::CancellationToken* cancel) const {
+    const sim::CancellationToken* cancel, exec::WorkerScratch* scratch) const {
     return sim::Simulator(*chip_, *model_, *solver_, std::move(config), power,
-                          perf, workspace, recorder, cancel);
+                          perf, workspace, recorder, cancel, scratch);
 }
 
 }  // namespace hp::campaign

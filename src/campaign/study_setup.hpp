@@ -60,19 +60,33 @@ public:
     const thermal::ThermalModel& model() const { return *model_; }
     const thermal::TransientSolver& solver() const { return *solver_; }
 
+    /// A StudySetup over a brand-new bundle that shares no storage with this
+    /// one: chip tables copied, model deep-copied via ThermalModel::replica()
+    /// and the solver cloned via TransientSolver::clone_rebound() — all
+    /// bit-for-bit copies, nothing recomputed (no eigensolve), so replica
+    /// runs produce bit-identical records. The campaign engine calls this
+    /// once per NUMA node (first worker on the node pays the copy; the pages
+    /// land node-local by first touch) so high --jobs sweeps stop bouncing
+    /// the shared solver tables across sockets.
+    StudySetup replicate() const;
+
     /// A fresh simulator over the shared machine; one per run. An optional
     /// @p workspace lets a worker thread reuse its thermal scratch across
     /// consecutive runs (never share one workspace between threads). An
     /// optional @p recorder attaches the observability layer to the run; a
     /// recorder belongs to one run only (never reuse it across runs — its
     /// instruments would accumulate). An optional @p cancel token makes the
-    /// run cooperatively cancellable (see sim::CancellationToken).
+    /// run cooperatively cancellable (see sim::CancellationToken). An
+    /// optional @p scratch hands the worker's long-lived scratch bag to the
+    /// simulator (SimContext::worker_scratch()) so schedulers can borrow
+    /// arena-backed workspaces across the worker's runs.
     sim::Simulator make_simulator(
         sim::SimConfig config = {}, power::PowerParams power = {},
         perf::PerfParams perf = {},
         thermal::ThermalWorkspace* workspace = nullptr,
         obs::Recorder* recorder = nullptr,
-        const sim::CancellationToken* cancel = nullptr) const;
+        const sim::CancellationToken* cancel = nullptr,
+        exec::WorkerScratch* scratch = nullptr) const;
 
 private:
     struct Bundle;  // owning storage (chip, then model, then solver)

@@ -10,6 +10,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "core/hotpotato.hpp"
+#include "exec/affinity.hpp"
 #include "core/hotpotato_dvfs.hpp"
 #include "fault/fault_io.hpp"
 #include "obs/recorder.hpp"
@@ -93,6 +94,14 @@ campaign:
                            --jobs value)
   --jobs N                 campaign worker threads (default 1; 0 = one per
                            hardware thread)
+  --pin POLICY             worker CPU pinning: auto | none | compact | spread
+                           (default auto: no pinning on single-node hosts,
+                           compact while one NUMA node holds every worker,
+                           spread beyond; HOTPOTATO_PIN overrides)
+  --numa on|off            node-local worker arenas + per-node read-only
+                           solver-bundle replicas (default on; placement
+                           never changes results, only memory locality;
+                           HOTPOTATO_NUMA overrides)
   --csv PATH               write the record table as CSV (atomic: tmp+rename)
   --json PATH              write records + summary as JSON (atomic)
 
@@ -227,6 +236,14 @@ CliOptions parse(const std::vector<std::string>& args) {
         else if (flag == "--fault-seed") o.fault_seed = parse_uint(flag, value());
         else if (flag == "--compare") o.compare = value();
         else if (flag == "--jobs") o.jobs = parse_uint(flag, value());
+        else if (flag == "--pin") o.pin = value();
+        else if (flag == "--numa") {
+            const std::string& v = value();
+            if (v == "on" || v == "1") o.numa = true;
+            else if (v == "off" || v == "0") o.numa = false;
+            else throw std::invalid_argument("bad value for --numa: " + v +
+                                             " (want on|off)");
+        }
         else if (flag == "--csv") o.csv_file = value();
         else if (flag == "--json") o.json_file = value();
         else if (flag == "--journal") o.journal_file = value();
@@ -272,6 +289,9 @@ CliOptions parse(const std::vector<std::string>& args) {
         violations.push_back("--run-timeout must be >= 0");
     if (o.retry_backoff_s <= 0.0)
         violations.push_back("--retry-backoff must be positive");
+    if (!exec::parse_pin_policy(o.pin))
+        violations.push_back("--pin: unknown policy: " + o.pin +
+                             " (want auto|none|compact|spread)");
     if (!o.journal_file.empty() && !o.resume_file.empty())
         violations.push_back(
             "--journal and --resume are mutually exclusive (--resume keeps "
@@ -287,6 +307,8 @@ CliOptions parse(const std::vector<std::string>& args) {
             {o.max_retries > 0, "--max-retries"},
             {!o.csv_file.empty(), "--csv"},
             {!o.json_file.empty(), "--json"},
+            {o.pin != "auto", "--pin"},
+            {!o.numa, "--numa off"},
         };
         for (const auto& c : campaign_only)
             if (c.set)
@@ -407,6 +429,8 @@ int run_comparison(const CliOptions& options,
     campaign_options.run_timeout_s = options.run_timeout_s;
     campaign_options.retry.max_retries = options.max_retries;
     campaign_options.retry.backoff_base_s = options.retry_backoff_s;
+    campaign_options.exec.pin = *exec::parse_pin_policy(options.pin);
+    campaign_options.exec.numa = options.numa;
     const campaign::CampaignResult result =
         campaign::run_campaign(spec, campaign_options);
 

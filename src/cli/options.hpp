@@ -70,6 +70,12 @@ struct CliOptions {
     std::string compare;          ///< comma-separated scheduler names
     std::size_t jobs = 1;         ///< campaign worker threads (0 = all cores)
 
+    // Execution placement (campaign mode; DESIGN.md §12). Placement never
+    // changes record values, only where workers run and where their scratch
+    // memory lives.
+    std::string pin = "auto";     ///< worker pinning: auto|none|compact|spread
+    bool numa = true;             ///< node-local arenas + per-node bundles
+
     // Campaign resilience (campaign mode only; DESIGN.md §10).
     std::string journal_file;     ///< write an append-only run journal here
     std::string resume_file;      ///< resume from this journal (implies the

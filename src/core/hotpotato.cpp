@@ -60,6 +60,14 @@ void HotPotatoScheduler::rebuild_rings(sim::SimContext& ctx) {
 }
 
 void HotPotatoScheduler::initialize(sim::SimContext& ctx) {
+    // Borrow the (arena-backed) peak workspace from the campaign worker's
+    // scratch bag when one exists: one workspace per worker, warm across
+    // runs. The prediction cache stays per-run — its hit/miss counters are
+    // part of the observable record and must not depend on worker history.
+    if (exec::WorkerScratch* scratch = ctx.worker_scratch())
+        peak_ws_ = &scratch->slot<PeakWorkspace>();
+    else
+        peak_ws_ = &own_peak_ws_;
     rebuild_rings(ctx);
     displaced_.clear();
     sensor_fallback_ = false;
@@ -219,7 +227,7 @@ double HotPotatoScheduler::predict_peak_with(sim::SimContext& ctx,
             if (const double* hit = cache_lookup()) return *hit;
         }
         const double peak =
-            analyzer_->static_peak(static_power_scratch_, peak_ws_);
+            analyzer_->static_peak(static_power_scratch_, *peak_ws_);
         cache_insert(peak);
         return peak;
     }
@@ -230,7 +238,7 @@ double HotPotatoScheduler::predict_peak_with(sim::SimContext& ctx,
     }
     const double peak =
         analyzer_->rotation_peak(spec_scratch_, params_.tau_ladder_s[tau_index],
-                                 params_.samples_per_epoch, peak_ws_);
+                                 params_.samples_per_epoch, *peak_ws_);
     cache_insert(peak);
     return peak;
 }
@@ -248,7 +256,7 @@ void HotPotatoScheduler::prefetch_tau_ladder(sim::SimContext& ctx,
         tau_batch_scratch_[t] = params_.tau_ladder_s[t];
     analyzer_->rotation_peak_tau_batch(spec_scratch_, tau_batch_scratch_.data(),
                                        count, params_.samples_per_epoch,
-                                       peak_ws_, peaks_batch_scratch_.data());
+                                       *peak_ws_, peaks_batch_scratch_.data());
     for (std::size_t t = 0; t < count; ++t) {
         stage_rotation_key(t);
         peak_cache_.insert(peaks_batch_scratch_[t]);
@@ -337,7 +345,7 @@ std::optional<std::size_t> HotPotatoScheduler::best_static_slot(
         if (peaks_batch_scratch_.size() < slate_miss_.size())
             peaks_batch_scratch_.resize(slate_miss_.size());
         analyzer_->static_peak_batch(slate_miss_powers_.data(),
-                                     slate_miss_.size(), peak_ws_,
+                                     slate_miss_.size(), *peak_ws_,
                                      peaks_batch_scratch_.data());
         for (std::size_t m = 0; m < slate_miss_.size(); ++m) {
             const std::size_t c = slate_miss_[m];

@@ -189,7 +189,12 @@ private:
     // Prediction scratch, reused across the hundreds of candidate
     // evaluations per epoch (mutable: predict_peak stays const for the
     // overhead benchmark; the scheduler itself is per-run, not shared).
-    mutable PeakWorkspace peak_ws_;
+    // Inside a campaign worker the workspace is borrowed from the worker's
+    // WorkerScratch bag (arena-backed, reused across the worker's runs);
+    // elsewhere the scheduler owns it. Safe to borrow because every buffer
+    // is fully overwritten before use — only its capacity persists.
+    mutable PeakWorkspace own_peak_ws_;
+    mutable PeakWorkspace* peak_ws_ = &own_peak_ws_;
     mutable std::vector<RotationRingSpec> spec_scratch_;
     mutable linalg::Vector static_power_scratch_;
     // Prediction cache + batch scratch (all grow-only, so the warmed hot

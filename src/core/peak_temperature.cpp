@@ -10,22 +10,25 @@ namespace hp::core {
 
 namespace {
 
-/// Ensures @p v has exactly @p n entries (reallocates only on size change).
+/// Ensures @p v has exactly @p n entries (reallocates only on size change;
+/// assign keeps the vector's allocator, so arena-backed workspace members
+/// stay on their resource).
 void ensure_size(linalg::Vector& v, std::size_t n) {
-    if (v.size() != n) v = linalg::Vector(n);
+    if (v.size() != n) v.assign(n);
 }
 
 /// Ensures the first @p count entries of @p list are vectors of @p size.
 /// The list only grows (shrinking would free the spare buffers and defeat
-/// reuse across rings of different sizes). With @p zero set, the used
-/// entries are cleared to 0 — required for buffers that are accumulated
-/// into rather than overwritten.
+/// reuse across rings of different sizes); new entries allocate from @p mr
+/// (the owning workspace's resource). With @p zero set, the used entries
+/// are cleared to 0 — required for buffers that are accumulated into
+/// rather than overwritten.
 void ensure_list(std::vector<linalg::Vector>& list, std::size_t count,
-                 std::size_t size, bool zero) {
-    if (list.size() < count) list.resize(count);
+                 std::size_t size, bool zero, std::pmr::memory_resource* mr) {
+    while (list.size() < count) list.emplace_back(mr);
     for (std::size_t i = 0; i < count; ++i) {
         if (list[i].size() != size) {
-            list[i] = linalg::Vector(size);
+            list[i].assign(size);
         } else if (zero) {
             double* data = list[i].data();
             for (std::size_t j = 0; j < size; ++j) data[j] = 0.0;
@@ -172,7 +175,7 @@ void PeakTemperatureAnalyzer::build_modal_targets(
     // Modal images y_f = β·P_f, exploiting that rotation power vectors are
     // sparse (non-zero only on the rotating ring's cores): accumulate the
     // corresponding β columns instead of a dense mat-vec.
-    ensure_list(ws.y_, delta, modes_, /*zero=*/true);
+    ensure_list(ws.y_, delta, modes_, /*zero=*/true, ws.resource());
     for (std::size_t f = 0; f < delta; ++f) {
         const linalg::Vector& p = node_power_per_epoch[f];
         double* yf = ws.y_[f].data();
@@ -189,7 +192,7 @@ void PeakTemperatureAnalyzer::build_modal_targets(
     // per epoch, reused across every τ the caller evaluates.
     if (truncated_) {
         const std::size_t cores = solver_->model().core_count();
-        ensure_list(ws.cfield_, delta, cores, /*zero=*/false);
+        ensure_list(ws.cfield_, delta, cores, /*zero=*/false, ws.resource());
         for (std::size_t f = 0; f < delta; ++f) {
             solver_->conductance_solve_into(node_power_per_epoch[f],
                                             ws.thermal_, ws.csolve_);
@@ -218,8 +221,8 @@ void PeakTemperatureAnalyzer::evaluate_periodic_max(
     if (ws.ek_.size() < k_modes) ws.ek_.resize(k_modes);
     if (ws.ek_pow_.size() < (delta + 1) * k_modes)
         ws.ek_pow_.resize((delta + 1) * k_modes);
-    std::vector<double>& ek = ws.ek_;
-    std::vector<double>& ek_pow = ws.ek_pow_;
+    std::pmr::vector<double>& ek = ws.ek_;
+    std::pmr::vector<double>& ek_pow = ws.ek_pow_;
     for (std::size_t k = 0; k < k_modes; ++k) {
         ek[k] = std::exp(lambda[k] * tau);
         double acc = 1.0;
@@ -236,7 +239,7 @@ void PeakTemperatureAnalyzer::evaluate_periodic_max(
     ensure_size(ws.coeff_, k_modes);
     for (std::size_t k = 0; k < k_modes; ++k)
         ws.coeff_[k] = (1.0 - ek[k]) / (1.0 - ek_pow[delta * k_modes + k]);
-    ensure_list(ws.z_, delta, k_modes, /*zero=*/true);
+    ensure_list(ws.z_, delta, k_modes, /*zero=*/true, ws.resource());
     std::vector<linalg::Vector>& z = ws.z_;
     for (std::size_t e = 0; e < delta; ++e) {
         double* ze = z[e].data();
@@ -248,7 +251,7 @@ void PeakTemperatureAnalyzer::evaluate_periodic_max(
     }
 
     // Interior-sample decay factors e^{λ_k τ s/S}; epoch-independent.
-    ensure_list(ws.eks_frac_, samples_per_epoch - 1, k_modes, /*zero=*/false);
+    ensure_list(ws.eks_frac_, samples_per_epoch - 1, k_modes, /*zero=*/false, ws.resource());
     for (std::size_t s = 1; s < samples_per_epoch; ++s) {
         const double frac =
             static_cast<double>(s) / static_cast<double>(samples_per_epoch);
@@ -270,7 +273,7 @@ void PeakTemperatureAnalyzer::evaluate_periodic_max(
             ws.qpow_[g] = qacc;
             qacc *= q;
         }
-        ensure_list(ws.cstar_, delta, cores, /*zero=*/true);
+        ensure_list(ws.cstar_, delta, cores, /*zero=*/true, ws.resource());
         double* x0 = ws.cstar_[0].data();
         const double closing = (1.0 - q) / (1.0 - ws.qpow_[delta]);
         for (std::size_t f = 0; f < delta; ++f) {
@@ -361,7 +364,7 @@ double PeakTemperatureAnalyzer::schedule_peak(
     std::size_t samples_per_epoch, PeakWorkspace& workspace) const {
     const thermal::ThermalModel& model = solver_->model();
     const std::size_t delta = core_power_per_epoch.size();
-    ensure_list(workspace.deltas_, delta, model.node_count(), /*zero=*/false);
+    ensure_list(workspace.deltas_, delta, model.node_count(), /*zero=*/false, workspace.resource());
     for (std::size_t f = 0; f < delta; ++f)
         model.pad_power_into(core_power_per_epoch[f], workspace.deltas_[f]);
     periodic_response_max_into(workspace.deltas_.data(), delta, tau,
@@ -450,7 +453,7 @@ double PeakTemperatureAnalyzer::rotation_peak(
         // Per-epoch power deltas: at epoch f the occupant of initial slot j
         // sits on cores[(j + f) mod k]. The delta buffers are zeroed because
         // only the ring's cores are written.
-        ensure_list(workspace.deltas_, k, big_n, /*zero=*/true);
+        ensure_list(workspace.deltas_, k, big_n, /*zero=*/true, workspace.resource());
         for (std::size_t f = 0; f < k; ++f)
             for (std::size_t pos = 0; pos < k; ++pos) {
                 const std::size_t slot = (pos + k - (f % k)) % k;
@@ -487,7 +490,7 @@ void PeakTemperatureAnalyzer::rotation_peak_tau_batch(
     solver_->steady_state_into(workspace.node_power_, ambient_c_,
                                workspace.thermal_, workspace.t_idle_);
 
-    std::vector<double>& extra = workspace.extra_batch_;
+    std::pmr::vector<double>& extra = workspace.extra_batch_;
     if (extra.size() < tau_count * n) extra.resize(tau_count * n);
     for (std::size_t i = 0; i < tau_count * n; ++i) extra[i] = 0.0;
     reserve_sample_batch(rings, samples_per_epoch, workspace);
@@ -507,7 +510,7 @@ void PeakTemperatureAnalyzer::rotation_peak_tau_batch(
         // The per-epoch power deltas and their modal targets y_f = β·P_f are
         // τ-independent: build them once per ring, then re-run only the
         // geometric-series evaluation at each rung.
-        ensure_list(workspace.deltas_, k, big_n, /*zero=*/true);
+        ensure_list(workspace.deltas_, k, big_n, /*zero=*/true, workspace.resource());
         for (std::size_t f = 0; f < k; ++f)
             for (std::size_t pos = 0; pos < k; ++pos) {
                 const std::size_t slot = (pos + k - (f % k)) % k;
@@ -542,9 +545,9 @@ void PeakTemperatureAnalyzer::static_peak_batch(const double* core_powers,
     const std::size_t n = model.core_count();
     const std::size_t big_n = model.node_count();
 
-    std::vector<double>& padded = workspace.batch_node_power_;
+    std::pmr::vector<double>& padded = workspace.batch_node_power_;
     if (padded.size() < big_n * nrhs) padded.resize(big_n * nrhs);
-    std::vector<double>& steady = workspace.batch_steady_;
+    std::pmr::vector<double>& steady = workspace.batch_steady_;
     if (steady.size() < big_n * nrhs) steady.resize(big_n * nrhs);
 
     for (std::size_t r = 0; r < nrhs; ++r) {

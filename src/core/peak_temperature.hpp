@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory_resource>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -32,32 +33,62 @@ class PeakWorkspace {
 public:
     PeakWorkspace() = default;
 
+    /// All buffers (present and future) allocate from @p mr — the campaign
+    /// worker's node-local arena. The outer list spines stay on the heap
+    /// (a handful of pointers); every double buffer, including the embedded
+    /// ThermalWorkspace, lives on the resource. Placement never affects
+    /// query results, only locality.
+    explicit PeakWorkspace(std::pmr::memory_resource* mr)
+        : mr_(mr),
+          coeff_(mr),
+          zs_batch_(mr),
+          resp_batch_(mr),
+          core_max_(mr),
+          extra_(mr),
+          t_idle_(mr),
+          core_power_(mr),
+          node_power_(mr),
+          extra_batch_(mr),
+          batch_node_power_(mr),
+          batch_steady_(mr),
+          ek_(mr),
+          ek_pow_(mr),
+          csolve_(mr),
+          qfrac_(mr),
+          qpow_(mr),
+          thermal_(mr) {}
+
+    /// Resource newly-grown buffers are carved from (default resource when
+    /// the workspace was default-constructed).
+    std::pmr::memory_resource* resource() const { return mr_; }
+
 private:
     friend class PeakTemperatureAnalyzer;
+    std::pmr::memory_resource* mr_ = std::pmr::get_default_resource();
     std::vector<linalg::Vector> y_;         ///< modal epoch targets β·P_f
     std::vector<linalg::Vector> z_;         ///< periodic boundary solution
     std::vector<linalg::Vector> eks_frac_;  ///< intra-epoch decay factors
     std::vector<linalg::Vector> deltas_;    ///< per-epoch node power deltas
-    std::vector<double> ek_;                ///< e^{λ_k τ}
-    std::vector<double> ek_pow_;            ///< e^{λ_k τ g}, g = 0..δ
     std::vector<double> tau_;               ///< broadcast per-ring τ
     linalg::Vector coeff_;                  ///< (1-e^{λτ})/(1-e^{λδτ})
-    std::vector<double> zs_batch_;          ///< RHS-major modal samples
-    std::vector<double> resp_batch_;        ///< RHS-major projected responses
+    std::pmr::vector<double> zs_batch_;     ///< RHS-major modal samples
+    std::pmr::vector<double> resp_batch_;   ///< RHS-major projected responses
     linalg::Vector core_max_;
     linalg::Vector extra_;
     linalg::Vector t_idle_;
     linalg::Vector core_power_;
     linalg::Vector node_power_;
-    std::vector<double> extra_batch_;       ///< per-τ-rung response maxima
-    std::vector<double> batch_node_power_;  ///< RHS-major padded candidates
-    std::vector<double> batch_steady_;      ///< RHS-major batched solves
+    std::pmr::vector<double> extra_batch_;  ///< per-τ-rung response maxima
+    std::pmr::vector<double> batch_node_power_;  ///< RHS-major padded cands
+    std::pmr::vector<double> batch_steady_;      ///< RHS-major batched solves
+    std::pmr::vector<double> ek_;                ///< e^{λ_k τ}
+    std::pmr::vector<double> ek_pow_;            ///< e^{λ_k τ g}, g = 0..δ
     // Truncated-backend correction state (untouched on exact backends):
     std::vector<linalg::Vector> cfield_;  ///< per-epoch dropped core fields
     std::vector<linalg::Vector> cstar_;   ///< dropped periodic boundary state
     linalg::Vector csolve_;               ///< B^{-1}·P_f scratch
-    std::vector<double> qfrac_;           ///< e^{λ̄ τ s/S}, s = 1..S
-    std::vector<double> qpow_;            ///< e^{λ̄ τ g}, g = 0..δ
+    std::pmr::vector<double> qfrac_;      ///< e^{λ̄ τ s/S}, s = 1..S
+    std::pmr::vector<double> qpow_;       ///< e^{λ̄ τ g}, g = 0..δ
     thermal::ThermalWorkspace thermal_;
 };
 

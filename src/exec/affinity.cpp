@@ -1,0 +1,90 @@
+#include "exec/affinity.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace hp::exec {
+
+std::optional<PinPolicy> parse_pin_policy(const std::string& text) {
+    if (text == "auto") return PinPolicy::kAuto;
+    if (text == "none") return PinPolicy::kNone;
+    if (text == "compact") return PinPolicy::kCompact;
+    if (text == "spread") return PinPolicy::kSpread;
+    return std::nullopt;
+}
+
+const char* to_string(PinPolicy policy) {
+    switch (policy) {
+        case PinPolicy::kAuto: return "auto";
+        case PinPolicy::kNone: return "none";
+        case PinPolicy::kCompact: return "compact";
+        case PinPolicy::kSpread: return "spread";
+    }
+    return "?";
+}
+
+std::vector<WorkerPlacement> plan_pinning(const Topology& topology,
+                                          std::size_t workers,
+                                          PinPolicy policy) {
+    std::vector<WorkerPlacement> plan(workers);
+    if (workers == 0 || topology.nodes.empty() || topology.cpu_count() == 0)
+        return plan;
+
+    if (policy == PinPolicy::kAuto) {
+        if (!topology.multi_node()) return plan;  // == kNone
+        policy = workers <= topology.nodes.front().cpus.size()
+                     ? PinPolicy::kCompact
+                     : PinPolicy::kSpread;
+    }
+    if (policy == PinPolicy::kNone) return plan;
+
+    if (policy == PinPolicy::kCompact) {
+        // Flatten nodes-then-CPUs in order and wrap.
+        std::vector<WorkerPlacement> slots;
+        slots.reserve(topology.cpu_count());
+        for (const TopologyNode& node : topology.nodes)
+            for (int cpu : node.cpus) slots.push_back({cpu, node.id});
+        for (std::size_t w = 0; w < workers; ++w)
+            plan[w] = slots[w % slots.size()];
+        return plan;
+    }
+
+    // kSpread: round-robin the nodes, each node handing out CPUs in order
+    // (wrapping within the node when revisited past its CPU count).
+    std::vector<std::size_t> next_cpu(topology.nodes.size(), 0);
+    for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t n = w % topology.nodes.size();
+        const TopologyNode& node = topology.nodes[n];
+        plan[w] = {node.cpus[next_cpu[n] % node.cpus.size()], node.id};
+        ++next_cpu[n];
+    }
+    return plan;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+    if (cpu < 0) return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+std::vector<int> current_affinity() {
+    std::vector<int> cpus;
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0)
+        for (int c = 0; c < CPU_SETSIZE; ++c)
+            if (CPU_ISSET(c, &set)) cpus.push_back(c);
+#endif
+    return cpus;
+}
+
+}  // namespace hp::exec

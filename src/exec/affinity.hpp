@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/topology.hpp"
+
+namespace hp::exec {
+
+/// How campaign workers are bound to CPUs. `kAuto` resolves at plan time:
+/// no pinning on single-node hosts (the kernel already does the right
+/// thing), otherwise compact while one node can hold every worker and
+/// spread beyond that.
+enum class PinPolicy { kAuto, kNone, kCompact, kSpread };
+
+/// Parses "auto|none|compact|spread"; nullopt on anything else so callers
+/// can produce their own usage error.
+std::optional<PinPolicy> parse_pin_policy(const std::string& text);
+const char* to_string(PinPolicy policy);
+
+/// Where one worker lands: the CPU it is pinned to and the NUMA node that
+/// CPU belongs to. cpu == -1 means "not pinned" (node is still -1 then, and
+/// node-local placement features treat the worker as node 0).
+struct WorkerPlacement {
+    int cpu = -1;
+    int node = -1;
+};
+
+/// Deterministic pure function mapping (topology, worker count, policy) to
+/// one placement per worker:
+///   kNone    -> all {-1,-1}
+///   kCompact -> fill nodes in ascending id order, CPUs in ascending order,
+///               wrapping when workers exceed CPUs
+///   kSpread  -> round-robin across nodes, taking each node's CPUs in order
+///   kAuto    -> kNone on single-node topologies; else kCompact when the
+///               first node can hold every worker, kSpread otherwise
+/// Being pure and host-independent (given a topology) makes it unit-testable
+/// without pinning anything.
+std::vector<WorkerPlacement> plan_pinning(const Topology& topology,
+                                          std::size_t workers,
+                                          PinPolicy policy);
+
+/// Best-effort sched_setaffinity of the calling thread to a single CPU.
+/// Returns false (never throws) when the kernel refuses — restricted
+/// containers, CPU offline since discovery — because pinning is an
+/// optimisation, not a correctness requirement.
+bool pin_current_thread(int cpu);
+
+/// CPUs the calling thread may currently run on (sched_getaffinity), empty
+/// on failure. Used by tests to round-trip pin_current_thread.
+std::vector<int> current_affinity();
+
+}  // namespace hp::exec

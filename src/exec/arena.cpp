@@ -1,0 +1,130 @@
+#include "exec/arena.hpp"
+
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#if !defined(HP_EXEC_NO_NUMA)
+#include <sys/syscall.h>
+#if __has_include(<numaif.h>)
+#include <numaif.h>
+#else
+// Raw-syscall fallback so node binding works without libnuma headers.
+#define HP_EXEC_LOCAL_MPOL_BIND 2
+#endif
+#endif  // !HP_EXEC_NO_NUMA
+#endif  // __linux__
+
+namespace hp::exec {
+namespace {
+
+std::size_t page_size() {
+#if defined(__linux__)
+    const long ps = ::sysconf(_SC_PAGESIZE);
+    if (ps > 0) return static_cast<std::size_t>(ps);
+#endif
+    return 4096;
+}
+
+std::size_t round_up(std::size_t v, std::size_t to) {
+    return (v + to - 1) / to * to;
+}
+
+void bind_to_node(void* base, std::size_t size, int node) {
+#if defined(__linux__) && !defined(HP_EXEC_NO_NUMA)
+    if (node < 0) return;
+#if defined(HP_EXEC_LOCAL_MPOL_BIND)
+    const int mode = HP_EXEC_LOCAL_MPOL_BIND;
+#else
+    const int mode = MPOL_BIND;
+#endif
+    // mbind wants a nodemask of unsigned longs; one word covers node < 64,
+    // which is every machine this will see. Best-effort: errors ignored.
+    unsigned long mask = 1ul << (node % (8 * sizeof(unsigned long)));
+    (void)::syscall(SYS_mbind, base, size, mode, &mask,
+                    8 * sizeof(unsigned long) + 1, 0u);
+#else
+    (void)base;
+    (void)size;
+    (void)node;
+#endif
+}
+
+void* map_block(std::size_t size, int node) {
+#if defined(__linux__)
+    void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) return nullptr;
+    bind_to_node(base, size, node);
+#if defined(MADV_HUGEPAGE)
+    (void)::madvise(base, size, MADV_HUGEPAGE);
+#endif
+    return base;
+#else
+    (void)node;
+    return std::aligned_alloc(alignof(std::max_align_t), size);
+#endif
+}
+
+void unmap_block(void* base, std::size_t size) {
+#if defined(__linux__)
+    ::munmap(base, size);
+#else
+    (void)size;
+    std::free(base);
+#endif
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes, int numa_node)
+    : block_bytes_(round_up(block_bytes == 0 ? kDefaultBlockBytes : block_bytes,
+                            page_size())),
+      numa_node_(numa_node) {}
+
+Arena::~Arena() {
+    for (Block& b : blocks_) unmap_block(b.base, b.size);
+}
+
+Arena::Block& Arena::grow(std::size_t min_bytes) {
+    // Geometric growth: each new block at least doubles the largest so far,
+    // so a mis-sized block hint costs O(log n) maps, not O(n).
+    std::size_t size = block_bytes_;
+    if (!blocks_.empty()) size = blocks_.back().size * 2;
+    if (size < min_bytes) size = round_up(min_bytes, page_size());
+    void* base = map_block(size, numa_node_);
+    if (base == nullptr) throw std::bad_alloc();
+    blocks_.push_back({static_cast<char*>(base), size, 0});
+    bytes_reserved_ += size;
+    return blocks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+    if (block != nullptr) {
+        const std::size_t aligned = round_up(block->used, align);
+        if (aligned + bytes <= block->size) {
+            void* p = block->base + aligned;
+            bytes_used_ += (aligned - block->used) + bytes;
+            block->used = aligned + bytes;
+            if (bytes_used_ > high_water_) high_water_ = bytes_used_;
+            return p;
+        }
+    }
+    Block& fresh = grow(bytes + align);
+    const std::size_t aligned = round_up(0, align);  // base is page-aligned
+    void* p = fresh.base + aligned;
+    fresh.used = aligned + bytes;
+    bytes_used_ += fresh.used;
+    if (bytes_used_ > high_water_) high_water_ = bytes_used_;
+    return p;
+}
+
+void Arena::reset() {
+    for (Block& b : blocks_) b.used = 0;
+    bytes_used_ = 0;
+}
+
+}  // namespace hp::exec

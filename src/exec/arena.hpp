@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <memory_resource>
+#include <new>
+#include <vector>
+
+namespace hp::exec {
+
+/// Monotonic bump allocator over chained memory blocks, optionally bound to
+/// a NUMA node. Allocation is a pointer bump; there is no per-allocation
+/// free. `reset()` rewinds every block while keeping the reservation, so a
+/// worker can reuse the same pages run after run (the point: after warm-up
+/// the arena never touches the system allocator again and every byte lives
+/// on the worker's node).
+///
+/// Node binding is best-effort: pages are advised to the node with the raw
+/// mbind syscall when the platform has it, and the first-touch policy of
+/// the pinned worker covers the rest. Binding failure (no NUMA kernel,
+/// cpuset-restricted container, HOTPOTATO_EXEC_NUMA=OFF build) is silently
+/// ignored — placement may never affect correctness, only locality.
+///
+/// Not thread-safe; each worker owns its own Arena.
+class Arena {
+public:
+    /// @param block_bytes  size of each mapped block (rounded up to page
+    ///                     size); later blocks grow geometrically so a
+    ///                     mis-sized hint costs a few extra mmaps, not O(n).
+    /// @param numa_node    node to bind pages to, or -1 for no binding.
+    explicit Arena(std::size_t block_bytes = kDefaultBlockBytes,
+                   int numa_node = -1);
+    ~Arena();
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// Bump-allocates @p bytes aligned to @p align (power of two). Grows by
+    /// mapping a new block when the current one is exhausted; throws
+    /// std::bad_alloc only if the OS refuses memory outright.
+    void* allocate(std::size_t bytes,
+                   std::size_t align = alignof(std::max_align_t));
+
+    /// Rewinds every block to empty without unmapping. Reservation and node
+    /// binding are kept; high_water() is kept too (it is a lifetime peak).
+    void reset();
+
+    /// Total bytes currently mapped by this arena.
+    std::size_t bytes_reserved() const { return bytes_reserved_; }
+    /// Peak bytes ever live at once across the arena's lifetime.
+    std::size_t high_water() const { return high_water_; }
+    /// Bytes currently live (allocated since the last reset).
+    std::size_t bytes_used() const { return bytes_used_; }
+    int numa_node() const { return numa_node_; }
+
+    static constexpr std::size_t kDefaultBlockBytes = 8u << 20;  // 8 MiB
+
+private:
+    struct Block {
+        char* base = nullptr;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    Block& grow(std::size_t min_bytes);
+
+    std::vector<Block> blocks_;
+    std::size_t block_bytes_;
+    std::size_t bytes_reserved_ = 0;
+    std::size_t bytes_used_ = 0;
+    std::size_t high_water_ = 0;
+    int numa_node_;
+};
+
+/// std::pmr::memory_resource view of an Arena, so std::pmr containers (and
+/// the pmr-backed linalg::Vector / workspaces) can carve their storage from
+/// a worker's node-local arena. Deallocation is a no-op — memory comes back
+/// only via Arena::reset() — which is exactly right for grow-only workspace
+/// buffers that live as long as the worker.
+class ArenaResource final : public std::pmr::memory_resource {
+public:
+    explicit ArenaResource(Arena& arena) : arena_(&arena) {}
+
+private:
+    void* do_allocate(std::size_t bytes, std::size_t align) override {
+        return arena_->allocate(bytes, align);
+    }
+    void do_deallocate(void*, std::size_t, std::size_t) override {}
+    bool do_is_equal(
+        const std::pmr::memory_resource& other) const noexcept override {
+        const auto* o = dynamic_cast<const ArenaResource*>(&other);
+        return o != nullptr && o->arena_ == arena_;
+    }
+
+    Arena* arena_;
+};
+
+}  // namespace hp::exec

@@ -1,0 +1,20 @@
+#include "exec/exec.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace hp::exec {
+
+ExecPolicy& ExecPolicy::apply_env_overrides() {
+    if (const char* pin_env = std::getenv("HOTPOTATO_PIN")) {
+        if (auto parsed = parse_pin_policy(pin_env)) pin = *parsed;
+    }
+    if (const char* numa_env = std::getenv("HOTPOTATO_NUMA")) {
+        const std::string v(numa_env);
+        if (v == "on" || v == "1") numa = true;
+        if (v == "off" || v == "0") numa = false;
+    }
+    return *this;
+}
+
+}  // namespace hp::exec

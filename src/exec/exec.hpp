@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "exec/affinity.hpp"
+#include "exec/arena.hpp"
+#include "exec/scratch.hpp"
+#include "exec/topology.hpp"
+
+namespace hp::exec {
+
+/// Placement policy for a campaign (or any worker pool): how workers are
+/// pinned and whether node-local memory placement is used. Plain data with
+/// value semantics; the engine resolves it against the host topology (or
+/// the injected one) at launch.
+struct ExecPolicy {
+    PinPolicy pin = PinPolicy::kAuto;
+    /// Master switch for NUMA features (node-bound arenas, per-node bundle
+    /// replication). Pinning still happens when `pin` says so; with numa
+    /// off, arenas are unbound and every worker shares the global bundle.
+    bool numa = true;
+    /// Block size hint for each worker's arena.
+    std::size_t arena_block_bytes = Arena::kDefaultBlockBytes;
+    /// Test seam: when set, used instead of discover_topology(). Lets tests
+    /// exercise multi-node planning/replication on single-node hosts.
+    std::optional<Topology> topology;
+
+    /// Environment overrides, mirroring HOTPOTATO_SOLVER / HOTPOTATO_DISPATCH:
+    /// HOTPOTATO_PIN=auto|none|compact|spread and HOTPOTATO_NUMA=on|off|1|0
+    /// take precedence over the in-code (and CLI) values. Unknown values are
+    /// ignored. Returns *this for chaining.
+    ExecPolicy& apply_env_overrides();
+
+    /// The topology this policy resolves to: the injected one if set, else
+    /// host discovery (which itself degrades to single-node).
+    Topology resolve_topology() const {
+        return topology ? *topology : discover_topology();
+    }
+};
+
+}  // namespace hp::exec

@@ -1,0 +1,150 @@
+#include "exec/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace hp::exec {
+
+Topology Topology::single_node(std::size_t cpu_count) {
+    Topology topo;
+    TopologyNode node;
+    node.id = 0;
+    node.cpus.reserve(cpu_count);
+    for (std::size_t c = 0; c < cpu_count; ++c)
+        node.cpus.push_back(static_cast<int>(c));
+    topo.nodes.push_back(std::move(node));
+    return topo;
+}
+
+std::size_t Topology::cpu_count() const {
+    std::size_t n = 0;
+    for (const TopologyNode& node : nodes) n += node.cpus.size();
+    return n;
+}
+
+int Topology::node_of(int cpu) const {
+    for (const TopologyNode& node : nodes)
+        if (std::binary_search(node.cpus.begin(), node.cpus.end(), cpu))
+            return node.id;
+    return -1;
+}
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+    std::vector<int> cpus;
+    std::size_t pos = 0;
+    const auto parse_int = [&]() -> int {
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos == start)
+            throw std::invalid_argument("parse_cpu_list: expected a number in '" +
+                                        text + "'");
+        return std::stoi(text.substr(start, pos - start));
+    };
+    // Skip trailing whitespace/newline the sysfs files carry.
+    const auto at_end = [&] {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        return pos >= text.size();
+    };
+    if (at_end()) return cpus;  // empty list (memory-only node)
+    for (;;) {
+        const int first = parse_int();
+        int last = first;
+        if (pos < text.size() && text[pos] == '-') {
+            ++pos;
+            last = parse_int();
+        }
+        if (last < first)
+            throw std::invalid_argument("parse_cpu_list: descending range in '" +
+                                        text + "'");
+        for (int c = first; c <= last; ++c) cpus.push_back(c);
+        if (at_end()) break;
+        if (text[pos] != ',')
+            throw std::invalid_argument("parse_cpu_list: unexpected '" +
+                                        std::string(1, text[pos]) + "' in '" +
+                                        text + "'");
+        ++pos;
+        if (at_end())
+            throw std::invalid_argument("parse_cpu_list: trailing ',' in '" +
+                                        text + "'");
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+std::size_t online_cpu_count() {
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int n = CPU_COUNT(&set);
+        if (n > 0) return static_cast<std::size_t>(n);
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+Topology discover_topology(const std::string& sysfs_node_dir) {
+    namespace fs = std::filesystem;
+    Topology topo;
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(sysfs_node_dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("node", 0) != 0) continue;
+        const std::string id_text = name.substr(4);
+        if (id_text.empty() ||
+            !std::all_of(id_text.begin(), id_text.end(), [](unsigned char c) {
+                return std::isdigit(c);
+            }))
+            continue;
+        std::ifstream cpulist(entry.path() / "cpulist");
+        if (!cpulist) continue;
+        std::stringstream buffer;
+        buffer << cpulist.rdbuf();
+        std::vector<int> cpus;
+        try {
+            cpus = parse_cpu_list(buffer.str());
+        } catch (const std::invalid_argument&) {
+            return Topology::single_node(online_cpu_count());
+        }
+        if (cpus.empty()) continue;  // memory-only node: no CPUs to place on
+        TopologyNode node;
+        node.id = std::stoi(id_text);
+        node.cpus = std::move(cpus);
+        topo.nodes.push_back(std::move(node));
+    }
+    if (ec || topo.nodes.empty())
+        return Topology::single_node(online_cpu_count());
+    std::sort(topo.nodes.begin(), topo.nodes.end(),
+              [](const TopologyNode& a, const TopologyNode& b) {
+                  return a.id < b.id;
+              });
+    return topo;
+}
+
+Topology discover_topology() {
+#if defined(HP_EXEC_NO_NUMA)
+    // Forced fallback build (HOTPOTATO_EXEC_NUMA=OFF): behave exactly like a
+    // host that exposes no NUMA information.
+    return Topology::single_node(online_cpu_count());
+#else
+    return discover_topology("/sys/devices/system/node");
+#endif
+}
+
+}  // namespace hp::exec

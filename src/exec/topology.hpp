@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hp::exec {
+
+/// One NUMA node: its id and the CPUs it hosts (sorted ascending). CPU
+/// numbering is the kernel's; holes (offline CPUs) are simply absent.
+struct TopologyNode {
+    int id = 0;
+    std::vector<int> cpus;
+};
+
+/// Host memory/CPU topology as the execution layer sees it: NUMA nodes in
+/// ascending id order, each with its CPU list. A Topology is plain data —
+/// it can be constructed by discovery (sysfs), by tests (fixtures or
+/// hand-built fakes) or by the single-node fallback, and every consumer
+/// (pinning plans, arena binding, per-node replication) treats it the same.
+struct Topology {
+    std::vector<TopologyNode> nodes;
+
+    /// Degenerate one-node topology covering @p cpu_count CPUs (0..n-1) —
+    /// what discovery falls back to when the host exposes no NUMA
+    /// information. Placement-wise it makes every NUMA feature a no-op.
+    static Topology single_node(std::size_t cpu_count);
+
+    std::size_t node_count() const { return nodes.size(); }
+    bool multi_node() const { return nodes.size() > 1; }
+    std::size_t cpu_count() const;
+    /// Node hosting @p cpu, or -1 when the CPU is not in the topology.
+    int node_of(int cpu) const;
+};
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into a sorted CPU vector.
+/// Throws std::invalid_argument on malformed input (discovery catches this
+/// and falls back; tests assert it).
+std::vector<int> parse_cpu_list(const std::string& text);
+
+/// CPUs the calling thread may run on right now (sched_getaffinity), or
+/// hardware_concurrency as a best guess where that is unavailable.
+std::size_t online_cpu_count();
+
+/// Reads the host topology from @p sysfs_node_dir (node*/cpulist entries).
+/// Any failure — directory missing, no node entries, malformed cpulist —
+/// degrades to Topology::single_node(online_cpu_count()), so callers never
+/// need libnuma or a NUMA kernel to run. With the build configured as
+/// HOTPOTATO_EXEC_NUMA=OFF the *default* call returns the single-node
+/// fallback unconditionally (the forced no-NUMA CI leg); explicit paths are
+/// still parsed, keeping fixture tests meaningful in both builds.
+Topology discover_topology();
+Topology discover_topology(const std::string& sysfs_node_dir);
+
+}  // namespace hp::exec

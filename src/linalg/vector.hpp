@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <initializer_list>
+#include <memory_resource>
 #include <stdexcept>
 #include <vector>
 
@@ -11,21 +12,35 @@ namespace hp::linalg {
 
 /// Dense real-valued vector used throughout the thermal and scheduling math.
 ///
-/// A thin, bounds-asserted wrapper over std::vector<double> with the
+/// A thin, bounds-asserted wrapper over a contiguous double buffer with the
 /// element-wise arithmetic the RC thermal model needs. All operations that
 /// combine two vectors require equal sizes and throw std::invalid_argument
 /// otherwise.
+///
+/// Storage is a std::pmr::vector so long-lived workspace vectors can carve
+/// their buffers from a worker's node-local arena (exec::ArenaResource).
+/// Values are placement-independent: where the buffer lives never changes
+/// what the math produces. Copies always land on the default resource
+/// (select_on_container_copy semantics), so passing vectors by value never
+/// leaks arena references; `assign`/`resize` reuse the existing allocator,
+/// which is how arena-backed workspaces re-size without losing their home.
 class Vector {
 public:
     Vector() = default;
 
+    /// Empty vector whose future storage comes from @p mr.
+    explicit Vector(std::pmr::memory_resource* mr) : data_(mr) {}
+
     /// Creates a vector of @p size elements, all equal to @p fill.
     explicit Vector(std::size_t size, double fill = 0.0) : data_(size, fill) {}
 
-    Vector(std::initializer_list<double> init) : data_(init) {}
+    /// Creates a vector of @p size elements equal to @p fill, allocating
+    /// from @p mr.
+    Vector(std::size_t size, double fill, std::pmr::memory_resource* mr)
+        : data_(size, fill, mr) {}
 
-    /// Wraps an existing buffer (moves it in; no copy).
-    explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+    Vector(std::initializer_list<double> init)
+        : data_(init.begin(), init.end()) {}
 
     std::size_t size() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
@@ -123,7 +138,13 @@ public:
         return best;
     }
 
-    const std::vector<double>& raw() const { return data_; }
+    /// Resizes to @p n elements all equal to @p fill, reusing the existing
+    /// allocator (unlike `v = Vector(n)`, which would route the temporary's
+    /// buffer through the default resource first).
+    void assign(std::size_t n, double fill = 0.0) { data_.assign(n, fill); }
+
+    /// Resizes preserving existing elements and the allocator.
+    void resize(std::size_t n, double fill = 0.0) { data_.resize(n, fill); }
 
 private:
     void check_same_size(const Vector& rhs) const {
@@ -131,7 +152,7 @@ private:
             throw std::invalid_argument("Vector size mismatch");
     }
 
-    std::vector<double> data_;
+    std::pmr::vector<double> data_;
 };
 
 }  // namespace hp::linalg

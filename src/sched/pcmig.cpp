@@ -8,6 +8,13 @@ namespace hp::sched {
 
 void PcMigScheduler::initialize(sim::SimContext& ctx) {
     PcGovScheduler::initialize(ctx);
+    // Borrow the (arena-backed) prediction workspace from the campaign
+    // worker's scratch bag when one exists; the steady cache stays per-run —
+    // its hit/miss counters are part of the observable record.
+    if (exec::WorkerScratch* scratch = ctx.worker_scratch())
+        predict_ws_ = &scratch->slot<thermal::ThermalWorkspace>();
+    else
+        predict_ws_ = &own_predict_ws_;
     if (obs::Recorder* obs = ctx.observer()) {
         obs_predictions_ = &obs->counter("pcmig.predictions");
         obs_steady_hits_ = &obs->counter("pcmig.steady_cache_hits");
@@ -46,7 +53,7 @@ const linalg::Vector& PcMigScheduler::predict(sim::SimContext& ctx) {
     // matches a direct transient_into call bit for bit.
     if (predict_steady_.size() != big_n)
         predict_steady_ = linalg::Vector(big_n);
-    predict_ws_.resize(big_n);
+    predict_ws_->resize(big_n);
     bool have_steady = false;
     if (steady_cache_.enabled()) {
         steady_cache_.key_begin();
@@ -63,16 +70,16 @@ const linalg::Vector& PcMigScheduler::predict(sim::SimContext& ctx) {
     }
     if (!have_steady) {
         ctx.solver().steady_state_into(predict_node_power_,
-                                       ctx.config().ambient_c, predict_ws_,
+                                       ctx.config().ambient_c, *predict_ws_,
                                        predict_steady_);
         steady_cache_.insert(predict_steady_);
     }
     const linalg::Vector& t_init = ctx.temperatures();
     for (std::size_t i = 0; i < big_n; ++i)
-        predict_ws_.offset[i] = t_init[i] - predict_steady_[i];
-    ctx.solver().apply_exponential_into(predict_ws_.offset,
+        predict_ws_->offset[i] = t_init[i] - predict_steady_[i];
+    ctx.solver().apply_exponential_into(predict_ws_->offset,
                                         params_.prediction_horizon_s,
-                                        predict_ws_, predicted_);
+                                        *predict_ws_, predicted_);
     for (std::size_t i = 0; i < big_n; ++i)
         predicted_[i] = predict_steady_[i] + predicted_[i];
     return predicted_;

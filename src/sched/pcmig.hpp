@@ -61,8 +61,14 @@ private:
     obs::Counter* obs_predictions_ = nullptr;  // null when observability off
     obs::Counter* obs_steady_hits_ = nullptr;
     obs::Counter* obs_steady_misses_ = nullptr;
-    // Prediction scratch (schedulers are per-run, so plain members suffice).
-    thermal::ThermalWorkspace predict_ws_;
+    // Prediction scratch. Inside a campaign worker the workspace is borrowed
+    // from the worker's WorkerScratch bag (arena-backed, one per worker,
+    // distinct from the simulator's workspace so the e^{λ·dt} memos of the
+    // micro-step dt and the prediction horizon never thrash each other);
+    // elsewhere the scheduler owns it. Safe to share across runs: every
+    // buffer is fully overwritten or memo-validated before use.
+    thermal::ThermalWorkspace own_predict_ws_;
+    thermal::ThermalWorkspace* predict_ws_ = &own_predict_ws_;
     linalg::Vector predict_power_;
     linalg::Vector predict_node_power_;
     linalg::Vector predict_steady_;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "arch/manycore.hpp"
+#include "exec/scratch.hpp"
 #include "linalg/vector.hpp"
 #include "perf/interval_model.hpp"
 #include "power/power_model.hpp"
@@ -34,6 +35,14 @@ public:
     /// Schedulers register instruments in initialize() and cache the returned
     /// pointers; they must treat a null recorder as "record nothing".
     virtual obs::Recorder* observer() const { return nullptr; }
+    /// Long-lived per-worker scratch bag (exec::WorkerScratch), or nullptr
+    /// outside campaign runs. Schedulers may borrow their workspaces from it
+    /// in initialize() — one object per type per worker, reused across the
+    /// worker's runs, allocated from the worker's node-local arena. Only
+    /// fully-overwritten scratch may be borrowed (see WorkerScratch docs);
+    /// state whose observable behaviour depends on history (e.g. prediction
+    /// caches with hit/miss counters) must stay per-run.
+    virtual exec::WorkerScratch* worker_scratch() const { return nullptr; }
     virtual const SimConfig& config() const = 0;
     virtual const arch::ManyCore& chip() const = 0;
     virtual const thermal::ThermalModel& thermal_model() const = 0;

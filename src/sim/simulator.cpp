@@ -36,7 +36,8 @@ Simulator::Simulator(const arch::ManyCore& chip,
                      perf::PerfParams perf_params,
                      thermal::ThermalWorkspace* workspace,
                      obs::Recorder* recorder,
-                     const CancellationToken* cancel)
+                     const CancellationToken* cancel,
+                     exec::WorkerScratch* scratch)
     : chip_(&chip),
       thermal_(&model),
       solver_(&solver),
@@ -44,6 +45,7 @@ Simulator::Simulator(const arch::ManyCore& chip,
       power_model_(power_params, chip.dvfs()),
       perf_model_(chip, perf_params),
       cancel_(cancel),
+      scratch_(scratch),
       obs_(recorder),
       ws_(workspace != nullptr ? workspace : &own_ws_) {
     if (model.core_count() != chip.core_count())

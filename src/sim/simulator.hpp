@@ -46,14 +46,19 @@ public:
     /// @p cancel token makes the run cooperatively cancellable: the step
     /// loop polls it (one relaxed atomic load per micro-step) and aborts
     /// with CancelledError when a supervisor requests cancellation — the
-    /// hook the campaign deadline watchdog uses to reap hung runs.
+    /// hook the campaign deadline watchdog uses to reap hung runs. An
+    /// optional @p scratch exposes the campaign worker's long-lived scratch
+    /// bag through SimContext::worker_scratch() so schedulers can borrow
+    /// arena-backed workspaces; it must outlive the simulator and not be
+    /// shared between threads.
     Simulator(const arch::ManyCore& chip, const thermal::ThermalModel& model,
               const thermal::TransientSolver& solver, SimConfig config = {},
               power::PowerParams power_params = {},
               perf::PerfParams perf_params = {},
               thermal::ThermalWorkspace* workspace = nullptr,
               obs::Recorder* recorder = nullptr,
-              const CancellationToken* cancel = nullptr);
+              const CancellationToken* cancel = nullptr,
+              exec::WorkerScratch* scratch = nullptr);
 
     /// Registers a task for injection at its arrival time. Must be called
     /// before run(). Throws if the task needs more threads than cores.
@@ -67,6 +72,7 @@ public:
     // --- SimContext ----------------------------------------------------------
     double now() const override { return now_; }
     obs::Recorder* observer() const override { return obs_; }
+    exec::WorkerScratch* worker_scratch() const override { return scratch_; }
     const SimConfig& config() const override { return config_; }
     const arch::ManyCore& chip() const override { return *chip_; }
     const thermal::ThermalModel& thermal_model() const override {
@@ -150,6 +156,9 @@ private:
 
     // Cooperative cancellation (nullptr = not cancellable).
     const CancellationToken* cancel_ = nullptr;
+
+    // Campaign worker's long-lived scratch bag (nullptr outside campaigns).
+    exec::WorkerScratch* scratch_ = nullptr;
 
     // Observability: instruments are registered once in the constructor and
     // held as raw pointers so the micro-step never does a name lookup.

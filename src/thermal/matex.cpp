@@ -111,7 +111,7 @@ void MatExSolver::apply_exponential_batch_into(const double* xs,
     // Project, decay, project back — one multi-RHS pass each; per RHS the
     // operation sequence matches apply_exponential_into exactly. xs is fully
     // consumed before outs is written, so outs may alias xs.
-    std::vector<double>& modal = workspace.batch_modal(n * nrhs);
+    std::pmr::vector<double>& modal = workspace.batch_modal(n * nrhs);
     linalg::kernel_matmat(v_inv_.data(), n, n, xs, nrhs, modal.data());
     const linalg::Vector& decay = workspace.exp_table(lambda_, dt);
     for (std::size_t r = 0; r < nrhs; ++r)
@@ -167,7 +167,7 @@ void MatExSolver::transient_batch_into(const linalg::Vector& t_init,
         throw std::invalid_argument("transient: t_init size mismatch");
     if (nrhs == 0) return;
     workspace.resize(n);
-    std::vector<double>& steady = workspace.batch_steady(n * nrhs);
+    std::pmr::vector<double>& steady = workspace.batch_steady(n * nrhs);
     model_->steady_state_batch_into(node_powers, nrhs, ambient_celsius,
                                     workspace, steady.data());
     // Offsets are built directly in outs (the batched exponential may run
@@ -310,6 +310,19 @@ double MatExSolver::peak_core_temperature(const linalg::Vector& t_init,
             peak = std::max(peak, temp[i]);
     }
     return peak;
+}
+
+std::unique_ptr<const TransientSolver> MatExSolver::clone_rebound(
+    const ThermalModel& model) const {
+    if (model.signature() != model_->signature())
+        throw std::invalid_argument(
+            "MatExSolver::clone_rebound: model is not a replica "
+            "(signature mismatch)");
+    // Member-wise copy duplicates λ/V/V^{-1} bit-for-bit; only the model
+    // pointer changes, so the clone's answers are bit-identical.
+    auto clone = std::unique_ptr<MatExSolver>(new MatExSolver(*this));
+    clone->model_ = &model;
+    return clone;
 }
 
 }  // namespace hp::thermal

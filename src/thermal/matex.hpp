@@ -151,6 +151,11 @@ public:
                                      double ambient_celsius,
                                      double dt) const override;
 
+    /// Copies λ/V/V^{-1} bit-for-bit and rebinds to @p model (which must be
+    /// a signature-equal replica) — no eigensolve.
+    std::unique_ptr<const TransientSolver> clone_rebound(
+        const ThermalModel& model) const override;
+
 private:
     const ThermalModel* model_;
     linalg::Vector lambda_;

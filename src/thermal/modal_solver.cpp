@@ -404,7 +404,7 @@ void TruncatedModalSolver::transient_batch_into(
         throw std::invalid_argument("transient: t_init size mismatch");
     if (nrhs == 0) return;
     workspace.resize(n);
-    std::vector<double>& steady = workspace.batch_steady(n * nrhs);
+    std::pmr::vector<double>& steady = workspace.batch_steady(n * nrhs);
     steady_state_batch_into(node_powers, nrhs, ambient_celsius, workspace,
                             steady.data());
     for (std::size_t r = 0; r < nrhs; ++r) {
@@ -547,6 +547,21 @@ Peak TruncatedModalSolver::peak_core_temperature_exact(
         }
     }
     return best;
+}
+
+std::unique_ptr<const TransientSolver> TruncatedModalSolver::clone_rebound(
+    const ThermalModel& model) const {
+    if (model.signature() != model_->signature())
+        throw std::invalid_argument(
+            "TruncatedModalSolver::clone_rebound: model is not a replica "
+            "(signature mismatch)");
+    // Member-wise copy duplicates every table (retained modes, banded
+    // Cholesky factor, CSR of C, error-bound scalars) bit-for-bit; only the
+    // model pointer changes, so the clone's answers are bit-identical.
+    auto clone =
+        std::unique_ptr<TruncatedModalSolver>(new TruncatedModalSolver(*this));
+    clone->model_ = &model;
+    return clone;
 }
 
 }  // namespace hp::thermal

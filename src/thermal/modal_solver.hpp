@@ -127,6 +127,12 @@ public:
     /// (exposed for tests/benchmarks of the cost model).
     std::size_t substeps_for(double dt) const;
 
+    /// Copies the retained-mode tables, banded factor and CSR bit-for-bit
+    /// and rebinds to @p model (which must be a signature-equal replica) —
+    /// no eigensolve, no refactorisation.
+    std::unique_ptr<const TransientSolver> clone_rebound(
+        const ThermalModel& model) const override;
+
 private:
     /// e^{C·dt}·x via m-substep 3rd-order Taylor over the sparse C
     /// (dt < tau_switch_s_). Raw-pointer core shared by single and batch

@@ -97,6 +97,15 @@ ThermalModel::ThermalModel(linalg::Vector capacitance,
     signature_ = compute_signature();
 }
 
+ThermalModel ThermalModel::replica() const {
+    ThermalModel copy(*this);
+    // The copy above shares the LU of B through the shared_ptr; duplicate
+    // the decomposition itself (a bit-for-bit table copy, no
+    // refactorisation) so the replica owns all of its read-mostly state.
+    copy.b_lu_ = std::make_shared<const linalg::LuDecomposition>(*b_lu_);
+    return copy;
+}
+
 std::uint64_t ThermalModel::compute_signature() const {
     // FNV-1a over the exact bit patterns of the model's defining data, so
     // equality of signatures means equality of the physics (and therefore of
@@ -189,8 +198,8 @@ void ThermalModel::steady_state_batch_into(const double* node_powers,
         workspace.ambient_rhs(ambient_conductance_, ambient_celsius);
     // Build the right-hand sides directly in the solver's node-major layout
     // (node i of RHS r at i·nrhs + r) — same adds as steady_state_into.
-    std::vector<double>& rhs = workspace.batch_rhs(n * nrhs);
-    std::vector<double>& sol = workspace.batch_sol(n * nrhs);
+    std::pmr::vector<double>& rhs = workspace.batch_rhs(n * nrhs);
+    std::pmr::vector<double>& sol = workspace.batch_sol(n * nrhs);
     for (std::size_t i = 0; i < n; ++i) {
         double* row = rhs.data() + i * nrhs;
         const double amb = ambient[i];

@@ -131,6 +131,14 @@ public:
     /// floorplan or parameterisation is rejected.
     std::uint64_t signature() const { return signature_; }
 
+    /// Deep copy that shares nothing with this model: matrices are copied
+    /// bit-for-bit and the cached LU of B is duplicated rather than shared
+    /// (no refactorisation — the decomposition itself is copied). The
+    /// replica has the same signature, so solvers and simulators accept it
+    /// interchangeably. Used by the campaign engine to give each NUMA node
+    /// its own read-only copy of the study bundle.
+    ThermalModel replica() const;
+
 private:
     void validate() const;
     std::uint64_t compute_signature() const;

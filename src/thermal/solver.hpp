@@ -155,6 +155,18 @@ public:
                                              const linalg::Vector& node_power,
                                              double ambient_celsius,
                                              double dt) const = 0;
+
+    // ---- Replication ---------------------------------------------------
+    /// Deep copy of this solver rebound to @p model, which must be a
+    /// replica of the original model (equal signature(); throws
+    /// std::invalid_argument otherwise). Every numeric table is copied
+    /// bit-for-bit — nothing is recomputed, no eigensolve, no factorisation
+    /// — so the clone answers every query bit-identically to the original.
+    /// This is the NUMA replication hook: the campaign engine copies a
+    /// StudySetup's solver once per node so worker reads stay node-local,
+    /// and bit-identical cloning is what keeps records placement-invariant.
+    virtual std::unique_ptr<const TransientSolver> clone_rebound(
+        const ThermalModel& model) const = 0;
 };
 
 /// Which numeric backend realises the TransientSolver.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <memory_resource>
 #include <vector>
 
 #include "linalg/vector.hpp"
@@ -31,23 +32,46 @@ namespace hp::thermal {
 ///
 /// Thread affinity: a workspace is mutable state — use one per thread. The
 /// model/solver it serves stays immutable and shareable.
+///
+/// Memory placement: the memory_resource constructor routes every buffer
+/// through the given resource (a worker's node-local arena in campaign
+/// runs). resize() and the memos use allocator-preserving assigns, so a
+/// workspace never silently migrates off the resource it was built on —
+/// and since buffers are fully overwritten per query, placement can never
+/// change results, only locality.
 class ThermalWorkspace {
 public:
     ThermalWorkspace() = default;
     explicit ThermalWorkspace(std::size_t node_count) { resize(node_count); }
+
+    /// All buffers (present and future) allocate from @p mr.
+    explicit ThermalWorkspace(std::pmr::memory_resource* mr)
+        : rhs(mr),
+          steady(mr),
+          offset(mr),
+          modal(mr),
+          solver_scratch(mr),
+          taylor_a(mr),
+          taylor_b(mr),
+          batch_rhs_(mr),
+          batch_sol_(mr),
+          batch_steady_(mr),
+          batch_modal_(mr),
+          ambient_(mr),
+          exp_(mr) {}
 
     /// Sizes every buffer for an N-node model; idempotent (and cheap) when
     /// the size is unchanged, so kernels call it defensively.
     void resize(std::size_t node_count) {
         if (nodes_ == node_count) return;
         nodes_ = node_count;
-        rhs = linalg::Vector(node_count);
-        steady = linalg::Vector(node_count);
-        offset = linalg::Vector(node_count);
-        modal = linalg::Vector(node_count);
-        solver_scratch = linalg::Vector(node_count);
-        taylor_a = linalg::Vector(node_count);
-        taylor_b = linalg::Vector(node_count);
+        rhs.assign(node_count);
+        steady.assign(node_count);
+        offset.assign(node_count);
+        modal.assign(node_count);
+        solver_scratch.assign(node_count);
+        taylor_a.assign(node_count);
+        taylor_b.assign(node_count);
         ambient_key_ = nullptr;
         exp_key_ = nullptr;
     }
@@ -71,8 +95,7 @@ public:
                                       double ambient_celsius) {
         if (ambient_key_ != &g || ambient_c_ != ambient_celsius ||
             ambient_.size() != g.size()) {
-            if (ambient_.size() != g.size())
-                ambient_ = linalg::Vector(g.size());
+            if (ambient_.size() != g.size()) ambient_.assign(g.size());
             for (std::size_t i = 0; i < g.size(); ++i)
                 ambient_[i] = g[i] * ambient_celsius;
             ambient_key_ = &g;
@@ -84,13 +107,18 @@ public:
     // Grow-only flat scratch for the batched (multi-RHS) kernels; each
     // buffer is fully overwritten by the batch query that uses it, and the
     // capacity high-water-marks, so alternating batch widths stays
-    // allocation-free after warm-up.
-    std::vector<double>& batch_rhs(std::size_t n) { return grown(batch_rhs_, n); }
-    std::vector<double>& batch_sol(std::size_t n) { return grown(batch_sol_, n); }
-    std::vector<double>& batch_steady(std::size_t n) {
+    // allocation-free after warm-up. pmr so they live on the workspace's
+    // resource (node-local arena in campaign workers).
+    std::pmr::vector<double>& batch_rhs(std::size_t n) {
+        return grown(batch_rhs_, n);
+    }
+    std::pmr::vector<double>& batch_sol(std::size_t n) {
+        return grown(batch_sol_, n);
+    }
+    std::pmr::vector<double>& batch_steady(std::size_t n) {
         return grown(batch_steady_, n);
     }
-    std::vector<double>& batch_modal(std::size_t n) {
+    std::pmr::vector<double>& batch_modal(std::size_t n) {
         return grown(batch_modal_, n);
     }
 
@@ -99,8 +127,7 @@ public:
     const linalg::Vector& exp_table(const linalg::Vector& lambda, double dt) {
         if (exp_key_ != &lambda || exp_dt_ != dt ||
             exp_.size() != lambda.size()) {
-            if (exp_.size() != lambda.size())
-                exp_ = linalg::Vector(lambda.size());
+            if (exp_.size() != lambda.size()) exp_.assign(lambda.size());
             for (std::size_t k = 0; k < lambda.size(); ++k)
                 exp_[k] = std::exp(lambda[k] * dt);
             exp_key_ = &lambda;
@@ -110,16 +137,17 @@ public:
     }
 
 private:
-    static std::vector<double>& grown(std::vector<double>& v, std::size_t n) {
+    static std::pmr::vector<double>& grown(std::pmr::vector<double>& v,
+                                           std::size_t n) {
         if (v.size() < n) v.resize(n);
         return v;
     }
 
     std::size_t nodes_ = 0;
-    std::vector<double> batch_rhs_;
-    std::vector<double> batch_sol_;
-    std::vector<double> batch_steady_;
-    std::vector<double> batch_modal_;
+    std::pmr::vector<double> batch_rhs_;
+    std::pmr::vector<double> batch_sol_;
+    std::pmr::vector<double> batch_steady_;
+    std::pmr::vector<double> batch_modal_;
     linalg::Vector ambient_;
     const void* ambient_key_ = nullptr;
     double ambient_c_ = 0.0;

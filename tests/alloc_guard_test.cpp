@@ -27,6 +27,8 @@
 
 #include "campaign/study_setup.hpp"
 #include "core/hotpotato.hpp"
+#include "exec/arena.hpp"
+#include "exec/scratch.hpp"
 #include "core/peak_temperature.hpp"
 #include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
@@ -196,6 +198,61 @@ TEST(AllocGuard, WarmedMicroStepWithRecorderAttachedIsAllocationFree) {
     for (const obs::Event& e : recorder.events())
         if (e.kind == obs::EventKind::kRotation) saw_rotation = true;
     EXPECT_TRUE(saw_rotation);
+}
+
+TEST(AllocGuard, WarmedCampaignStepsAreAllocationFreeUnderTheArena) {
+    // The campaign-worker context (DESIGN.md §12): thermal workspace, the
+    // scheduler's borrowed workspaces and every other long-lived scratch
+    // carved from the worker's arena. The first run warms the worker; from
+    // the second run on — the steady state of a long sweep — event-free
+    // micro-steps must be bitwise heap-free, with the arena (not the heap)
+    // backing the workspaces.
+    const campaign::StudySetup setup = campaign::StudySetup::paper_16core();
+    sim::SimConfig cfg;
+    cfg.micro_step_s = 1e-4;
+    cfg.scheduler_epoch_s = 1e-3;
+    cfg.max_sim_time_s = 0.05;
+    const std::vector<workload::TaskSpec> tasks{workload::TaskSpec{
+        &workload::profile_by_name("blackscholes"), 2, 0.0}};
+
+    exec::Arena arena;
+    exec::ArenaResource arena_mr(arena);
+    exec::WorkerScratch scratch(&arena_mr);
+    thermal::ThermalWorkspace workspace(&arena_mr);
+
+    {   // Run 1: the warm-up run every campaign worker pays once.
+        RecordingHotPotato sched(600);
+        sim::Simulator sim = setup.make_simulator(cfg, {}, {}, &workspace,
+                                                  nullptr, nullptr, &scratch);
+        sim.add_tasks(tasks);
+        sim.run(sched);
+    }
+    // The workspaces really live in the arena, not on the heap.
+    EXPECT_GT(arena.bytes_used(), 0u);
+    const std::size_t used_after_warmup = arena.bytes_used();
+
+    // Run 2: same worker context, fresh scheduler/simulator (per-run state).
+    RecordingHotPotato sched(600);
+    sim::Simulator sim = setup.make_simulator(cfg, {}, {}, &workspace,
+                                              nullptr, nullptr, &scratch);
+    sim.add_tasks(tasks);
+    sim.run(sched);
+
+    const std::vector<std::uint64_t>& counts = sched.counts();
+    const std::vector<char>& flagged = sched.flagged();
+    ASSERT_GT(counts.size(), 200u) << "simulation ended prematurely";
+    const std::size_t warmup = 50;
+    std::size_t asserted = 0;
+    for (std::size_t i = warmup + 1; i < counts.size(); ++i) {
+        if (flagged[i]) continue;
+        EXPECT_EQ(counts[i] - counts[i - 1], 0u)
+            << "heap allocation in arena-backed micro-step " << i;
+        ++asserted;
+    }
+    EXPECT_GT(asserted, 100u) << "too few event-free steps measured";
+    // A warmed worker's steady state: the second run grew the arena by
+    // nothing (capacity reached on run 1) — workspace churn is gone.
+    EXPECT_EQ(arena.bytes_used(), used_after_warmup);
 }
 
 /// HotPotato probe: after each epoch's normal work, times an extra candidate

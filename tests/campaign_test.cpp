@@ -311,4 +311,113 @@ TEST(StudySetupTest, CopiesShareOneBundle) {
     EXPECT_EQ(a.chip().core_count(), 16u);
 }
 
+TEST(StudySetupTest, ReplicateSharesNothingButAnswersIdentically) {
+    const StudySetup original = testbed();
+    const StudySetup replica = original.replicate();
+    EXPECT_NE(&original.chip(), &replica.chip());
+    EXPECT_NE(&original.model(), &replica.model());
+    EXPECT_NE(&original.solver(), &replica.solver());
+    // Bit-for-bit copy, nothing recomputed: same signatures, same answers.
+    EXPECT_EQ(original.solver().model_signature(),
+              replica.solver().model_signature());
+    EXPECT_EQ(original.solver().backend_signature(),
+              replica.solver().backend_signature());
+    hp::linalg::Vector power(original.model().node_count(), 0.0);
+    for (std::size_t i = 0; i < power.size(); ++i)
+        power[i] = 0.5 + 0.01 * static_cast<double>(i % 16);
+    const hp::linalg::Vector a = original.solver().steady_state(power, 45.0);
+    const hp::linalg::Vector b = replica.solver().steady_state(power, 45.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// --- execution placement (DESIGN.md §12) -----------------------------------
+
+/// A fake two-node host: CPUs 0-1 on node 0, 2-3 on node 1. Injected via
+/// ExecPolicy::topology so multi-node planning, node-bound arenas and
+/// per-node bundle replication run even on single-node machines (and in
+/// cpuset-restricted CI sandboxes, where the actual pin calls may fail —
+/// pinning is best-effort and must not affect results either way).
+hp::exec::Topology fake_two_node() {
+    hp::exec::Topology topo;
+    topo.nodes = {{0, {0, 1}}, {1, {2, 3}}};
+    return topo;
+}
+
+/// The placement acceptance gate: records (and their CSV rendering) are
+/// byte-identical across every pinning policy, with and without NUMA
+/// placement, at jobs 1 and 4. Placement may move work and memory, never
+/// values.
+TEST(ExecPlacementTest, RecordsBitIdenticalAcrossPinPoliciesAndJobs) {
+    CampaignSpec spec = tiny_spec(0.004);
+    spec.add_seed(1).add_seed(2).add_seed(3);
+
+    CampaignOptions baseline_options;
+    baseline_options.jobs = 1;
+    baseline_options.exec.pin = hp::exec::PinPolicy::kNone;
+    baseline_options.exec.numa = false;
+    const CampaignResult baseline =
+        hp::campaign::run_campaign(spec, baseline_options);
+    std::ostringstream baseline_csv;
+    hp::campaign::write_csv(baseline_csv, baseline.records);
+
+    for (const hp::exec::PinPolicy pin :
+         {hp::exec::PinPolicy::kNone, hp::exec::PinPolicy::kCompact,
+          hp::exec::PinPolicy::kSpread}) {
+        for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+            SCOPED_TRACE(std::string("pin=") + hp::exec::to_string(pin) +
+                         " jobs=" + std::to_string(jobs));
+            CampaignOptions options;
+            options.jobs = jobs;
+            options.exec.pin = pin;
+            options.exec.numa = true;
+            options.exec.topology = fake_two_node();
+            const CampaignResult result =
+                hp::campaign::run_campaign(spec, options);
+            expect_bit_identical(baseline.records, result.records);
+            std::ostringstream csv;
+            hp::campaign::write_csv(csv, result.records);
+            EXPECT_EQ(baseline_csv.str(), csv.str());
+        }
+    }
+}
+
+TEST(ExecPlacementTest, PlacementGaugesReachTheSummaryRollUp) {
+    CampaignSpec spec = tiny_spec(0.002);
+    spec.add_seed(1).add_seed(2).add_seed(3).add_seed(4);
+    CampaignOptions options;
+    options.jobs = 4;
+    options.exec.pin = hp::exec::PinPolicy::kCompact;
+    options.exec.topology = fake_two_node();
+    const CampaignResult result = hp::campaign::run_campaign(spec, options);
+
+    const auto gauge = [&](const std::string& name) -> const double* {
+        for (const auto& g : result.summary.metrics.gauges)
+            if (g.name == name) return &g.value;
+        return nullptr;
+    };
+    // Workers per node must account for every worker. (Values depend on the
+    // pin policy actually in effect — HOTPOTATO_PIN may override — so only
+    // the sum is asserted.)
+    double workers = 0.0;
+    for (const auto& g : result.summary.metrics.gauges)
+        if (g.name.rfind("campaign.workers_per_node.", 0) == 0)
+            workers += g.value;
+    EXPECT_EQ(workers, 4.0);
+    ASSERT_NE(gauge("campaign.pinned_workers"), nullptr);
+    // Every worker carves its workspaces from its arena, so the campaign
+    // must have reserved arena memory and left a high-water mark.
+    ASSERT_NE(gauge("arena.bytes_reserved"), nullptr);
+    ASSERT_NE(gauge("arena.high_water"), nullptr);
+    EXPECT_GT(*gauge("arena.bytes_reserved"), 0.0);
+    EXPECT_GT(*gauge("arena.high_water"), 0.0);
+
+    // And the roll-up reaches the JSON export.
+    std::ostringstream json;
+    hp::campaign::write_json(json, result.records, result.summary);
+    EXPECT_NE(json.str().find("campaign.workers_per_node.0"),
+              std::string::npos);
+    EXPECT_NE(json.str().find("arena.bytes_reserved"), std::string::npos);
+}
+
 }  // namespace

@@ -1,0 +1,372 @@
+// Tests for the src/exec execution/placement layer: topology parsing from
+// canned sysfs fixtures, pinning-plan determinism, pin round-trips, arena
+// semantics, WorkerScratch slots. Campaign bit-identity across pin policies
+// lives in campaign_test.cpp next to the other determinism suites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory_resource>
+#include <thread>
+
+#include "exec/exec.hpp"
+
+namespace {
+
+using hp::exec::Arena;
+using hp::exec::ArenaResource;
+using hp::exec::PinPolicy;
+using hp::exec::Topology;
+using hp::exec::WorkerPlacement;
+using hp::exec::WorkerScratch;
+
+// ---- cpulist parsing -------------------------------------------------------
+
+TEST(ParseCpuList, SingleRange) {
+    EXPECT_EQ(hp::exec::parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParseCpuList, MixedRangesAndSingles) {
+    EXPECT_EQ(hp::exec::parse_cpu_list("0-3,8,10-11\n"),
+              (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(ParseCpuList, SingleCpu) {
+    EXPECT_EQ(hp::exec::parse_cpu_list("7"), (std::vector<int>{7}));
+}
+
+TEST(ParseCpuList, EmptyIsEmpty) {
+    EXPECT_TRUE(hp::exec::parse_cpu_list("").empty());
+    EXPECT_TRUE(hp::exec::parse_cpu_list("\n").empty());
+}
+
+TEST(ParseCpuList, DeduplicatesAndSorts) {
+    EXPECT_EQ(hp::exec::parse_cpu_list("4,0-2,1"),
+              (std::vector<int>{0, 1, 2, 4}));
+}
+
+TEST(ParseCpuList, MalformedThrows) {
+    EXPECT_THROW(hp::exec::parse_cpu_list("a-b"), std::invalid_argument);
+    EXPECT_THROW(hp::exec::parse_cpu_list("1,"), std::invalid_argument);
+    EXPECT_THROW(hp::exec::parse_cpu_list("3-1"), std::invalid_argument);
+    EXPECT_THROW(hp::exec::parse_cpu_list("1;2"), std::invalid_argument);
+}
+
+// ---- topology discovery from canned sysfs fixtures -------------------------
+
+class SysfsFixture {
+public:
+    explicit SysfsFixture(const std::string& name) {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("hp_exec_test_" + name + "_" +
+                std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    ~SysfsFixture() { std::filesystem::remove_all(dir_); }
+
+    void add_node(int id, const std::string& cpulist) {
+        const auto node_dir = dir_ / ("node" + std::to_string(id));
+        std::filesystem::create_directories(node_dir);
+        std::ofstream(node_dir / "cpulist") << cpulist << "\n";
+    }
+    // sysfs node dirs contain non-node entries (has_cpu, online, ...) that
+    // discovery must skip.
+    void add_noise(const std::string& name) {
+        std::ofstream(dir_ / name) << "noise\n";
+    }
+
+    std::string path() const { return dir_.string(); }
+
+private:
+    std::filesystem::path dir_;
+};
+
+TEST(DiscoverTopology, SingleNodeFixture) {
+    SysfsFixture fx("one");
+    fx.add_node(0, "0-7");
+    fx.add_noise("has_cpu");
+    const Topology topo = hp::exec::discover_topology(fx.path());
+    ASSERT_EQ(topo.node_count(), 1u);
+    EXPECT_FALSE(topo.multi_node());
+    EXPECT_EQ(topo.nodes[0].id, 0);
+    EXPECT_EQ(topo.cpu_count(), 8u);
+}
+
+TEST(DiscoverTopology, TwoNodeFixture) {
+    SysfsFixture fx("two");
+    fx.add_node(0, "0-3");
+    fx.add_node(1, "4-7");
+    const Topology topo = hp::exec::discover_topology(fx.path());
+    ASSERT_EQ(topo.node_count(), 2u);
+    EXPECT_TRUE(topo.multi_node());
+    EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(topo.nodes[1].cpus, (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_EQ(topo.node_of(2), 0);
+    EXPECT_EQ(topo.node_of(5), 1);
+    EXPECT_EQ(topo.node_of(99), -1);
+}
+
+TEST(DiscoverTopology, OfflineCpuHoles) {
+    // CPUs 2 and 5 offline: cpulists have holes, counts must follow.
+    SysfsFixture fx("holes");
+    fx.add_node(0, "0-1,3");
+    fx.add_node(1, "4,6-7");
+    const Topology topo = hp::exec::discover_topology(fx.path());
+    ASSERT_EQ(topo.node_count(), 2u);
+    EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1, 3}));
+    EXPECT_EQ(topo.nodes[1].cpus, (std::vector<int>{4, 6, 7}));
+    EXPECT_EQ(topo.cpu_count(), 6u);
+    EXPECT_EQ(topo.node_of(2), -1);
+}
+
+TEST(DiscoverTopology, MissingDirFallsBackToSingleNode) {
+    const Topology topo =
+        hp::exec::discover_topology("/nonexistent/hp_exec_test");
+    ASSERT_EQ(topo.node_count(), 1u);
+    EXPECT_GE(topo.cpu_count(), 1u);
+}
+
+TEST(DiscoverTopology, MalformedCpulistFallsBack) {
+    SysfsFixture fx("bad");
+    fx.add_node(0, "0-");
+    const Topology topo = hp::exec::discover_topology(fx.path());
+    ASSERT_EQ(topo.node_count(), 1u);
+}
+
+TEST(DiscoverTopology, MemoryOnlyNodeSkipped) {
+    SysfsFixture fx("memonly");
+    fx.add_node(0, "0-3");
+    fx.add_node(1, "");  // CXL-style memory-only node
+    const Topology topo = hp::exec::discover_topology(fx.path());
+    ASSERT_EQ(topo.node_count(), 1u);
+    EXPECT_EQ(topo.nodes[0].id, 0);
+}
+
+TEST(DiscoverTopology, HostDiscoveryNeverFails) {
+    const Topology topo = hp::exec::discover_topology();
+    EXPECT_GE(topo.node_count(), 1u);
+    EXPECT_GE(topo.cpu_count(), 1u);
+}
+
+// ---- pinning plans ---------------------------------------------------------
+
+Topology two_node_topology() {
+    Topology topo;
+    topo.nodes.push_back({0, {0, 1, 2, 3}});
+    topo.nodes.push_back({1, {4, 5, 6, 7}});
+    return topo;
+}
+
+TEST(PlanPinning, NoneLeavesEveryoneUnpinned) {
+    const auto plan =
+        hp::exec::plan_pinning(two_node_topology(), 4, PinPolicy::kNone);
+    ASSERT_EQ(plan.size(), 4u);
+    for (const WorkerPlacement& p : plan) {
+        EXPECT_EQ(p.cpu, -1);
+        EXPECT_EQ(p.node, -1);
+    }
+}
+
+TEST(PlanPinning, CompactFillsNodesInOrder) {
+    const auto plan =
+        hp::exec::plan_pinning(two_node_topology(), 6, PinPolicy::kCompact);
+    ASSERT_EQ(plan.size(), 6u);
+    const int cpus[] = {0, 1, 2, 3, 4, 5};
+    const int nodes[] = {0, 0, 0, 0, 1, 1};
+    for (std::size_t w = 0; w < 6; ++w) {
+        EXPECT_EQ(plan[w].cpu, cpus[w]) << "worker " << w;
+        EXPECT_EQ(plan[w].node, nodes[w]) << "worker " << w;
+    }
+}
+
+TEST(PlanPinning, CompactWrapsPastCpuCount) {
+    const auto plan =
+        hp::exec::plan_pinning(two_node_topology(), 10, PinPolicy::kCompact);
+    EXPECT_EQ(plan[8].cpu, 0);
+    EXPECT_EQ(plan[8].node, 0);
+    EXPECT_EQ(plan[9].cpu, 1);
+}
+
+TEST(PlanPinning, SpreadRoundRobinsNodes) {
+    const auto plan =
+        hp::exec::plan_pinning(two_node_topology(), 6, PinPolicy::kSpread);
+    const int cpus[] = {0, 4, 1, 5, 2, 6};
+    const int nodes[] = {0, 1, 0, 1, 0, 1};
+    for (std::size_t w = 0; w < 6; ++w) {
+        EXPECT_EQ(plan[w].cpu, cpus[w]) << "worker " << w;
+        EXPECT_EQ(plan[w].node, nodes[w]) << "worker " << w;
+    }
+}
+
+TEST(PlanPinning, AutoIsNoneOnSingleNode) {
+    const auto plan = hp::exec::plan_pinning(Topology::single_node(8), 4,
+                                             PinPolicy::kAuto);
+    for (const WorkerPlacement& p : plan) EXPECT_EQ(p.cpu, -1);
+}
+
+TEST(PlanPinning, AutoCompactWhenOneNodeHoldsAll) {
+    const auto plan =
+        hp::exec::plan_pinning(two_node_topology(), 3, PinPolicy::kAuto);
+    for (const WorkerPlacement& p : plan) EXPECT_EQ(p.node, 0);
+}
+
+TEST(PlanPinning, AutoSpreadsBeyondOneNode) {
+    const auto plan =
+        hp::exec::plan_pinning(two_node_topology(), 6, PinPolicy::kAuto);
+    EXPECT_EQ(plan[1].node, 1);  // round-robin signature
+}
+
+TEST(PlanPinning, Deterministic) {
+    const auto a =
+        hp::exec::plan_pinning(two_node_topology(), 8, PinPolicy::kSpread);
+    const auto b =
+        hp::exec::plan_pinning(two_node_topology(), 8, PinPolicy::kSpread);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cpu, b[i].cpu);
+        EXPECT_EQ(a[i].node, b[i].node);
+    }
+}
+
+TEST(PlanPinning, ZeroWorkersAndEmptyTopology) {
+    EXPECT_TRUE(
+        hp::exec::plan_pinning(two_node_topology(), 0, PinPolicy::kCompact)
+            .empty());
+    const auto plan =
+        hp::exec::plan_pinning(Topology{}, 3, PinPolicy::kCompact);
+    ASSERT_EQ(plan.size(), 3u);
+    for (const WorkerPlacement& p : plan) EXPECT_EQ(p.cpu, -1);
+}
+
+TEST(PinPolicyNames, ParseRoundTrip) {
+    for (PinPolicy p : {PinPolicy::kAuto, PinPolicy::kNone, PinPolicy::kCompact,
+                        PinPolicy::kSpread})
+        EXPECT_EQ(hp::exec::parse_pin_policy(hp::exec::to_string(p)), p);
+    EXPECT_FALSE(hp::exec::parse_pin_policy("bogus").has_value());
+}
+
+// ---- pinning round-trip ----------------------------------------------------
+
+TEST(PinCurrentThread, RoundTripViaGetAffinity) {
+    const std::vector<int> before = hp::exec::current_affinity();
+    if (before.size() < 2)
+        GTEST_SKIP() << "needs >= 2 allowed CPUs to pin meaningfully";
+    // Pin inside a scratch thread so the test runner's own affinity is
+    // untouched regardless of outcome.
+    std::thread([&] {
+        const int target = before.back();
+        if (!hp::exec::pin_current_thread(target))
+            GTEST_SKIP() << "sched_setaffinity refused (restricted sandbox)";
+        const std::vector<int> after = hp::exec::current_affinity();
+        ASSERT_EQ(after.size(), 1u);
+        EXPECT_EQ(after[0], target);
+    }).join();
+}
+
+TEST(PinCurrentThread, InvalidCpuFailsGracefully) {
+    EXPECT_FALSE(hp::exec::pin_current_thread(-1));
+}
+
+// ---- arena -----------------------------------------------------------------
+
+TEST(ArenaTest, AlignmentRespected) {
+    Arena arena(1 << 16);
+    for (std::size_t align : {8u, 16u, 64u, 256u, 4096u}) {
+        void* p = arena.allocate(13, align);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+            << "align " << align;
+    }
+}
+
+TEST(ArenaTest, GrowsOnExhaustionInsteadOfFailing) {
+    Arena arena(4096);
+    void* a = arena.allocate(3000);
+    void* b = arena.allocate(3000);  // exceeds the first block
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(b, nullptr);
+    EXPECT_GE(arena.bytes_reserved(), 8192u);
+    EXPECT_GE(arena.high_water(), 6000u);
+}
+
+TEST(ArenaTest, OversizedRequestServed) {
+    Arena arena(4096);
+    void* p = arena.allocate(1 << 20);
+    EXPECT_NE(p, nullptr);
+    EXPECT_GE(arena.bytes_reserved(), 1u << 20);
+}
+
+TEST(ArenaTest, ResetKeepsReservationAndHighWater) {
+    Arena arena(4096);
+    arena.allocate(3000);
+    arena.allocate(3000);
+    const std::size_t reserved = arena.bytes_reserved();
+    const std::size_t high = arena.high_water();
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    EXPECT_EQ(arena.high_water(), high);
+    // Post-reset allocations bump from the rewound blocks, no new mapping.
+    arena.allocate(2000);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, WritableAcrossWholeAllocation) {
+    Arena arena;
+    auto* data = static_cast<double*>(
+        arena.allocate(1024 * sizeof(double), alignof(double)));
+    for (int i = 0; i < 1024; ++i) data[i] = i * 0.5;
+    EXPECT_DOUBLE_EQ(data[1023], 511.5);
+}
+
+TEST(ArenaTest, NodeBindingIsBestEffort) {
+    // Node 0 always exists; an absurd node id must degrade, not crash.
+    Arena bound(1 << 16, 0);
+    EXPECT_NE(bound.allocate(4096), nullptr);
+    Arena absurd(1 << 16, 63);
+    EXPECT_NE(absurd.allocate(4096), nullptr);
+}
+
+TEST(ArenaResourceTest, BacksPmrContainers) {
+    Arena arena;
+    ArenaResource res(arena);
+    std::pmr::vector<double> v(&res);
+    v.resize(5000, 1.0);
+    EXPECT_GT(arena.bytes_used(), 5000 * sizeof(double) - 1);
+    ArenaResource same(arena), other_view(arena);
+    EXPECT_TRUE(same.is_equal(other_view));
+    Arena arena2;
+    ArenaResource other(arena2);
+    EXPECT_FALSE(res.is_equal(other));
+}
+
+// ---- worker scratch --------------------------------------------------------
+
+struct PlainScratch {
+    int value = 7;
+};
+
+struct ResourceAwareScratch {
+    explicit ResourceAwareScratch(std::pmr::memory_resource* mr) : buf(mr) {}
+    std::pmr::vector<double> buf;
+};
+
+TEST(WorkerScratchTest, SlotIsStableAcrossRequests) {
+    WorkerScratch scratch;
+    PlainScratch& a = scratch.slot<PlainScratch>();
+    a.value = 42;
+    EXPECT_EQ(scratch.slot<PlainScratch>().value, 42);
+    EXPECT_EQ(&scratch.slot<PlainScratch>(), &a);
+}
+
+TEST(WorkerScratchTest, ResourceAwareTypesGetTheArena) {
+    Arena arena;
+    ArenaResource res(arena);
+    WorkerScratch scratch(&res);
+    auto& aware = scratch.slot<ResourceAwareScratch>();
+    aware.buf.resize(4096, 0.0);
+    EXPECT_GT(arena.bytes_used(), 0u);
+}
+
+}  // namespace
