@@ -1,0 +1,80 @@
+// Thermal-advice server round trip (DESIGN.md §13).
+//
+// Brings the advice daemon up in-process on a private Unix-domain socket —
+// exactly what `hotpotato_sim serve --socket ...` runs — then queries it
+// through the blocking client library for three workloads on the paper's
+// 64-core S-NUCA chip: a light set that stays static, a saturating set
+// that needs rotation, and one with a caller-chosen τ grid. Run against an
+// already-running daemon by passing its socket path as argv[1] (the
+// in-process server is skipped).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+void show(const char* label, const hp::server::AdviceResponse& response) {
+    std::printf("%-24s rotation=%s tau=%.6g s  peak=%.2f +/- %.2f C  %s\n",
+                label, response.rotation_on ? "on " : "off",
+                response.tau_s, response.predicted_peak_c,
+                response.error_bound_c,
+                response.thermally_safe ? "safe" : "UNSAFE at every tau");
+    std::printf("%-24s cores:", "");
+    for (std::uint32_t core : response.core_of_thread)
+        std::printf(" %u", core);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace hp::server;
+
+    std::unique_ptr<AdviceServer> local;
+    std::string socket_path;
+    if (argc > 1) {
+        socket_path = argv[1];
+        std::printf("connecting to running daemon at %s\n",
+                    socket_path.c_str());
+    } else {
+        ServerConfig config;
+        config.socket_path =
+            "/tmp/hp_advice_example_" + std::to_string(::getpid()) + ".sock";
+        config.threads = 2;
+        config.configs = {"paper_64core"};
+        local = std::make_unique<AdviceServer>(config);
+        socket_path = local->socket_path();
+        std::printf("started in-process daemon on %s\n", socket_path.c_str());
+    }
+
+    AdviceClient client(socket_path);
+
+    AdviceRequest light;
+    light.config = "paper_64core";
+    light.thread_power_w = {1.0, 1.5, 2.0, 2.5};
+    show("4 light threads", client.query(light));
+
+    AdviceRequest heavy;
+    heavy.config = "paper_64core";
+    heavy.thread_power_w.assign(16, 4.0);
+    show("16 x 4.0 W", client.query(heavy));
+
+    AdviceRequest custom = heavy;
+    custom.tau_grid_s = {0.5e-3, 1e-3, 2e-3};
+    show("16 x 4.0 W, own taus", client.query(custom));
+
+    if (local) {
+        local->stop();
+        std::printf("served %llu requests\n",
+                    static_cast<unsigned long long>(
+                        local->requests_served()));
+    }
+    return 0;
+}

@@ -1,25 +1,42 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: compare a fresh bench_hotpath JSON to the baseline.
+"""Bench-regression gate: compare fresh bench JSONs to the committed baseline.
 
 Usage:
-    check_bench.py CANDIDATE [--baseline BENCH_hotpath_smoke.json]
-                   [--tolerance 0.25] [--floor-ns 2000] [--alloc-slack 0.5]
+    check_bench.py CANDIDATE [CANDIDATE ...]
+                   [--baseline BENCH_hotpath_smoke.json [BENCH_server_smoke.json ...]]
+                   [--tolerance 0.25] [--server-tolerance 1.0]
+                   [--floor-ns 2000] [--alloc-slack 0.5]
 
-The committed baseline is the reference; CANDIDATE must have been measured
-in the same bench mode (the "mode" field), because smoke runs amortize
-warmup over far fewer steps than full runs — the whole-simulator cases
-systematically measure several times slower per step in smoke mode, so a
-cross-mode comparison gates nothing but the mode difference. The repo
-commits both baselines: BENCH_hotpath.json (full mode, the perf-trajectory
-artefact) and BENCH_hotpath_smoke.json (smoke mode, what CI's bench job and
-ctest's bench_hotpath_smoke actually run). Regenerate both whenever the hot
-path intentionally changes.
+Candidates and baselines may each be several files (bench_hotpath and
+bench_server emit the same JSON schema); their case lists are merged before
+comparison, so one invocation gates the whole bench surface. Every file must
+have been measured in the same bench mode (the "mode" field), because smoke
+runs amortize warmup over far fewer steps than full runs — the
+whole-simulator cases systematically measure several times slower per step
+in smoke mode, so a cross-mode comparison gates nothing but the mode
+difference. The repo commits two baselines per benchmark:
+BENCH_hotpath.json / BENCH_server.json (full mode, the perf-trajectory
+artefacts) and BENCH_hotpath_smoke.json / BENCH_server_smoke.json (smoke
+mode, what CI's bench job and the ctest smoke runs actually execute).
+Regenerate them whenever the hot path or the server intentionally changes:
+
+    build/bench/bench_hotpath --out BENCH_hotpath.json
+    build/bench/bench_hotpath --smoke --out BENCH_hotpath_smoke.json
+    build/bench/bench_server   --out BENCH_server.json
+    build/bench/bench_server   --smoke --out BENCH_server_smoke.json
 
 A candidate case regresses when BOTH hold:
 
   * ns_per_op exceeds baseline * (1 + tolerance), and
   * the absolute increase exceeds --floor-ns (shields sub-microsecond cases
     from timer noise on loaded CI runners).
+
+Cases whose name starts with "server_" use --server-tolerance (default 1.0 =
++100%) instead of --tolerance: they measure sustained qps and tail latency
+of a multi-threaded daemon through real sockets, which swings with runner
+load far more than the single-threaded hot-path cases. Cross-machine runs
+are additionally flagged by the provenance warnings (warn-only, as for every
+case).
 
 allocs_per_op is gated much tighter: the zero-allocation contract is exact,
 so any increase beyond --alloc-slack (default 0.5, absorbing warmup-fraction
@@ -36,9 +53,11 @@ import sys
 
 # Cases a candidate run must contain (see --require). The 256-core entries
 # gate the modal backend's scaling claim; the campaign entries gate the
-# execution layer's throughput claim (pinned workers + arena workspaces).
+# execution layer's throughput claim (pinned workers + arena workspaces);
+# the server entries gate the advice daemon's sustained-load claim.
 REQUIRED_CASES = ("solver_setup_256", "sim_step_256core", "rotation_peak_256",
-                  "campaign_run_64core", "campaign_run_256core")
+                  "campaign_run_64core", "campaign_run_256core",
+                  "server_qps_8clients", "server_p99_us")
 
 
 def load_cases(path):
@@ -64,6 +83,31 @@ def load_cases(path):
     if not isinstance(provenance, dict):
         provenance = {}
     return doc.get("mode", "unknown"), provenance, out
+
+
+def load_merged(paths, role):
+    """Loads several bench JSONs and merges their case dicts. All files must
+    agree on the bench mode; a case name appearing twice is an invocation
+    error (the same file passed twice, or two runs of one benchmark)."""
+    mode = None
+    provenance = {}
+    merged = {}
+    for path in paths:
+        file_mode, file_prov, cases = load_cases(path)
+        if mode is None:
+            mode = file_mode
+            provenance = file_prov
+        elif file_mode != mode:
+            print(f"check_bench: {role} files mix modes — {paths[0]} is "
+                  f"'{mode}' but {path} is '{file_mode}'", file=sys.stderr)
+            sys.exit(2)
+        duplicates = set(merged) & set(cases)
+        if duplicates:
+            print(f"check_bench: case(s) {sorted(duplicates)} appear in more "
+                  f"than one {role} file (at {path})", file=sys.stderr)
+            sys.exit(2)
+        merged.update(cases)
+    return mode, provenance, merged
 
 
 def warn_provenance(base_prov, cand_prov):
@@ -102,12 +146,19 @@ def warn_provenance(base_prov, cand_prov):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("candidate", help="fresh bench_hotpath JSON to check")
-    ap.add_argument("--baseline", default="BENCH_hotpath_smoke.json")
+    ap.add_argument("candidates", nargs="+", metavar="CANDIDATE",
+                    help="fresh bench JSON(s) to check; case lists are merged")
+    ap.add_argument("--baseline", nargs="+",
+                    default=["BENCH_hotpath_smoke.json"],
+                    help="committed baseline JSON(s); case lists are merged")
     ap.add_argument("--allow-mode-mismatch", action="store_true",
                     help="compare across bench modes anyway (see docstring)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="relative ns_per_op headroom (default 0.25 = +25%%)")
+    ap.add_argument("--server-tolerance", type=float, default=1.0,
+                    help="relative headroom for server_* cases (default 1.0 "
+                         "= +100%%; daemon qps/latency swing with runner "
+                         "load)")
     ap.add_argument("--floor-ns", type=float, default=2000.0,
                     help="absolute ns_per_op slack floor (default 2000)")
     ap.add_argument("--alloc-slack", type=float, default=0.5,
@@ -115,23 +166,26 @@ def main():
     ap.add_argument("--require", action="append", default=None,
                     metavar="CASE",
                     help="case name that must be present in the candidate "
-                         "(repeatable; default: the 256-core scale-up "
-                         "entries). Pass --require '' to require nothing.")
+                         "(repeatable; default: the 256-core scale-up and "
+                         "server-load entries). Pass --require '' to require "
+                         "nothing.")
     args = ap.parse_args()
 
-    base_mode, base_prov, baseline = load_cases(args.baseline)
-    cand_mode, cand_prov, candidate = load_cases(args.candidate)
+    base_mode, base_prov, baseline = load_merged(args.baseline, "baseline")
+    cand_mode, cand_prov, candidate = load_merged(args.candidates,
+                                                  "candidate")
     warn_provenance(base_prov, cand_prov)
     if base_mode != cand_mode and not args.allow_mode_mismatch:
-        print(f"check_bench: mode mismatch — baseline {args.baseline} is "
-              f"'{base_mode}' but candidate is '{cand_mode}'; smoke and full "
-              "runs are not comparable (pass --allow-mode-mismatch to "
-              "override)", file=sys.stderr)
+        print(f"check_bench: mode mismatch — baseline is '{base_mode}' but "
+              f"candidate is '{cand_mode}'; smoke and full runs are not "
+              "comparable (pass --allow-mode-mismatch to override)",
+              file=sys.stderr)
         sys.exit(2)
 
-    # The 256-core scale-up entries are load-bearing (they gate the modal
-    # backend's scaling claim): their absence from a fresh run is a failure,
-    # not a skip.
+    # The 256-core scale-up and server-load entries are load-bearing (they
+    # gate the modal backend's scaling claim and the advice daemon's
+    # throughput claim): their absence from a fresh run is a failure, not a
+    # skip.
     required = (args.require if args.require is not None
                 else list(REQUIRED_CASES))
     missing_required = [n for n in required if n and n not in candidate]
@@ -152,9 +206,11 @@ def main():
             continue
         base_ns, base_allocs = baseline[name]
         now_ns, now_allocs = candidate[name]
+        tolerance = (args.server_tolerance if name.startswith("server_")
+                     else args.tolerance)
         ratio = now_ns / base_ns if base_ns > 0 else float("inf")
         verdicts = []
-        if (now_ns > base_ns * (1.0 + args.tolerance)
+        if (now_ns > base_ns * (1.0 + tolerance)
                 and now_ns - base_ns > args.floor_ns):
             verdicts.append(f"time regressed {ratio:.2f}x")
         if now_allocs > base_allocs + args.alloc_slack:
@@ -173,7 +229,8 @@ def main():
             print(f"  {name}: {'; '.join(verdicts)}", file=sys.stderr)
         return 1
     print("\ncheck_bench: OK — no regressions "
-          f"(tolerance +{args.tolerance:.0%}, floor {args.floor_ns:.0f} ns, "
+          f"(tolerance +{args.tolerance:.0%}, server +"
+          f"{args.server_tolerance:.0%}, floor {args.floor_ns:.0f} ns, "
           f"alloc slack {args.alloc_slack})")
     return 0
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: build-test matrix (gcc + clang ×
-# Debug + Release with -Werror), ASan/UBSan and TSan legs, the SIMD-dispatch,
+# Debug + Release with -Werror), ASan/UBSan and TSan legs, the server-soak
+# leg (concurrent-cache stress + loopback advice-server suite under both
+# sanitizers), the SIMD-dispatch,
 # forced-modal-solver and execution-placement (pinned + no-NUMA fallback)
 # suite reruns, the clang-format check and the
 # bench-regression gate — each leg skipped (not failed) when
@@ -94,6 +96,32 @@ elif [[ $QUICK -eq 0 ]]; then
   skip "tsan (toolchain lacks -fsanitize=thread)"
 fi
 
+# ---- server soak -----------------------------------------------------------
+# Mirrors the `server-soak` CI job: the 32-thread concurrent-cache stress
+# (ConcurrentCache*) and the loopback advice-server suite (Server*), whose
+# concurrent-clients test byte-compares every answer against the
+# single-threaded batch path, repeated under each sanitizer build from the
+# legs above. Reuses those build trees — only the repetition and the filter
+# are soak-specific.
+SOAK_RE='ConcurrentCache|Server'
+if [[ $QUICK -eq 0 && -d "$BUILD_ROOT/tsan" ]]; then
+  note "server-soak: cache stress + loopback suite under TSan (x3)"
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$BUILD_ROOT/tsan" --output-on-failure -j "$JOBS" \
+      --repeat until-fail:3 -R "$SOAK_RE"
+elif [[ $QUICK -eq 0 ]]; then
+  skip "server-soak TSan leg (no tsan build dir)"
+fi
+if [[ $QUICK -eq 0 && -d "$BUILD_ROOT/asan" ]]; then
+  note "server-soak: cache stress + loopback suite under ASan/UBSan (x3)"
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ASAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$BUILD_ROOT/asan" --output-on-failure -j "$JOBS" \
+      --repeat until-fail:3 -R "$SOAK_RE"
+elif [[ $QUICK -eq 0 ]]; then
+  skip "server-soak ASan leg (no asan build dir)"
+fi
+
 # ---- SIMD dispatch tiers ---------------------------------------------------
 # Mirrors the `dispatch` CI job: the full suite must pass with the dispatch
 # forced to each tier. Reuses the first Release build; no reconfigure needed
@@ -178,13 +206,18 @@ else
 fi
 
 # ---- bench regression gate -------------------------------------------------
+# Mirrors the `bench` CI job: both smoke benchmarks, gated together in one
+# check_bench.py invocation against the committed smoke baselines.
 if command -v python3 >/dev/null 2>&1; then
-  note "bench regression gate (smoke)"
+  note "bench regression gate (smoke: hotpath + server)"
   BENCH_DIR="$BUILD_ROOT/${COMPILERS[0]%%:*}-Release"
   [[ -d "$BENCH_DIR" ]] || BENCH_DIR="$BUILD_ROOT/$(ls "$BUILD_ROOT" | grep -m1 Release || true)"
-  cmake --build "$BENCH_DIR" -j "$JOBS" --target bench_hotpath
+  cmake --build "$BENCH_DIR" -j "$JOBS" --target bench_hotpath bench_server
   "$BENCH_DIR/bench/bench_hotpath" --smoke --out "$BUILD_ROOT/bench_smoke.json"
-  python3 scripts/check_bench.py "$BUILD_ROOT/bench_smoke.json"
+  "$BENCH_DIR/bench/bench_server" --smoke --out "$BUILD_ROOT/bench_server_smoke.json"
+  python3 scripts/check_bench.py \
+    "$BUILD_ROOT/bench_smoke.json" "$BUILD_ROOT/bench_server_smoke.json" \
+    --baseline BENCH_hotpath_smoke.json BENCH_server_smoke.json
 else
   skip "bench gate (python3 not installed)"
 fi

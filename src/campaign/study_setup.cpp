@@ -1,5 +1,6 @@
 #include "campaign/study_setup.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace hp::campaign {
@@ -68,6 +69,30 @@ StudySetup StudySetup::stacked_256core(thermal::SolverConfig solver) {
 
 StudySetup StudySetup::paper_1024core(thermal::SolverConfig solver) {
     return custom(arch::ManyCore(32, 32), {}, solver);
+}
+
+StudySetup StudySetup::by_name(const std::string& name,
+                               thermal::SolverConfig solver) {
+    if (name == "paper_16core") return paper_16core(solver);
+    if (name == "paper_64core") return paper_64core(solver);
+    if (name == "stacked_32core") return stacked_32core(solver);
+    if (name == "paper_256core") return paper_256core(solver);
+    if (name == "stacked_256core") return stacked_256core(solver);
+    if (name == "paper_1024core") return paper_1024core(solver);
+    std::string known;
+    for (const std::string& n : known_names()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+    }
+    throw std::invalid_argument("StudySetup::by_name: unknown config tag '" +
+                                name + "' (known: " + known + ")");
+}
+
+const std::vector<std::string>& StudySetup::known_names() {
+    static const std::vector<std::string> names = {
+        "paper_16core",  "paper_64core",   "stacked_32core",
+        "paper_256core", "stacked_256core", "paper_1024core"};
+    return names;
 }
 
 sim::Simulator StudySetup::make_simulator(

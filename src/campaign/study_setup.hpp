@@ -1,6 +1,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "arch/manycore.hpp"
 #include "perf/interval_model.hpp"
@@ -55,6 +57,17 @@ public:
     /// 1024-core (32x32) part (2049 thermal nodes) — the scaling ceiling
     /// the truncated-modal backend is specified against.
     static StudySetup paper_1024core(thermal::SolverConfig solver = {});
+
+    /// Builds the named stock configuration — the tag namespace the advice
+    /// server binds request config tags against ("paper_64core",
+    /// "paper_16core", "stacked_32core", "paper_256core", "stacked_256core",
+    /// "paper_1024core"). Throws std::invalid_argument on an unknown name,
+    /// listing the known tags.
+    static StudySetup by_name(const std::string& name,
+                              thermal::SolverConfig solver = {});
+
+    /// The tags by_name accepts, in a stable order.
+    static const std::vector<std::string>& known_names();
 
     const arch::ManyCore& chip() const { return *chip_; }
     const thermal::ThermalModel& model() const { return *model_; }

@@ -1,9 +1,14 @@
 #include "cli/options.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "arch/manycore.hpp"
 #include "campaign/atomic_file.hpp"
@@ -22,6 +27,7 @@
 #include "sched/reactive.hpp"
 #include "sched/global_rotation.hpp"
 #include "sched/static_schedulers.hpp"
+#include "server/server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_io.hpp"
 #include "thermal/rc_network.hpp"
@@ -119,6 +125,20 @@ resilience (campaign mode, DESIGN.md §10):
   --retry-backoff S        base backoff before the first retry; doubles per
                            attempt with deterministic jitter (default 0.05)
 
+server mode (hotpotato_sim serve ..., DESIGN.md §13):
+  serve                    run the thermal-advice daemon instead of a
+                           simulation; framed requests over a Unix-domain
+                           socket are answered by a fixed worker pool
+                           (protocol: README appendix)
+  --socket PATH            listening AF_UNIX socket path (required)
+  --server-threads N       worker-thread pool size      (default 4)
+  --server-configs A,B     chip-config tags served      (default
+                           paper_64core; see StudySetup::known_names())
+  --server-cache N         shared prediction-cache entries per config
+                           (default 4096; 0 disables)
+  (--solver, --solver-tol, --t-dtm, --ambient, --pin, --numa and
+   --metrics apply to the daemon; SIGINT/SIGTERM drain and stop it)
+
 exit codes:
   0  all runs completed and finished
   1  some runs failed, timed out, or did not finish
@@ -174,7 +194,12 @@ std::vector<std::string> split_names(const std::string& list) {
 
 CliOptions parse(const std::vector<std::string>& args) {
     CliOptions o;
-    for (std::size_t i = 0; i < args.size(); ++i) {
+    std::size_t first = 0;
+    if (!args.empty() && args[0] == "serve") {
+        o.serve = true;
+        first = 1;
+    }
+    for (std::size_t i = first; i < args.size(); ++i) {
         const std::string& flag = args[i];
         if (flag == "--help" || flag == "-h") {
             o.help = true;
@@ -244,6 +269,12 @@ CliOptions parse(const std::vector<std::string>& args) {
             else throw std::invalid_argument("bad value for --numa: " + v +
                                              " (want on|off)");
         }
+        else if (flag == "--socket") o.socket_path = value();
+        else if (flag == "--server-threads")
+            o.server_threads = parse_uint(flag, value());
+        else if (flag == "--server-configs") o.server_configs = value();
+        else if (flag == "--server-cache")
+            o.server_cache = parse_uint(flag, value());
         else if (flag == "--csv") o.csv_file = value();
         else if (flag == "--json") o.json_file = value();
         else if (flag == "--journal") o.journal_file = value();
@@ -307,13 +338,46 @@ CliOptions parse(const std::vector<std::string>& args) {
             {o.max_retries > 0, "--max-retries"},
             {!o.csv_file.empty(), "--csv"},
             {!o.json_file.empty(), "--json"},
-            {o.pin != "auto", "--pin"},
-            {!o.numa, "--numa off"},
+            {o.pin != "auto" && !o.serve, "--pin"},
+            {!o.numa && !o.serve, "--numa off"},
         };
         for (const auto& c : campaign_only)
             if (c.set)
                 violations.push_back(std::string(c.flag) +
                                      " requires --compare (campaign mode)");
+    }
+    if (o.serve) {
+        if (o.socket_path.empty())
+            violations.push_back("serve requires --socket PATH");
+        if (o.server_threads == 0)
+            violations.push_back("--server-threads must be positive");
+        if (!o.compare.empty())
+            violations.push_back("--compare is not supported in serve mode");
+        const std::vector<std::string>& known =
+            campaign::StudySetup::known_names();
+        for (const std::string& name : split_names(o.server_configs)) {
+            if (name.empty()) {
+                violations.push_back("--server-configs has an empty tag");
+                continue;
+            }
+            if (std::find(known.begin(), known.end(), name) == known.end())
+                violations.push_back("--server-configs: unknown config: " +
+                                     name);
+        }
+    } else {
+        const struct {
+            bool set;
+            const char* flag;
+        } server_only[] = {
+            {!o.socket_path.empty(), "--socket"},
+            {o.server_threads != 4, "--server-threads"},
+            {o.server_configs != "paper_64core", "--server-configs"},
+            {o.server_cache != 4096, "--server-cache"},
+        };
+        for (const auto& c : server_only)
+            if (c.set)
+                violations.push_back(std::string(c.flag) +
+                                     " requires serve mode");
     }
     if (!o.compare.empty()) {
         if (!o.trace_file.empty())
@@ -454,9 +518,61 @@ int run_comparison(const CliOptions& options,
     return ok ? kExitOk : kExitRunFailure;
 }
 
+/// SIGINT/SIGTERM latch for server mode. The handler only stores the signal
+/// number (async-signal-safe); the serve loop polls it and runs the graceful
+/// AdviceServer::stop() from normal context.
+std::atomic<int> g_stop_signal{0};
+
+void handle_stop_signal(int sig) {
+    g_stop_signal.store(sig, std::memory_order_relaxed);
+}
+
+/// Server mode: bring the advice daemon up and block until a stop signal
+/// arrives, then drain in-flight requests and report totals.
+int run_server(const CliOptions& options, std::ostream& out) {
+    server::ServerConfig config;
+    config.socket_path = options.socket_path;
+    config.threads = options.server_threads;
+    config.configs = split_names(options.server_configs);
+    config.solver.backend = thermal::parse_solver_backend(options.solver);
+    config.solver.tolerance_c = options.solver_tol_c;
+    config.exec.pin = *exec::parse_pin_policy(options.pin);
+    config.exec.numa = options.numa;
+    config.defaults.t_dtm_c = options.t_dtm_c;
+    config.defaults.ambient_c = options.ambient_c;
+    config.cache_entries = options.server_cache;
+
+    server::AdviceServer server(std::move(config));
+    out << "advice server listening on " << server.socket_path() << " ("
+        << options.server_threads << " threads, configs "
+        << options.server_configs << ")\n"
+        << std::flush;
+
+    g_stop_signal.store(0, std::memory_order_relaxed);
+    struct sigaction action {};
+    struct sigaction old_int {};
+    struct sigaction old_term {};
+    action.sa_handler = handle_stop_signal;
+    sigaction(SIGINT, &action, &old_int);
+    sigaction(SIGTERM, &action, &old_term);
+    while (g_stop_signal.load(std::memory_order_relaxed) == 0 &&
+           server.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    sigaction(SIGINT, &old_int, nullptr);
+    sigaction(SIGTERM, &old_term, nullptr);
+
+    server.stop();
+    out << "advice server stopped after " << server.requests_served()
+        << " requests\n";
+    if (options.metrics)
+        out << "\nmetrics:\n" << obs::metrics_markdown(server.metrics());
+    return kExitOk;
+}
+
 }  // namespace
 
 int run(const CliOptions& options, std::ostream& out) {
+    if (options.serve) return run_server(options, out);
     arch::SnucaParams params;
     params.layers = options.layers;
     thermal::SolverConfig solver_config;

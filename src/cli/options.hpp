@@ -88,6 +88,15 @@ struct CliOptions {
     std::string csv_file;         ///< write the record table as CSV
     std::string json_file;        ///< write records + summary as JSON
 
+    // Server mode (`hotpotato_sim serve ...`, DESIGN.md §13): run the
+    // thermal-advice daemon instead of a simulation. --pin/--numa and the
+    // thermal flags (--solver, --t-dtm, --ambient) apply to the daemon.
+    bool serve = false;
+    std::string socket_path;          ///< --socket (required with serve)
+    std::size_t server_threads = 4;   ///< --server-threads
+    std::string server_configs = "paper_64core";  ///< --server-configs A,B
+    std::size_t server_cache = 4096;  ///< --server-cache (entries; 0 = off)
+
     bool help = false;
 };
 
@@ -107,7 +116,8 @@ enum ExitCode : int {
 /// Usage text for --help and error messages.
 std::string usage();
 
-/// Parses argv-style arguments (excluding the program name). Throws
+/// Parses argv-style arguments (excluding the program name). A leading
+/// `serve` word selects server mode (the thermal-advice daemon). Throws
 /// std::invalid_argument on unknown flags or bad values. Semantic checks
 /// (positive dimensions, consistent ranges, usable fault/trace settings) are
 /// aggregated: the exception message lists every violation at once, one per

@@ -36,9 +36,12 @@ inline double quantise_power_w(double power_w) {
 ///    on hash(key) mod capacity, probing up to kProbeWindow slots); new
 ///    entries overwrite the oldest slot in the window, so stale pressure
 ///    cannot grow the structure;
-///  - invalidatable: invalidate() is O(capacity) flag-clearing, called on
+///  - invalidatable: invalidate() is an O(1) generation bump, called on
 ///    every event that changes the thermal meaning of a key (core failure /
-///    ring re-formation, DVFS level change, sensor-fallback re-clock).
+///    ring re-formation, DVFS level change, sensor-fallback re-clock). Slots
+///    carry the generation they were written under; a slot from an older
+///    generation can never hit and is reused as if empty, so a bump is
+///    semantically identical to clearing every slot without touching them.
 ///
 /// Not thread-safe; each scheduler instance owns one (schedulers are
 /// per-simulation objects, and campaign workers never share them).
@@ -56,12 +59,14 @@ public:
         max_words_ = max_key_words;
         keys_.assign(entries * max_key_words, 0);
         key_len_.assign(entries, 0);  // 0 = empty slot
+        slot_gen_.assign(entries, 0);
         age_.assign(entries, 0);
         values_.assign(entries, Value{});
         staged_.clear();
         staged_.reserve(max_key_words);
         hits_ = misses_ = 0;
         tick_ = 0;
+        gen_ = 0;
     }
 
     bool enabled() const { return capacity_ != 0; }
@@ -92,6 +97,7 @@ public:
         const std::size_t base = slot_of(hash());
         for (std::size_t p = 0; p < kProbeWindow; ++p) {
             const std::size_t s = (base + p) % capacity_;
+            if (slot_gen_[s] != gen_) continue;  // stale generation = empty
             if (key_len_[s] != staged_.size()) continue;
             if (std::memcmp(keys_.data() + s * max_words_, staged_.data(),
                             staged_.size() * sizeof(std::uint64_t)) != 0)
@@ -115,7 +121,9 @@ public:
         std::uint64_t victim_age = age_[base];
         for (std::size_t p = 0; p < kProbeWindow; ++p) {
             const std::size_t s = (base + p) % capacity_;
-            if (key_len_[s] == 0) {  // empty slot wins immediately
+            // Empty and stale-generation slots win immediately: a bumped
+            // generation made their contents unreachable, so they are free.
+            if (key_len_[s] == 0 || slot_gen_[s] != gen_) {
                 victim = s;
                 break;
             }
@@ -127,15 +135,17 @@ public:
         std::memcpy(keys_.data() + victim * max_words_, staged_.data(),
                     staged_.size() * sizeof(std::uint64_t));
         key_len_[victim] = staged_.size();
+        slot_gen_[victim] = gen_;
         values_[victim] = value;
         age_[victim] = ++tick_;
     }
 
-    /// Drops every entry (statistics are kept — invalidations are part of a
-    /// run's hit/miss story, not a new run).
-    void invalidate() {
-        for (std::size_t s = 0; s < key_len_.size(); ++s) key_len_[s] = 0;
-    }
+    /// Drops every entry in O(1) by bumping the live generation — slots
+    /// written under an older generation can never hit again (statistics are
+    /// kept: invalidations are part of a run's hit/miss story, not a new
+    /// run). DVFS engage/relax and ring re-formation call this once per
+    /// event, so its cost must not scale with capacity.
+    void invalidate() { ++gen_; }
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -144,13 +154,21 @@ private:
     static constexpr std::size_t kProbeWindow = 8;
 
     std::uint64_t hash() const {
-        // FNV-1a over the staged words; any decent mixer works, the match is
-        // exact regardless.
+        // FNV-1a over the staged words, then a murmur3 finalizer — the match
+        // is exact regardless, but without the finalizer keys that differ
+        // only in the high bits of one word (e.g. a double's exponent across
+        // a τ ladder) collide into the same slot and evict each other,
+        // because FNV's multiply never carries differences downward.
         std::uint64_t h = 1469598103934665603ull;
         for (std::uint64_t w : staged_) {
             h ^= w;
             h *= 1099511628211ull;
         }
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        h *= 0xc4ceb9fe1a85ec53ull;
+        h ^= h >> 33;
         return h;
     }
 
@@ -162,12 +180,14 @@ private:
     std::size_t max_words_ = 0;
     std::vector<std::uint64_t> keys_;     ///< capacity × max_words flat
     std::vector<std::size_t> key_len_;    ///< words used; 0 = empty
+    std::vector<std::uint64_t> slot_gen_; ///< generation the slot was written
     std::vector<std::uint64_t> age_;      ///< LRU-within-window tick
     std::vector<Value> values_;
     std::vector<std::uint64_t> staged_;   ///< key under construction
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t tick_ = 0;
+    std::uint64_t gen_ = 0;  ///< live generation; bumped by invalidate()
 };
 
 }  // namespace hp::core

@@ -394,11 +394,38 @@ double PeakTemperatureAnalyzer::static_peak(const linalg::Vector& core_power,
     return peak;
 }
 
+double PeakTemperatureAnalyzer::static_peak_map(
+    const linalg::Vector& core_power, PeakWorkspace& workspace,
+    double* core_peak_c) const {
+    // Run the scalar query, then copy the per-core steady state straight out
+    // of the workspace it left behind — same operations, same results.
+    const double peak = static_peak(core_power, workspace);
+    const std::size_t n = solver_->model().core_count();
+    for (std::size_t i = 0; i < n; ++i)
+        core_peak_c[i] = workspace.t_idle_[i];
+    return peak;
+}
+
 double PeakTemperatureAnalyzer::rotation_peak(
     const std::vector<RotationRingSpec>& rings, double tau,
     std::size_t samples_per_epoch) const {
     PeakWorkspace workspace;
     return rotation_peak(rings, tau, samples_per_epoch, workspace);
+}
+
+double PeakTemperatureAnalyzer::rotation_peak_map(
+    const std::vector<RotationRingSpec>& rings, double tau,
+    std::size_t samples_per_epoch, PeakWorkspace& workspace,
+    double* core_peak_c) const {
+    // Scalar query first; its final reduction ran over exactly the
+    // t_idle_ + extra_ sums copied out here, so map and scalar agree bit for
+    // bit.
+    const double peak = rotation_peak(rings, tau, samples_per_epoch,
+                                      workspace);
+    const std::size_t n = solver_->model().core_count();
+    for (std::size_t i = 0; i < n; ++i)
+        core_peak_c[i] = workspace.t_idle_[i] + workspace.extra_[i];
+    return peak;
 }
 
 double PeakTemperatureAnalyzer::rotation_peak(

@@ -168,6 +168,16 @@ public:
     double static_peak(const linalg::Vector& core_power,
                        PeakWorkspace& workspace) const;
 
+    /// static_peak that additionally writes the steady-state temperature of
+    /// every core into @p core_peak_c (core_count() entries, caller-sized).
+    /// The scalar result and the map entries are exactly what static_peak
+    /// computes — the map is copied out of the same workspace state, so this
+    /// overload is bit-identical to the scalar one. Used by the advice
+    /// server, whose responses carry the full peak map.
+    double static_peak_map(const linalg::Vector& core_power,
+                           PeakWorkspace& workspace,
+                           double* core_peak_c) const;
+
     /// Peak core temperature with every listed ring rotating synchronously
     /// at interval @p tau and all remaining cores idle.
     ///
@@ -187,6 +197,16 @@ public:
     double rotation_peak(const std::vector<RotationRingSpec>& rings,
                          double tau, std::size_t samples_per_epoch,
                          PeakWorkspace& workspace) const;
+
+    /// rotation_peak (uniform τ) that additionally writes each core's
+    /// sampled peak — all-idle baseline plus its summed per-ring periodic
+    /// response maxima — into @p core_peak_c (core_count() entries,
+    /// caller-sized). Bit-identical to the scalar overload: the map is read
+    /// out of the same workspace state the scalar max runs over.
+    double rotation_peak_map(const std::vector<RotationRingSpec>& rings,
+                             double tau, std::size_t samples_per_epoch,
+                             PeakWorkspace& workspace,
+                             double* core_peak_c) const;
 
     /// Per-ring rotation intervals: rings[i] rotates every tau_per_ring[i]
     /// seconds. The superposition decomposition makes heterogeneous

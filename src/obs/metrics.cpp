@@ -29,6 +29,32 @@ std::uint64_t Histogram::total() const {
     return sum;
 }
 
+double Histogram::histogram_quantile(const std::vector<double>& bounds,
+                                     const std::vector<std::uint64_t>& counts,
+                                     double q) {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts) total += c;
+    if (total == 0 || counts.empty()) return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target observation, 1-based; q = 0 targets the first.
+    const double rank = std::max(1.0, q * static_cast<double>(total));
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts[i]);
+        if (cum + in_bucket < rank) {
+            cum += in_bucket;
+            continue;
+        }
+        if (i >= bounds.size())  // overflow bucket: saturate at its floor
+            return bounds.empty() ? 0.0 : bounds.back();
+        const double lo = i == 0 ? 0.0 : bounds[i - 1];
+        const double hi = bounds[i];
+        if (in_bucket <= 0.0) return hi;
+        return lo + (hi - lo) * ((rank - cum) / in_bucket);
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
 // --- registry ----------------------------------------------------------------
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -36,6 +36,22 @@ public:
     const std::vector<std::uint64_t>& counts() const { return counts_; }
     std::uint64_t total() const;
 
+    /// Quantile estimate, q in [0, 1]. See histogram_quantile().
+    double quantile(double q) const {
+        return histogram_quantile(bounds_, counts_, q);
+    }
+
+    /// Fixed-bucket quantile estimate over (bounds, counts) as laid out by
+    /// Histogram: finds the bucket holding the ceil(q·total)-th observation
+    /// and interpolates linearly inside it, assuming non-negative
+    /// observations (bucket 0 spans [0, bounds[0]]). The overflow bucket
+    /// reports its lower bound — the estimate saturates at bounds.back().
+    /// Returns 0 for an empty histogram. Exposed as a free-standing helper
+    /// so snapshot consumers (HistogramValue) can use it too.
+    static double histogram_quantile(const std::vector<double>& bounds,
+                                     const std::vector<std::uint64_t>& counts,
+                                     double q);
+
 private:
     std::vector<double> bounds_;
     std::vector<std::uint64_t> counts_;

@@ -1,0 +1,116 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace hp::server {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void write_full(int fd, const std::uint8_t* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+        // MSG_NOSIGNAL: a server that hung up mid-write surfaces as EPIPE,
+        // never as a process-killing SIGPIPE.
+        const ssize_t n =
+            ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("advice client: write");
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+void read_full(int fd, std::uint8_t* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::read(fd, data + done, size - done);
+        if (n == 0)
+            throw std::runtime_error(
+                "advice client: connection closed by server");
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("advice client: read");
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+AdviceClient::AdviceClient(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("advice client: socket path too long: " +
+                                 socket_path);
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw_errno("advice client: socket");
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throw_errno("advice client: connect to " + socket_path);
+    }
+}
+
+AdviceClient::~AdviceClient() { close(); }
+
+AdviceClient::AdviceClient(AdviceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
+
+AdviceClient& AdviceClient::operator=(AdviceClient&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+}
+
+void AdviceClient::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void AdviceClient::send_request(const AdviceRequest& request) {
+    if (fd_ < 0) throw std::runtime_error("advice client: not connected");
+    buffer_.clear();
+    encode_request(request, buffer_);
+    write_full(fd_, buffer_.data(), buffer_.size());
+}
+
+std::vector<std::uint8_t> AdviceClient::raw_query(
+    const AdviceRequest& request) {
+    send_request(request);
+    std::uint8_t header[8];
+    read_full(fd_, header, sizeof(header));
+    const std::size_t payload_len = check_frame_header(header, kResponseMagic);
+    std::vector<std::uint8_t> payload(payload_len);
+    read_full(fd_, payload.data(), payload.size());
+    return payload;
+}
+
+AdviceResponse AdviceClient::query(const AdviceRequest& request) {
+    const std::vector<std::uint8_t> payload = raw_query(request);
+    return decode_response(payload.data(), payload.size());
+}
+
+}  // namespace hp::server

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace hp::server {
+
+/// Minimal blocking client for the thermal-advice daemon: one AF_UNIX
+/// connection, synchronous query()/raw_query() calls. Used by the tests,
+/// the soak, the server bench and the example client; not thread-safe (one
+/// client per thread — connections are cheap).
+class AdviceClient {
+public:
+    /// Connects immediately; throws std::runtime_error when the server is
+    /// not there.
+    explicit AdviceClient(const std::string& socket_path);
+    ~AdviceClient();
+
+    AdviceClient(AdviceClient&& other) noexcept;
+    AdviceClient& operator=(AdviceClient&& other) noexcept;
+    AdviceClient(const AdviceClient&) = delete;
+    AdviceClient& operator=(const AdviceClient&) = delete;
+
+    /// Sends one request and blocks for the answer. Throws
+    /// std::runtime_error carrying the server's message on an error
+    /// response, ProtocolError on a malformed response frame, or
+    /// std::runtime_error on transport failure.
+    AdviceResponse query(const AdviceRequest& request);
+
+    /// Like query(), but returns the raw response payload bytes (after the
+    /// frame header) without decoding — what the soak byte-compares against
+    /// the batch path's encoding. Error responses come back as bytes too.
+    std::vector<std::uint8_t> raw_query(const AdviceRequest& request);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+private:
+    void send_request(const AdviceRequest& request);
+    int fd_ = -1;
+    std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace hp::server

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hp::server {
+
+/// Wire protocol of the thermal-advice server: length-prefixed binary frames
+/// over a Unix-domain stream socket.
+///
+///   frame    := magic:u32 | payload_len:u32 | payload
+///   request  := config_len:u16 | config bytes
+///             | thread_count:u32 | thread_power_w:f64 × thread_count
+///             | tau_count:u32    | tau_grid_s:f64 × tau_count
+///   response := status:u8 (0 = ok, 1 = error)
+///     ok     | rotation_on:u8 | thermally_safe:u8
+///            | tau_s:f64 | predicted_peak_c:f64 | error_bound_c:f64
+///            | thread_count:u32 | core_of_thread:u32 × thread_count
+///            | core_count:u32   | peak_core_c:f64 × core_count
+///     error  | message_len:u32 | message bytes
+///
+/// Integers and double bit patterns are host byte order: both ends of an
+/// AF_UNIX socket are the same machine by construction, so no swapping.
+/// Every malformed frame is rejected with a ProtocolError whose message
+/// carries the source file:line of the failing check — the server relays it
+/// verbatim in an error response, so a misbehaving client learns exactly
+/// which protocol invariant it broke.
+
+/// Raised on any framing/encoding violation. what() starts with file:line.
+class ProtocolError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+constexpr std::uint32_t kRequestMagic = 0x48505251u;   // "HPRQ"
+constexpr std::uint32_t kResponseMagic = 0x48505253u;  // "HPRS"
+/// Frame payload hard cap: generous for the largest stock chip (a 1024-core
+/// response is ~12 KiB) while bounding what one client can make the server
+/// buffer.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+/// Request-side sanity caps, enforced before any allocation is sized by
+/// untrusted input.
+constexpr std::uint32_t kMaxThreads = 65536;
+constexpr std::uint32_t kMaxTauGrid = 1024;
+constexpr std::uint32_t kMaxConfigLen = 256;
+
+/// One advice query: which stock chip configuration ("paper_64core", ... —
+/// see StudySetup::known_names()), the sustained power of each thread to
+/// place, and an optional τ grid to certify against (empty = the server's
+/// default ladder).
+struct AdviceRequest {
+    std::string config;
+    std::vector<double> thread_power_w;
+    std::vector<double> tau_grid_s;
+
+    bool operator==(const AdviceRequest&) const = default;
+};
+
+/// The server's answer: a thermally-safe assignment (core per thread, in
+/// request order), the chosen rotation setting, the certified peak and its
+/// a-priori error bound, plus the full per-core peak map at the chosen
+/// setting.
+struct AdviceResponse {
+    std::uint8_t rotation_on = 0;
+    std::uint8_t thermally_safe = 0;
+    double tau_s = 0.0;
+    double predicted_peak_c = 0.0;
+    double error_bound_c = 0.0;
+    std::vector<std::uint32_t> core_of_thread;
+    std::vector<double> peak_core_c;
+
+    bool operator==(const AdviceResponse&) const = default;
+};
+
+/// Serialisation. encode_* appends a complete frame (magic + length +
+/// payload) to @p out; decode_* parses one payload (the bytes after the
+/// 8-byte header) and throws ProtocolError on any violation.
+void encode_request(const AdviceRequest& request,
+                    std::vector<std::uint8_t>& out);
+AdviceRequest decode_request(const std::uint8_t* payload, std::size_t size);
+
+void encode_response(const AdviceResponse& response,
+                     std::vector<std::uint8_t>& out);
+void encode_error_response(const std::string& message,
+                           std::vector<std::uint8_t>& out);
+/// Parses a response payload. An error response throws std::runtime_error
+/// carrying the server's message unless @p error_out is non-null, in which
+/// case the message lands there and an empty response is returned.
+AdviceResponse decode_response(const std::uint8_t* payload, std::size_t size,
+                               std::string* error_out = nullptr);
+
+/// Validates a frame header (first 8 bytes already read): checks the magic
+/// and the payload length cap, returning the payload length. Throws
+/// ProtocolError otherwise.
+std::uint32_t check_frame_header(const std::uint8_t header[8],
+                                 std::uint32_t expected_magic);
+
+}  // namespace hp::server

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "server/advice.hpp"
+#include "thermal/solver.hpp"
+
+namespace hp::server {
+
+/// Everything needed to bring the daemon up. Plain data, validated by the
+/// AdviceServer constructor.
+struct ServerConfig {
+    /// Filesystem path of the AF_UNIX listening socket. A stale socket file
+    /// from a dead server is unlinked; any other file type is an error.
+    std::string socket_path;
+    /// Fixed worker-thread pool size.
+    std::size_t threads = 4;
+    /// Config tags served (StudySetup::known_names() namespace); one
+    /// read-only bundle (plus per-NUMA-node replicas) and one shared
+    /// concurrent cache per tag.
+    std::vector<std::string> configs = {"paper_64core"};
+    /// Solver backend selection for every bundle.
+    thermal::SolverConfig solver = {};
+    /// Worker pinning / NUMA replication, as in campaign runs. Environment
+    /// overrides (HOTPOTATO_PIN / HOTPOTATO_NUMA) are applied at startup.
+    exec::ExecPolicy exec = {};
+    /// Evaluation defaults applied to every request.
+    AdviceDefaults defaults = {};
+    /// Shared concurrent prediction cache (per config tag); 0 disables.
+    std::size_t cache_entries = 4096;
+    int listen_backlog = 128;
+};
+
+/// The thermal-advice daemon: accepts framed AdviceRequests over a
+/// Unix-domain socket and answers them from a fixed pool of worker threads.
+///
+/// Architecture (DESIGN.md §13): one dispatcher thread owns the listening
+/// socket and every idle connection in a poll() set; a connection with a
+/// readable request is handed to the work queue, a worker reads exactly one
+/// frame, answers it, and parks the connection back with the dispatcher.
+/// Workers never share mutable state: each owns an arena (node-bound under
+/// NUMA), its AdviceScratch, and its metrics registry. The AdviceBundles are
+/// strictly read-only and replicated per NUMA node on first use by a worker
+/// of that node; the per-config ConcurrentPeakCache is the only shared
+/// writable structure, and it is lock-free.
+///
+/// stop() is graceful: the listening socket closes immediately, connections
+/// with a request already in flight (bytes readable, or a frame mid-read)
+/// are answered, idle connections are closed, then all threads join. The
+/// destructor calls stop().
+class AdviceServer {
+public:
+    /// Builds every bundle (the expensive eigen-work happens here), binds
+    /// the socket and starts the dispatcher + workers; on return the server
+    /// is accepting connections. Throws std::invalid_argument /
+    /// std::runtime_error on bad config or socket errors.
+    explicit AdviceServer(ServerConfig config);
+    ~AdviceServer();
+
+    AdviceServer(const AdviceServer&) = delete;
+    AdviceServer& operator=(const AdviceServer&) = delete;
+
+    const ServerConfig& config() const { return config_; }
+    const std::string& socket_path() const { return config_.socket_path; }
+    bool running() const {
+        return !stopping_.load(std::memory_order_acquire);
+    }
+
+    /// Graceful shutdown; idempotent, callable from any thread.
+    void stop();
+
+    /// server.* observability: request/error counters and the latency
+    /// histogram merged across workers, cache hit/miss/race counters summed
+    /// across configs, plus derived gauges — server.qps (requests over
+    /// uptime) and server.latency_p50_us / server.latency_p99_us
+    /// (interpolated from the merged histogram). Callable while serving.
+    obs::MetricsSnapshot metrics() const;
+
+    std::uint64_t requests_served() const {
+        return requests_total_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct ConfigState;
+    struct WorkerState;
+
+    void dispatcher_loop();
+    void worker_loop(std::size_t index);
+    /// Serves one request on @p fd. Returns false when the connection must
+    /// close (EOF, protocol violation, write failure).
+    bool serve_one(int fd, WorkerState& worker);
+    const AdviceBundle& bundle_for(ConfigState& state, int node);
+    ConfigState* find_config(const std::string& tag);
+
+    ServerConfig config_;
+    exec::Topology topology_;
+    std::vector<exec::WorkerPlacement> placements_;
+    std::vector<std::unique_ptr<ConfigState>> configs_;
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+
+    int listen_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};  ///< dispatcher re-arm/wake self-pipe
+
+    std::atomic<bool> stopping_{false};
+    std::thread dispatcher_;
+    std::vector<std::thread> threads_;
+
+    // Dispatcher <-> worker handoff.
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<int> ready_fds_;        ///< readable, awaiting a worker
+    std::deque<int> parked_fds_;       ///< answered, awaiting re-arm
+    bool dispatcher_done_ = false;
+
+    std::mutex stop_mutex_;  ///< serializes stop() callers (joins once)
+    bool stopped_ = false;
+    bool replicate_bundles_ = false;
+
+    std::atomic<std::uint64_t> requests_total_{0};
+    std::chrono::steady_clock::time_point started_at_;
+};
+
+}  // namespace hp::server

@@ -102,6 +102,41 @@ TEST(PredictionCache, InvalidateDropsEntriesKeepsStats) {
     EXPECT_EQ(cache.misses(), 1u);
 }
 
+TEST(PredictionCache, GenerationBumpLeavesNoStaleHitsBehind) {
+    // invalidate() is an O(1) generation bump — no slot is cleared. The
+    // regression bar: no key inserted before a bump may ever hit after it,
+    // across repeated bumps and slot reuse, because a stale hit would let a
+    // pre-fault (or pre-DVFS) prediction leak into a re-formed ring set.
+    core::PredictionCache<double> cache;
+    cache.configure(16, 2);  // smaller than the key set: slots get reused
+    for (int round = 0; round < 5; ++round) {
+        for (std::uint64_t k = 0; k < 64; ++k) {
+            cache.key_begin();
+            cache.key_push(k);
+            cache.key_push(std::uint64_t(round));
+            cache.insert(double(round * 1000 + int(k)));
+        }
+        cache.invalidate();
+        for (std::uint64_t k = 0; k < 64; ++k) {
+            cache.key_begin();
+            cache.key_push(k);
+            cache.key_push(std::uint64_t(round));
+            EXPECT_EQ(cache.lookup(), nullptr)
+                << "stale hit for key " << k << " survived bump " << round;
+        }
+    }
+    // Stale-generation slots are preferred insert victims: the cache keeps
+    // serving at full capacity after any number of bumps.
+    cache.key_begin();
+    cache.key_push(std::uint64_t{7});
+    cache.insert(42.0);
+    cache.key_begin();
+    cache.key_push(std::uint64_t{7});
+    const double* hit = cache.lookup();
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, 42.0);
+}
+
 TEST(PredictionCache, OversizeKeysAndDisabledCacheAreSafeNoOps) {
     core::PredictionCache<double> cache;
     cache.configure(4, 2);
