@@ -163,8 +163,18 @@ public:
             }
             const std::uint64_t bits =
                 value_[s].load(std::memory_order_acquire);
+            // Validate with acquire (free on x86, one fence on ARM): under
+            // the strict C++ model a relaxed re-load could observe new body
+            // words yet the pre-claim packed word — the classic seqlock
+            // formalization gap. Acquire pairs with the writer's release
+            // publish and closes the practical window; a residual
+            // model-level caveat remains because the writer's body stores
+            // are relaxed (a fully formal seqlock needs release body stores
+            // or fences, which TSan does not model). On real hardware the
+            // coherence-ordered re-load makes any torn body fail
+            // validation, and the 32-thread TSan soak is clean.
             const std::uint64_t t2 =
-                tag_gen_[s].load(std::memory_order_relaxed);
+                tag_gen_[s].load(std::memory_order_acquire);
             if (t2 != t1) {
                 races_.fetch_add(1, std::memory_order_relaxed);
                 continue;

@@ -21,10 +21,6 @@
 namespace hp::server {
 namespace {
 
-/// Per-read/write poll budget: a connection that stalls mid-frame longer
-/// than this is dropped (one worker must never be parked forever behind a
-/// half-sent frame).
-constexpr int kIoTimeoutMs = 5000;
 /// Dispatcher poll tick — also the stop-flag latency of every thread.
 constexpr int kPollTickMs = 100;
 /// After stop(): how long an open connection gets to reveal an in-flight
@@ -50,8 +46,11 @@ bool poll_fd(int fd, short events, int timeout_ms) {
 }
 
 /// 1 = got all @p n bytes; 0 = clean EOF before the first byte (and
-/// @p eof_ok); -1 = error, timeout, or EOF mid-buffer.
-int read_full(int fd, std::uint8_t* buf, std::size_t n, bool eof_ok) {
+/// @p eof_ok); -1 = error, timeout, or EOF mid-buffer. The per-stall
+/// @p timeout_ms budget only engages through the EAGAIN->poll path, which
+/// requires the fd to be non-blocking (see accept4 in dispatcher_loop).
+int read_full(int fd, std::uint8_t* buf, std::size_t n, bool eof_ok,
+              int timeout_ms) {
     std::size_t got = 0;
     while (got < n) {
         const ssize_t rc = ::read(fd, buf + got, n - got);
@@ -62,7 +61,7 @@ int read_full(int fd, std::uint8_t* buf, std::size_t n, bool eof_ok) {
         if (rc == 0) return (got == 0 && eof_ok) ? 0 : -1;
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
-            if (!poll_fd(fd, POLLIN, kIoTimeoutMs)) return -1;
+            if (!poll_fd(fd, POLLIN, timeout_ms)) return -1;
             continue;
         }
         return -1;
@@ -70,7 +69,8 @@ int read_full(int fd, std::uint8_t* buf, std::size_t n, bool eof_ok) {
     return 1;
 }
 
-bool write_full(int fd, const std::uint8_t* buf, std::size_t n) {
+bool write_full(int fd, const std::uint8_t* buf, std::size_t n,
+                int timeout_ms) {
     std::size_t put = 0;
     while (put < n) {
         // MSG_NOSIGNAL: a client that hung up mid-response surfaces as
@@ -82,7 +82,7 @@ bool write_full(int fd, const std::uint8_t* buf, std::size_t n) {
         }
         if (rc < 0 && errno == EINTR) continue;
         if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            if (!poll_fd(fd, POLLOUT, kIoTimeoutMs)) return false;
+            if (!poll_fd(fd, POLLOUT, timeout_ms)) return false;
             continue;
         }
         return false;
@@ -135,6 +135,9 @@ AdviceServer::AdviceServer(ServerConfig config) : config_(std::move(config)) {
     if (config_.configs.empty())
         throw std::invalid_argument(
             "AdviceServer: at least one config tag to serve");
+    if (config_.io_timeout_ms <= 0)
+        throw std::invalid_argument(
+            "AdviceServer: io_timeout_ms must be positive");
 
     config_.exec.apply_env_overrides();
     topology_ = config_.exec.resolve_topology();
@@ -212,10 +215,19 @@ AdviceServer::AdviceServer(ServerConfig config) : config_(std::move(config)) {
     if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) fail("pipe2()");
 
     started_at_ = std::chrono::steady_clock::now();
-    dispatcher_ = std::thread([this] { dispatcher_loop(); });
-    threads_.reserve(config_.threads);
-    for (std::size_t i = 0; i < config_.threads; ++i)
-        threads_.emplace_back([this, i] { worker_loop(i); });
+    try {
+        dispatcher_ = std::thread([this] { dispatcher_loop(); });
+        threads_.reserve(config_.threads);
+        for (std::size_t i = 0; i < config_.threads; ++i)
+            threads_.emplace_back([this, i] { worker_loop(i); });
+    } catch (...) {
+        // std::thread construction can throw under resource exhaustion.
+        // ~AdviceServer never runs for a throwing constructor, so destroying
+        // the still-joinable thread members would call std::terminate —
+        // stop() joins whatever did start and releases the fds/socket file.
+        stop();
+        throw;
+    }
 }
 
 AdviceServer::~AdviceServer() { stop(); }
@@ -254,7 +266,14 @@ void AdviceServer::dispatcher_loop() {
         pfds.push_back({wake_pipe_[0], POLLIN, 0});
         for (int fd : idle) pfds.push_back({fd, POLLIN, 0});
         const int rc = ::poll(pfds.data(), pfds.size(), kPollTickMs);
-        if (rc < 0 && errno != EINTR) break;
+        if (rc < 0 && errno != EINTR) {
+            // Fatal poll error: fail the whole server, not just this loop.
+            // Without stopping_ set, workers would wait forever on the
+            // queue_cv_ predicate (it needs stopping_ && dispatcher_done_)
+            // and running() would report true while nothing is accepted.
+            stopping_.store(true, std::memory_order_release);
+            break;
+        }
         if (rc <= 0) continue;
         if (pfds[1].revents & POLLIN) {
             std::uint8_t drain[64];
@@ -279,8 +298,13 @@ void AdviceServer::dispatcher_loop() {
         idle.resize(keep);
         if (pfds[0].revents & POLLIN) {
             for (;;) {
-                const int cfd =
-                    ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+                // SOCK_NONBLOCK is load-bearing: accepted sockets do NOT
+                // inherit O_NONBLOCK from the listener, and the stall
+                // timeout in read_full/write_full only engages via the
+                // EAGAIN->poll path. A blocking fd would let one half-sent
+                // frame park a worker in read() forever.
+                const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                          SOCK_CLOEXEC | SOCK_NONBLOCK);
                 if (cfd < 0) break;  // EAGAIN: accepted everything pending
                 idle.push_back(cfd);
             }
@@ -364,16 +388,18 @@ void AdviceServer::worker_loop(std::size_t index) {
 }
 
 bool AdviceServer::serve_one(int fd, WorkerState& worker) {
+    const int io_timeout_ms = config_.io_timeout_ms;
     std::uint8_t header[8];
-    const int got = read_full(fd, header, sizeof header, /*eof_ok=*/true);
+    const int got =
+        read_full(fd, header, sizeof header, /*eof_ok=*/true, io_timeout_ms);
     if (got == 0) return false;  // client hung up between requests
     worker.out_buf.clear();
     if (got < 0) return false;   // torn header / timeout: nothing to answer
     try {
         const std::uint32_t len = check_frame_header(header, kRequestMagic);
         worker.in_buf.resize(len);
-        if (len != 0 &&
-            read_full(fd, worker.in_buf.data(), len, /*eof_ok=*/false) != 1)
+        if (len != 0 && read_full(fd, worker.in_buf.data(), len,
+                                  /*eof_ok=*/false, io_timeout_ms) != 1)
             return false;  // frame truncated on the wire
     } catch (const ProtocolError& e) {
         // Broken framing: report (with the protocol.cpp file:line of the
@@ -384,7 +410,8 @@ bool AdviceServer::serve_one(int fd, WorkerState& worker) {
             worker.protocol_errors->add();
         }
         encode_error_response(e.what(), worker.out_buf);
-        write_full(fd, worker.out_buf.data(), worker.out_buf.size());
+        write_full(fd, worker.out_buf.data(), worker.out_buf.size(),
+                   io_timeout_ms);
         return false;
     }
 
@@ -442,7 +469,8 @@ bool AdviceServer::serve_one(int fd, WorkerState& worker) {
         }
         requests_total_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!write_full(fd, worker.out_buf.data(), worker.out_buf.size()))
+    if (!write_full(fd, worker.out_buf.data(), worker.out_buf.size(),
+                    io_timeout_ms))
         return false;
     return !close_after;
 }

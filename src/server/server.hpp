@@ -42,6 +42,10 @@ struct ServerConfig {
     /// Shared concurrent prediction cache (per config tag); 0 disables.
     std::size_t cache_entries = 4096;
     int listen_backlog = 128;
+    /// Per-read/write stall budget: a connection that stalls mid-frame (or
+    /// stops reading its response) longer than this is dropped, so a
+    /// misbehaving client can hold a worker for at most this long.
+    int io_timeout_ms = 5000;
 };
 
 /// The thermal-advice daemon: accepts framed AdviceRequests over a

@@ -215,6 +215,48 @@ TEST(ServerTest, MalformedFrameIsRejectedAndConnectionClosed) {
     ::close(fd);
 }
 
+TEST(ServerTest, StalledPartialFrameIsDroppedAndWorkerFreed) {
+    // Regression: accepted sockets must be non-blocking, or the stall
+    // budget in read_full (EAGAIN->poll) never engages and a client that
+    // sends half a header parks a worker in read() forever. With a single
+    // worker that wedges the whole server and makes stop() hang.
+    ServerConfig config = test_config("stall", /*threads=*/1);
+    config.io_timeout_ms = 200;
+    AdviceServer server(config);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, server.socket_path().c_str(),
+                server.socket_path().size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+    const std::uint8_t half_header[4] = {0x00, 0x00, 0x00, 0x00};
+    ASSERT_EQ(::write(fd, half_header, sizeof half_header), 4);
+
+    // The server must give up on the stalled connection within the budget:
+    // EOF on our end, well before the 5 s default would allow.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(3);
+    ssize_t rc = -1;
+    std::uint8_t byte = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        rc = ::recv(fd, &byte, 1, MSG_DONTWAIT);
+        if (rc >= 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(rc, 0) << "stalled connection was not dropped";
+    ::close(fd);
+
+    // The lone worker is free again: a well-behaved client gets answered.
+    AdviceClient client(server.socket_path());
+    const AdviceResponse ok =
+        client.query(make_request("paper_16core", {1.0, 1.0}));
+    EXPECT_EQ(ok.core_of_thread.size(), 2u);
+}
+
 TEST(ServerTest, SemanticErrorKeepsTheConnectionUsable) {
     const ServerConfig config = test_config("semantic");
     AdviceServer server(config);
@@ -340,6 +382,9 @@ TEST(ServerTest, RejectsBadConfiguration) {
     EXPECT_THROW(AdviceServer server(config), std::invalid_argument);
     config = test_config("dupe");
     config.configs = {"paper_16core", "paper_16core"};
+    EXPECT_THROW(AdviceServer server(config), std::invalid_argument);
+    config = test_config("badtimeout");
+    config.io_timeout_ms = 0;
     EXPECT_THROW(AdviceServer server(config), std::invalid_argument);
 }
 
