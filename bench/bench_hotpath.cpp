@@ -407,6 +407,42 @@ int main(int argc, char** argv) {
             smoke ? 0.01 : 0.1);
     }
 
+    // 1024-core scale-up: full mode only — the one-time 2049-node
+    // eigendecomposition behind testbed_1024core() is far too heavy for the
+    // tier-1 smoke invocation (smoke coverage stops at 256).
+    if (!smoke) {
+        std::printf("\n-- 1024-core scale-up (truncated-modal backend) --\n");
+        const campaign::StudySetup& t1024 = bench::testbed_1024core();
+        const thermal::TransientSolver& modal1024 = t1024.solver();
+        std::printf("  backend=%s modes=%zu/%zu error_bound=%.3f K\n",
+                    modal1024.backend_name(), modal1024.mode_count(),
+                    modal1024.node_count(), modal1024.error_bound_c());
+
+        // Algorithm 1 on a 32x32 ring (the same centred 8-slot shape as the
+        // 64/256-core cases).
+        {
+            core::PeakTemperatureAnalyzer analyzer1024(modal1024, 45.0, 0.3);
+            core::RotationRingSpec ring1024;
+            ring1024.cores = {495, 496, 528, 527, 526, 494, 462, 463};
+            ring1024.slot_power_w = {6.0, 5.5, 5.0, 0.3, 0.3, 4.0, 0.3, 0.3};
+            const std::vector<core::RotationRingSpec> rings1024 = {ring1024};
+            core::PeakWorkspace peak_ws1024;
+            measure("rotation_peak_1024", 20, [&] {
+                return analyzer1024.rotation_peak(rings1024, 0.5e-3, 2,
+                                                  peak_ws1024);
+            });
+        }
+
+        // Whole-simulator micro-steps on the 1024-core chip.
+        {
+            core::HotPotatoScheduler sched;
+            measure_sim("sim_step_1024core", t1024, sched,
+                        workload::homogeneous_fill(
+                            workload::profile_by_name("bodytrack"), 16, 1),
+                        0.02);
+        }
+    }
+
     std::printf("\n-- execution layer: workspace setup, campaign throughput --\n");
 
     // Per-run workspace setup cost, heap vs node-local arena (DESIGN.md §12).

@@ -78,6 +78,26 @@ std::vector<AdviceRequest> request_pool() {
     return pool;
 }
 
+/// 256-core-only mix for the dedicated scale-up leg: every request lands on
+/// the paper_256core bundle (truncated-modal backend), so the leg isolates
+/// the large-config serving cost from the mixed pool above.
+std::vector<AdviceRequest> request_pool_256() {
+    std::vector<AdviceRequest> pool;
+    const auto add = [&](std::vector<double> powers,
+                         std::vector<double> taus = {}) {
+        AdviceRequest request;
+        request.config = "paper_256core";
+        request.thread_power_w = std::move(powers);
+        request.tau_grid_s = std::move(taus);
+        pool.push_back(std::move(request));
+    };
+    add(std::vector<double>(16, 2.5));
+    add(std::vector<double>(64, 3.5));
+    add(std::vector<double>(128, 2.0));
+    add(std::vector<double>(8, 6.0), {0.25e-3, 0.5e-3, 1e-3});
+    return pool;
+}
+
 struct LegResult {
     double wall_s = 0.0;
     double qps = 0.0;
@@ -262,6 +282,33 @@ int main(int argc, char** argv) {
     std::printf("  %-28s %10.1f us\n", p99.name.c_str(),
                 p99.ns_per_op / 1e3);
     g_cases.push_back(std::move(p99));
+
+    // Dedicated 256-core leg: 8 clients, every request on the paper_256core
+    // bundle — the batched modal hot path end to end through advise().
+    {
+        const std::vector<AdviceRequest> pool256 = request_pool_256();
+        run_leg(config.socket_path, 1, pool256.size(), pool256);  // warm-up
+        const std::size_t clients = 8;
+        const LegResult leg =
+            run_leg(config.socket_path, clients, per_client, pool256);
+        Case c;
+        c.name = "server_qps_256core";
+        c.ns_per_op = 1e9 / leg.qps;
+        c.ops = static_cast<double>(clients * per_client);
+        std::printf(
+            "  %-28s %10.0f qps %12.0f ns/req  p50 %7.0f us  p99 %7.0f us\n",
+            c.name.c_str(), leg.qps, c.ns_per_op,
+            percentile_ns(leg.latency_ns, 0.50) / 1e3,
+            percentile_ns(leg.latency_ns, 0.99) / 1e3);
+        g_cases.push_back(std::move(c));
+        Case p99_256;
+        p99_256.name = "server_p99_256core_us";
+        p99_256.ns_per_op = percentile_ns(leg.latency_ns, 0.99);
+        p99_256.ops = static_cast<double>(leg.latency_ns.size());
+        std::printf("  %-28s %10.1f us\n", p99_256.name.c_str(),
+                    p99_256.ns_per_op / 1e3);
+        g_cases.push_back(std::move(p99_256));
+    }
 
     // Cache effectiveness, for the log and the JSON reader's context.
     std::uint64_t hits = 0, misses = 0, races = 0;

@@ -27,6 +27,14 @@ inline const campaign::StudySetup& testbed_256core() {
     return t;
 }
 
+/// 32x32 scale-up machine (2049 thermal nodes). Setup runs a full
+/// eigendecomposition, so benches should only touch this in full mode.
+inline const campaign::StudySetup& testbed_1024core() {
+    static const campaign::StudySetup t =
+        campaign::StudySetup::paper_1024core();
+    return t;
+}
+
 inline void print_header(const char* title, const char* paper_ref) {
     std::printf("\n=============================================================================\n");
     std::printf("%s\n", title);

@@ -57,7 +57,14 @@ import sys
 # the server entries gate the advice daemon's sustained-load claim.
 REQUIRED_CASES = ("solver_setup_256", "sim_step_256core", "rotation_peak_256",
                   "campaign_run_64core", "campaign_run_256core",
-                  "server_qps_8clients", "server_p99_us")
+                  "server_qps_8clients", "server_p99_us",
+                  "server_qps_256core", "server_p99_256core_us")
+
+# Additionally required in full mode only: the 1024-core scale-up entries.
+# bench_hotpath skips them in smoke mode (the one-time 2049-node
+# eigendecomposition is too heavy for the tier-1 ctest invocation), so they
+# gate the full-mode perf-trajectory artefact but not the smoke baseline.
+REQUIRED_CASES_FULL = ("sim_step_1024core", "rotation_peak_1024")
 
 
 def load_cases(path):
@@ -187,7 +194,8 @@ def main():
     # throughput claim): their absence from a fresh run is a failure, not a
     # skip.
     required = (args.require if args.require is not None
-                else list(REQUIRED_CASES))
+                else list(REQUIRED_CASES)
+                + (list(REQUIRED_CASES_FULL) if cand_mode == "full" else []))
     missing_required = [n for n in required if n and n not in candidate]
     if missing_required:
         print("check_bench: required case(s) missing from candidate: "

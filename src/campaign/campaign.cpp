@@ -479,6 +479,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
                 replica.setup.emplace(spec.setup().replicate());
             });
             study = &*replica.setup;
+            // Rebinding to the replica's solver: drop any memoised e^{λ·dt}
+            // ladders keyed on another solver's eigenvalue storage, whose
+            // freed address the replica may alias (O(1), empty on a fresh
+            // workspace).
+            workspace.invalidate_exp_tables();
         }
         const auto harvest = [&] {
             stats.arena_reserved = arena.bytes_reserved();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/kernels.hpp"
 
@@ -59,6 +60,39 @@ PeakTemperatureAnalyzer::PeakTemperatureAnalyzer(
             v_cores_(i, k) = solver.mode_shapes()(i, k);
     ambient_offset_ =
         solver.conductance_solve(ambient_c * model.ambient_conductance());
+
+    // Truncated backends additionally need the dropped-cluster targets
+    // c_f(i) = (B^{-1}P_f)(i) - Σ_k V(i,k)·(β·P_f)(k) at run time. Both terms
+    // are linear in P_f, so their composition is one fixed map Q with
+    // Q(j, i) = (B^{-1})(i, j) - Σ_k V(i, k)·β(k, j), a floorplan constant:
+    // rotation power vectors have only a handful of non-zeros, which turns
+    // the per-query banded solves into a few axpys over Q's rows. B is
+    // symmetric (SPD — it admits the banded Cholesky factorisation), so its
+    // core *rows* are the core unit-vector *solves*, batched here once.
+    if (truncated_) {
+        const std::size_t big_n = model.node_count();
+        quasi_static_map_ = linalg::Matrix(big_n, cores);
+        // Retained-mode part first: Q_kept(j, i) = Σ_k V(i, k)·β(k, j) as one
+        // matmat over β^T's rows (RHS-major, one RHS per node j).
+        linalg::kernel_matmat(v_cores_.data(), cores, modes_, beta_t_.data(),
+                              big_n, &quasi_static_map_(0, 0));
+        thermal::ThermalWorkspace scratch;
+        constexpr std::size_t kChunk = 64;
+        std::vector<double> rhs(kChunk * big_n), sol(kChunk * big_n);
+        for (std::size_t base = 0; base < cores; base += kChunk) {
+            const std::size_t m = std::min(kChunk, cores - base);
+            std::fill(rhs.begin(), rhs.begin() + m * big_n, 0.0);
+            for (std::size_t c = 0; c < m; ++c) rhs[c * big_n + base + c] = 1.0;
+            solver.conductance_solve_batch_into(rhs.data(), m, scratch,
+                                                sol.data());
+            for (std::size_t c = 0; c < m; ++c) {
+                const double* s = sol.data() + c * big_n;
+                const std::size_t i = base + c;
+                for (std::size_t j = 0; j < big_n; ++j)
+                    quasi_static_map_(j, i) = s[j] - quasi_static_map_(j, i);
+            }
+        }
+    }
 }
 
 std::vector<linalg::Vector> PeakTemperatureAnalyzer::boundary_temperatures(
@@ -186,24 +220,22 @@ void PeakTemperatureAnalyzer::build_modal_targets(
         }
     }
 
-    // Truncated backend: the τ-independent dropped-cluster targets — exact
-    // quasi-static core response of each epoch minus its retained-mode part,
-    // c_f(i) = (B^{-1}P_f)(i) - Σ_k V(i,k)·y_{f,k}. One sparse direct solve
-    // per epoch, reused across every τ the caller evaluates.
+    // Truncated backend: the τ-independent dropped-cluster targets
+    // c_f(i) = (B^{-1}P_f)(i) - Σ_k V(i,k)·y_{f,k}. The whole expression is
+    // linear in P_f, so it is a gather over the precomputed quasi-static map:
+    // a few axpys per epoch for sparse rotation deltas, instead of a banded
+    // solve plus a retained-mode projection per query.
     if (truncated_) {
         const std::size_t cores = solver_->model().core_count();
-        ensure_list(ws.cfield_, delta, cores, /*zero=*/false, ws.resource());
+        ensure_list(ws.cfield_, delta, cores, /*zero=*/true, ws.resource());
         for (std::size_t f = 0; f < delta; ++f) {
-            solver_->conductance_solve_into(node_power_per_epoch[f],
-                                            ws.thermal_, ws.csolve_);
-            const double* yf = ws.y_[f].data();
+            const linalg::Vector& p = node_power_per_epoch[f];
             double* cf = ws.cfield_[f].data();
-            for (std::size_t i = 0; i < cores; ++i) {
-                double kept = 0.0;
-                const double* vrow = v_cores_.data() + i * modes_;
-                for (std::size_t k = 0; k < modes_; ++k)
-                    kept += vrow[k] * yf[k];
-                cf[i] = ws.csolve_[i] - kept;
+            for (std::size_t j = 0; j < big_n; ++j) {
+                const double pj = p[j];
+                if (pj == 0.0) continue;
+                linalg::kernel_axpy(cores, pj,
+                                    quasi_static_map_.data() + j * cores, cf);
             }
         }
     }

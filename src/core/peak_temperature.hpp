@@ -53,7 +53,6 @@ public:
           batch_steady_(mr),
           ek_(mr),
           ek_pow_(mr),
-          csolve_(mr),
           qfrac_(mr),
           qpow_(mr),
           thermal_(mr) {}
@@ -86,7 +85,6 @@ private:
     // Truncated-backend correction state (untouched on exact backends):
     std::vector<linalg::Vector> cfield_;  ///< per-epoch dropped core fields
     std::vector<linalg::Vector> cstar_;   ///< dropped periodic boundary state
-    linalg::Vector csolve_;               ///< B^{-1}·P_f scratch
     std::pmr::vector<double> qfrac_;      ///< e^{λ̄ τ s/S}, s = 1..S
     std::pmr::vector<double> qpow_;       ///< e^{λ̄ τ g}, g = 0..δ
     thermal::ThermalWorkspace thermal_;
@@ -290,6 +288,15 @@ private:
     linalg::Matrix v_cores_;         ///< V core rows, row-major (i, k) = V(i, k);
                                      ///< the modal→core projection is one matmat
                                      ///< over all boundary/interior samples
+    linalg::Matrix quasi_static_map_;  ///< Truncated backends only: row j holds
+                                       ///< the per-core dropped-cluster response
+                                       ///< to unit power at node j,
+                                       ///< Q(j,i) = (B^{-1})(i,j) − Σ_k V(i,k)β(k,j),
+                                       ///< so c_f = Σ_j P_f(j)·Q(j,·) is a sparse
+                                       ///< gather instead of a banded solve per
+                                       ///< epoch. A floorplan constant (B is
+                                       ///< symmetric, so B^{-1} core rows come
+                                       ///< from `cores` unit-vector solves).
     linalg::Vector ambient_offset_;  ///< B^{-1} T_amb G
 };
 

@@ -2,30 +2,56 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
 namespace hp::linalg {
 
 namespace {
 
-/// Reverse Cuthill-McKee ordering of the subgraph induced by @p keep,
-/// appended to @p order. Starts each component from its minimum-degree
-/// vertex (a cheap peripheral-node heuristic) and visits neighbours in
-/// ascending degree.
-void reverse_cuthill_mckee(const std::vector<std::vector<std::size_t>>& adj,
-                           const std::vector<bool>& keep,
-                           std::vector<std::size_t>& order) {
-    const std::size_t n = adj.size();
-    std::vector<std::size_t> degree(n, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!keep[i]) continue;
-        for (std::size_t j : adj[i])
-            if (keep[j]) ++degree[i];
+/// Flat scratch for the setup-time graph passes: one allocation sized
+/// 4n+1 indices instead of the per-vertex vectors and std::queue nodes the
+/// naive adjacency-list construction churns through (the solver_setup bench
+/// gates allocs/op, and at 513/2049 nodes the churn dominated setup's heap
+/// traffic). Partitioned into degree / visit order (doubles as the BFS
+/// FIFO) / neighbour sort buffer / component seed scan.
+struct RcmScratch {
+    std::vector<std::size_t> buf;
+    std::size_t* degree = nullptr;
+    std::size_t* cm = nullptr;     ///< visit order; also the BFS queue
+    std::size_t* neigh = nullptr;  ///< per-vertex neighbour sort buffer
+    std::vector<bool> visited;
+
+    explicit RcmScratch(std::size_t n) : buf(3 * n, 0), visited(n, false) {
+        degree = buf.data();
+        cm = buf.data() + n;
+        neigh = buf.data() + 2 * n;
     }
-    std::vector<bool> visited(n, false);
-    std::vector<std::size_t> cm;
-    std::vector<std::size_t> neigh;
+};
+
+/// Reverse Cuthill-McKee ordering of the subgraph induced by @p keep,
+/// appended to @p order. The adjacency is flat CSR (@p adj_ptr / @p adj_idx).
+/// Starts each component from its minimum-degree vertex (a cheap
+/// peripheral-node heuristic) and visits neighbours in ascending degree.
+/// The visit list itself is the BFS FIFO — a vertex is appended once and
+/// scanned once — so the pass allocates nothing beyond @p scratch.
+void reverse_cuthill_mckee(const std::vector<std::size_t>& adj_ptr,
+                           const std::vector<std::size_t>& adj_idx,
+                           const std::vector<bool>& keep,
+                           RcmScratch& scratch,
+                           std::vector<std::size_t>& order) {
+    const std::size_t n = adj_ptr.size() - 1;
+    std::size_t* degree = scratch.degree;
+    for (std::size_t i = 0; i < n; ++i) {
+        degree[i] = 0;
+        if (!keep[i]) continue;
+        for (std::size_t p = adj_ptr[i]; p < adj_ptr[i + 1]; ++p)
+            if (keep[adj_idx[p]]) ++degree[i];
+    }
+    std::vector<bool>& visited = scratch.visited;
+    std::size_t* cm = scratch.cm;
+    std::size_t* neigh = scratch.neigh;
+    std::size_t count = 0;  ///< vertices appended to cm so far
+    std::size_t head = 0;   ///< BFS scan cursor into cm
     for (;;) {
         // Unvisited kept vertex of minimum degree seeds the next component.
         std::size_t seed = n;
@@ -34,28 +60,26 @@ void reverse_cuthill_mckee(const std::vector<std::vector<std::size_t>>& adj,
             if (seed == n || degree[i] < degree[seed]) seed = i;
         }
         if (seed == n) break;
-        std::queue<std::size_t> fifo;
-        fifo.push(seed);
+        cm[count++] = seed;
         visited[seed] = true;
-        while (!fifo.empty()) {
-            const std::size_t v = fifo.front();
-            fifo.pop();
-            cm.push_back(v);
-            neigh.clear();
-            for (std::size_t u : adj[v])
-                if (keep[u] && !visited[u]) neigh.push_back(u);
-            std::sort(neigh.begin(), neigh.end(),
-                      [&](std::size_t a, std::size_t b) {
-                          return degree[a] != degree[b] ? degree[a] < degree[b]
-                                                        : a < b;
-                      });
-            for (std::size_t u : neigh) {
-                visited[u] = true;
-                fifo.push(u);
+        while (head < count) {
+            const std::size_t v = cm[head++];
+            std::size_t nn = 0;
+            for (std::size_t p = adj_ptr[v]; p < adj_ptr[v + 1]; ++p) {
+                const std::size_t u = adj_idx[p];
+                if (keep[u] && !visited[u]) neigh[nn++] = u;
+            }
+            std::sort(neigh, neigh + nn, [&](std::size_t a, std::size_t b) {
+                return degree[a] != degree[b] ? degree[a] < degree[b] : a < b;
+            });
+            for (std::size_t q = 0; q < nn; ++q) {
+                visited[neigh[q]] = true;
+                cm[count++] = neigh[q];
             }
         }
     }
-    order.insert(order.end(), cm.rbegin(), cm.rend());
+    order.reserve(order.size() + count);
+    for (std::size_t q = count; q-- > 0;) order.push_back(cm[q]);
 }
 
 }  // namespace
@@ -70,16 +94,27 @@ BandedCholesky::BandedCholesky(const Matrix& spd,
     n_ = spd.rows();
     if (n_ == 0) return;
 
-    // Structural adjacency and per-row degree.
-    std::vector<std::vector<std::size_t>> adj(n_);
-    for (std::size_t i = 0; i < n_; ++i)
+    // Structural adjacency as flat CSR (two passes over the dense input:
+    // count, then fill) — one sized allocation per array instead of n
+    // per-vertex vectors with push_back growth churn.
+    std::vector<std::size_t> adj_ptr(n_ + 1, 0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        std::size_t deg = 0;
         for (std::size_t j = 0; j < n_; ++j)
-            if (i != j && spd(i, j) != 0.0) adj[i].push_back(j);
+            if (i != j && spd(i, j) != 0.0) ++deg;
+        adj_ptr[i + 1] = adj_ptr[i] + deg;
+    }
+    std::vector<std::size_t> adj_idx(adj_ptr[n_]);
+    for (std::size_t i = 0; i < n_; ++i) {
+        std::size_t p = adj_ptr[i];
+        for (std::size_t j = 0; j < n_; ++j)
+            if (i != j && spd(i, j) != 0.0) adj_idx[p++] = j;
+    }
 
     std::vector<bool> interior(n_, true);
     std::vector<std::size_t> border;
     for (std::size_t i = 0; i < n_; ++i)
-        if (adj[i].size() > border_degree_threshold) {
+        if (adj_ptr[i + 1] - adj_ptr[i] > border_degree_threshold) {
             interior[i] = false;
             border.push_back(i);
         }
@@ -91,18 +126,22 @@ BandedCholesky::BandedCholesky(const Matrix& spd,
 
     perm_.clear();
     perm_.reserve(n_);
-    reverse_cuthill_mckee(adj, interior, perm_);
+    RcmScratch rcm_scratch(n_);
+    reverse_cuthill_mckee(adj_ptr, adj_idx, interior, rcm_scratch, perm_);
     ni_ = perm_.size();
     perm_.insert(perm_.end(), border.begin(), border.end());
     nb_ = n_ - ni_;
 
-    // Half-bandwidth of the permuted interior block.
-    std::vector<std::size_t> where(n_, 0);
+    // Half-bandwidth of the permuted interior block; reuses the RCM degree
+    // slots as the inverse-permutation table (the pass is over).
+    std::size_t* where = rcm_scratch.degree;
     for (std::size_t k = 0; k < n_; ++k) where[perm_[k]] = k;
     hb_ = 0;
     for (std::size_t k = 0; k < ni_; ++k)
-        for (std::size_t j : adj[perm_[k]])
+        for (std::size_t p = adj_ptr[perm_[k]]; p < adj_ptr[perm_[k] + 1]; ++p) {
+            const std::size_t j = adj_idx[p];
             if (interior[j] && where[j] < k) hb_ = std::max(hb_, k - where[j]);
+        }
 
     // Banded Cholesky of the interior: L stored by diagonals,
     // band_[i*(hb_+1)+d] = L(i, i-d).
@@ -211,6 +250,88 @@ void BandedCholesky::solve_into(const double* b, double* x,
     }
 
     for (std::size_t k = 0; k < n_; ++k) x[perm_[k]] = y[k];
+}
+
+void BandedCholesky::solve_batch_into(const double* bs, std::size_t nrhs,
+                                      double* xs, double* scratch) const {
+    // Lane-major staging: permuted row k's nrhs lanes are contiguous at
+    // y + k·nrhs, so every inner loop below is a unit-stride sweep the
+    // compiler vectorises. Each lane's arithmetic replays solve_into's
+    // operation sequence exactly (the updates land in memory instead of a
+    // register accumulator, but the value chain per lane is identical), so
+    // the batch is bit-identical to nrhs looped solve_into calls.
+    const std::size_t w = hb_ + 1;
+    double* y = scratch;
+    for (std::size_t k = 0; k < n_; ++k) {
+        const std::size_t src = perm_[k];
+        double* yk = y + k * nrhs;
+        for (std::size_t r = 0; r < nrhs; ++r) yk[r] = bs[r * n_ + src];
+    }
+
+    // Forward: interior banded L, then the border through W and the Schur
+    // factor.
+    for (std::size_t i = 0; i < ni_; ++i) {
+        double* yi = y + i * nrhs;
+        const std::size_t lo = i >= hb_ ? i - hb_ : 0;
+        for (std::size_t k = lo; k < i; ++k) {
+            const double c = band_[i * w + (i - k)];
+            const double* yk = y + k * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) yi[r] -= c * yk[r];
+        }
+        const double d = band_[i * w];
+        for (std::size_t r = 0; r < nrhs; ++r) yi[r] /= d;
+    }
+    for (std::size_t b = 0; b < nb_; ++b) {
+        double* yb = y + (ni_ + b) * nrhs;
+        const double* wb = w_.data() + b * ni_;
+        for (std::size_t i = 0; i < ni_; ++i) {
+            const double c = wb[i];
+            const double* yi = y + i * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) yb[r] -= c * yi[r];
+        }
+        for (std::size_t k = 0; k < b; ++k) {
+            const double c = schur_[b * nb_ + k];
+            const double* yk = y + (ni_ + k) * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) yb[r] -= c * yk[r];
+        }
+        const double d = schur_[b * nb_ + b];
+        for (std::size_t r = 0; r < nrhs; ++r) yb[r] /= d;
+    }
+
+    // Backward: border transpose, then interior L^T with the border
+    // contribution folded in.
+    for (std::size_t b = nb_; b-- > 0;) {
+        double* yb = y + (ni_ + b) * nrhs;
+        for (std::size_t k = b + 1; k < nb_; ++k) {
+            const double c = schur_[k * nb_ + b];
+            const double* yk = y + (ni_ + k) * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) yb[r] -= c * yk[r];
+        }
+        const double d = schur_[b * nb_ + b];
+        for (std::size_t r = 0; r < nrhs; ++r) yb[r] /= d;
+    }
+    for (std::size_t i = ni_; i-- > 0;) {
+        double* yi = y + i * nrhs;
+        for (std::size_t c = 0; c < nb_; ++c) {
+            const double coeff = w_[c * ni_ + i];
+            const double* yc = y + (ni_ + c) * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) yi[r] -= coeff * yc[r];
+        }
+        const std::size_t hi = std::min(ni_ - 1, i + hb_);
+        for (std::size_t k = i + 1; k <= hi; ++k) {
+            const double c = band_[k * w + (k - i)];
+            const double* yk = y + k * nrhs;
+            for (std::size_t r = 0; r < nrhs; ++r) yi[r] -= c * yk[r];
+        }
+        const double d = band_[i * w];
+        for (std::size_t r = 0; r < nrhs; ++r) yi[r] /= d;
+    }
+
+    for (std::size_t k = 0; k < n_; ++k) {
+        const std::size_t dst = perm_[k];
+        const double* yk = y + k * nrhs;
+        for (std::size_t r = 0; r < nrhs; ++r) xs[r * n_ + dst] = yk[r];
+    }
 }
 
 Vector BandedCholesky::solve(const Vector& b) const {

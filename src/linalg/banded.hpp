@@ -52,6 +52,20 @@ public:
     /// @p b but neither may alias @p scratch. No allocations.
     void solve_into(const double* b, double* x, double* scratch) const;
 
+    /// Solves S·x_r = b_r for @p nrhs RHS-major vectors (RHS r occupies
+    /// [r·size(), (r+1)·size()) of @p bs and @p xs) in one lane-parallel
+    /// sweep: the triangular substitutions are sequential per row but
+    /// independent across right-hand sides, so each factor entry is loaded
+    /// once and applied to all lanes — this breaks the per-row dependency
+    /// chain that makes the single solve latency-bound. Lane r performs
+    /// exactly solve_into's operation sequence (same subtractions in the
+    /// same order, multiply and add never reassociated), so output r is
+    /// bit-identical to solve_into on input r. @p scratch must hold
+    /// size()·nrhs doubles; @p xs may alias @p bs but neither may alias
+    /// @p scratch. No allocations.
+    void solve_batch_into(const double* bs, std::size_t nrhs, double* xs,
+                          double* scratch) const;
+
     /// Allocating convenience solve.
     Vector solve(const Vector& b) const;
 

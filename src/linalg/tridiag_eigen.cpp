@@ -13,8 +13,7 @@ namespace {
 /// Householder reduction of symmetric @p a (overwritten) to tridiagonal
 /// form: on exit @p d holds the diagonal, @p e the subdiagonal (e[0] unused)
 /// and @p a the accumulated orthogonal transform Q with A = Q·T·Q^T.
-void householder_tridiagonalize(Matrix& a, std::vector<double>& d,
-                                std::vector<double>& e) {
+void householder_tridiagonalize(Matrix& a, double* d, double* e) {
     const std::size_t n = a.rows();
     for (std::size_t i = n; i-- > 1;) {
         const std::size_t l = i - 1;
@@ -81,9 +80,7 @@ void householder_tridiagonalize(Matrix& a, std::vector<double>& d,
 /// Implicit-shift QL iteration on the tridiagonal (d, e), accumulating the
 /// rotations into @p z (entered as the Householder Q). On exit d holds the
 /// (unsorted) eigenvalues and column j of z the eigenvector of d[j].
-void ql_implicit_shift(std::vector<double>& d, std::vector<double>& e,
-                       Matrix& z) {
-    const std::size_t n = d.size();
+void ql_implicit_shift(std::size_t n, double* d, double* e, Matrix& z) {
     if (n == 0) return;
     for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
     e[n - 1] = 0.0;
@@ -152,14 +149,17 @@ SymmetricEigen tridiagonal_eigen(const Matrix& m, double symmetry_tol) {
 
     const std::size_t n = m.rows();
     Matrix q = m;
-    std::vector<double> d(n, 0.0);
-    std::vector<double> e(n, 0.0);
+    // One consolidated scratch block for the diagonal/subdiagonal work
+    // arrays (the setup bench gates allocs/op; per-stage vectors were churn).
+    std::vector<double> de(2 * n, 0.0);
+    double* d = de.data();
+    double* e = de.data() + n;
     if (n == 1) {
         d[0] = m(0, 0);
         q(0, 0) = 1.0;
     } else {
         householder_tridiagonalize(q, d, e);
-        ql_implicit_shift(d, e, q);
+        ql_implicit_shift(n, d, e, q);
     }
 
     // Sort ascending, permuting eigenvector columns along (jacobi_eigen's

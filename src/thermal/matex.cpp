@@ -96,8 +96,8 @@ void MatExSolver::apply_exponential_into(const linalg::Vector& x, double dt,
     workspace.resize(n);
     if (out.size() != n) out = linalg::Vector(n);
     linalg::matvec_into(v_inv_, x, workspace.modal);
-    const linalg::Vector& decay = workspace.exp_table(lambda_, dt);
-    linalg::kernel_hadamard(n, decay.data(), workspace.modal.data());
+    const double* decay = workspace.exp_table(lambda_, dt);
+    linalg::kernel_hadamard(n, decay, workspace.modal.data());
     linalg::matvec_into(v_, workspace.modal, out);
 }
 
@@ -113,9 +113,9 @@ void MatExSolver::apply_exponential_batch_into(const double* xs,
     // consumed before outs is written, so outs may alias xs.
     std::pmr::vector<double>& modal = workspace.batch_modal(n * nrhs);
     linalg::kernel_matmat(v_inv_.data(), n, n, xs, nrhs, modal.data());
-    const linalg::Vector& decay = workspace.exp_table(lambda_, dt);
+    const double* decay = workspace.exp_table(lambda_, dt);
     for (std::size_t r = 0; r < nrhs; ++r)
-        linalg::kernel_hadamard(n, decay.data(), modal.data() + r * n);
+        linalg::kernel_hadamard(n, decay, modal.data() + r * n);
     linalg::kernel_matmat(v_.data(), n, n, modal.data(), nrhs, outs);
 }
 

@@ -251,10 +251,23 @@ void TruncatedModalSolver::steady_state_batch_into(const double* node_powers,
                                                    double ambient_celsius,
                                                    ThermalWorkspace& workspace,
                                                    double* out) const {
+    if (nrhs == 0) return;
     workspace.resize(total_);
-    for (std::size_t r = 0; r < nrhs; ++r)
-        steady_state_raw(node_powers + r * total_, ambient_celsius, workspace,
-                         out + r * total_);
+    const std::size_t n = total_;
+    const linalg::Vector& amb =
+        workspace.ambient_rhs(model_->ambient_conductance(), ambient_celsius);
+    // Stage every right-hand side, then one lane-parallel banded sweep —
+    // the batch form of steady_state_raw's rhs add + solve. The per-element
+    // add and the per-lane solve sequence match the single path exactly, so
+    // output r stays bit-identical to steady_state_into on RHS r.
+    std::pmr::vector<double>& rhs = workspace.batch_rhs(n * nrhs);
+    for (std::size_t r = 0; r < nrhs; ++r) {
+        const double* p = node_powers + r * n;
+        double* dst = rhs.data() + r * n;
+        for (std::size_t i = 0; i < n; ++i) dst[i] = p[i] + amb[i];
+    }
+    std::pmr::vector<double>& lanes = workspace.batch_scratch(n * nrhs);
+    conductance_chol_.solve_batch_into(rhs.data(), nrhs, out, lanes.data());
 }
 
 linalg::Vector TruncatedModalSolver::conductance_solve(
@@ -272,6 +285,15 @@ void TruncatedModalSolver::conductance_solve_into(const linalg::Vector& rhs,
     if (out.size() != total_) out = linalg::Vector(total_);
     conductance_chol_.solve_into(rhs.data(), out.data(),
                                  workspace.solver_scratch.data());
+}
+
+void TruncatedModalSolver::conductance_solve_batch_into(
+    const double* rhs, std::size_t nrhs, ThermalWorkspace& workspace,
+    double* out) const {
+    if (nrhs == 0) return;
+    workspace.resize(total_);
+    std::pmr::vector<double>& lanes = workspace.batch_scratch(total_ * nrhs);
+    conductance_chol_.solve_batch_into(rhs, nrhs, out, lanes.data());
 }
 
 void TruncatedModalSolver::propagate_taylor(const double* x, double dt,
@@ -301,9 +323,63 @@ void TruncatedModalSolver::propagate_modal(const double* x, double dt,
                                            double* out) const {
     double* w = ws.modal.data();
     linalg::kernel_matvec(w_k_.data(), kept_, total_, x, w);
-    const linalg::Vector& e = ws.exp_table(lambda_k_, dt);
-    linalg::kernel_hadamard(kept_, e.data(), w);
+    const double* e = ws.exp_table(lambda_k_, dt);
+    linalg::kernel_hadamard(kept_, e, w);
     linalg::kernel_matvec(v_k_.data(), total_, kept_, w, out);
+}
+
+void TruncatedModalSolver::propagate_taylor_batch(const double* xs,
+                                                  std::size_t nrhs, double dt,
+                                                  ThermalWorkspace& ws,
+                                                  double* outs) const {
+    const std::size_t n = total_;
+    const std::size_t m = substeps_for(dt);
+    const double h = dt / static_cast<double>(m);
+    // Node-major lane blocks: element (node i, RHS r) at i·nrhs + r, the
+    // layout spmm streams with unit-stride lane loads. The axpy updates are
+    // element-wise (no cross-element accumulation), so running them over the
+    // whole block performs exactly the per-RHS operations of
+    // propagate_taylor; spmm's per-lane contract covers the matvecs — every
+    // column therefore matches the single-RHS propagator bit for bit.
+    double* r = ws.batch_taylor_r(n * nrhs).data();
+    double* t1 = ws.batch_taylor_t1(n * nrhs).data();
+    double* t2 = ws.batch_taylor_t2(n * nrhs).data();
+    for (std::size_t c = 0; c < nrhs; ++c) {
+        const double* x = xs + c * n;
+        for (std::size_t i = 0; i < n; ++i) r[i * nrhs + c] = x[i];
+    }
+    const std::size_t elems = n * nrhs;
+    for (std::size_t step = 0; step < m; ++step) {
+        // r ← r + h·Cr + h²/2·C²r + h³/6·C³r; three O(nnz) sparse passes,
+        // each advancing every right-hand side.
+        c_sparse_.spmm_into(r, nrhs, t1);
+        c_sparse_.spmm_into(t1, nrhs, t2);
+        linalg::kernel_axpy(elems, h, t1, r);
+        linalg::kernel_axpy(elems, 0.5 * h * h, t2, r);
+        c_sparse_.spmm_into(t2, nrhs, t1);
+        linalg::kernel_axpy(elems, h * h * h / 6.0, t1, r);
+    }
+    for (std::size_t c = 0; c < nrhs; ++c) {
+        double* o = outs + c * n;
+        for (std::size_t i = 0; i < n; ++i) o[i] = r[i * nrhs + c];
+    }
+}
+
+void TruncatedModalSolver::propagate_modal_batch(const double* xs,
+                                                 std::size_t nrhs, double dt,
+                                                 ThermalWorkspace& ws,
+                                                 double* outs) const {
+    // One matmat each way replaces the per-RHS matvec pair; matmat keeps
+    // matvec's accumulation order per RHS and the decay is the same memoised
+    // table the single path reads, so every output column is bit-identical
+    // to propagate_modal. The first matmat fully consumes xs before outs is
+    // written, so outs may alias xs.
+    double* w = ws.batch_modal(kept_ * nrhs).data();
+    linalg::kernel_matmat(w_k_.data(), kept_, total_, xs, nrhs, w);
+    const double* e = ws.exp_table(lambda_k_, dt);
+    for (std::size_t r = 0; r < nrhs; ++r)
+        linalg::kernel_hadamard(kept_, e, w + r * kept_);
+    linalg::kernel_matmat(v_k_.data(), total_, kept_, w, nrhs, outs);
 }
 
 void TruncatedModalSolver::apply_exponential_raw(const double* x, double dt,
@@ -342,10 +418,16 @@ void TruncatedModalSolver::apply_exponential_into(const linalg::Vector& x,
 void TruncatedModalSolver::apply_exponential_batch_into(
     const double* xs, std::size_t nrhs, double dt, ThermalWorkspace& workspace,
     double* outs) const {
+    if (nrhs == 0) return;
     workspace.resize(total_);
-    for (std::size_t r = 0; r < nrhs; ++r)
-        apply_exponential_raw(xs + r * total_, dt, workspace,
-                              outs + r * total_);
+    // Same horizon split as apply_exponential_raw, but the whole batch moves
+    // through the chosen propagator together: the modal side collapses 2·nrhs
+    // matvecs into two matmats, the Taylor side streams each CSR nonzero once
+    // per substep for all columns. Both batch propagators allow outs == xs.
+    if (!truncated() || dt >= tau_switch_s_)
+        propagate_modal_batch(xs, nrhs, dt, workspace, outs);
+    else
+        propagate_taylor_batch(xs, nrhs, dt, workspace, outs);
 }
 
 linalg::Matrix TruncatedModalSolver::exponential(double dt) const {
@@ -407,11 +489,19 @@ void TruncatedModalSolver::transient_batch_into(
     std::pmr::vector<double>& steady = workspace.batch_steady(n * nrhs);
     steady_state_batch_into(node_powers, nrhs, ambient_celsius, workspace,
                             steady.data());
+    // Offsets for every RHS first, then a single batched decay (outs aliases
+    // its own input), then the steady states added back — element-wise ops in
+    // the same per-column order as the single-RHS path, so each column stays
+    // bit-identical to transient_into.
     for (std::size_t r = 0; r < nrhs; ++r) {
         const double* st = steady.data() + r * n;
         double* o = outs + r * n;
         for (std::size_t i = 0; i < n; ++i) o[i] = t_init[i] - st[i];
-        apply_exponential_raw(o, dt, workspace, o);
+    }
+    apply_exponential_batch_into(outs, nrhs, dt, workspace, outs);
+    for (std::size_t r = 0; r < nrhs; ++r) {
+        const double* st = steady.data() + r * n;
+        double* o = outs + r * n;
         for (std::size_t i = 0; i < n; ++i) o[i] = st[i] + o[i];
     }
 }

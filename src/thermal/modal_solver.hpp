@@ -89,6 +89,9 @@ public:
     void conductance_solve_into(const linalg::Vector& rhs,
                                 ThermalWorkspace& workspace,
                                 linalg::Vector& out) const override;
+    void conductance_solve_batch_into(const double* rhs, std::size_t nrhs,
+                                      ThermalWorkspace& workspace,
+                                      double* out) const override;
 
     linalg::Vector apply_exponential(const linalg::Vector& x,
                                      double dt) const override;
@@ -142,6 +145,19 @@ private:
     /// e^{C·dt}·x via the retained modes (dt >= tau_switch_s_).
     void propagate_modal(const double* x, double dt, ThermalWorkspace& ws,
                          double* out) const;
+    /// Batched propagate_taylor: gathers the RHS-major @p xs into node-major
+    /// lane blocks and advances every column per sparse pass (spmm), so each
+    /// CSR nonzero is streamed once per substep instead of once per RHS.
+    /// Output r is bit-identical to propagate_taylor on input r. @p outs may
+    /// alias @p xs.
+    void propagate_taylor_batch(const double* xs, std::size_t nrhs, double dt,
+                                ThermalWorkspace& ws, double* outs) const;
+    /// Batched propagate_modal: one W·X matmat down, the memoised exp ladder
+    /// across, one V·w matmat back — bit-identical per RHS to
+    /// propagate_modal (matmat keeps matvec's accumulation order per RHS).
+    /// @p outs may alias @p xs.
+    void propagate_modal_batch(const double* xs, std::size_t nrhs, double dt,
+                               ThermalWorkspace& ws, double* outs) const;
     void apply_exponential_raw(const double* x, double dt,
                                ThermalWorkspace& ws, double* out) const;
     void steady_state_raw(const double* node_power, double ambient_celsius,

@@ -104,6 +104,28 @@ public:
     virtual void conductance_solve_into(const linalg::Vector& rhs,
                                         ThermalWorkspace& workspace,
                                         linalg::Vector& out) const = 0;
+    /// RHS-major batched conductance solve; output r bit-identical to
+    /// conductance_solve_into on RHS r. The base default loops the single
+    /// solve through workspace staging (bit-preserving copies); backends
+    /// with a lane-parallel factorisation (the modal backend's banded
+    /// Cholesky) override it — this is what lets the analyzer's
+    /// dropped-cluster correction solve all δ epoch fields in one sweep.
+    virtual void conductance_solve_batch_into(const double* rhs,
+                                              std::size_t nrhs,
+                                              ThermalWorkspace& workspace,
+                                              double* out) const {
+        const std::size_t n = node_count();
+        workspace.resize(n);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            const double* src = rhs + r * n;
+            double* stage = workspace.rhs.data();
+            for (std::size_t i = 0; i < n; ++i) stage[i] = src[i];
+            conductance_solve_into(workspace.rhs, workspace, workspace.steady);
+            const double* sol = workspace.steady.data();
+            double* o = out + r * n;
+            for (std::size_t i = 0; i < n; ++i) o[i] = sol[i];
+        }
+    }
 
     // ---- Transients ----------------------------------------------------
     /// Applies e^{C·dt} to @p x.

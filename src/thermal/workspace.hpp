@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstddef>
 #include <memory_resource>
@@ -21,8 +22,13 @@ namespace hp::thermal {
 ///
 ///  - ambient_rhs():  T_amb·G, so the per-step steady-state right-hand side
 ///    is a fused add instead of two allocated temporaries;
-///  - exp_table():    e^{λ_k·dt}, so a simulator stepping at a fixed dt pays
-///    the N exponentials once instead of every micro-step.
+///  - exp_table():    a small ladder of e^{λ_k·dt} vectors, one per distinct
+///    dt (up to kExpLadderSlots), so a simulator stepping at a fixed dt — or
+///    an analyzer probing a τ ladder of rotation intervals — pays the K
+///    exponentials once per rung instead of every query. Slots recycle
+///    round-robin on overflow; invalidate_exp_tables() empties the ladder in
+///    O(1) (the rebind hook for callers that swap solvers at what may be a
+///    recycled lambda address).
 ///
 /// Both caches key on the source vector's identity (address) plus the scalar
 /// argument, so reusing one workspace across models or dt values is correct —
@@ -53,12 +59,17 @@ public:
           solver_scratch(mr),
           taylor_a(mr),
           taylor_b(mr),
+          mr_(mr),
           batch_rhs_(mr),
           batch_sol_(mr),
           batch_steady_(mr),
           batch_modal_(mr),
+          batch_scratch_(mr),
+          batch_taylor_r_(mr),
+          batch_taylor_t1_(mr),
+          batch_taylor_t2_(mr),
           ambient_(mr),
-          exp_(mr) {}
+          exp_values_(mr) {}
 
     /// Sizes every buffer for an N-node model; idempotent (and cheap) when
     /// the size is unchanged, so kernels call it defensively.
@@ -73,7 +84,7 @@ public:
         taylor_a.assign(node_count);
         taylor_b.assign(node_count);
         ambient_key_ = nullptr;
-        exp_key_ = nullptr;
+        invalidate_exp_tables();
     }
 
     std::size_t node_count() const { return nodes_; }
@@ -121,19 +132,74 @@ public:
     std::pmr::vector<double>& batch_modal(std::size_t n) {
         return grown(batch_modal_, n);
     }
+    /// Lane-major scratch for the batched banded solve (size()·nrhs lanes).
+    std::pmr::vector<double>& batch_scratch(std::size_t n) {
+        return grown(batch_scratch_, n);
+    }
+    // Node-major ping-pong blocks of the batched sparse Taylor propagator.
+    std::pmr::vector<double>& batch_taylor_r(std::size_t n) {
+        return grown(batch_taylor_r_, n);
+    }
+    std::pmr::vector<double>& batch_taylor_t1(std::size_t n) {
+        return grown(batch_taylor_t1_, n);
+    }
+    std::pmr::vector<double>& batch_taylor_t2(std::size_t n) {
+        return grown(batch_taylor_t2_, n);
+    }
 
-    /// Memoised e^{λ_k·dt} for the eigenvalue vector @p lambda. Recomputed
-    /// only when @p lambda (by address) or @p dt changes.
-    const linalg::Vector& exp_table(const linalg::Vector& lambda, double dt) {
-        if (exp_key_ != &lambda || exp_dt_ != dt ||
-            exp_.size() != lambda.size()) {
-            if (exp_.size() != lambda.size()) exp_.assign(lambda.size());
-            for (std::size_t k = 0; k < lambda.size(); ++k)
-                exp_[k] = std::exp(lambda[k] * dt);
-            exp_key_ = &lambda;
-            exp_dt_ = dt;
+    /// Distinct-dt slots the exp ladder keeps live before recycling. Sized
+    /// for a HotPotato τ ladder plus the simulator micro-step and a few
+    /// analyzer horizons; each slot is one K-vector, so the cap bounds the
+    /// cache at a few hundred KiB even at 1024 cores.
+    static constexpr std::size_t kExpLadderSlots = 24;
+
+    /// Memoised e^{λ_k·dt} for the eigenvalue vector @p lambda: one ladder
+    /// slot per distinct (lambda address, dt) pair, so alternating dt values
+    /// (a τ ladder, epoch vs micro-step horizons) all stay warm, where the
+    /// historical single-entry memo recomputed on every alternation. Slots
+    /// recycle round-robin past kExpLadderSlots. Keys and cursors live
+    /// inline; the values share one flat slot-strided buffer on mr_, so the
+    /// whole ladder costs exactly one allocation (from the workspace's own
+    /// resource) for a given K, and a warmed ladder serves hits and recycles
+    /// without touching memory at all. The returned pointer stays valid
+    /// until exp_table() is next called with a *longer* eigenvalue vector
+    /// (a solver rebind to a bigger model, which re-strides the buffer).
+    const double* exp_table(const linalg::Vector& lambda, double dt) {
+        const std::size_t k = lambda.size();
+        for (std::size_t s = 0; s < exp_used_; ++s) {
+            if (exp_keys_[s] == &lambda && exp_dts_[s] == dt &&
+                exp_lens_[s] == k)
+                return exp_values_.data() + s * exp_stride_;
         }
-        return exp_;
+        if (k > exp_stride_) {
+            exp_stride_ = k;
+            exp_used_ = 0;
+            exp_next_ = 0;
+            exp_values_.resize(kExpLadderSlots * exp_stride_);
+        }
+        std::size_t s;
+        if (exp_used_ < kExpLadderSlots) {
+            s = exp_used_++;
+        } else {
+            s = exp_next_;
+            exp_next_ = (exp_next_ + 1) % kExpLadderSlots;
+        }
+        double* values = exp_values_.data() + s * exp_stride_;
+        for (std::size_t i = 0; i < k; ++i)
+            values[i] = std::exp(lambda[i] * dt);
+        exp_keys_[s] = &lambda;
+        exp_dts_[s] = dt;
+        exp_lens_[s] = k;
+        return values;
+    }
+
+    /// O(1) invalidation of every exp ladder entry — the hook for solver
+    /// rebinds, where a new solver's eigenvalue vector may land at a freed
+    /// (and thus aliasing) address. The value buffer keeps its capacity, so
+    /// re-warming after an invalidation allocates nothing at unchanged K.
+    void invalidate_exp_tables() {
+        exp_used_ = 0;
+        exp_next_ = 0;
     }
 
 private:
@@ -144,16 +210,25 @@ private:
     }
 
     std::size_t nodes_ = 0;
+    std::pmr::memory_resource* mr_ = std::pmr::get_default_resource();
     std::pmr::vector<double> batch_rhs_;
     std::pmr::vector<double> batch_sol_;
     std::pmr::vector<double> batch_steady_;
     std::pmr::vector<double> batch_modal_;
+    std::pmr::vector<double> batch_scratch_;
+    std::pmr::vector<double> batch_taylor_r_;
+    std::pmr::vector<double> batch_taylor_t1_;
+    std::pmr::vector<double> batch_taylor_t2_;
     linalg::Vector ambient_;
     const void* ambient_key_ = nullptr;
     double ambient_c_ = 0.0;
-    linalg::Vector exp_;
-    const void* exp_key_ = nullptr;
-    double exp_dt_ = 0.0;
+    std::array<const void*, kExpLadderSlots> exp_keys_{};  ///< λ addresses
+    std::array<double, kExpLadderSlots> exp_dts_{};        ///< exact dt bits
+    std::array<std::size_t, kExpLadderSlots> exp_lens_{};  ///< cached K
+    std::pmr::vector<double> exp_values_;  ///< slot s at s·exp_stride_
+    std::size_t exp_stride_ = 0;         ///< slot pitch (largest K seen)
+    std::size_t exp_used_ = 0;           ///< live slots
+    std::size_t exp_next_ = 0;           ///< round-robin recycle cursor
 };
 
 }  // namespace hp::thermal

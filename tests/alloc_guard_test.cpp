@@ -370,6 +370,77 @@ TEST(AllocGuard, WarmedModalThermalKernelsAreAllocationFree) {
     EXPECT_EQ(alloc_count() - before, 0u);
 }
 
+TEST(AllocGuard, WarmedModalBatchKernelsAreAllocationFree) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_64core(
+        thermal::SolverConfig::modal());
+    const thermal::ThermalModel& model = setup.model();
+    const thermal::TransientSolver& modal = setup.solver();
+    ASSERT_STREQ(modal.backend_name(), "modal");
+
+    const std::size_t n = model.node_count();
+    const std::size_t nrhs = 8;
+    linalg::Vector temps = model.ambient_equilibrium(45.0);
+    std::vector<double> powers(nrhs * n), batch(nrhs * n);
+    for (std::size_t i = 0; i < powers.size(); ++i)
+        powers[i] = 0.25 + 0.125 * static_cast<double>(i % 17);
+    thermal::ThermalWorkspace ws;
+
+    // Warm every batch staging buffer and both exp-ladder rungs (the
+    // micro-step Taylor horizon and the retained-mode closed form).
+    modal.steady_state_batch_into(powers.data(), nrhs, 45.0, ws, batch.data());
+    modal.conductance_solve_batch_into(powers.data(), nrhs, ws, batch.data());
+    modal.apply_exponential_batch_into(powers.data(), nrhs, 1e-4, ws,
+                                       batch.data());
+    modal.apply_exponential_batch_into(powers.data(), nrhs, 1.0, ws,
+                                       batch.data());
+    modal.transient_batch_into(temps, powers.data(), nrhs, 45.0, 1e-4, ws,
+                               batch.data());
+
+    const std::uint64_t before = alloc_count();
+    for (int step = 0; step < 50; ++step) {
+        modal.steady_state_batch_into(powers.data(), nrhs, 45.0, ws,
+                                      batch.data());
+        modal.conductance_solve_batch_into(powers.data(), nrhs, ws,
+                                           batch.data());
+        modal.apply_exponential_batch_into(powers.data(), nrhs, 1e-4, ws,
+                                           batch.data());
+        modal.apply_exponential_batch_into(powers.data(), nrhs, 1.0, ws,
+                                           batch.data());
+        modal.transient_batch_into(temps, powers.data(), nrhs, 45.0, 1e-4, ws,
+                                   batch.data());
+    }
+    EXPECT_EQ(alloc_count() - before, 0u);
+}
+
+TEST(AllocGuard, WarmedModalBatchPeakAnalysisIsAllocationFree) {
+    const campaign::StudySetup setup = campaign::StudySetup::paper_64core(
+        thermal::SolverConfig::modal());
+    const core::PeakTemperatureAnalyzer analyzer(setup.solver(), 45.0, 0.3);
+    core::PeakWorkspace ws;
+
+    core::RotationRingSpec ring;
+    ring.cores = {27, 28, 36, 35, 34, 26, 18, 19};
+    ring.slot_power_w = {6.0, 5.5, 5.0, 0.3, 0.3, 4.0, 0.3, 0.3};
+    const std::vector<core::RotationRingSpec> rings = {ring};
+    const std::vector<double> taus = {0.25e-3, 0.5e-3, 1e-3, 2e-3};
+    const std::size_t cores = setup.model().core_count();
+    const std::size_t nrhs = 4;
+    std::vector<double> cands(nrhs * cores, 0.3), peaks(taus.size(), 0.0);
+    for (std::size_t r = 0; r < nrhs; ++r) cands[r * cores + 11 + r] = 6.0;
+
+    analyzer.rotation_peak_tau_batch(rings, taus.data(), taus.size(), 2, ws,
+                                     peaks.data());  // warm
+    analyzer.static_peak_batch(cands.data(), nrhs, ws, peaks.data());
+
+    const std::uint64_t before = alloc_count();
+    for (int i = 0; i < 20; ++i) {
+        analyzer.rotation_peak_tau_batch(rings, taus.data(), taus.size(), 2,
+                                         ws, peaks.data());
+        analyzer.static_peak_batch(cands.data(), nrhs, ws, peaks.data());
+    }
+    EXPECT_EQ(alloc_count() - before, 0u);
+}
+
 TEST(AllocGuard, WarmedRotationPeakIsAllocationFree) {
     const campaign::StudySetup setup = campaign::StudySetup::paper_64core();
     const core::PeakTemperatureAnalyzer analyzer(setup.solver(), 45.0, 0.3);

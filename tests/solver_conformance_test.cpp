@@ -6,9 +6,11 @@
 // additionally pinned bit-identical to MatExSolver, the pre-seam numerics.
 
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -333,6 +335,77 @@ TEST(ModalBackend, ExactPeakAgreesWithDenseWithinBound) {
     EXPECT_LE(std::abs(exact.temperature_c - approx.temperature_c),
               modal.error_bound_c());
     EXPECT_GE(approx.temperature_c, 45.0);
+}
+
+// Batched modal propagation must be bit-identical (not merely close) to the
+// single-RHS path on every right-hand side, in BOTH horizon regimes: the
+// substepped sparse Taylor ladder below tau_switch and the retained-mode
+// closed form above it. rig64 has real truncation (kept < total), so both
+// code paths and the truncated-tail handling are exercised; rig16 keeps all
+// modes and would silently skip the Taylor branch.
+TEST(ModalBackend, BatchPropagationBitIdenticalBothHorizons) {
+    const ThermalModel& model = rig64().model;
+    const hp::thermal::TruncatedModalSolver modal(model,
+                                                  SolverConfig::modal());
+    ASSERT_TRUE(modal.truncated());
+    const std::size_t n = model.node_count();
+    const double taus[] = {1e-4,                          // Taylor horizon
+                           0.5 * modal.tau_switch_s(),    // Taylor, near edge
+                           modal.tau_switch_s(),          // modal (boundary)
+                           1.0};                          // modal closed form
+    const Vector t_init = model.ambient_equilibrium(52.0);
+
+    for (std::size_t nrhs : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+        std::vector<double> xs(nrhs * n);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            xs[i] = 0.4 + 1.13 * static_cast<double>((i * 5 + 2) % 11) +
+                    std::sin(static_cast<double>(i) * 0.37);
+
+        for (double dt : taus) {
+            ThermalWorkspace wsb, wss;
+            std::vector<double> batch(nrhs * n, -1.0);
+            modal.apply_exponential_batch_into(xs.data(), nrhs, dt, wsb,
+                                               batch.data());
+            Vector x(n), single(n);
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                for (std::size_t i = 0; i < n; ++i) x[i] = xs[r * n + i];
+                modal.apply_exponential_into(x, dt, wss, single);
+                for (std::size_t i = 0; i < n; ++i)
+                    EXPECT_EQ(batch[r * n + i], single[i])
+                        << "apply_exponential nrhs=" << nrhs << " r=" << r
+                        << " dt=" << dt << " i=" << i;
+            }
+
+            // transient_batch_into composes steady solve + offset +
+            // exponential + restore; the whole chain must stay exact.
+            std::vector<double> tb(nrhs * n, -1.0);
+            modal.transient_batch_into(t_init, xs.data(), nrhs, 45.0, dt, wsb,
+                                       tb.data());
+            Vector out(n);
+            for (std::size_t r = 0; r < nrhs; ++r) {
+                for (std::size_t i = 0; i < n; ++i) x[i] = xs[r * n + i];
+                modal.transient_into(t_init, x, 45.0, dt, wss, out);
+                for (std::size_t i = 0; i < n; ++i)
+                    EXPECT_EQ(tb[r * n + i], out[i])
+                        << "transient nrhs=" << nrhs << " r=" << r
+                        << " dt=" << dt << " i=" << i;
+            }
+        }
+
+        // Batched conductance solve rides the same banded-Cholesky
+        // lane-parallel sweep; it must replay solve_into exactly.
+        ThermalWorkspace wsb, wss;
+        std::vector<double> cb(nrhs * n, -1.0);
+        modal.conductance_solve_batch_into(xs.data(), nrhs, wsb, cb.data());
+        Vector x(n), single(n);
+        for (std::size_t r = 0; r < nrhs; ++r) {
+            for (std::size_t i = 0; i < n; ++i) x[i] = xs[r * n + i];
+            modal.conductance_solve_into(x, wss, single);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(cb[r * n + i], single[i])
+                    << "conductance nrhs=" << nrhs << " r=" << r << " i=" << i;
+        }
+    }
 }
 
 // ---- Misuse guard: solver/model pairing by content signature ------------
